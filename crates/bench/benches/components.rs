@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the simulator's building blocks: how fast
+//! are TLB lookups, cache accesses, page-table walks and translations?
+//! These bound the end-to-end simulation rate and guard against
+//! performance regressions in the hot per-access path.
+
+use atscale_cache::{AccessKind, CacheHierarchy, HierarchyConfig};
+use atscale_mmu::{
+    MachineConfig, MmuCacheConfig, PageTableWalker, PagingStructureCaches, TlbHierarchy,
+    WalkerConfig,
+};
+use atscale_vm::{AddressSpace, BackingPolicy, PageSize, VirtAddr};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut tlb = TlbHierarchy::new(MachineConfig::haswell().tlb);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let addrs: Vec<VirtAddr> = (0..4096)
+        .map(|_| VirtAddr::new(rng.gen_range(0..1u64 << 30) & !0xfff))
+        .collect();
+    for &va in &addrs {
+        tlb.fill(va, PageSize::Size4K);
+    }
+    let mut i = 0;
+    c.bench_function("tlb_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(tlb.lookup(addrs[i]))
+        })
+    });
+}
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let mut caches = CacheHierarchy::new(HierarchyConfig::haswell());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let addrs: Vec<u64> = (0..8192).map(|_| rng.gen_range(0..1u64 << 28)).collect();
+    let mut i = 0;
+    c.bench_function("cache_hierarchy_access", |b| {
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(caches.access(atscale_vm::PhysAddr::new(addrs[i]), AccessKind::Data))
+        })
+    });
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+    let seg = space.alloc_heap("a", 256 << 20).unwrap();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let paths: Vec<(VirtAddr, atscale_vm::WalkPath)> = (0..2048)
+        .map(|_| {
+            let va = seg.base().add(rng.gen_range(0..seg.len() / 8) * 8);
+            (va, space.touch(va).unwrap().path)
+        })
+        .collect();
+    let mut psc = PagingStructureCaches::new(MmuCacheConfig::haswell());
+    let mut caches = CacheHierarchy::new(HierarchyConfig::haswell());
+    let walker = PageTableWalker::new(WalkerConfig::haswell());
+    let mut i = 0;
+    c.bench_function("page_table_walk", |b| {
+        b.iter(|| {
+            i = (i + 1) % paths.len();
+            let (va, path) = &paths[i];
+            black_box(walker.walk(*va, path, &mut psc, &mut caches, None))
+        })
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size2M));
+    let seg = space.alloc_heap("a", 1 << 30).unwrap();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let addrs: Vec<VirtAddr> = (0..4096)
+        .map(|_| seg.base().add(rng.gen_range(0..seg.len() / 8) * 8))
+        .collect();
+    for &va in &addrs {
+        space.touch(va).unwrap();
+    }
+    let mut i = 0;
+    c.bench_function("software_translate", |b| {
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(space.translate(addrs[i]))
+        })
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tlb, bench_cache_hierarchy, bench_walk, bench_translate
+);
+criterion_main!(components);

@@ -1,0 +1,60 @@
+//! Criterion end-to-end benchmarks: whole-machine simulation rate per
+//! workload model (instructions simulated per wall-clock second), which is
+//! what determines how wide a footprint sweep is affordable.
+
+use atscale::{execute_run, RunSpec};
+use atscale_mmu::MachineConfig;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_200k_instructions");
+    group.sample_size(10);
+    for label in ["cc-urand", "tc-kron", "mcf-rand", "streamcluster-rand"] {
+        let id = WorkloadId::parse(label).expect("known workload");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &id, |b, &id| {
+            b.iter(|| {
+                let spec = RunSpec {
+                    workload: id,
+                    nominal_footprint: 64 << 20,
+                    page_size: PageSize::Size4K,
+                    seed: 1,
+                    warmup_instr: 0,
+                    budget_instr: 200_000,
+                };
+                black_box(execute_run(&spec, &MachineConfig::haswell()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_page_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_size_configs");
+    group.sample_size(10);
+    let id = WorkloadId::parse("pr-urand").expect("known workload");
+    for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size.label()),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let spec = RunSpec {
+                        workload: id,
+                        nominal_footprint: 64 << 20,
+                        page_size: size,
+                        seed: 1,
+                        warmup_instr: 0,
+                        budget_instr: 200_000,
+                    };
+                    black_box(execute_run(&spec, &MachineConfig::haswell()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(simulation, bench_models, bench_page_sizes);
+criterion_main!(simulation);

@@ -1,0 +1,55 @@
+//! **Ablation** — How many paging-structure cache levels matter?
+//!
+//! The paper cites RevAnC's finding that the CPU "likely has at least two
+//! levels of page table walk caches" to explain the unpredictability of
+//! accesses-per-walk. This ablation compares all levels vs PDE-only vs
+//! none at one instance per workload.
+
+use atscale::report::{fmt, Table};
+use atscale::{Decomposition, Harness};
+use atscale_bench::HarnessOptions;
+use atscale_mmu::{MachineConfig, MmuCacheConfig, PscLevels};
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let fp = opts.sweep.footprints()[opts.sweep.points / 2];
+    println!(
+        "Ablation: PSC levels (All / PdeOnly / None) at {}",
+        atscale::report::human_bytes(fp)
+    );
+
+    let variants: [(&str, PscLevels); 3] = [
+        ("all", PscLevels::All),
+        ("pde-only", PscLevels::PdeOnly),
+        ("none", PscLevels::None),
+    ];
+    let mut table = Table::new(&["workload", "psc", "acc_per_walk", "wcpi", "walk_cycles"]);
+    for id in [
+        WorkloadId::parse("cc-urand").expect("known"),
+        WorkloadId::parse("mcf-rand").expect("known"),
+        WorkloadId::parse("tc-kron").expect("known"),
+    ] {
+        for (label, levels) in variants {
+            let mut cfg = MachineConfig::haswell();
+            cfg.psc = MmuCacheConfig {
+                levels,
+                ..MmuCacheConfig::haswell()
+            };
+            let harness = Harness::new().with_config(cfg).with_default_store();
+            let record = harness.run(&opts.sweep.spec(id, fp));
+            let d = Decomposition::from_counters(&record.result.counters);
+            table.row_owned(vec![
+                id.to_string(),
+                label.to_string(),
+                fmt(d.ptw_accesses_per_walk, 3),
+                fmt(d.wcpi, 3),
+                record.result.counters.walk_duration_cycles.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let csv = opts.csv_path("ablate_walk_cache_levels");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+}

@@ -1,0 +1,52 @@
+//! Calibration probe: simulator throughput and first-order scaling shapes.
+//!
+//! Not one of the paper's figures — a development tool that reports
+//! instructions/second and the overhead trend for a representative
+//! workload, so sweep budgets can be chosen sensibly.
+
+use atscale::{Harness, SweepConfig};
+use atscale_workloads::WorkloadId;
+use std::time::Instant;
+
+fn main() {
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "cc-urand".into());
+    let harness = Harness::new().with_threads(3);
+    let sweep = SweepConfig {
+        min_footprint: 256 << 20,
+        max_footprint: 16 << 30,
+        points: 5,
+        warmup_instr: 100_000,
+        budget_instr: 1_000_000,
+        seed: 42,
+    };
+    let workload = WorkloadId::parse(&workload_name).expect("known workload");
+    println!("calibrating on {workload} ({} points)", sweep.points);
+    println!(
+        "{:>10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "footprint", "t_wall", "overhead", "wcpi", "miss/acc", "acc/walk", "lat/acc", "Minstr/s",
+        "cpi4k", "cpi2m", "cpi1g", "wcpi2m"
+    );
+    for fp in sweep.footprints() {
+        let spec = sweep.spec(workload, fp);
+        let t0 = Instant::now();
+        let point = harness.overhead_point(&spec);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let c = &point.run_4k.result.counters;
+        let d = atscale::Decomposition::from_counters(c);
+        println!(
+            "{:>10} {:>7.2} {:>8.3} {:>8.3} {:>8.4} {:>8.3} {:>8.1} {:>9.1} {:>7.2} {:>7.2} {:>7.2} {:>7.3}",
+            atscale::report::human_bytes(fp),
+            elapsed,
+            point.relative_overhead(),
+            d.wcpi,
+            d.misses_per_access,
+            d.ptw_accesses_per_walk,
+            d.cycles_per_ptw_access,
+            (c.inst_retired as f64 * 3.0 / 1e6) / elapsed,
+            c.cpi(),
+            point.run_2m.result.counters.cpi(),
+            point.run_1g.result.counters.cpi(),
+            point.run_2m.result.counters.wcpi(),
+        );
+    }
+}

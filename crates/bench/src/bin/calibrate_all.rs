@@ -1,0 +1,45 @@
+//! Calibration probe across all 13 workloads: prints the key metrics at
+//! three footprints so model constants can be sanity-checked against the
+//! paper's reported magnitudes. Development tool, not a paper figure.
+
+use atscale::{Decomposition, Harness, SweepConfig};
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let harness = Harness::new();
+    let sweep = SweepConfig {
+        min_footprint: 256 << 20,
+        max_footprint: 16 << 30,
+        points: 3,
+        warmup_instr: 100_000,
+        budget_instr: 1_000_000,
+        seed: 42,
+    };
+    println!(
+        "{:<20} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "workload", "footprint", "overhead", "wcpi", "miss/acc", "acc/instr", "acc/walk",
+        "lat/acc", "cpi4k", "wp%", "abort%"
+    );
+    for id in WorkloadId::all() {
+        for fp in sweep.footprints() {
+            let point = harness.overhead_point(&sweep.spec(id, fp));
+            let c = &point.run_4k.result.counters;
+            let d = Decomposition::from_counters(c);
+            let o = c.walk_outcomes();
+            println!(
+                "{:<20} {:>9} {:>8.3} {:>8.3} {:>9.4} {:>9.3} {:>8.3} {:>8.1} {:>7.2} {:>6.1}% {:>6.1}%",
+                id.to_string(),
+                atscale::report::human_bytes(fp),
+                point.relative_overhead(),
+                d.wcpi,
+                d.misses_per_access,
+                d.accesses_per_instr,
+                d.ptw_accesses_per_walk,
+                d.cycles_per_ptw_access,
+                c.cpi(),
+                100.0 * o.wrong_path_fraction(),
+                100.0 * o.aborted_fraction(),
+            );
+        }
+    }
+}

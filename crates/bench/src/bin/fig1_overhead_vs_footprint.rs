@@ -1,0 +1,57 @@
+//! **Figure 1** — Relationship between relative AT overhead and memory
+//! footprint, grouped by workload.
+//!
+//! Runs the full footprint sweep for all 13 workloads at 4 KB / 2 MB / 1 GB
+//! page sizes, prints the overhead series per workload, and writes
+//! `results/fig1_overhead_vs_footprint.csv`.
+//!
+//! Paper expectation: a positive inter-workload correlation between
+//! footprint and relative AT overhead with large per-workload variation.
+
+use atscale::report::{fmt, human_bytes, Table};
+use atscale_bench::HarnessOptions;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let harness = opts.harness();
+    let workloads = WorkloadId::all();
+    println!(
+        "Figure 1: relative AT overhead vs memory footprint ({} workloads x {} points)",
+        workloads.len(),
+        opts.sweep.points
+    );
+    let all_points = harness.sweep_many(&workloads, &opts.sweep);
+
+    let mut table = Table::new(&["workload", "footprint", "footprint_kb", "rel_overhead"]);
+    for (id, points) in workloads.iter().zip(&all_points) {
+        for p in points {
+            table.row_owned(vec![
+                id.to_string(),
+                human_bytes(p.run_4k.spec.nominal_footprint),
+                fmt(p.footprint_kb(), 0),
+                fmt(p.relative_overhead(), 4),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let csv = opts.csv_path("fig1_overhead_vs_footprint");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+
+    // The paper's headline inter-workload observation.
+    let xs: Vec<f64> = all_points
+        .iter()
+        .flatten()
+        .map(|p| p.footprint_kb().log10())
+        .collect();
+    let ys: Vec<f64> = all_points
+        .iter()
+        .flatten()
+        .map(|p| p.relative_overhead())
+        .collect();
+    match atscale_stats::pearson(&xs, &ys) {
+        Ok(r) => println!("inter-workload Pearson(log10 footprint, overhead) = {r:.3}"),
+        Err(e) => println!("correlation unavailable: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! **Figure 2** — Relative AT overhead vs memory footprint for `cc-urand`,
+//! the paper's illustrative example of log-linear scaling.
+//!
+//! Prints the series plus the fitted `β₀ + β₁·log10(M)` line, and writes
+//! `results/fig2_cc_urand.csv`.
+//!
+//! Paper expectation: a visually linear relationship between overhead and
+//! the *logarithm* of footprint (paper fit for cc-urand:
+//! β₁ = 0.135, adj. R² = 0.973).
+
+use atscale::report::{fmt, human_bytes, Table};
+use atscale::fit_overhead_scaling;
+use atscale_bench::HarnessOptions;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let harness = opts.harness();
+    let id = WorkloadId::parse("cc-urand").expect("known workload");
+    println!("Figure 2: relative AT overhead vs footprint for {id}");
+    let points = harness.sweep(id, &opts.sweep);
+
+    let fit = fit_overhead_scaling(&points).expect("sweep has enough points");
+    let mut table = Table::new(&["footprint", "footprint_kb", "rel_overhead", "fit"]);
+    for p in &points {
+        table.row_owned(vec![
+            human_bytes(p.run_4k.spec.nominal_footprint),
+            fmt(p.footprint_kb(), 0),
+            fmt(p.relative_overhead(), 4),
+            fmt(fit.fit.predict(p.footprint_kb().log10()), 4),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "fit: overhead = {:+.3} + {:.3}*log10(M_KB)   adj R^2 = {:.3}   (paper: -0.695 + 0.135*log10 M, R^2 0.973)",
+        fit.fit.intercept, fit.fit.slope, fit.fit.adj_r_squared
+    );
+    let csv = opts.csv_path("fig2_cc_urand");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+}

@@ -1,0 +1,41 @@
+//! **Figure 3** — Relative AT overhead vs footprint for the four workloads
+//! with weaker log-linear correlations: `mcf-rand`, `memcached-uniform`,
+//! `streamcluster-rand` and `tc-kron`.
+//!
+//! Paper expectations: mcf's overhead grows slowly then explodes;
+//! memcached is nonlinear because its cache hit rate tracks footprint;
+//! streamcluster shows no clear pattern; tc-kron levels off (≈15 %) thanks
+//! to its scale-free-graph optimisation.
+
+use atscale::report::{fmt, human_bytes, Table};
+use atscale_bench::HarnessOptions;
+use atscale_workloads::WorkloadId;
+
+const EXCEPTIONS: [&str; 4] = ["mcf-rand", "memcached-uniform", "streamcluster-rand", "tc-kron"];
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let harness = opts.harness();
+    let workloads: Vec<WorkloadId> = EXCEPTIONS
+        .iter()
+        .map(|l| WorkloadId::parse(l).expect("known workload"))
+        .collect();
+    println!("Figure 3: the four exception workloads");
+    let all_points = harness.sweep_many(&workloads, &opts.sweep);
+
+    let mut table = Table::new(&["workload", "footprint", "footprint_kb", "rel_overhead"]);
+    for (id, points) in workloads.iter().zip(&all_points) {
+        for p in points {
+            table.row_owned(vec![
+                id.to_string(),
+                human_bytes(p.run_4k.spec.nominal_footprint),
+                fmt(p.footprint_kb(), 0),
+                fmt(p.relative_overhead(), 4),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let csv = opts.csv_path("fig3_exceptions");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+}

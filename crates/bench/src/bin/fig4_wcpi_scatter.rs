@@ -1,0 +1,34 @@
+//! **Figure 4** — Relationship between relative AT overhead and walk
+//! cycles per instruction, grouped by workload (AT-sensitive combinations
+//! only).
+//!
+//! Paper expectation: a clear positive association, with nonlinearity both
+//! across workloads (different dynamics) and within them.
+
+use atscale::report::{fmt, Table};
+use atscale::PressureMetric;
+use atscale_bench::HarnessOptions;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let harness = opts.harness();
+    let workloads = WorkloadId::all();
+    println!("Figure 4: relative AT overhead vs WCPI (all workloads)");
+    let all_points = harness.sweep_many(&workloads, &opts.sweep);
+
+    let mut table = Table::new(&["workload", "wcpi", "rel_overhead"]);
+    for (id, points) in workloads.iter().zip(&all_points) {
+        for p in points.iter().filter(|p| p.is_at_sensitive()) {
+            table.row_owned(vec![
+                id.to_string(),
+                fmt(PressureMetric::Wcpi.value(&p.run_4k), 4),
+                fmt(p.relative_overhead(), 4),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let csv = opts.csv_path("fig4_wcpi_scatter");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+}

@@ -1,0 +1,39 @@
+//! **Figure 5** — Relationship between AT overhead and WCPI for
+//! `bc-urand`, each point labelled by memory footprint.
+//!
+//! Paper expectations: a monotonically increasing, nonlinear relationship
+//! (intra-workload Spearman rank 1.0 for most workloads).
+
+use atscale::report::{fmt, human_bytes, Table};
+use atscale::PressureMetric;
+use atscale_bench::HarnessOptions;
+use atscale_stats::spearman;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let harness = opts.harness();
+    let id = WorkloadId::parse("bc-urand").expect("known workload");
+    println!("Figure 5: AT overhead vs WCPI for {id}, labelled by footprint");
+    let points = harness.sweep(id, &opts.sweep);
+
+    let mut table = Table::new(&["footprint", "wcpi", "rel_overhead"]);
+    let mut wcpis = Vec::new();
+    let mut overheads = Vec::new();
+    for p in &points {
+        let wcpi = PressureMetric::Wcpi.value(&p.run_4k);
+        wcpis.push(wcpi);
+        overheads.push(p.relative_overhead());
+        table.row_owned(vec![
+            human_bytes(p.run_4k.spec.nominal_footprint),
+            fmt(wcpi, 4),
+            fmt(p.relative_overhead(), 4),
+        ]);
+    }
+    println!("{}", table.render());
+    let rho = spearman(&wcpis, &overheads).expect("non-degenerate sweep");
+    println!("intra-workload Spearman rank = {rho:.3}  (paper: 1.0 for seven workloads)");
+    let csv = opts.csv_path("fig5_bc_urand_wcpi");
+    table.write_csv(&csv).expect("write csv");
+    println!("wrote {}", csv.display());
+}

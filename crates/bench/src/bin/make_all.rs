@@ -1,0 +1,43 @@
+//! Regenerates every table and figure in sequence by invoking the sibling
+//! harness binaries. Thanks to the shared run cache, the sweep is simulated
+//! once and every artefact afterwards renders from cached runs.
+
+use std::process::Command;
+
+const TARGETS: [&str; 20] = [
+    "table1_workloads",
+    "fig1_overhead_vs_footprint",
+    "fig2_cc_urand",
+    "table4_regression",
+    "fig3_exceptions",
+    "table5_metric_correlations",
+    "fig4_wcpi_scatter",
+    "fig5_bc_urand_wcpi",
+    "table_intra_spearman",
+    "fig6_component_breakdown",
+    "fig7_walk_outcomes",
+    "fig8_pte_location",
+    "fig9_machine_clears",
+    "fig10_2mb_pages",
+    "ablate_mmu_cache",
+    "ablate_tlb_filtering",
+    "ablate_walk_cache_levels",
+    "ablate_speculation",
+    "extension_wcpi_promotion",
+    "extension_1gb_pages",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("target dir").to_path_buf();
+    for target in TARGETS {
+        println!("\n=== {target} ===");
+        let status = Command::new(bin_dir.join(target))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
+        assert!(status.success(), "{target} failed");
+    }
+    println!("\nall figures and tables regenerated");
+}

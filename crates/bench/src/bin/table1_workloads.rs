@@ -1,0 +1,65 @@
+//! **Tables I–III** — The experimental inventory: workloads and their
+//! suites/generators (Table I/II) and the simulated machine configuration
+//! (Table III). Purely descriptive; runs no simulation.
+
+use atscale::report::Table;
+use atscale_mmu::MachineConfig;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    println!("Table I/II: workloads and input generators");
+    let mut t1 = Table::new(&["workload", "suite", "program", "generator"]);
+    for id in WorkloadId::all() {
+        t1.row_owned(vec![
+            id.to_string(),
+            id.program.suite().to_string(),
+            id.program.name().to_string(),
+            id.generator.name().to_string(),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    println!("Table III: simulated system (one core of 2x6c Xeon E5-2680 v3)");
+    let cfg = MachineConfig::haswell();
+    let mut t3 = Table::new(&["component", "description"]);
+    let h = &cfg.hierarchy;
+    t3.row_owned(vec![
+        "L1D".into(),
+        format!("{} KB, {}-way, {} B lines, {} cyc", h.l1.size_bytes >> 10, h.l1.ways, h.l1.line_bytes, h.latency.l1),
+    ]);
+    t3.row_owned(vec![
+        "L2".into(),
+        format!("{} KB, {}-way, {} cyc", h.l2.size_bytes >> 10, h.l2.ways, h.latency.l2),
+    ]);
+    t3.row_owned(vec![
+        "L3".into(),
+        format!("{} MB shared, {}-way, {} cyc", h.l3.size_bytes >> 20, h.l3.ways, h.latency.l3),
+    ]);
+    t3.row_owned(vec!["DRAM".into(), format!("{} cyc", h.latency.memory)]);
+    t3.row_owned(vec![
+        "TLB-L1D".into(),
+        format!(
+            "{}x4KB, {}x2MB, {}x1GB",
+            cfg.tlb.l1_4k.entries, cfg.tlb.l1_2m.entries, cfg.tlb.l1_1g.entries
+        ),
+    ]);
+    t3.row_owned(vec![
+        "TLB-L2".into(),
+        format!(
+            "{} x shared 4KB/2MB pages, +{} cyc",
+            cfg.tlb.l2.entries, cfg.tlb.l2_hit_penalty
+        ),
+    ]);
+    t3.row_owned(vec![
+        "PSC".into(),
+        format!(
+            "PML4E x{}, PDPTE x{}, PDE x{} ({}-way)",
+            cfg.psc.pml4e.entries, cfg.psc.pdpte.entries, cfg.psc.pde.entries, cfg.psc.pde.ways
+        ),
+    ]);
+    t3.row_owned(vec![
+        "Walker".into(),
+        format!("1 page table walker, {} cyc setup", cfg.walker.setup_cycles),
+    ]);
+    println!("{}", t3.render());
+}

@@ -1,0 +1,112 @@
+//! # atscale-bench — figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper (see `src/bin/`), plus
+//! Criterion micro-benchmarks of the simulator components (`benches/`).
+//! Shared command-line handling and output plumbing live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atscale::{Harness, SweepConfig};
+use std::path::PathBuf;
+
+/// Common options for figure/table binaries.
+///
+/// Usage: every harness binary accepts `--full` (wider, longer sweep),
+/// `--quick` (the default), `--test` (tiny), and `--threads N`.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// The sweep parameters.
+    pub sweep: SweepConfig,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Output directory for CSV series.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOptions {
+    /// Parses options from `std::env::args`.
+    pub fn from_args() -> HarnessOptions {
+        let args: Vec<String> = std::env::args().collect();
+        let mut sweep = SweepConfig::quick();
+        let mut threads = None;
+        let mut iter = args.iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => sweep = SweepConfig::full(),
+                "--quick" => sweep = SweepConfig::quick(),
+                "--test" => sweep = SweepConfig::test(),
+                "--threads" => {
+                    threads = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--threads needs a number"));
+                }
+                other => panic!("unknown option {other} (try --full, --quick, --threads N)"),
+            }
+        }
+        let base = std::env::var("ATSCALE_RESULTS").unwrap_or_else(|_| "results".into());
+        HarnessOptions {
+            sweep,
+            threads,
+            out_dir: PathBuf::from(base),
+        }
+    }
+
+    /// Builds the cached, parallel harness these options describe.
+    pub fn harness(&self) -> Harness {
+        let mut harness = Harness::new().with_default_store();
+        if let Some(t) = self.threads {
+            harness = harness.with_threads(t);
+        }
+        harness
+    }
+
+    /// Path for a named CSV output.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.csv"))
+    }
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            sweep: SweepConfig::quick(),
+            threads: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_quick_profile() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.sweep, SweepConfig::quick());
+        assert_eq!(opts.threads, None);
+        assert_eq!(opts.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn csv_paths_land_in_the_output_directory() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.csv_path("fig1"), PathBuf::from("results/fig1.csv"));
+    }
+
+    #[test]
+    fn harness_builds_with_requested_threads() {
+        let opts = HarnessOptions {
+            threads: Some(2),
+            ..HarnessOptions::default()
+        };
+        // Building the harness must not panic and must honour the config.
+        let harness = opts.harness();
+        assert_eq!(
+            harness.config(),
+            &atscale_mmu::MachineConfig::haswell()
+        );
+    }
+}

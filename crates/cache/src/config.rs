@@ -1,0 +1,165 @@
+//! Cache geometry and latency configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one set-associative cache level.
+///
+/// # Example
+///
+/// ```
+/// use atscale_cache::CacheConfig;
+///
+/// let l1 = CacheConfig::new(32 * 1024, 8, 64);
+/// assert_eq!(l1.sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// line, or capacity not divisible into whole sets).
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let cfg = CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        };
+        assert!(cfg.sets() > 0, "capacity too small for geometry");
+        assert_eq!(
+            size_bytes,
+            cfg.sets() * ways as u64 * line_bytes as u64,
+            "capacity must equal sets * ways * line"
+        );
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+
+    /// log2 of the line size.
+    pub fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+}
+
+/// Load-to-use latencies, in core cycles, for each hit level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// L1D hit latency.
+    pub l1: u32,
+    /// L2 hit latency.
+    pub l2: u32,
+    /// L3 (LLC) hit latency.
+    pub l3: u32,
+    /// DRAM access latency.
+    pub memory: u32,
+}
+
+impl LatencyConfig {
+    /// Haswell-class latencies at 2.5 GHz (7-cpu.com figures the paper cites:
+    /// L1 4, L2 12, L3 ≈ 34–40, DRAM ≈ 200+ cycles).
+    pub fn haswell() -> Self {
+        LatencyConfig {
+            l1: 4,
+            l2: 12,
+            l3: 40,
+            memory: 230,
+        }
+    }
+}
+
+/// Full hierarchy configuration (geometries + latencies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Level-1 data cache.
+    pub l1: CacheConfig,
+    /// Unified level-2 cache.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub l3: CacheConfig,
+    /// Hit latencies per level.
+    pub latency: LatencyConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table III machine: 32 KB/8-way L1D, 256 KB/8-way L2,
+    /// 30 MB/20-way shared L3 (one socket), 64-byte lines.
+    pub fn haswell() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(32 << 10, 8, 64),
+            l2: CacheConfig::new(256 << 10, 8, 64),
+            l3: CacheConfig::new(30 << 20, 20, 64),
+            latency: LatencyConfig::haswell(),
+        }
+    }
+
+    /// A tiny hierarchy for fast unit tests (256 B / 1 KiB / 4 KiB).
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new(256, 2, 64),
+            l2: CacheConfig::new(1024, 4, 64),
+            l3: CacheConfig::new(4096, 4, 64),
+            latency: LatencyConfig::haswell(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_geometry_matches_table_iii() {
+        let cfg = HierarchyConfig::haswell();
+        assert_eq!(cfg.l1.size_bytes, 32 << 10);
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.l2.sets(), 512);
+        assert_eq!(cfg.l3.size_bytes, 30 << 20);
+        assert_eq!(cfg.l3.ways, 20);
+        assert_eq!(cfg.l3.sets(), 24576);
+    }
+
+    #[test]
+    fn line_shift_is_log2() {
+        assert_eq!(CacheConfig::new(1024, 4, 64).line_shift(), 6);
+        assert_eq!(CacheConfig::new(2048, 4, 128).line_shift(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        CacheConfig::new(1024, 4, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets * ways * line")]
+    fn inconsistent_capacity_rejected() {
+        CacheConfig::new(1000, 4, 64);
+    }
+
+    #[test]
+    fn latencies_are_monotonic() {
+        let lat = LatencyConfig::haswell();
+        assert!(lat.l1 < lat.l2);
+        assert!(lat.l2 < lat.l3);
+        assert!(lat.l3 < lat.memory);
+    }
+}

@@ -1,0 +1,237 @@
+//! Three-level cache hierarchy with DRAM backstop.
+
+use crate::stats::HierarchyStats;
+use crate::{HierarchyConfig, SetAssocCache};
+use atscale_vm::PhysAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of agent issued a memory access.
+///
+/// The distinction drives the paper's Figure 8 (PTE access-location
+/// distribution) and the PTE/data contention analysis in §V-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An ordinary program load or store.
+    Data,
+    /// A page-table-walker fetch of a page-table entry.
+    PageTable,
+}
+
+/// The level of the hierarchy that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Serviced by the L1 data cache.
+    L1,
+    /// Serviced by the unified L2.
+    L2,
+    /// Serviced by the shared last-level cache.
+    L3,
+    /// Missed everywhere; serviced by DRAM.
+    Memory,
+}
+
+impl HitLevel {
+    /// All levels, fastest first.
+    pub const ALL: [HitLevel; 4] = [HitLevel::L1, HitLevel::L2, HitLevel::L3, HitLevel::Memory];
+
+    /// Short label used in reports ("L1", "L2", "L3", "Mem").
+    pub const fn label(self) -> &'static str {
+        match self {
+            HitLevel::L1 => "L1",
+            HitLevel::L2 => "L2",
+            HitLevel::L3 => "L3",
+            HitLevel::Memory => "Mem",
+        }
+    }
+}
+
+impl fmt::Display for HitLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheResponse {
+    /// Which level serviced the access.
+    pub level: HitLevel,
+    /// Load-to-use latency in core cycles.
+    pub latency: u32,
+}
+
+/// A three-level cache hierarchy backed by DRAM.
+///
+/// Fill policy is mostly-inclusive: a line fetched from DRAM (or from an
+/// outer level) is installed in every level closer to the core, like the
+/// paper's Haswell machine. Replacement is exact LRU per level.
+///
+/// # Example
+///
+/// ```
+/// use atscale_cache::{AccessKind, CacheHierarchy, HierarchyConfig, HitLevel};
+/// use atscale_vm::PhysAddr;
+///
+/// let mut caches = CacheHierarchy::new(HierarchyConfig::tiny());
+/// caches.access(PhysAddr::new(0), AccessKind::PageTable);
+/// let stats = caches.stats();
+/// assert_eq!(stats.pte.total(), 1);
+/// assert_eq!(stats.data.total(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    config: HierarchyConfig,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Creates a cold hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            l1: SetAssocCache::new(config.l1),
+            l2: SetAssocCache::new(config.l2),
+            l3: SetAssocCache::new(config.l3),
+            config,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs one access, filling caches along the way, and returns the
+    /// servicing level and its latency.
+    pub fn access(&mut self, paddr: PhysAddr, kind: AccessKind) -> CacheResponse {
+        let addr = paddr.as_u64();
+        let lat = &self.config.latency;
+        let level = if self.l1.access(addr) {
+            HitLevel::L1
+        } else if self.l2.access(addr) {
+            HitLevel::L2
+        } else if self.l3.access(addr) {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        };
+        let latency = match level {
+            HitLevel::L1 => lat.l1,
+            HitLevel::L2 => lat.l2,
+            HitLevel::L3 => lat.l3,
+            HitLevel::Memory => lat.memory,
+        };
+        self.stats.record(kind, level);
+        CacheResponse { level, latency }
+    }
+
+    /// Accumulated hit statistics by access kind and level.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Clears statistics but keeps cache contents — used after warm-up, the
+    /// simulator's analogue of the paper's 60-second dry run.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Invalidates all levels and clears statistics.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.l3.flush();
+        self.stats = HierarchyStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn miss_fills_all_levels() {
+        let mut h = tiny();
+        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::Memory);
+        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn eviction_from_l1_falls_back_to_l2() {
+        let mut h = tiny();
+        // L1 tiny(): 256 B, 2-way, 64 B lines → 2 sets. Fill set 0 beyond 2 ways.
+        let stride = 2 * 64; // set-0 addresses
+        for i in 0..4u64 {
+            h.access(PhysAddr::new(i * stride), AccessKind::Data);
+        }
+        // First block evicted from L1 but still in L2 (L2 has 4 sets × 4 ways).
+        let r = h.access(PhysAddr::new(0), AccessKind::Data);
+        assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn latencies_match_config() {
+        let mut h = tiny();
+        let lat = h.config().latency;
+        assert_eq!(h.access(PhysAddr::new(0x100), AccessKind::Data).latency, lat.memory);
+        assert_eq!(h.access(PhysAddr::new(0x100), AccessKind::Data).latency, lat.l1);
+    }
+
+    #[test]
+    fn stats_split_by_kind() {
+        let mut h = tiny();
+        h.access(PhysAddr::new(0), AccessKind::Data);
+        h.access(PhysAddr::new(0x40), AccessKind::PageTable);
+        h.access(PhysAddr::new(0x40), AccessKind::PageTable);
+        let s = h.stats();
+        assert_eq!(s.data.total(), 1);
+        assert_eq!(s.pte.total(), 2);
+        assert_eq!(s.pte.at(HitLevel::Memory), 1);
+        assert_eq!(s.pte.at(HitLevel::L1), 1);
+    }
+
+    #[test]
+    fn pte_and_data_contend_for_the_same_sets() {
+        let mut h = tiny();
+        let pte_addr = PhysAddr::new(0);
+        h.access(pte_addr, AccessKind::PageTable);
+        // Blast enough conflicting data through every level to evict the PTE.
+        for i in 1..2000u64 {
+            h.access(PhysAddr::new(i * 64), AccessKind::Data);
+        }
+        let r = h.access(pte_addr, AccessKind::PageTable);
+        assert_eq!(r.level, HitLevel::Memory, "data traffic evicted the PTE line");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut h = tiny();
+        h.access(PhysAddr::new(0), AccessKind::Data);
+        h.reset_stats();
+        assert_eq!(h.stats().data.total(), 0);
+        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn flush_cools_everything() {
+        let mut h = tiny();
+        h.access(PhysAddr::new(0), AccessKind::Data);
+        h.flush();
+        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn hit_levels_are_ordered_and_labelled() {
+        assert!(HitLevel::L1 < HitLevel::Memory);
+        assert_eq!(HitLevel::L3.to_string(), "L3");
+        assert_eq!(HitLevel::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! # atscale-cache — physically-indexed cache hierarchy simulator
+//!
+//! Models the paper's Table III memory system: per-core L1D and L2, a shared
+//! L3, and DRAM, with LRU set-associative arrays. Every access is tagged with
+//! an [`AccessKind`] (`Data` or `PageTable`) so the simulator can report
+//! *where page-table entries are found* — the paper's Figure 8 — and so PTE
+//! and data traffic genuinely contend for the same cache sets (the mechanism
+//! behind the paper's "PTEs outcompete regular data" observation for `mcf`).
+//!
+//! The hierarchy is deliberately simple where the paper's analysis does not
+//! need detail: it is mostly-inclusive, write-allocate with no write-back
+//! traffic modelling, and has no hardware prefetcher (prefetching affects
+//! data-stall magnitude but none of the address-translation metrics the
+//! paper studies; the latency constants absorb its average effect).
+//!
+//! ## Example
+//!
+//! ```
+//! use atscale_cache::{AccessKind, CacheHierarchy, HierarchyConfig, HitLevel};
+//! use atscale_vm::PhysAddr;
+//!
+//! let mut caches = CacheHierarchy::new(HierarchyConfig::haswell());
+//! let first = caches.access(PhysAddr::new(0x4000), AccessKind::Data);
+//! assert_eq!(first.level, HitLevel::Memory);
+//! let again = caches.access(PhysAddr::new(0x4000), AccessKind::Data);
+//! assert_eq!(again.level, HitLevel::L1);
+//! assert!(again.latency < first.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod hierarchy;
+mod set_assoc;
+mod stats;
+
+pub use config::{CacheConfig, HierarchyConfig, LatencyConfig};
+pub use hierarchy::{AccessKind, CacheHierarchy, CacheResponse, HitLevel};
+pub use set_assoc::SetAssocCache;
+pub use stats::{HierarchyStats, LevelCounts, PteLocationDistribution};

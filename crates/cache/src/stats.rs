@@ -1,0 +1,151 @@
+//! Hit-level statistics, including the paper's Figure 8 distribution.
+
+use crate::{AccessKind, HitLevel};
+use serde::{Deserialize, Serialize};
+
+/// Per-level access counts for one access kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCounts {
+    counts: [u64; 4],
+}
+
+impl LevelCounts {
+    /// Count of accesses serviced at `level`.
+    pub fn at(&self, level: HitLevel) -> u64 {
+        self.counts[Self::index(level)]
+    }
+
+    /// Total accesses across all levels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of accesses serviced at `level` (0 if no accesses).
+    pub fn fraction(&self, level: HitLevel) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.at(level) as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record(&mut self, level: HitLevel) {
+        self.counts[Self::index(level)] += 1;
+    }
+
+    fn index(level: HitLevel) -> usize {
+        match level {
+            HitLevel::L1 => 0,
+            HitLevel::L2 => 1,
+            HitLevel::L3 => 2,
+            HitLevel::Memory => 3,
+        }
+    }
+}
+
+/// Where page-table entries were found, as fractions per level — the
+/// quantity plotted in the paper's Figure 8 for `pr-kron`.
+///
+/// Fractions sum to 1 when any PTE access occurred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PteLocationDistribution {
+    /// Fraction of PTE fetches serviced by L1.
+    pub l1: f64,
+    /// Fraction serviced by L2.
+    pub l2: f64,
+    /// Fraction serviced by L3.
+    pub l3: f64,
+    /// Fraction serviced by DRAM.
+    pub memory: f64,
+}
+
+/// Aggregate statistics for a [`crate::CacheHierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Counts for ordinary data accesses.
+    pub data: LevelCounts,
+    /// Counts for page-table-walker accesses.
+    pub pte: LevelCounts,
+}
+
+impl HierarchyStats {
+    pub(crate) fn record(&mut self, kind: AccessKind, level: HitLevel) {
+        match kind {
+            AccessKind::Data => self.data.record(level),
+            AccessKind::PageTable => self.pte.record(level),
+        }
+    }
+
+    /// The Figure 8 distribution: where the walker found PTEs.
+    pub fn pte_location_distribution(&self) -> PteLocationDistribution {
+        PteLocationDistribution {
+            l1: self.pte.fraction(HitLevel::L1),
+            l2: self.pte.fraction(HitLevel::L2),
+            l3: self.pte.fraction(HitLevel::L3),
+            memory: self.pte.fraction(HitLevel::Memory),
+        }
+    }
+
+    /// Average PTE fetch latency implied by the given latency config —
+    /// the "latency per walk access" term of the paper's Equation 1.
+    pub fn mean_pte_latency(&self, latency: &crate::LatencyConfig) -> f64 {
+        let total = self.pte.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let cycles = self.pte.at(HitLevel::L1) as u128 * latency.l1 as u128
+            + self.pte.at(HitLevel::L2) as u128 * latency.l2 as u128
+            + self.pte.at(HitLevel::L3) as u128 * latency.l3 as u128
+            + self.pte.at(HitLevel::Memory) as u128 * latency.memory as u128;
+        cycles as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyConfig;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = HierarchyStats::default();
+        s.record(AccessKind::PageTable, HitLevel::L1);
+        s.record(AccessKind::PageTable, HitLevel::L1);
+        s.record(AccessKind::PageTable, HitLevel::L3);
+        s.record(AccessKind::PageTable, HitLevel::Memory);
+        let d = s.pte_location_distribution();
+        assert!((d.l1 + d.l2 + d.l3 + d.memory - 1.0).abs() < 1e-12);
+        assert_eq!(d.l1, 0.5);
+        assert_eq!(d.l2, 0.0);
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let s = HierarchyStats::default();
+        let d = s.pte_location_distribution();
+        assert_eq!(d, PteLocationDistribution::default());
+        assert_eq!(s.mean_pte_latency(&LatencyConfig::haswell()), 0.0);
+    }
+
+    #[test]
+    fn mean_pte_latency_weights_by_level() {
+        let mut s = HierarchyStats::default();
+        let lat = LatencyConfig::haswell();
+        s.record(AccessKind::PageTable, HitLevel::L1);
+        s.record(AccessKind::PageTable, HitLevel::Memory);
+        let expected = (lat.l1 as f64 + lat.memory as f64) / 2.0;
+        assert_eq!(s.mean_pte_latency(&lat), expected);
+    }
+
+    #[test]
+    fn data_counts_do_not_pollute_pte_distribution() {
+        let mut s = HierarchyStats::default();
+        s.record(AccessKind::Data, HitLevel::Memory);
+        s.record(AccessKind::PageTable, HitLevel::L1);
+        let d = s.pte_location_distribution();
+        assert_eq!(d.l1, 1.0);
+        assert_eq!(d.memory, 0.0);
+        assert_eq!(s.data.at(HitLevel::Memory), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's §V-E question at library scale: how effective are 2 MB
+//! pages, and what do they *not* fix?
+//!
+//! Sweeps one workload across footprints under all three page sizes and
+//! prints runtime, WCPI and the walk-outcome mix side by side —
+//! reproducing in miniature the paper's Figure 10 conclusions: superpages
+//! slash translation pressure, but speculative (wrong-path/aborted) walks
+//! persist, and the 2 MB TLB miss rate climbs again at the top of the
+//! sweep.
+//!
+//! ```sh
+//! cargo run --release --example superpage_study
+//! ```
+
+use atscale::{OverheadPoint, RunSpec};
+use atscale_mmu::MachineConfig;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+
+fn main() {
+    let workload = WorkloadId::parse("bc-urand").expect("known workload");
+    println!("superpage study: {workload}\n");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "footprint", "overhead", "wcpi_4k", "wcpi_2m", "wcpi_1g", "miss2m/Macc", "noncorrect4k", "noncorrect2m"
+    );
+    for footprint in [256u64 << 20, 1 << 30, 4 << 30, 16 << 30] {
+        let spec = RunSpec {
+            workload,
+            nominal_footprint: footprint,
+            page_size: PageSize::Size4K,
+            seed: 9,
+            warmup_instr: 100_000,
+            budget_instr: 1_500_000,
+        };
+        let point = OverheadPoint::measure(&spec, &MachineConfig::haswell());
+        let c4 = &point.run_4k.result.counters;
+        let c2 = &point.run_2m.result.counters;
+        let c1 = &point.run_1g.result.counters;
+        let miss2m_per_macc =
+            c2.walks_initiated() as f64 * 1e6 / c2.accesses_retired().max(1) as f64;
+        println!(
+            "{:>10} {:>9.3} {:>9.3} {:>9.4} {:>9.4} {:>10.1} {:>12.3} {:>12.3}",
+            atscale::report::human_bytes(footprint),
+            point.relative_overhead(),
+            c4.wcpi(),
+            c2.wcpi(),
+            c1.wcpi(),
+            miss2m_per_macc,
+            c4.walk_outcomes().non_correct_fraction(),
+            c2.walk_outcomes().non_correct_fraction(),
+        );
+    }
+    println!("\npaper's conclusions to look for: 2MB WCPI orders of magnitude below");
+    println!("4KB; the 2MB miss rate rising at the largest footprints; wrong-path +");
+    println!("aborted walks reduced but not eliminated by superpages.");
+}

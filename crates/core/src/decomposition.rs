@@ -1,0 +1,127 @@
+//! Equation 1: the multiplicative decomposition of WCPI.
+//!
+//! ```text
+//! Walk cycles   Accesses   TLB misses   PTW accesses   Walk cycles
+//! ─────────── = ──────── · ────────── · ──────────── · ───────────
+//! Instruction   Instruction  Access       PT walk       PTW access
+//!  (WCPI)       [program]    [TLB]       [MMU cache]  [cache hierarchy]
+//! ```
+//!
+//! Each factor attributes pressure to one component of the translation
+//! stack; the product telescopes back to WCPI exactly when every factor is
+//! computed from the same counter file.
+
+use atscale_mmu::Counters;
+use serde::{Deserialize, Serialize};
+
+/// The four Equation 1 factors plus the WCPI they multiply to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Accesses / instruction — the *program* term.
+    pub accesses_per_instr: f64,
+    /// TLB misses (walks initiated) / access — the *TLB* term.
+    pub misses_per_access: f64,
+    /// PTW accesses / walk — the *MMU cache* term.
+    pub ptw_accesses_per_walk: f64,
+    /// Walk cycles / PTW access — the *cache hierarchy* term.
+    pub cycles_per_ptw_access: f64,
+    /// Walk cycles / instruction, straight from the counters.
+    pub wcpi: f64,
+}
+
+impl Decomposition {
+    /// Computes the decomposition from a counter file.
+    ///
+    /// Idle counters (no instructions or no walks) yield zero factors.
+    pub fn from_counters(c: &Counters) -> Decomposition {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Decomposition {
+            accesses_per_instr: ratio(c.accesses_retired(), c.inst_retired),
+            misses_per_access: ratio(c.walks_initiated(), c.accesses_retired()),
+            ptw_accesses_per_walk: ratio(c.pt_accesses, c.walks_initiated()),
+            cycles_per_ptw_access: ratio(c.walk_duration_cycles, c.pt_accesses),
+            wcpi: c.wcpi(),
+        }
+    }
+
+    /// The product of the four factors — telescopes to WCPI.
+    pub fn product(&self) -> f64 {
+        self.accesses_per_instr
+            * self.misses_per_access
+            * self.ptw_accesses_per_walk
+            * self.cycles_per_ptw_access
+    }
+
+    /// Verifies the Equation 1 identity to relative tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|product − wcpi| > tol · max(wcpi, 1)`.
+    pub fn assert_identity(&self, tol: f64) {
+        let diff = (self.product() - self.wcpi).abs();
+        assert!(
+            diff <= tol * self.wcpi.max(1.0),
+            "Eq. 1 identity violated: product {} vs wcpi {}",
+            self.product(),
+            self.wcpi
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Counters {
+        Counters {
+            inst_retired: 10_000,
+            loads_retired: 2_500,
+            stores_retired: 500,
+            walk_initiated_loads: 400,
+            walk_initiated_stores: 100,
+            pt_accesses: 750,
+            walk_duration_cycles: 30_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn factors_match_hand_computation() {
+        let d = Decomposition::from_counters(&counters());
+        assert!((d.accesses_per_instr - 0.3).abs() < 1e-12);
+        assert!((d.misses_per_access - 500.0 / 3000.0).abs() < 1e-12);
+        assert!((d.ptw_accesses_per_walk - 1.5).abs() < 1e-12);
+        assert!((d.cycles_per_ptw_access - 40.0).abs() < 1e-12);
+        assert!((d.wcpi - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_telescopes_exactly() {
+        let d = Decomposition::from_counters(&counters());
+        d.assert_identity(1e-12);
+    }
+
+    #[test]
+    fn idle_counters_give_zero_factors() {
+        let d = Decomposition::from_counters(&Counters::default());
+        assert_eq!(d.product(), 0.0);
+        assert_eq!(d.wcpi, 0.0);
+        d.assert_identity(1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity violated")]
+    fn corrupted_counters_fail_the_identity() {
+        let mut c = counters();
+        c.walk_duration_cycles *= 2;
+        let mut d = Decomposition::from_counters(&c);
+        d.wcpi /= 2.0; // simulate an inconsistent wcpi
+        d.assert_identity(1e-9);
+    }
+}

@@ -1,0 +1,331 @@
+//! The sweep harness: parallel, cached execution of footprint sweeps.
+
+use crate::{OverheadPoint, RunRecord, RunSpec, RunStore};
+use atscale_mmu::MachineConfig;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Footprint-sweep parameters.
+///
+/// The paper sweeps ~250 MB to ~600 GB on 768 GB machines over multi-day
+/// runs; the reproduction's default covers 256 MB to 16 GB (2.1 decades
+/// of log-footprint, enough to fit and test the paper's log-linear laws)
+/// and can be widened via [`SweepConfig::full`] when more wall-clock time
+/// is available.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Smallest nominal footprint (bytes).
+    pub min_footprint: u64,
+    /// Largest nominal footprint (bytes).
+    pub max_footprint: u64,
+    /// Number of log-spaced sweep points.
+    pub points: usize,
+    /// Warm-up instructions per run.
+    pub warmup_instr: u64,
+    /// Measured instructions per run.
+    pub budget_instr: u64,
+    /// Base seed (each workload/footprint derives its own).
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// The default sweep: 256 MB → 16 GB, 7 points.
+    pub fn quick() -> Self {
+        SweepConfig {
+            min_footprint: 256 << 20,
+            max_footprint: 16 << 30,
+            points: 7,
+            warmup_instr: 200_000,
+            budget_instr: 2_000_000,
+            seed: 42,
+        }
+    }
+
+    /// A wider sweep: 256 MB → 64 GB, 9 points, longer measurement.
+    pub fn full() -> Self {
+        SweepConfig {
+            min_footprint: 256 << 20,
+            max_footprint: 64 << 30,
+            points: 9,
+            warmup_instr: 500_000,
+            budget_instr: 4_000_000,
+            seed: 42,
+        }
+    }
+
+    /// A tiny sweep for tests: 16 MB → 128 MB, 3 points, short runs.
+    pub fn test() -> Self {
+        SweepConfig {
+            min_footprint: 16 << 20,
+            max_footprint: 128 << 20,
+            points: 3,
+            warmup_instr: 10_000,
+            budget_instr: 120_000,
+            seed: 42,
+        }
+    }
+
+    /// The log-spaced footprints of this sweep.
+    pub fn footprints(&self) -> Vec<u64> {
+        assert!(self.points >= 2, "a sweep needs at least two points");
+        assert!(self.min_footprint < self.max_footprint);
+        let lo = (self.min_footprint as f64).ln();
+        let hi = (self.max_footprint as f64).ln();
+        (0..self.points)
+            .map(|i| {
+                let t = i as f64 / (self.points - 1) as f64;
+                (lo + t * (hi - lo)).exp().round() as u64
+            })
+            .collect()
+    }
+
+    /// The 4 KB [`RunSpec`] for one workload at one sweep point.
+    pub fn spec(&self, workload: WorkloadId, footprint: u64) -> RunSpec {
+        RunSpec {
+            workload,
+            nominal_footprint: footprint,
+            page_size: PageSize::Size4K,
+            // Seed varies per instance, as the paper's generated inputs do.
+            seed: self.seed ^ atscale_gen::splitmix64(footprint),
+            warmup_instr: self.warmup_instr,
+            budget_instr: self.budget_instr,
+        }
+    }
+}
+
+/// Parallel, cached experiment driver.
+///
+/// # Example
+///
+/// ```no_run
+/// use atscale::{Harness, SweepConfig};
+/// use atscale_workloads::WorkloadId;
+///
+/// let harness = Harness::new().with_default_store();
+/// let sweep = SweepConfig::quick();
+/// let points = harness.sweep(WorkloadId::parse("cc-urand").unwrap(), &sweep);
+/// for p in &points {
+///     println!("{:>12.0} KB  {:+.3}", p.footprint_kb(), p.relative_overhead());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    config: MachineConfig,
+    store: Option<RunStore>,
+    threads: usize,
+}
+
+impl Harness {
+    /// A harness on the paper's Table III machine, no cache, one thread
+    /// per available CPU (capped at 8 to bound memory).
+    pub fn new() -> Harness {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8);
+        Harness {
+            config: MachineConfig::haswell(),
+            store: None,
+            threads,
+        }
+    }
+
+    /// Replaces the machine configuration (ablations).
+    pub fn with_config(mut self, config: MachineConfig) -> Harness {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a run cache.
+    pub fn with_store(mut self, store: RunStore) -> Harness {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the default `results/runs` cache (panics only on I/O
+    /// errors creating the directory, which is fatal for a harness run).
+    pub fn with_default_store(self) -> Harness {
+        let store = RunStore::default_location().expect("create results/runs");
+        self.with_store(store)
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Harness {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs one spec, consulting the cache first.
+    pub fn run(&self, spec: &RunSpec) -> RunRecord {
+        if let Some(store) = &self.store {
+            let key = RunStore::key(spec, &self.config);
+            if let Some(record) = store.load(&key) {
+                return record;
+            }
+            let record = crate::execute_run(spec, &self.config);
+            let _ = store.save(&key, &record); // cache write failure is non-fatal
+            record
+        } else {
+            crate::execute_run(spec, &self.config)
+        }
+    }
+
+    /// Runs many specs in parallel (work-stealing over `threads` workers),
+    /// returning records in spec order.
+    pub fn run_many(&self, specs: &[RunSpec]) -> Vec<RunRecord> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
+        let workers = self.threads.min(specs.len());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let record = self.run(&specs[i]);
+                    results.lock()[i] = Some(record);
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all specs were executed"))
+            .collect()
+    }
+
+    /// Measures one workload instance at all three page sizes (in
+    /// parallel), forming an [`OverheadPoint`].
+    pub fn overhead_point(&self, spec_4k: &RunSpec) -> OverheadPoint {
+        let specs = [
+            *spec_4k,
+            spec_4k.with_page_size(PageSize::Size2M),
+            spec_4k.with_page_size(PageSize::Size1G),
+        ];
+        let mut records = self.run_many(&specs).into_iter();
+        OverheadPoint {
+            run_4k: records.next().expect("three records"),
+            run_2m: records.next().expect("three records"),
+            run_1g: records.next().expect("three records"),
+        }
+    }
+
+    /// Runs a full footprint sweep for one workload.
+    pub fn sweep(&self, workload: WorkloadId, sweep: &SweepConfig) -> Vec<OverheadPoint> {
+        self.sweep_many(&[workload], sweep).remove(0)
+    }
+
+    /// Runs sweeps for many workloads with one shared worker pool,
+    /// returning per-workload point vectors in input order.
+    pub fn sweep_many(
+        &self,
+        workloads: &[WorkloadId],
+        sweep: &SweepConfig,
+    ) -> Vec<Vec<OverheadPoint>> {
+        let footprints = sweep.footprints();
+        let mut specs = Vec::new();
+        for &w in workloads {
+            for &fp in &footprints {
+                let base = sweep.spec(w, fp);
+                specs.push(base);
+                specs.push(base.with_page_size(PageSize::Size2M));
+                specs.push(base.with_page_size(PageSize::Size1G));
+            }
+        }
+        let mut records = self.run_many(&specs).into_iter();
+        workloads
+            .iter()
+            .map(|_| {
+                footprints
+                    .iter()
+                    .map(|_| OverheadPoint {
+                        run_4k: records.next().expect("spec count matches"),
+                        run_2m: records.next().expect("spec count matches"),
+                        run_1g: records.next().expect("spec count matches"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_are_log_spaced() {
+        let sweep = SweepConfig::quick();
+        let fps = sweep.footprints();
+        assert_eq!(fps.len(), 7);
+        assert_eq!(fps[0], 256 << 20);
+        // Ratios between consecutive points are constant (±rounding).
+        let r01 = fps[1] as f64 / fps[0] as f64;
+        let r56 = fps[6] as f64 / fps[5] as f64;
+        assert!((r01 - r56).abs() < 0.01 * r01);
+        assert!((fps[6] as f64 - (16u64 << 30) as f64).abs() < 1e7);
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_parallelises() {
+        let harness = Harness::new().with_threads(4);
+        let sweep = SweepConfig::test();
+        let w = WorkloadId::parse("cc-urand").unwrap();
+        let specs: Vec<RunSpec> = sweep
+            .footprints()
+            .into_iter()
+            .map(|fp| sweep.spec(w, fp))
+            .collect();
+        let records = harness.run_many(&specs);
+        assert_eq!(records.len(), 3);
+        for (spec, record) in specs.iter().zip(&records) {
+            assert_eq!(&record.spec, spec, "order preserved");
+        }
+        // Footprints grow along the sweep.
+        assert!(records[2].result.footprint_bytes() > records[0].result.footprint_bytes());
+    }
+
+    #[test]
+    fn cached_runs_are_identical_to_fresh_ones() {
+        let dir = std::env::temp_dir().join(format!("atscale-harness-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        let harness = Harness::new().with_store(store);
+        let sweep = SweepConfig::test();
+        let spec = sweep.spec(WorkloadId::parse("tc-kron").unwrap(), 16 << 20);
+        let fresh = harness.run(&spec);
+        let cached = harness.run(&spec);
+        assert_eq!(fresh.result.counters, cached.result.counters);
+    }
+
+    #[test]
+    fn overhead_point_runs_three_page_sizes() {
+        let harness = Harness::new();
+        let sweep = SweepConfig::test();
+        let spec = sweep.spec(WorkloadId::parse("pr-urand").unwrap(), 32 << 20);
+        let point = harness.overhead_point(&spec);
+        assert_eq!(point.run_4k.spec.page_size, PageSize::Size4K);
+        assert_eq!(point.run_2m.spec.page_size, PageSize::Size2M);
+        assert_eq!(point.run_1g.spec.page_size, PageSize::Size1G);
+        assert!(point.baseline_cycles() > 0);
+    }
+}

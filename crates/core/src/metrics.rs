@@ -1,0 +1,130 @@
+//! The five AT-pressure proxy metrics compared in the paper's Table V.
+
+use crate::RunRecord;
+use serde::{Deserialize, Serialize};
+
+/// A proxy metric for address-translation pressure, computable from a
+/// single run's counters (unlike overhead, which needs page-size reruns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PressureMetric {
+    /// TLB misses per kilo-access.
+    TlbMissesPerKiloAccess,
+    /// TLB misses per kilo-instruction.
+    TlbMissesPerKiloInstruction,
+    /// Fraction of cycles with an outstanding page-table walk.
+    WalkCycleFraction,
+    /// Walk cycles per access.
+    WalkCyclesPerAccess,
+    /// Walk cycles per instruction — the paper's proposed metric.
+    Wcpi,
+}
+
+impl PressureMetric {
+    /// The five metrics in the paper's Table V row order.
+    pub const ALL: [PressureMetric; 5] = [
+        PressureMetric::TlbMissesPerKiloAccess,
+        PressureMetric::TlbMissesPerKiloInstruction,
+        PressureMetric::WalkCycleFraction,
+        PressureMetric::WalkCyclesPerAccess,
+        PressureMetric::Wcpi,
+    ];
+
+    /// Table V row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PressureMetric::TlbMissesPerKiloAccess => "TLB misses per kilo access",
+            PressureMetric::TlbMissesPerKiloInstruction => "TLB misses per kilo instruction",
+            PressureMetric::WalkCycleFraction => "Walk cycle fraction",
+            PressureMetric::WalkCyclesPerAccess => "Walk cycles per access",
+            PressureMetric::Wcpi => "Walk cycles per instruction",
+        }
+    }
+
+    /// Evaluates the metric on a (4 KB) run.
+    pub fn value(self, record: &RunRecord) -> f64 {
+        let c = &record.result.counters;
+        let ratio = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
+        match self {
+            PressureMetric::TlbMissesPerKiloAccess => ratio(
+                c.walks_initiated() as f64 * 1000.0,
+                c.accesses_retired() as f64,
+            ),
+            PressureMetric::TlbMissesPerKiloInstruction => {
+                ratio(c.walks_initiated() as f64 * 1000.0, c.inst_retired as f64)
+            }
+            PressureMetric::WalkCycleFraction => {
+                ratio(c.walk_duration_cycles as f64, c.cycles as f64)
+            }
+            PressureMetric::WalkCyclesPerAccess => {
+                ratio(c.walk_duration_cycles as f64, c.accesses_retired() as f64)
+            }
+            PressureMetric::Wcpi => c.wcpi(),
+        }
+    }
+}
+
+impl std::fmt::Display for PressureMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunSpec;
+    use atscale_mmu::MachineConfig;
+    use atscale_vm::PageSize;
+    use atscale_workloads::WorkloadId;
+
+    fn record() -> RunRecord {
+        crate::execute_run(
+            &RunSpec {
+                workload: WorkloadId::parse("bfs-urand").unwrap(),
+                nominal_footprint: 32 << 20,
+                page_size: PageSize::Size4K,
+                seed: 2,
+                warmup_instr: 10_000,
+                budget_instr: 80_000,
+            },
+            &MachineConfig::haswell(),
+        )
+    }
+
+    #[test]
+    fn all_metrics_are_finite_and_positive_under_pressure() {
+        let r = record();
+        for m in PressureMetric::ALL {
+            let v = m.value(&r);
+            assert!(v.is_finite() && v > 0.0, "{m}: {v}");
+        }
+    }
+
+    #[test]
+    fn metric_relationships_hold() {
+        let r = record();
+        let c = &r.result.counters;
+        // misses/kilo-access ≥ misses/kilo-instruction (accesses ≤ instrs).
+        assert!(
+            PressureMetric::TlbMissesPerKiloAccess.value(&r)
+                >= PressureMetric::TlbMissesPerKiloInstruction.value(&r)
+        );
+        // wcpi = walk-cycles-per-access × accesses-per-instr.
+        let api = c.accesses_retired() as f64 / c.inst_retired as f64;
+        let recomposed = PressureMetric::WalkCyclesPerAccess.value(&r) * api;
+        let wcpi = PressureMetric::Wcpi.value(&r);
+        assert!((recomposed - wcpi).abs() < 1e-9 * wcpi);
+        // Walk-cycle fraction is a fraction.
+        let f = PressureMetric::WalkCycleFraction.value(&r);
+        assert!((0.0..=1.0).contains(&f), "walk cycle fraction {f}");
+    }
+
+    #[test]
+    fn labels_match_table_v() {
+        assert_eq!(
+            PressureMetric::Wcpi.to_string(),
+            "Walk cycles per instruction"
+        );
+        assert_eq!(PressureMetric::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Report rendering: aligned text tables (the figures' data series) and
+//! CSV files for external plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+///
+/// # Example
+///
+/// ```
+/// use atscale::report::Table;
+///
+/// let mut t = Table::new(&["workload", "slope", "adj R2"]);
+/// t.row(&["cc-urand", "0.135", "0.973"]);
+/// let text = t.render();
+/// assert!(text.contains("cc-urand"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table (first column left-aligned, the rest
+    /// right-aligned, numeric-report style).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV (RFC-4180 quoting for cells containing
+    /// commas or quotes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a byte count as a human-readable size (KB/MB/GB).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(atscale::report::human_bytes(256 << 20), "256.0MB");
+/// assert_eq!(atscale::report::human_bytes(16u64 << 30), "16.0GB");
+/// ```
+pub fn human_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= (1u64 << 30) as f64 {
+        format!("{:.1}GB", b / (1u64 << 30) as f64)
+    } else if b >= (1 << 20) as f64 {
+        format!("{:.1}MB", b / (1 << 20) as f64)
+    } else {
+        format!("{:.1}KB", b / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width (header, rule, rows).
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].starts_with("longer-name"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_are_rejected() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let dir = std::env::temp_dir().join(format!("atscale-report-{}", std::process::id()));
+        let path = dir.join("t.csv");
+        let mut t = Table::new(&["x", "note"]);
+        t.row(&["1", "has,comma"]);
+        t.row(&["2", "has\"quote"]);
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"has,comma\""));
+        assert!(text.contains("\"has\"\"quote\""));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn helpers_format_reasonably() {
+        assert_eq!(fmt(0.12345, 3), "0.123");
+        assert_eq!(human_bytes(512), "0.5KB");
+        assert_eq!(human_bytes(3 << 20), "3.0MB");
+    }
+}

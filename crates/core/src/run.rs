@@ -1,0 +1,147 @@
+//! One measured run: workload × footprint × page size.
+
+use atscale_mmu::{Machine, MachineConfig, RunResult};
+use atscale_vm::{BackingPolicy, PageSize};
+use atscale_workloads::WorkloadId;
+use serde::{Deserialize, Serialize};
+
+/// Everything that identifies one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Which of the paper's 13 workloads to run.
+    pub workload: WorkloadId,
+    /// Nominal instance size in bytes (the model sizes itself to this; the
+    /// *measured* footprint is reported in the result).
+    pub nominal_footprint: u64,
+    /// Page size backing the heap (the paper's three configurations).
+    pub page_size: PageSize,
+    /// Workload/input seed.
+    pub seed: u64,
+    /// Instructions simulated before counters start (the paper's dry-run
+    /// warm-up analogue).
+    pub warmup_instr: u64,
+    /// Measured instructions.
+    pub budget_instr: u64,
+}
+
+impl RunSpec {
+    /// The same spec at a different page size — the paper's §III-A
+    /// protocol runs each instance at 4 KB, 2 MB and 1 GB.
+    pub fn with_page_size(mut self, page_size: PageSize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+}
+
+/// A completed run: its spec plus everything measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The run's identity.
+    pub spec: RunSpec,
+    /// All measurements (counters, TLB/cache stats, footprint).
+    pub result: RunResult,
+}
+
+impl RunRecord {
+    /// Measured memory footprint in kilobytes — the paper reports its
+    /// footprint axis in KB (e.g. Figure 8's 10⁶ KB marks).
+    pub fn footprint_kb(&self) -> f64 {
+        self.result.footprint_bytes() as f64 / 1024.0
+    }
+
+    /// log10 of the measured footprint in KB (Table IV's regressor).
+    pub fn log10_footprint_kb(&self) -> f64 {
+        self.footprint_kb().log10()
+    }
+
+    /// Runtime in cycles.
+    pub fn runtime_cycles(&self) -> u64 {
+        self.result.counters.cycles
+    }
+}
+
+/// Executes one run: builds the machine at the spec's page size, lets the
+/// workload lay out and fault in its memory, then drives the access stream
+/// through warm-up and measurement.
+///
+/// # Panics
+///
+/// Panics if the workload's setup cannot allocate (the 16 TiB simulated
+/// heap would have to be exhausted).
+pub fn execute_run(spec: &RunSpec, config: &MachineConfig) -> RunRecord {
+    let mut workload = spec.workload.build_model(spec.nominal_footprint, spec.seed);
+    let mut machine = Machine::new(
+        *config,
+        BackingPolicy::uniform(spec.page_size),
+        workload.profile(),
+    );
+    workload
+        .setup(machine.space_mut())
+        .expect("workload setup allocates within the simulated heap");
+    machine.set_limits(spec.warmup_instr, spec.budget_instr);
+    workload.run(&mut machine);
+    let result = machine.finish();
+    result.counters.assert_consistent();
+    RunRecord { spec: *spec, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            workload: WorkloadId::parse("pr-urand").unwrap(),
+            nominal_footprint: 32 << 20,
+            page_size: PageSize::Size4K,
+            seed: 3,
+            warmup_instr: 20_000,
+            budget_instr: 100_000,
+        }
+    }
+
+    #[test]
+    fn run_produces_consistent_counters_and_footprint() {
+        let record = execute_run(&spec(), &MachineConfig::haswell());
+        let c = &record.result.counters;
+        assert!(c.inst_retired >= 100_000);
+        assert!(c.inst_retired < 110_000, "budget respected");
+        assert!(record.result.footprint_bytes() > 28 << 20);
+        assert!(record.footprint_kb() > 0.0);
+        assert!(record.log10_footprint_kb() > 4.0);
+        assert!(record.runtime_cycles() > 0);
+    }
+
+    #[test]
+    fn identical_specs_reproduce_identical_results() {
+        let a = execute_run(&spec(), &MachineConfig::haswell());
+        let b = execute_run(&spec(), &MachineConfig::haswell());
+        assert_eq!(a.result.counters, b.result.counters);
+        assert_eq!(a.result.tlb, b.result.tlb);
+    }
+
+    #[test]
+    fn page_size_variant_changes_only_page_size() {
+        let s4 = spec();
+        let s2 = s4.with_page_size(PageSize::Size2M);
+        assert_eq!(s2.page_size, PageSize::Size2M);
+        assert_eq!(s2.workload, s4.workload);
+        assert_eq!(s2.budget_instr, s4.budget_instr);
+    }
+
+    #[test]
+    fn superpages_reduce_walks_for_real_models() {
+        // Use a footprint well past the 4 KB TLB reach so base pages walk
+        // heavily while 2 MB reach still covers the working set.
+        let mut s = spec();
+        s.nominal_footprint = 128 << 20;
+        let base = execute_run(&s, &MachineConfig::haswell());
+        let huge = execute_run(&s.with_page_size(PageSize::Size2M), &MachineConfig::haswell());
+        assert!(
+            huge.result.counters.walks_retired() * 5 < base.result.counters.walks_retired(),
+            "2MB walks {} vs 4KB walks {}",
+            huge.result.counters.walks_retired(),
+            base.result.counters.walks_retired()
+        );
+    }
+}

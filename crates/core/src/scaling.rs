@@ -1,0 +1,120 @@
+//! Table IV: log-linear scaling fits of overhead vs footprint.
+
+use crate::OverheadPoint;
+use atscale_stats::{ols, OlsFit, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted `relative AT overhead = β₀ + β₁·log10(M_KB)` model for one
+/// workload (the paper's Table IV rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingFit {
+    /// Workload label.
+    pub workload: String,
+    /// The regression (slope is the per-decade overhead growth β₁).
+    pub fit: OlsFit,
+    /// Number of sweep points fitted.
+    pub points: usize,
+}
+
+impl ScalingFit {
+    /// The paper's headline interpretation: overhead increase per 10× of
+    /// footprint (β₁; ≈0.13 on average for well-correlated workloads).
+    pub fn overhead_per_decade(&self) -> f64 {
+        self.fit.slope
+    }
+}
+
+/// Fits the Table IV model to one workload's sweep.
+///
+/// # Errors
+///
+/// Propagates [`StatsError`] for degenerate sweeps (fewer than three
+/// points, constant footprint).
+pub fn fit_overhead_scaling(points: &[OverheadPoint]) -> Result<ScalingFit, StatsError> {
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|p| p.footprint_kb().log10())
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.relative_overhead()).collect();
+    let fit = ols(&xs, &ys)?;
+    Ok(ScalingFit {
+        workload: points
+            .first()
+            .map(|p| p.workload())
+            .unwrap_or_else(|| "<empty>".into()),
+        fit,
+        points: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunRecord, RunSpec};
+    use atscale_mmu::{Counters, RunResult};
+    use atscale_vm::PageSize;
+    use atscale_workloads::WorkloadId;
+
+    /// Builds a synthetic overhead point with the given footprint (KB) and
+    /// runtimes, bypassing simulation (scaling math is simulation-free).
+    fn synthetic_point(footprint_kb: f64, t4k: u64, t2m: u64) -> OverheadPoint {
+        let spec = RunSpec {
+            workload: WorkloadId::parse("cc-urand").unwrap(),
+            nominal_footprint: (footprint_kb * 1024.0) as u64,
+            page_size: PageSize::Size4K,
+            seed: 0,
+            warmup_instr: 0,
+            budget_instr: 0,
+        };
+        let mk = |cycles: u64, data_bytes: u64| {
+            let mut result = RunResult {
+                counters: Counters {
+                    cycles,
+                    inst_retired: 1000,
+                    ..Default::default()
+                },
+                tlb: Default::default(),
+                hierarchy: Default::default(),
+                space: Default::default(),
+                psc_hits: (0, 0, 0),
+                psc_lookups: 0,
+                page_size: PageSize::Size4K,
+                mean_pte_latency: 0.0,
+            };
+            result.space.data_bytes = data_bytes;
+            RunRecord { spec, result }
+        };
+        let bytes = (footprint_kb * 1024.0) as u64;
+        OverheadPoint {
+            run_4k: mk(t4k, bytes),
+            run_2m: mk(t2m, bytes),
+            run_1g: mk(t2m + 50, bytes),
+        }
+    }
+
+    #[test]
+    fn recovers_a_log_linear_law() {
+        // overhead = -0.8 + 0.15·log10(M): build exact synthetic data.
+        let points: Vec<OverheadPoint> = (0..8)
+            .map(|i| {
+                let log_m = 5.0 + 0.5 * i as f64;
+                let overhead = -0.8 + 0.15 * log_m;
+                let t2m = 1_000_000u64;
+                let t4k = (t2m as f64 * (1.0 + overhead)) as u64;
+                synthetic_point(10f64.powf(log_m), t4k, t2m)
+            })
+            .collect();
+        let fit = fit_overhead_scaling(&points).unwrap();
+        assert!((fit.overhead_per_decade() - 0.15).abs() < 0.01);
+        assert!((fit.fit.intercept + 0.8).abs() < 0.05);
+        assert!(fit.fit.adj_r_squared > 0.999);
+        assert_eq!(fit.points, 8);
+        assert_eq!(fit.workload, "cc-urand");
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let points = vec![synthetic_point(1e5, 110, 100)];
+        assert!(fit_overhead_scaling(&points).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! On-disk run cache.
+//!
+//! Every figure and table harness shares runs: Figure 1's sweep contains
+//! Figure 2's `cc-urand` series, Table IV refits Figure 1's points, and so
+//! on. Caching each completed [`RunRecord`] as JSON keyed by a hash of
+//! `(spec, machine config)` means `cargo run --bin fig4` after `fig1` costs
+//! seconds, not a re-simulation.
+
+use crate::{RunRecord, RunSpec};
+use atscale_gen::splitmix64;
+use atscale_mmu::MachineConfig;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of cached run records.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Opens (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<RunStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(RunStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The default store location, `results/runs` under the workspace,
+    /// overridable with the `ATSCALE_RESULTS` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn default_location() -> std::io::Result<RunStore> {
+        let base = std::env::var("ATSCALE_RESULTS").unwrap_or_else(|_| "results".into());
+        Self::open(Path::new(&base).join("runs"))
+    }
+
+    /// Stable cache key for a run: content hash of the spec and machine
+    /// configuration (any config change invalidates the cache).
+    pub fn key(spec: &RunSpec, config: &MachineConfig) -> String {
+        let payload = serde_json::to_string(&(spec, config)).expect("specs serialize");
+        // FNV-1a over the canonical JSON, finished with splitmix64.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in payload.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{:016x}", splitmix64(h))
+    }
+
+    /// Loads a cached record, if present and readable.
+    pub fn load(&self, key: &str) -> Option<RunRecord> {
+        let path = self.path_of(key);
+        let bytes = fs::read(path).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Saves a record under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written.
+    pub fn save(&self, key: &str, record: &RunRecord) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, serde_json::to_vec(record).expect("records serialize"))?;
+        fs::rename(&tmp, self.path_of(key))
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` if no records are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_vm::PageSize;
+    use atscale_workloads::WorkloadId;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            workload: WorkloadId::parse("tc-kron").unwrap(),
+            nominal_footprint: 8 << 20,
+            page_size: PageSize::Size4K,
+            seed: 1,
+            warmup_instr: 1000,
+            budget_instr: 30_000,
+        }
+    }
+
+    fn temp_store(tag: &str) -> RunStore {
+        let dir = std::env::temp_dir().join(format!("atscale-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = temp_store("roundtrip");
+        let config = MachineConfig::haswell();
+        let record = crate::execute_run(&spec(), &config);
+        let key = RunStore::key(&spec(), &config);
+        assert!(store.load(&key).is_none());
+        store.save(&key, &record).unwrap();
+        let loaded = store.load(&key).expect("cached");
+        assert_eq!(loaded.result.counters, record.result.counters);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_specs_and_configs() {
+        let config = MachineConfig::haswell();
+        let a = RunStore::key(&spec(), &config);
+        let mut other_spec = spec();
+        other_spec.seed += 1;
+        let b = RunStore::key(&other_spec, &config);
+        let mut other_config = config;
+        other_config.tlb.l2_hit_penalty += 1;
+        let c = RunStore::key(&spec(), &other_config);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, RunStore::key(&spec(), &config), "keys are stable");
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_ignored() {
+        let store = temp_store("corrupt");
+        let key = "deadbeefdeadbeef";
+        fs::write(store.dir.join(format!("{key}.json")), b"not json").unwrap();
+        assert!(store.load(key).is_none());
+    }
+}

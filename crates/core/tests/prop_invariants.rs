@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the translation stack.
+
+use atscale_mmu::{Counters, MachineConfig, TlbArray, TlbGeometry};
+use atscale_stats::{pearson, rank_with_ties, spearman};
+use atscale_vm::{AddressSpace, BackingPolicy, PageSize, VirtAddr};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any mapped address translates, preserves its page offset, and the
+    /// walk path descends level by level to the mapping's leaf.
+    #[test]
+    fn translation_preserves_offsets(
+        offsets in prop::collection::vec(0u64..(64 << 20), 1..40),
+        size_idx in 0usize..3,
+    ) {
+        let size = PageSize::ALL[size_idx];
+        let mut space = AddressSpace::new(BackingPolicy::uniform(size));
+        let seg = space.alloc_heap("a", 64 << 20).unwrap();
+        for off in offsets {
+            let va = seg.base().add(off);
+            let touch = space.touch(va).unwrap();
+            let t = space.translate(va).unwrap();
+            prop_assert_eq!(t.paddr.page_offset(t.page_size), va.page_offset(t.page_size));
+            // 64 MB segments can never be backed by 1 GB pages.
+            prop_assert!(t.page_size <= size);
+            let path = touch.path;
+            let mut prev_level = 5;
+            for step in path.steps() {
+                prop_assert_eq!(step.level, prev_level - 1);
+                prev_level = step.level;
+            }
+            prop_assert_eq!(path.leaf().level, t.page_size.leaf_level());
+        }
+    }
+
+    /// Touching the same page twice never faults twice, regardless of the
+    /// access pattern.
+    #[test]
+    fn demand_paging_faults_once_per_page(
+        offsets in prop::collection::vec(0u64..(8 << 20), 1..100),
+    ) {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 8 << 20).unwrap();
+        let mut pages = std::collections::HashSet::new();
+        for off in offsets {
+            let va = seg.base().add(off);
+            let fresh = pages.insert(va.page_base(PageSize::Size4K));
+            let touch = space.touch(va).unwrap();
+            prop_assert_eq!(touch.minor_fault, fresh);
+        }
+        prop_assert_eq!(space.stats().minor_faults, pages.len() as u64);
+    }
+
+    /// A TLB never reports a hit for a key that was not filled, and always
+    /// hits the most recently filled key.
+    #[test]
+    fn tlb_array_soundness(
+        fills in prop::collection::vec(0u64..500, 1..200),
+        probes in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let mut tlb = TlbArray::new(TlbGeometry::new(16, 4));
+        let mut filled = std::collections::HashSet::new();
+        for key in &fills {
+            tlb.fill(*key);
+            filled.insert(*key);
+        }
+        let last = *fills.last().unwrap();
+        prop_assert!(tlb.probe(last), "most recent fill must be present");
+        for key in probes {
+            if tlb.probe(key) {
+                prop_assert!(filled.contains(&key), "phantom hit for {key}");
+            }
+        }
+    }
+
+    /// Table VI arithmetic: outcomes always partition initiated walks and
+    /// fractions sum to 1, for any consistent counter file.
+    #[test]
+    fn walk_outcomes_partition(
+        retired in 0u64..10_000,
+        wrong_path in 0u64..10_000,
+        aborted in 0u64..10_000,
+    ) {
+        let c = Counters {
+            stlb_miss_loads: retired,
+            walk_completed_loads: retired + wrong_path,
+            walk_initiated_loads: retired + wrong_path + aborted,
+            truth_retired_walks: retired,
+            truth_wrong_path_walks: wrong_path,
+            truth_aborted_walks: aborted,
+            ..Default::default()
+        };
+        c.assert_consistent();
+        let o = c.walk_outcomes();
+        prop_assert_eq!(o.retired + o.wrong_path + o.aborted, o.initiated);
+        if o.initiated > 0 {
+            let total = o.retired_fraction() + o.wrong_path_fraction() + o.aborted_fraction();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Spearman is invariant under strictly monotone transforms; both
+    /// correlations are symmetric and bounded.
+    #[test]
+    fn correlation_properties(
+        xs in prop::collection::vec(-1e3f64..1e3, 4..30),
+    ) {
+        // Build ys as a noisy copy: correlated but not degenerate.
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| x + (i % 3) as f64).collect();
+        prop_assume!(pearson(&xs, &ys).is_ok());
+        let r_xy = pearson(&xs, &ys).unwrap();
+        let r_yx = pearson(&ys, &xs).unwrap();
+        prop_assert!((r_xy - r_yx).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&r_xy));
+
+        let rho = spearman(&xs, &ys).unwrap();
+        // atan is strictly monotone and safe across the whole input range
+        // (exp would underflow distinct values to identical zeros).
+        let monotone: Vec<f64> = ys.iter().map(|y| (y / 100.0).atan() * 3.0 + y * 1e-6).collect();
+        if let Ok(rho_t) = spearman(&xs, &monotone) {
+            prop_assert!((rho - rho_t).abs() < 1e-9, "monotone transform changes rho");
+        }
+    }
+
+    /// Fractional ranking: ranks are a permutation-average — they sum to
+    /// n(n+1)/2 and respect order.
+    #[test]
+    fn ranks_sum_and_order(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let ranks = rank_with_ties(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        for (i, &xi) in xs.iter().enumerate() {
+            for (j, &xj) in xs.iter().enumerate() {
+                if xi < xj {
+                    prop_assert!(ranks[i] < ranks[j]);
+                } else if xi == xj {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    /// The engine's counters are internally consistent for arbitrary
+    /// access streams (random loads/stores over a segment).
+    #[test]
+    fn engine_counters_consistent_for_random_streams(
+        seed in 0u64..1000,
+        accesses in 100usize..800,
+    ) {
+        use atscale_mmu::{AccessSink, Machine, WorkloadProfile};
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut machine = Machine::new(
+            MachineConfig::haswell(),
+            BackingPolicy::uniform(PageSize::Size4K),
+            WorkloadProfile::default(),
+        );
+        let seg = machine.space_mut().alloc_heap("a", 16 << 20).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..accesses {
+            let off = rng.gen_range(0..seg.len() / 8) * 8;
+            if rng.gen_bool(0.2) {
+                machine.store(seg.base().add(off));
+            } else {
+                machine.load(seg.base().add(off));
+            }
+            machine.instructions(rng.gen_range(0..5));
+        }
+        let result = machine.finish();
+        result.counters.assert_consistent();
+        let c = &result.counters;
+        prop_assert!(c.walks_retired() <= c.accesses_retired());
+        prop_assert!(c.cycles > 0);
+        prop_assert_eq!(c.accesses_retired() + c.minor_faults, c.accesses_retired() + result.space.minor_faults);
+    }
+}
+
+#[test]
+fn virt_addr_never_equals_phys_addr_type() {
+    // Compile-time property, checked by the type system: this test exists
+    // to document it. VirtAddr and PhysAddr are distinct nominal types.
+    let va = VirtAddr::new(42);
+    assert_eq!(va.as_u64(), 42);
+}

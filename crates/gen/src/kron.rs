@@ -1,0 +1,169 @@
+//! GAPBS `-g` style Kronecker (RMAT) scale-free graph generator.
+//!
+//! Uses the Graph500/GAPBS RMAT parameters (A = 0.57, B = 0.19, C = 0.19,
+//! D = 0.05): each edge picks its endpoints by descending `scale` levels of
+//! a 2×2 probability grid, yielding a heavy-tailed degree distribution with
+//! a few enormous hubs — the structure that gives `tc-kron` its
+//! translation-friendly behaviour in the paper once GAPBS's degree-sorting
+//! optimisation concentrates work on the (cacheable) hub core.
+
+use crate::seed_stream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Graph500 RMAT probabilities.
+pub const RMAT_A: f64 = 0.57;
+/// Probability of the upper-right quadrant.
+pub const RMAT_B: f64 = 0.19;
+/// Probability of the lower-left quadrant.
+pub const RMAT_C: f64 = 0.19;
+
+/// Parameters of a Kronecker graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KronConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Edges = `edge_factor * n` (16 in Graph500/GAPBS).
+    pub edge_factor: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl KronConfig {
+    /// Creates a configuration with the Graph500 default edge factor (16).
+    pub fn new(scale: u32, seed: u64) -> Self {
+        KronConfig {
+            scale,
+            edge_factor: 16,
+            seed,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of generated edges.
+    pub fn edges(&self) -> u64 {
+        self.vertices() * self.edge_factor as u64
+    }
+}
+
+/// Generates the `i`-th RMAT edge as a pure function of `(config, i)`.
+#[inline]
+pub fn edge(config: KronConfig, i: u64) -> (u64, u64) {
+    let mut rng = SmallRng::seed_from_u64(seed_stream(config.seed, i));
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    for _ in 0..config.scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.gen();
+        if r < RMAT_A {
+            // upper-left: neither bit set
+        } else if r < RMAT_A + RMAT_B {
+            dst |= 1;
+        } else if r < RMAT_A + RMAT_B + RMAT_C {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    // GAPBS permutes vertex labels so hubs are not clustered at id 0; we
+    // apply a cheap bijective scramble with the same effect.
+    (
+        scramble(src, config.scale, config.seed),
+        scramble(dst, config.scale, config.seed),
+    )
+}
+
+/// Streams the full edge list.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::kron::{edges, KronConfig};
+///
+/// let cfg = KronConfig::new(8, 1);
+/// assert_eq!(edges(cfg).count() as u64, cfg.edges());
+/// ```
+pub fn edges(config: KronConfig) -> impl Iterator<Item = (u64, u64)> {
+    (0..config.edges()).map(move |i| edge(config, i))
+}
+
+/// Bijectively scrambles a vertex id within `0..2^scale` (a Feistel-like
+/// two-round mix), mimicking GAPBS's label permutation.
+#[inline]
+fn scramble(v: u64, scale: u32, seed: u64) -> u64 {
+    if scale < 2 {
+        return v;
+    }
+    let half = scale / 2;
+    let lo_bits = half;
+    let hi_bits = scale - half;
+    let lo_mask = (1u64 << lo_bits) - 1;
+    let hi_mask = (1u64 << hi_bits) - 1;
+    let (mut lo, mut hi) = (v & lo_mask, (v >> lo_bits) & hi_mask);
+    // Two Feistel rounds: bijective for any round function.
+    lo ^= crate::splitmix64(hi ^ seed) & lo_mask;
+    hi ^= crate::splitmix64(lo ^ seed.rotate_left(17)) & hi_mask;
+    (hi << lo_bits) | lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_degrees_are_heavy_tailed() {
+        let cfg = KronConfig::new(12, 3); // 4096 vertices
+        let mut deg = vec![0u32; 4096];
+        for (u, v) in edges(cfg) {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        let zeros = deg.iter().filter(|&&d| d == 0).count();
+        assert!(
+            max > mean * 10.0,
+            "RMAT should have hubs (max {max}, mean {mean})"
+        );
+        assert!(
+            zeros > 100,
+            "RMAT should leave many vertices isolated ({zeros})"
+        );
+    }
+
+    #[test]
+    fn edges_are_deterministic() {
+        let cfg = KronConfig::new(10, 9);
+        assert_eq!(edge(cfg, 123), edge(cfg, 123));
+        assert_ne!(edge(cfg, 123), edge(cfg, 124));
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        for scale in [2u32, 5, 9] {
+            let n = 1u64 << scale;
+            let mut seen = vec![false; n as usize];
+            for v in 0..n {
+                let s = scramble(v, scale, 42);
+                assert!(s < n, "scramble stays in range");
+                assert!(!seen[s as usize], "collision at {v} -> {s}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_stay_in_range() {
+        let cfg = KronConfig::new(14, 5);
+        for i in (0..cfg.edges()).step_by(1009) {
+            let (u, v) = edge(cfg, i);
+            assert!(u < cfg.vertices() && v < cfg.vertices());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Random minimum-cost-flow network generator for the `mcf` workload.
+//!
+//! SPEC CPU2006 `429.mcf` solves single-depot vehicle scheduling as a
+//! min-cost-flow problem over a time-expanded network. The paper's authors
+//! wrote their own `rand` input generator; we do the same: a layered network
+//! whose timetabled-trip nodes are connected forward in time, plus the
+//! depot arcs mcf's network simplex relies on. What matters to the MMU is
+//! the *shape*: arc and node structures grow linearly with the instance
+//! parameter, and the simplex traversal pointer-chases across them with
+//! very poor locality.
+
+use crate::seed_stream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One directed arc with capacity and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// Source node id.
+    pub from: u32,
+    /// Destination node id.
+    pub to: u32,
+    /// Capacity (vehicles).
+    pub capacity: u32,
+    /// Cost per unit of flow.
+    pub cost: i64,
+}
+
+/// A generated min-cost-flow instance.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Number of nodes, including the depot (node 0).
+    pub nodes: u32,
+    /// All arcs.
+    pub arcs: Vec<Arc>,
+    /// Supply at the depot (= demand spread over sinks).
+    pub supply: u32,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct McfConfig {
+    /// Number of timetabled trips (the SPEC input's scaling knob).
+    pub trips: u32,
+    /// Average forward connections per trip.
+    pub connectivity: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl McfConfig {
+    /// Creates a configuration with mcf-like connectivity (≈5).
+    pub fn new(trips: u32, seed: u64) -> Self {
+        McfConfig {
+            trips,
+            connectivity: 5,
+            seed,
+        }
+    }
+}
+
+/// Generates a layered vehicle-scheduling network.
+///
+/// Node 0 is the depot; nodes `1..=trips` are trips ordered by departure
+/// time. Each trip has a depot arc in and out (deadheading) plus
+/// `connectivity` random forward connections to later trips.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::mcf_net::{generate, McfConfig};
+///
+/// let net = generate(McfConfig::new(100, 7));
+/// assert_eq!(net.nodes, 101);
+/// assert!(net.arcs.len() > 300);
+/// assert!(net.arcs.iter().all(|a| a.from < net.nodes && a.to < net.nodes));
+/// ```
+pub fn generate(config: McfConfig) -> Network {
+    let trips = config.trips;
+    let mut arcs = Vec::with_capacity(trips as usize * (config.connectivity as usize + 2));
+    let mut rng = SmallRng::seed_from_u64(seed_stream(config.seed, 0));
+    for trip in 1..=trips {
+        // Depot arcs: pull-out and pull-in, expensive.
+        arcs.push(Arc {
+            from: 0,
+            to: trip,
+            capacity: 1,
+            cost: rng.gen_range(5_000..50_000),
+        });
+        arcs.push(Arc {
+            from: trip,
+            to: 0,
+            capacity: 1,
+            cost: rng.gen_range(5_000..50_000),
+        });
+        // Forward connections to later trips, cheap.
+        let mut trip_rng = SmallRng::seed_from_u64(seed_stream(config.seed, trip as u64));
+        for _ in 0..config.connectivity {
+            if trip == trips {
+                break;
+            }
+            let to = trip_rng.gen_range(trip + 1..=trips);
+            arcs.push(Arc {
+                from: trip,
+                to,
+                capacity: 1,
+                cost: trip_rng.gen_range(1..2_000),
+            });
+        }
+    }
+    Network {
+        nodes: trips + 1,
+        arcs,
+        supply: trips.div_ceil(4).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_layered_forward() {
+        let net = generate(McfConfig::new(500, 1));
+        for arc in &net.arcs {
+            if arc.from != 0 && arc.to != 0 {
+                assert!(arc.to > arc.from, "connections go forward in time");
+            }
+        }
+    }
+
+    #[test]
+    fn every_trip_touches_the_depot() {
+        let net = generate(McfConfig::new(50, 2));
+        for trip in 1..=50u32 {
+            assert!(net.arcs.iter().any(|a| a.from == 0 && a.to == trip));
+            assert!(net.arcs.iter().any(|a| a.from == trip && a.to == 0));
+        }
+    }
+
+    #[test]
+    fn size_scales_linearly_with_trips() {
+        let small = generate(McfConfig::new(100, 3)).arcs.len();
+        let large = generate(McfConfig::new(1000, 3)).arcs.len();
+        let ratio = large as f64 / small as f64;
+        assert!((8.0..=12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(McfConfig::new(200, 9));
+        let b = generate(McfConfig::new(200, 9));
+        assert_eq!(a.arcs, b.arcs);
+        assert_eq!(a.supply, b.supply);
+    }
+}

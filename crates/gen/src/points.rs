@@ -1,0 +1,136 @@
+//! Gaussian-mixture point generator for the `streamcluster` workload.
+//!
+//! PARSEC streamcluster clusters a stream of d-dimensional points; its
+//! bundled generator draws points uniformly at random. We generate a
+//! mixture of Gaussians (with a uniform fallback) so the clustering kernel
+//! has actual structure to find, while the memory behaviour — a dense
+//! `n × d` float matrix scanned repeatedly per block — matches PARSEC.
+
+use crate::seed_stream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Point-stream parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PointsConfig {
+    /// Dimensionality of each point (PARSEC native: 128).
+    pub dims: u32,
+    /// Number of latent Gaussian centres.
+    pub centers: u32,
+    /// Cluster spread relative to the unit cube.
+    pub spread: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PointsConfig {
+    /// streamcluster-like defaults: 128 dims, 10 latent centres.
+    pub fn new(seed: u64) -> Self {
+        PointsConfig {
+            dims: 128,
+            centers: 10,
+            spread: 0.05,
+            seed,
+        }
+    }
+}
+
+/// Generates point `index` of the stream into `out` (a pure function of
+/// `(config, index)` — points are regenerable without storage).
+///
+/// # Panics
+///
+/// Panics if `out.len() != config.dims`.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::points::{point, PointsConfig};
+///
+/// let cfg = PointsConfig::new(11);
+/// let mut buf = vec![0.0f32; cfg.dims as usize];
+/// point(cfg, 0, &mut buf);
+/// assert!(buf.iter().all(|x| x.is_finite()));
+/// ```
+pub fn point(config: PointsConfig, index: u64, out: &mut [f32]) {
+    assert_eq!(out.len(), config.dims as usize, "output buffer size");
+    let mut rng = SmallRng::seed_from_u64(seed_stream(config.seed, index));
+    let center = rng.gen_range(0..config.centers) as u64;
+    let mut center_rng = SmallRng::seed_from_u64(seed_stream(config.seed ^ 0xc3a5, center));
+    for slot in out.iter_mut() {
+        let mu: f64 = center_rng.gen();
+        // Box–Muller-free cheap Gaussian-ish jitter: sum of uniforms (CLT).
+        let jitter: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0;
+        *slot = (mu + jitter * config.spread).clamp(0.0, 1.0) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_deterministic() {
+        let cfg = PointsConfig::new(3);
+        let mut a = vec![0.0f32; cfg.dims as usize];
+        let mut b = vec![0.0f32; cfg.dims as usize];
+        point(cfg, 17, &mut a);
+        point(cfg, 17, &mut b);
+        assert_eq!(a, b);
+        point(cfg, 18, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn points_cluster_around_their_centers() {
+        let cfg = PointsConfig {
+            dims: 16,
+            centers: 2,
+            spread: 0.01,
+            seed: 5,
+        };
+        // Collect many points; distances within a cluster should be much
+        // smaller than the typical inter-cluster distance.
+        let mut pts = Vec::new();
+        for i in 0..200u64 {
+            let mut p = vec![0.0f32; 16];
+            point(cfg, i, &mut p);
+            pts.push(p);
+        }
+        let d = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut dists: Vec<f64> = Vec::new();
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                dists.push(d(&pts[i], &pts[j]));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Bimodal: smallest distances (same cluster) are a fraction of the
+        // largest (cross cluster).
+        assert!(dists[0] * 5.0 < dists[dists.len() - 1]);
+    }
+
+    #[test]
+    fn values_stay_in_unit_cube() {
+        let cfg = PointsConfig::new(9);
+        let mut p = vec![0.0f32; cfg.dims as usize];
+        for i in 0..100 {
+            point(cfg, i, &mut p);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer size")]
+    fn wrong_buffer_size_rejected() {
+        let cfg = PointsConfig::new(1);
+        let mut p = vec![0.0f32; 3];
+        point(cfg, 0, &mut p);
+    }
+}

@@ -1,0 +1,133 @@
+//! GAPBS `-u` style uniform-random graph generator.
+//!
+//! GAPBS's `urand` generator draws each edge's endpoints independently and
+//! uniformly from `0..n` with `n = 2^scale` vertices and `degree · n` edges
+//! (degree 16 by default, as in the GAP benchmark specification). The result
+//! is an Erdős–Rényi-like multigraph with a tightly concentrated degree
+//! distribution — the "worst case" for locality, since neighbour lists point
+//! uniformly across the whole vertex array.
+
+use crate::seed_stream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Default edges-per-vertex factor used by GAPBS.
+pub const DEFAULT_DEGREE: u32 = 16;
+
+/// Parameters of a uniform-random graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UrandConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Edges = `degree * n`.
+    pub degree: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl UrandConfig {
+    /// Creates a configuration with the GAPBS default degree.
+    pub fn new(scale: u32, seed: u64) -> Self {
+        UrandConfig {
+            scale,
+            degree: DEFAULT_DEGREE,
+            seed,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of (directed) generated edges.
+    pub fn edges(&self) -> u64 {
+        self.vertices() * self.degree as u64
+    }
+}
+
+/// Streams the edge list of a uniform-random graph.
+///
+/// Edges are produced in generation order; edge `i` is a pure function of
+/// `(seed, i)`, so the stream can be regenerated or sharded without storage.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::urand::{edges, UrandConfig};
+///
+/// let cfg = UrandConfig::new(8, 42);
+/// let e: Vec<(u64, u64)> = edges(cfg).collect();
+/// assert_eq!(e.len() as u64, cfg.edges());
+/// assert!(e.iter().all(|&(u, v)| u < 256 && v < 256));
+/// // Deterministic:
+/// assert_eq!(e[0], edges(cfg).next().unwrap());
+/// ```
+pub fn edges(config: UrandConfig) -> impl Iterator<Item = (u64, u64)> {
+    let n = config.vertices();
+    (0..config.edges()).map(move |i| {
+        let mut rng = SmallRng::seed_from_u64(seed_stream(config.seed, i));
+        (rng.gen_range(0..n), rng.gen_range(0..n))
+    })
+}
+
+/// Returns the `k`-th neighbour that vertex `v` *sources* in an idealised
+/// uniform graph with exactly `degree` out-edges per vertex.
+///
+/// This is the streaming counterpart used by paper-scale workload models:
+/// it preserves the statistical property that matters to the MMU (uniform
+/// destinations) while requiring no storage.
+#[inline]
+pub fn neighbor(config: UrandConfig, v: u64, k: u32) -> u64 {
+    debug_assert!(k < config.degree);
+    let h = seed_stream(config.seed, v.wrapping_mul(config.degree as u64) + k as u64);
+    h % config.vertices()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_endpoints_are_uniformish() {
+        let cfg = UrandConfig::new(10, 1); // 1024 vertices, 16384 edges
+        let mut counts = vec![0u32; 1024];
+        for (u, v) in edges(cfg) {
+            counts[u as usize] += 1;
+            counts[v as usize] += 1;
+        }
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, 2 * cfg.edges());
+        // Uniform: max degree should be far below a power-law hub.
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = total as f64 / 1024.0;
+        assert!(
+            max < mean * 2.5,
+            "uniform graph should have no hubs (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn streaming_neighbors_are_deterministic_and_in_range() {
+        let cfg = UrandConfig::new(12, 7);
+        for v in [0u64, 100, 4095] {
+            for k in 0..cfg.degree {
+                let n1 = neighbor(cfg, v, k);
+                let n2 = neighbor(cfg, v, k);
+                assert_eq!(n1, n2);
+                assert!(n1 < cfg.vertices());
+            }
+        }
+        // Different vertices get different neighbour sets (overwhelmingly).
+        let a: Vec<u64> = (0..16).map(|k| neighbor(cfg, 1, k)).collect();
+        let b: Vec<u64> = (0..16).map(|k| neighbor(cfg, 2, k)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn config_arithmetic() {
+        let cfg = UrandConfig::new(20, 0);
+        assert_eq!(cfg.vertices(), 1 << 20);
+        assert_eq!(cfg.edges(), 16 << 20);
+    }
+}

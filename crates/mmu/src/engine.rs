@@ -1,0 +1,562 @@
+//! The execution engine: drives the full translation stack from a workload
+//! access stream and accounts cycles.
+//!
+//! ## Cycle model
+//!
+//! The engine is *cycle-approximate*, not cycle-accurate: it charges each
+//! retired instruction its workload-profile base CPI, then adds the
+//! **exposed** part of every memory and translation stall:
+//!
+//! * data-cache misses expose `(latency − l1_latency) / mlp` cycles, where
+//!   `mlp` is the workload's memory-level parallelism;
+//! * L2-TLB hits expose `penalty / mlp`;
+//! * page-table walks expose `walk_cycles / mlp` (stores scaled by the
+//!   profile's store-walk exposure, since store-buffer drains mostly hide
+//!   them).
+//!
+//! The `dtlb_misses.walk_duration` counter, by contrast, records **full**
+//! walk cycles — exactly what the hardware event counts — so WCPI is a
+//! counter-derived metric while runtime reflects overlap, preserving the
+//! paper's distinction between *pressure* (WCPI) and *overhead* (runtime
+//! difference).
+//!
+//! ## Demand paging
+//!
+//! First touches map pages but charge no cycles: the paper's workloads are
+//! long-running and warmed (60 s dry runs), so OS fault cost is noise there;
+//! charging it here would pollute the 4 KB-vs-2 MB comparison with a
+//! fault-count artefact instead of a translation effect.
+
+use crate::{
+    AccessOp, AccessSink, Counters, MachineConfig, PageTableWalker, PagingStructureCaches,
+    SpecEvent, SpeculationModel, TlbHierarchy, TlbHit, TlbStats, WorkloadProfile,
+};
+use atscale_cache::{AccessKind, CacheHierarchy, HierarchyStats, PteLocationDistribution};
+use atscale_vm::{AddressSpace, BackingPolicy, PageSize, ProbeResult, SpaceStats, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// Interval (in retired instructions) between speculation-pressure updates.
+const PRESSURE_WINDOW: u64 = 4096;
+
+/// Everything measured by one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The software performance-counter file (Intel event semantics).
+    pub counters: Counters,
+    /// TLB hierarchy statistics (includes speculative lookups, like the
+    /// hardware `dtlb_*` events).
+    pub tlb: TlbStats,
+    /// Cache-hierarchy statistics split by data/PTE.
+    pub hierarchy: HierarchyStats,
+    /// Address-space statistics (footprint, faults, page-table occupancy).
+    pub space: SpaceStats,
+    /// Paging-structure-cache hits `(pde, pdpte, pml4e)`.
+    pub psc_hits: (u64, u64, u64),
+    /// Paging-structure-cache lookups.
+    pub psc_lookups: u64,
+    /// The page size policy of the run.
+    pub page_size: PageSize,
+    /// Mean PTE fetch latency in cycles (Eq. 1 "walk cycles / PTW access").
+    pub mean_pte_latency: f64,
+}
+
+impl RunResult {
+    /// Measured memory footprint in bytes (data + page tables actually
+    /// touched) — the paper's x-axis quantity.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.space.footprint_bytes()
+    }
+
+    /// Runtime of the measured region in cycles.
+    pub fn runtime_cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Where the walker found PTEs (the paper's Figure 8 series).
+    pub fn pte_location(&self) -> PteLocationDistribution {
+        self.hierarchy.pte_location_distribution()
+    }
+}
+
+/// The simulated machine: address space + caches + TLBs + walker +
+/// speculation + counters, driven through [`AccessSink`].
+///
+/// See the crate-level example for typical use. Construct, let the workload
+/// allocate via [`Machine::space_mut`] and push its access stream, then call
+/// [`Machine::finish`].
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    profile: WorkloadProfile,
+    space: AddressSpace,
+    caches: CacheHierarchy,
+    tlbs: TlbHierarchy,
+    psc: PagingStructureCaches,
+    walker: PageTableWalker,
+    spec: SpeculationModel,
+    counters: Counters,
+    cycles_f: f64,
+    stall_window: f64,
+    walk_stall_window: f64,
+    window_start_cycles: f64,
+    next_pressure_update: u64,
+    total_retired: u64,
+    warmup_instrs: u64,
+    budget_instrs: u64,
+    warmed: bool,
+}
+
+impl Machine {
+    /// Builds a machine with the given configuration, page-backing policy
+    /// and workload profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation (see
+    /// [`WorkloadProfile::validate`]).
+    pub fn new(config: MachineConfig, policy: BackingPolicy, profile: WorkloadProfile) -> Self {
+        profile.validate();
+        Machine {
+            config,
+            profile,
+            space: AddressSpace::new(policy),
+            caches: CacheHierarchy::new(config.hierarchy),
+            tlbs: TlbHierarchy::new(config.tlb),
+            psc: PagingStructureCaches::new(config.psc),
+            walker: PageTableWalker::new(config.walker),
+            spec: SpeculationModel::new(config.spec, &profile),
+            counters: Counters::new(),
+            cycles_f: 0.0,
+            stall_window: 0.0,
+            walk_stall_window: 0.0,
+            window_start_cycles: 0.0,
+            next_pressure_update: PRESSURE_WINDOW,
+            total_retired: 0,
+            warmup_instrs: 0,
+            budget_instrs: 0,
+            warmed: true,
+        }
+    }
+
+    /// Sets the measurement window: `warmup` retired instructions are
+    /// simulated with full microarchitectural effect but no counting (the
+    /// paper's dry-run analogue), then counters run until `budget` measured
+    /// instructions. A `budget` of 0 means unlimited (the workload decides
+    /// when to stop).
+    pub fn set_limits(&mut self, warmup: u64, budget: u64) {
+        self.warmup_instrs = warmup;
+        self.budget_instrs = budget;
+        self.warmed = warmup == 0;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Mutable access to the address space, for workload setup
+    /// (allocating segments).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Read access to the address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Snapshot of the counters so far (cycles synced).
+    pub fn counters(&self) -> Counters {
+        let mut c = self.counters;
+        c.cycles = self.cycles_f as u64;
+        c
+    }
+
+    /// Total instructions retired including warm-up.
+    pub fn total_retired(&self) -> u64 {
+        self.total_retired
+    }
+
+    /// Finishes the run and extracts all measurements.
+    pub fn finish(self) -> RunResult {
+        let mut counters = self.counters;
+        counters.cycles = self.cycles_f as u64;
+        counters.minor_faults = self.space.stats().minor_faults;
+        let hierarchy = *self.caches.stats();
+        let mean_pte_latency = hierarchy.mean_pte_latency(&self.config.hierarchy.latency);
+        RunResult {
+            counters,
+            tlb: self.tlbs.stats(),
+            hierarchy,
+            space: self.space.stats(),
+            psc_hits: self.psc.hit_counts(),
+            psc_lookups: self.psc.lookups(),
+            page_size: self.space.policy().requested(),
+            mean_pte_latency,
+        }
+    }
+
+    fn on_retired_instructions(&mut self, n: u64) {
+        self.total_retired += n;
+        if !self.warmed && self.total_retired >= self.warmup_instrs {
+            self.reset_measurement();
+            self.warmed = true;
+        }
+        if let Some(event) = self.spec.advance(n) {
+            self.run_wrong_path(event);
+        }
+        if self.total_retired >= self.next_pressure_update {
+            self.next_pressure_update = self.total_retired + PRESSURE_WINDOW;
+            let window_cycles = (self.cycles_f - self.window_start_cycles).max(1.0);
+            // Machine clears couple to *walk* pressure (paper Fig. 9): the
+            // fraction of cycles stalled on translation.
+            self.spec
+                .set_pressure(self.walk_stall_window / window_cycles);
+            self.stall_window = 0.0;
+            self.walk_stall_window = 0.0;
+            self.window_start_cycles = self.cycles_f;
+        }
+    }
+
+    fn reset_measurement(&mut self) {
+        self.counters = Counters::new();
+        self.cycles_f = 0.0;
+        self.stall_window = 0.0;
+        self.walk_stall_window = 0.0;
+        self.window_start_cycles = 0.0;
+        self.caches.reset_stats();
+        self.tlbs.reset_stats();
+        self.psc.reset_stats();
+    }
+
+    fn run_wrong_path(&mut self, event: SpecEvent) {
+        match event {
+            SpecEvent::Mispredict => self.counters.branch_mispredicts += 1,
+            SpecEvent::MachineClear => self.counters.machine_clears += 1,
+        }
+        let instr = self.counters.inst_retired.max(1) as f64;
+        let api = (self.counters.accesses_retired() as f64 / instr).clamp(0.01, 1.0);
+        let plan = self.spec.plan(event, api, self.profile.base_cpi);
+        let mut elapsed = 0u64;
+        for _ in 0..plan.accesses {
+            if elapsed >= plan.squash_budget {
+                break;
+            }
+            let Some(va) = self.spec.sample_wrong_path(self.space.segments()) else {
+                break;
+            };
+            if self.tlbs.lookup(va).is_hit() {
+                continue;
+            }
+            // Speculative TLB miss: a walk is initiated but never retires.
+            self.counters.walk_initiated_loads += 1;
+            let budget = plan.squash_budget - elapsed;
+            let walk = match self.space.probe_walk(va) {
+                ProbeResult::Mapped(path) => {
+                    let w = self.walker.walk(va, &path, &mut self.psc, &mut self.caches, Some(budget));
+                    if w.completed {
+                        self.tlbs.fill(va, path.page_size);
+                    }
+                    w
+                }
+                ProbeResult::NotPresent { fetched } => {
+                    self.walker
+                        .walk_prefix(fetched.steps(), &mut self.caches, Some(budget))
+                }
+            };
+            self.counters.walk_duration_cycles += walk.cycles;
+            self.counters.pt_accesses += walk.accesses as u64;
+            elapsed += walk.cycles;
+            if walk.completed {
+                self.counters.walk_completed_loads += 1;
+                self.counters.truth_wrong_path_walks += 1;
+            } else {
+                self.counters.truth_aborted_walks += 1;
+                // The squash that killed this walk kills the rest too.
+                break;
+            }
+        }
+    }
+}
+
+impl AccessSink for Machine {
+    fn access(&mut self, op: AccessOp, va: VirtAddr) {
+        self.counters.inst_retired += 1;
+        match op {
+            AccessOp::Load => self.counters.loads_retired += 1,
+            AccessOp::Store => self.counters.stores_retired += 1,
+        }
+        self.cycles_f += self.profile.base_cpi;
+        self.spec.note_retired(va);
+
+        let touch = self
+            .space
+            .touch(va)
+            .unwrap_or_else(|err| panic!("workload accessed invalid memory: {err}"));
+
+        // Translation-side latency this access suffers before its data can
+        // load; fed into the speculation model's branch-resolution windows
+        // (a branch waiting on a TLB-missing load waits for its walk too).
+        let mut translation_cycles = 0u64;
+        match self.tlbs.lookup(va) {
+            TlbHit::L1(_) => {}
+            TlbHit::L2(_) => {
+                match op {
+                    AccessOp::Load => self.counters.stlb_hit_loads += 1,
+                    AccessOp::Store => self.counters.stlb_hit_stores += 1,
+                }
+                translation_cycles = self.tlbs.l2_hit_penalty() as u64;
+                let exposed = self.tlbs.l2_hit_penalty() as f64 / self.profile.mlp;
+                self.cycles_f += exposed;
+                self.stall_window += exposed;
+            }
+            TlbHit::Miss => {
+                match op {
+                    AccessOp::Load => {
+                        self.counters.stlb_miss_loads += 1;
+                        self.counters.walk_initiated_loads += 1;
+                        self.counters.walk_completed_loads += 1;
+                    }
+                    AccessOp::Store => {
+                        self.counters.stlb_miss_stores += 1;
+                        self.counters.walk_initiated_stores += 1;
+                        self.counters.walk_completed_stores += 1;
+                    }
+                }
+                self.counters.truth_retired_walks += 1;
+                let walk =
+                    self.walker
+                        .walk(va, &touch.path, &mut self.psc, &mut self.caches, None);
+                debug_assert!(walk.completed, "retired walks always complete");
+                self.counters.walk_duration_cycles += walk.cycles;
+                self.counters.pt_accesses += walk.accesses as u64;
+                self.tlbs.fill(va, touch.page_size);
+                translation_cycles = walk.cycles;
+                let exposure = match op {
+                    AccessOp::Load => 1.0,
+                    AccessOp::Store => self.profile.store_walk_exposure,
+                };
+                let exposed = walk.cycles as f64 * exposure / self.profile.mlp;
+                self.cycles_f += exposed;
+                self.walk_stall_window += exposed;
+                self.stall_window += exposed;
+            }
+        }
+
+        // The data access itself.
+        let paddr = touch.path.frame_base.add(va.page_offset(touch.page_size));
+        let response = self.caches.access(paddr, AccessKind::Data);
+        if op == AccessOp::Load {
+            // A dependent branch waits for translation + data.
+            self.spec
+                .note_data_latency((translation_cycles + response.latency as u64) as f64);
+            let l1 = self.config.hierarchy.latency.l1;
+            if response.latency > l1 {
+                let exposed = (response.latency - l1) as f64 / self.profile.mlp;
+                self.cycles_f += exposed;
+                self.stall_window += exposed;
+            }
+        }
+
+        self.on_retired_instructions(1);
+    }
+
+    fn instructions(&mut self, n: u64) {
+        self.counters.inst_retired += n;
+        self.cycles_f += n as f64 * self.profile.base_cpi;
+        self.on_retired_instructions(n);
+    }
+
+    fn done(&self) -> bool {
+        self.budget_instrs != 0 && self.total_retired >= self.warmup_instrs + self.budget_instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_vm::Segment;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn machine(policy_size: PageSize) -> Machine {
+        Machine::new(
+            MachineConfig::haswell(),
+            BackingPolicy::uniform(policy_size),
+            WorkloadProfile::default(),
+        )
+    }
+
+    fn random_workload(m: &mut Machine, seg: &Segment, accesses: u64, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..accesses {
+            let off = rng.gen_range(0..seg.len() / 8) * 8;
+            m.load(seg.base().add(off));
+            m.instructions(2);
+        }
+    }
+
+    #[test]
+    fn sequential_scan_mostly_hits_tlb() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 1 << 20).unwrap();
+        for i in 0..16384u64 {
+            m.load(seg.base().add(i * 64));
+        }
+        let r = m.finish();
+        // 256 pages touched sequentially: one walk per page (plus a few).
+        assert!(r.counters.truth_retired_walks >= 256);
+        assert!(r.counters.truth_retired_walks < 600);
+        assert!(r.tlb.miss_ratio() < 0.05);
+        r.counters.assert_consistent();
+    }
+
+    #[test]
+    fn random_large_footprint_pressures_tlb() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 256 << 20).unwrap();
+        random_workload(&mut m, &seg, 50_000, 7);
+        let r = m.finish();
+        assert!(
+            r.counters.walk_outcomes().retired > 40_000,
+            "random accesses over 256 MiB nearly always miss the TLB"
+        );
+        assert!(r.counters.wcpi() > 0.1);
+        r.counters.assert_consistent();
+    }
+
+    #[test]
+    fn superpages_slash_walk_pressure() {
+        let run = |size| {
+            let mut m = machine(size);
+            let seg = m.space_mut().alloc_heap("a", 64 << 20).unwrap();
+            random_workload(&mut m, &seg, 40_000, 11);
+            m.finish()
+        };
+        let base = run(PageSize::Size4K);
+        let huge = run(PageSize::Size2M);
+        assert!(huge.counters.walks_retired() < base.counters.walks_retired() / 10);
+        assert!(huge.counters.wcpi() < base.counters.wcpi() / 5.0);
+        assert!(huge.runtime_cycles() < base.runtime_cycles());
+    }
+
+    #[test]
+    fn wrong_path_and_aborted_walks_appear_under_pressure() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 512 << 20).unwrap();
+        random_workload(&mut m, &seg, 200_000, 13);
+        let r = m.finish();
+        let o = r.counters.walk_outcomes();
+        assert!(o.wrong_path > 0, "expected wrong-path walks");
+        assert!(o.aborted > 0, "expected aborted walks");
+        assert!(o.retired > 0);
+        r.counters.assert_consistent();
+    }
+
+    #[test]
+    fn disabling_speculation_removes_non_retired_walks() {
+        let mut config = MachineConfig::haswell();
+        config.spec = crate::SpecConfig::disabled();
+        let mut m = Machine::new(
+            config,
+            BackingPolicy::uniform(PageSize::Size4K),
+            WorkloadProfile::default(),
+        );
+        let seg = m.space_mut().alloc_heap("a", 128 << 20).unwrap();
+        random_workload(&mut m, &seg, 50_000, 17);
+        let r = m.finish();
+        let o = r.counters.walk_outcomes();
+        assert_eq!(o.wrong_path, 0);
+        assert_eq!(o.aborted, 0);
+        assert_eq!(o.initiated, o.retired);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_effects_from_counters() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 4 << 20).unwrap();
+        m.set_limits(50_000, 0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..60_000 {
+            let off = rng.gen_range(0..seg.len() / 8) * 8;
+            m.load(seg.base().add(off));
+        }
+        let r = m.finish();
+        // Only ~10k of the 60k accesses are measured.
+        assert!(r.counters.inst_retired < 15_000);
+        assert!(r.counters.inst_retired > 5_000);
+        // The 4 MiB working set was fully faulted during warm-up, so the
+        // measured region has warm TLBs relative to a cold start.
+        r.counters.assert_consistent();
+    }
+
+    #[test]
+    fn eq1_identity_holds_exactly() {
+        // WCPI == (A/I)·(M/A)·(P/M)·(C/P) when every factor uses counters
+        // consistently (M = walks initiated, P = PTE fetches, C = walk cycles).
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 64 << 20).unwrap();
+        random_workload(&mut m, &seg, 30_000, 23);
+        let r = m.finish();
+        let c = &r.counters;
+        let product = (c.accesses_retired() as f64 / c.inst_retired as f64)
+            * (c.walks_initiated() as f64 / c.accesses_retired() as f64)
+            * (c.pt_accesses as f64 / c.walks_initiated() as f64)
+            * (c.walk_duration_cycles as f64 / c.pt_accesses as f64);
+        let wcpi = c.wcpi();
+        assert!(
+            (product - wcpi).abs() < 1e-9 * wcpi.max(1.0),
+            "Eq. 1 identity: product {product} vs wcpi {wcpi}"
+        );
+    }
+
+    #[test]
+    fn accesses_per_walk_stay_in_paper_range() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 128 << 20).unwrap();
+        random_workload(&mut m, &seg, 60_000, 29);
+        let r = m.finish();
+        let per_walk = r.counters.pt_accesses as f64 / r.counters.walks_initiated() as f64;
+        assert!(
+            (1.0..=2.5).contains(&per_walk),
+            "accesses per walk = {per_walk}, paper reports 1–2"
+        );
+    }
+
+    #[test]
+    fn one_gig_fallback_hurts_small_footprints() {
+        // §III-B: with a 1 GB policy, a 256 MiB segment is backed by 4 KB
+        // pages, so it performs like the 4 KB policy — while 2 MB backs fine.
+        let run = |size| {
+            let mut m = machine(size);
+            let seg = m.space_mut().alloc_heap("a", 256 << 20).unwrap();
+            random_workload(&mut m, &seg, 30_000, 31);
+            m.finish()
+        };
+        let two_m = run(PageSize::Size2M);
+        let one_g = run(PageSize::Size1G);
+        assert!(one_g.runtime_cycles() > two_m.runtime_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memory")]
+    fn out_of_segment_access_panics() {
+        let mut m = machine(PageSize::Size4K);
+        m.load(VirtAddr::new(0x1234));
+    }
+
+    #[test]
+    fn counters_snapshot_syncs_cycles() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 1 << 20).unwrap();
+        m.load(seg.base());
+        let c = m.counters();
+        assert!(c.cycles > 0);
+        assert_eq!(c.inst_retired, 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Paging-structure caches (Intel's "MMU caches").
+//!
+//! These small structures cache *interior* page-table entries so the walker
+//! can skip the upper levels of the radix tree (Barr et al., "Translation
+//! Caching: Skip, Don't Walk (the Page Table)"). A PDE-cache hit turns a
+//! 4-access walk into a single PTE fetch.
+//!
+//! Crucially for the paper's §V-C "filtering effect": these caches are only
+//! consulted and filled on **TLB misses**, so the access pattern they see is
+//! the page-level pattern *filtered by the TLB*. When the TLB hit rate is
+//! high, the paging-structure caches see a sparse, locality-poor residue and
+//! perform badly; when the TLB miss rate rises they see more of the true
+//! pattern and their hit rates improve — fewer accesses per walk.
+
+use crate::{MmuCacheConfig, PscLevels, TlbArray};
+use atscale_vm::{VirtAddr, WalkPath};
+use serde::{Deserialize, Serialize};
+
+/// Result of a paging-structure-cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PscLookup {
+    /// The radix level the walker can *resume fetching at*: a hit on the
+    /// entry at level `L` means the next fetch is the level `L-1` entry.
+    /// `None` means a full walk from the root (level 4).
+    pub resume_below: Option<u8>,
+}
+
+impl PscLookup {
+    /// Number of PTE fetches a walk needs given this lookup, when the leaf
+    /// entry lives at `leaf_level` (1 for 4 KB, 2 for 2 MB, 3 for 1 GB).
+    pub fn accesses_needed(&self, leaf_level: u8) -> u8 {
+        let start = match self.resume_below {
+            Some(level) => level - 1,
+            None => 4,
+        };
+        debug_assert!(start >= leaf_level);
+        start - leaf_level + 1
+    }
+}
+
+/// The three paging-structure caches: PML4E, PDPTE, PDE.
+///
+/// Tags are the virtual-address bits that index the cached entry:
+/// `va >> 39` for PML4E, `va >> 30` for PDPTE, `va >> 21` for PDE.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::{MmuCacheConfig, PagingStructureCaches};
+/// use atscale_vm::VirtAddr;
+///
+/// let mut psc = PagingStructureCaches::new(MmuCacheConfig::haswell());
+/// let va = VirtAddr::new(0x7f00_0000_1000);
+/// assert_eq!(psc.lookup(va, 1).resume_below, None); // cold: full walk
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagingStructureCaches {
+    pml4e: TlbArray,
+    pdpte: TlbArray,
+    pde: TlbArray,
+    levels: PscLevels,
+    hits: [u64; 3],
+    lookups: u64,
+}
+
+impl PagingStructureCaches {
+    /// Builds the caches from a configuration.
+    pub fn new(config: MmuCacheConfig) -> Self {
+        PagingStructureCaches {
+            pml4e: TlbArray::new(config.pml4e),
+            pdpte: TlbArray::new(config.pdpte),
+            pde: TlbArray::new(config.pde),
+            levels: config.levels,
+            hits: [0; 3],
+            lookups: 0,
+        }
+    }
+
+    /// Finds the deepest cached entry covering `va`, for a walk whose leaf
+    /// is at `leaf_level`. Only caches *above* the leaf are useful: a walk
+    /// for a 2 MB page (leaf level 2) can use the PDPTE or PML4E caches but
+    /// not the PDE cache (the PDE *is* its leaf and lives in the TLB).
+    pub fn lookup(&mut self, va: VirtAddr, leaf_level: u8) -> PscLookup {
+        self.lookups += 1;
+        if self.levels == PscLevels::None {
+            return PscLookup { resume_below: None };
+        }
+        // Deepest-first: PDE (level 2), PDPTE (3), PML4E (4).
+        if leaf_level < 2 && self.pde.lookup(va.as_u64() >> 21) {
+            self.hits[0] += 1;
+            return PscLookup {
+                resume_below: Some(2),
+            };
+        }
+        if self.levels == PscLevels::All {
+            if leaf_level < 3 && self.pdpte.lookup(va.as_u64() >> 30) {
+                self.hits[1] += 1;
+                return PscLookup {
+                    resume_below: Some(3),
+                };
+            }
+            if leaf_level < 4 && self.pml4e.lookup(va.as_u64() >> 39) {
+                self.hits[2] += 1;
+                return PscLookup {
+                    resume_below: Some(4),
+                };
+            }
+        }
+        PscLookup { resume_below: None }
+    }
+
+    /// Installs the interior entries fetched by a completed walk.
+    ///
+    /// Leaf entries are *not* cached here — they go to the TLB.
+    pub fn fill(&mut self, path: &WalkPath, va: VirtAddr) {
+        if self.levels == PscLevels::None {
+            return;
+        }
+        let leaf_level = path.leaf().level;
+        for step in path.steps() {
+            if step.level == leaf_level {
+                break;
+            }
+            match step.level {
+                2 => self.pde.fill(va.as_u64() >> 21),
+                3 if self.levels == PscLevels::All => self.pdpte.fill(va.as_u64() >> 30),
+                4 if self.levels == PscLevels::All => self.pml4e.fill(va.as_u64() >> 39),
+                _ => {}
+            }
+        }
+    }
+
+    /// Hit counts as `(pde, pdpte, pml4e)`.
+    pub fn hit_counts(&self) -> (u64, u64, u64) {
+        (self.hits[0], self.hits[1], self.hits[2])
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Clears statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = [0; 3];
+        self.lookups = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+
+    fn walk_for(space: &mut AddressSpace, va: VirtAddr) -> WalkPath {
+        space.touch(va).unwrap().path
+    }
+
+    fn psc() -> PagingStructureCaches {
+        PagingStructureCaches::new(MmuCacheConfig::haswell())
+    }
+
+    #[test]
+    fn cold_lookup_requires_full_walk() {
+        let mut psc = psc();
+        let l = psc.lookup(VirtAddr::new(0x1000), 1);
+        assert_eq!(l.resume_below, None);
+        assert_eq!(l.accesses_needed(1), 4);
+        assert_eq!(l.accesses_needed(2), 3);
+        assert_eq!(l.accesses_needed(3), 2);
+    }
+
+    #[test]
+    fn pde_hit_after_fill_shortens_walk_to_one_access() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 4 << 20).unwrap();
+        let mut psc = psc();
+        let va = seg.base();
+        let path = walk_for(&mut space, va);
+        psc.fill(&path, va);
+        // Another 4 KB page under the same PD entry.
+        let va2 = seg.base().add(0x3000);
+        let l = psc.lookup(va2, 1);
+        assert_eq!(l.resume_below, Some(2));
+        assert_eq!(l.accesses_needed(1), 1);
+    }
+
+    #[test]
+    fn pdpte_serves_distant_pages_in_same_gig() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 30).unwrap();
+        let mut psc = psc();
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        // Same 1 GB region, different 2 MB region: PDE cache misses, PDPTE hits.
+        let va2 = seg.base().add(512 << 21 >> 1); // 512 MiB away
+        let l = psc.lookup(va2, 1);
+        assert_eq!(l.resume_below, Some(3));
+        assert_eq!(l.accesses_needed(1), 2);
+    }
+
+    #[test]
+    fn superpage_walks_skip_pde_cache() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size2M));
+        let seg = space.alloc_heap("a", 64 << 21).unwrap();
+        let mut psc = psc();
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        // For a 2 MB leaf, PDE cache is not consulted; PDPTE gives resume at 3.
+        let va2 = seg.base().add(3 << 21);
+        let l = psc.lookup(va2, 2);
+        assert_eq!(l.resume_below, Some(3));
+        assert_eq!(l.accesses_needed(2), 1);
+    }
+
+    #[test]
+    fn leaf_entries_are_never_cached() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 20).unwrap();
+        let mut psc = psc();
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        // Looking up the same address still needs 1 access (the leaf fetch):
+        // a PDE hit resumes below level 2, i.e. fetches the level-1 leaf.
+        let l = psc.lookup(va, 1);
+        assert_eq!(l.accesses_needed(1), 1);
+    }
+
+    #[test]
+    fn disabled_psc_never_hits() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 20).unwrap();
+        let mut psc = PagingStructureCaches::new(MmuCacheConfig::disabled());
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        assert_eq!(psc.lookup(va, 1).resume_below, None);
+        assert_eq!(psc.hit_counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn pde_only_mode_skips_upper_caches() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 30).unwrap();
+        let mut psc = PagingStructureCaches::new(MmuCacheConfig {
+            levels: PscLevels::PdeOnly,
+            ..MmuCacheConfig::haswell()
+        });
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        // Same PD region → PDE hit.
+        assert_eq!(psc.lookup(seg.base().add(0x1000), 1).resume_below, Some(2));
+        // Different PD region → nothing (PDPTE disabled).
+        assert_eq!(
+            psc.lookup(seg.base().add(128 << 21), 1).resume_below,
+            None
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 20).unwrap();
+        let mut psc = psc();
+        let va = seg.base();
+        psc.fill(&walk_for(&mut space, va), va);
+        psc.lookup(va, 1);
+        psc.lookup(va, 1);
+        assert_eq!(psc.lookups(), 2);
+        assert_eq!(psc.hit_counts().0, 2);
+        psc.reset_stats();
+        assert_eq!(psc.lookups(), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Translation lookaside buffers.
+
+use crate::{TlbConfig, TlbGeometry};
+use atscale_vm::{PageSize, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+const INVALID: u64 = u64::MAX;
+
+/// A single LRU set-associative TLB array keyed by virtual page number.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::{TlbArray, TlbGeometry};
+///
+/// let mut tlb = TlbArray::new(TlbGeometry::new(8, 2));
+/// assert!(!tlb.lookup(42));
+/// tlb.fill(42);
+/// assert!(tlb.lookup(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TlbArray {
+    tags: Vec<u64>,
+    sets: u64,
+    ways: usize,
+    geometry: TlbGeometry,
+}
+
+impl TlbArray {
+    /// Creates an empty array.
+    pub fn new(geometry: TlbGeometry) -> Self {
+        TlbArray {
+            tags: vec![INVALID; geometry.entries as usize],
+            sets: geometry.sets() as u64,
+            ways: geometry.ways as usize,
+            geometry,
+        }
+    }
+
+    /// The geometry this array was built with.
+    pub fn geometry(&self) -> TlbGeometry {
+        self.geometry
+    }
+
+    /// Looks up a key, updating recency on hit. Does **not** fill on miss
+    /// (TLBs are filled by completed walks, not lookups).
+    #[inline]
+    pub fn lookup(&mut self, key: u64) -> bool {
+        let set = (key % self.sets) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        match ways.iter().position(|&t| t == key) {
+            Some(0) => true,
+            Some(pos) => {
+                ways[..=pos].rotate_right(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a key, evicting the LRU entry of its set if necessary.
+    #[inline]
+    pub fn fill(&mut self, key: u64) {
+        let set = (key % self.sets) as usize;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&t| t == key) {
+            ways[..=pos].rotate_right(1);
+        } else {
+            ways.rotate_right(1);
+            ways[0] = key;
+        }
+    }
+
+    /// Checks for presence without touching recency.
+    pub fn probe(&self, key: u64) -> bool {
+        let set = (key % self.sets) as usize;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&key)
+    }
+
+    /// Invalidates all entries.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+    }
+}
+
+/// Where a TLB lookup hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlbHit {
+    /// Hit in a first-level DTLB — zero added latency.
+    L1(PageSize),
+    /// Hit in the shared second-level TLB — costs the L2 penalty.
+    L2(PageSize),
+    /// Missed both levels — a page-table walk is required.
+    Miss,
+}
+
+impl TlbHit {
+    /// `true` unless this is a miss.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, TlbHit::Miss)
+    }
+}
+
+/// Lookup/fill statistics for the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups that hit an L1 DTLB.
+    pub l1_hits: u64,
+    /// Lookups that missed L1 but hit the L2 TLB
+    /// (`dtlb_misses.stlb_hit` on real hardware).
+    pub l2_hits: u64,
+    /// Lookups that missed both levels (walks required).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Full-hierarchy miss ratio (misses / lookups), 0 when idle.
+    pub fn miss_ratio(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / lookups as f64
+        }
+    }
+}
+
+/// The two-level TLB hierarchy of the paper's machine: per-page-size L1
+/// arrays and a shared L2 that holds 4 KB and 2 MB entries (1 GB entries
+/// live only in their tiny L1 array, per Table III).
+///
+/// Keys are tagged with the page size so a 2 MB entry can never alias a
+/// 4 KB entry of the same numeric VPN in the shared L2.
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1_4k: TlbArray,
+    l1_2m: TlbArray,
+    l1_1g: TlbArray,
+    l2: TlbArray,
+    l2_hit_penalty: u32,
+    stats: TlbStats,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from a [`TlbConfig`].
+    pub fn new(config: TlbConfig) -> Self {
+        TlbHierarchy {
+            l1_4k: TlbArray::new(config.l1_4k),
+            l1_2m: TlbArray::new(config.l1_2m),
+            l1_1g: TlbArray::new(config.l1_1g),
+            l2: TlbArray::new(config.l2),
+            l2_hit_penalty: config.l2_hit_penalty,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Extra latency of an L2 TLB hit.
+    pub fn l2_hit_penalty(&self) -> u32 {
+        self.l2_hit_penalty
+    }
+
+    /// Looks up `va` across all arrays.
+    ///
+    /// Hardware probes each size class in parallel because the page size of
+    /// a virtual address is unknown before translation; we do the same.
+    pub fn lookup(&mut self, va: VirtAddr) -> TlbHit {
+        for size in PageSize::ALL {
+            if self.l1_for(size).lookup(va.vpn(size)) {
+                self.stats.l1_hits += 1;
+                return TlbHit::L1(size);
+            }
+        }
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            if self.l2.lookup(Self::l2_key(va, size)) {
+                self.stats.l2_hits += 1;
+                // Promote into the matching L1, as hardware refills do.
+                self.l1_for(size).fill(va.vpn(size));
+                return TlbHit::L2(size);
+            }
+        }
+        self.stats.misses += 1;
+        TlbHit::Miss
+    }
+
+    /// Installs a completed translation of the given page size.
+    ///
+    /// Fills the matching L1 array, and the shared L2 for 4 KB/2 MB pages
+    /// (the L2 does not hold 1 GB entries on this machine).
+    pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
+        self.l1_for(size).fill(va.vpn(size));
+        if size != PageSize::Size1G {
+            self.l2.fill(Self::l2_key(va, size));
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Clears statistics but keeps contents (post-warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Invalidates everything (a full TLB shootdown).
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l1_1g.flush();
+        self.l2.flush();
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut TlbArray {
+        match size {
+            PageSize::Size4K => &mut self.l1_4k,
+            PageSize::Size2M => &mut self.l1_2m,
+            PageSize::Size1G => &mut self.l1_1g,
+        }
+    }
+
+    /// L2 key: size-tagged VPN so 4 KB and 2 MB entries never alias.
+    fn l2_key(va: VirtAddr, size: PageSize) -> u64 {
+        (va.vpn(size) << 1) | (size == PageSize::Size2M) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> TlbHierarchy {
+        TlbHierarchy::new(crate::MachineConfig::tiny_test().tlb)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = hierarchy();
+        let va = VirtAddr::new(0x1234_5000);
+        assert_eq!(tlb.lookup(va), TlbHit::Miss);
+        tlb.fill(va, PageSize::Size4K);
+        assert_eq!(tlb.lookup(va), TlbHit::L1(PageSize::Size4K));
+        // Same page, different offset.
+        assert_eq!(
+            tlb.lookup(VirtAddr::new(0x1234_5fff)),
+            TlbHit::L1(PageSize::Size4K)
+        );
+        // Neighbouring page misses.
+        assert_eq!(tlb.lookup(VirtAddr::new(0x1234_6000)), TlbHit::Miss);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut tlb = hierarchy();
+        // tiny_test: L1-4K has 8 entries (2-way × 4 sets); L2 has 32.
+        // Fill 16 pages: early ones are evicted from L1 but still in L2.
+        for i in 0..16u64 {
+            tlb.fill(VirtAddr::new(i << 12), PageSize::Size4K);
+        }
+        let hit = tlb.lookup(VirtAddr::new(0));
+        assert_eq!(hit, TlbHit::L2(PageSize::Size4K));
+        // The L2 hit promoted the entry back into L1.
+        assert_eq!(tlb.lookup(VirtAddr::new(0)), TlbHit::L1(PageSize::Size4K));
+    }
+
+    #[test]
+    fn superpage_reach_exceeds_4k_reach() {
+        let mut tlb = hierarchy();
+        tlb.fill(VirtAddr::new(0), PageSize::Size2M);
+        // Anywhere within the 2 MB page hits.
+        assert_eq!(
+            tlb.lookup(VirtAddr::new((1 << 21) - 1)),
+            TlbHit::L1(PageSize::Size2M)
+        );
+    }
+
+    #[test]
+    fn one_gig_entries_bypass_l2() {
+        let mut tlb = hierarchy();
+        // tiny_test: L1-1G has 2 entries. Fill 3 → the first is evicted and,
+        // because the L2 holds no 1 GB entries, it misses entirely.
+        for i in 0..3u64 {
+            tlb.fill(VirtAddr::new(i << 30), PageSize::Size1G);
+        }
+        assert_eq!(tlb.lookup(VirtAddr::new(0)), TlbHit::Miss);
+        assert_eq!(
+            tlb.lookup(VirtAddr::new(2 << 30)),
+            TlbHit::L1(PageSize::Size1G)
+        );
+    }
+
+    #[test]
+    fn l2_keys_do_not_alias_across_sizes() {
+        let mut tlb = hierarchy();
+        // A 4 KB page whose VPN numerically equals a 2 MB page's VPN.
+        let va_4k = VirtAddr::new(7 << 12);
+        let va_2m = VirtAddr::new(7 << 21);
+        tlb.fill(va_4k, PageSize::Size4K);
+        assert_eq!(tlb.lookup(va_2m), TlbHit::Miss);
+    }
+
+    #[test]
+    fn stats_count_all_outcomes() {
+        let mut tlb = hierarchy();
+        let va = VirtAddr::new(0x8000);
+        tlb.lookup(va); // miss
+        tlb.fill(va, PageSize::Size4K);
+        tlb.lookup(va); // L1 hit
+        let stats = tlb.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.lookups(), 2);
+        assert!((stats.miss_ratio() - 0.5).abs() < 1e-12);
+        tlb.reset_stats();
+        assert_eq!(tlb.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn flush_invalidates_all_levels() {
+        let mut tlb = hierarchy();
+        let va = VirtAddr::new(0x4000);
+        tlb.fill(va, PageSize::Size4K);
+        tlb.flush();
+        assert_eq!(tlb.lookup(va), TlbHit::Miss);
+    }
+
+    #[test]
+    fn array_lru_order() {
+        let mut tlb = TlbArray::new(TlbGeometry::new(2, 2));
+        tlb.fill(0);
+        tlb.fill(2);
+        tlb.lookup(0); // refresh 0
+        tlb.fill(4); // evicts 2
+        assert!(tlb.probe(0));
+        assert!(!tlb.probe(2));
+        assert!(tlb.probe(4));
+    }
+
+    #[test]
+    fn array_refill_refreshes_existing_entry() {
+        let mut tlb = TlbArray::new(TlbGeometry::new(2, 2));
+        tlb.fill(0);
+        tlb.fill(2);
+        tlb.fill(0); // refresh, not duplicate
+        tlb.fill(4); // evicts 2
+        assert!(tlb.probe(0));
+        assert!(!tlb.probe(2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Basic descriptive statistics.
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(atscale_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two points.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(atscale_stats::variance(&[2.0, 4.0]), 1.0);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(atscale_stats::stddev(&[2.0, 4.0]), 1.0);
+/// ```
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), 3.0);
+        assert_eq!(variance(&xs), 2.0);
+        assert!((stddev(&xs) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_variance() {
+        assert_eq!(variance(&[7.0; 10]), 0.0);
+    }
+}

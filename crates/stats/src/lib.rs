@@ -1,0 +1,118 @@
+//! # atscale-stats — the statistics the paper's analysis uses
+//!
+//! Three tools, matching the paper's methodology exactly:
+//!
+//! * [`pearson`] — Pearson correlation coefficient (Table V, degree of
+//!   linear association between a pressure metric and AT overhead);
+//! * [`spearman`] — Spearman rank correlation with average-rank tie
+//!   handling (Table V, monotonicity; "pick the ten workloads with the most
+//!   AT pressure" robustness);
+//! * [`ols`] / [`OlsFit`] — simple linear regression with adjusted R²
+//!   (Table IV, `overhead = β₀ + β₁·log10(M)` fits).
+//!
+//! ## Example
+//!
+//! ```
+//! use atscale_stats::{ols, pearson, spearman};
+//!
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [2.1, 3.9, 6.2, 7.8];
+//! assert!(pearson(&x, &y).unwrap() > 0.99);
+//! assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+//! let fit = ols(&x, &y).unwrap();
+//! assert!((fit.slope - 1.94).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descriptive;
+mod ols;
+mod pearson;
+mod spearman;
+
+pub use descriptive::{mean, stddev, variance};
+pub use ols::{ols, OlsFit};
+pub use pearson::pearson;
+pub use spearman::{rank_with_ties, spearman};
+
+/// Error for statistical routines given unusable inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Input slices have different lengths.
+    LengthMismatch {
+        /// Length of `x`.
+        x: usize,
+        /// Length of `y`.
+        y: usize,
+    },
+    /// Too few points for the statistic (need at least `needed`).
+    TooFewPoints {
+        /// Points provided.
+        got: usize,
+        /// Points required.
+        needed: usize,
+    },
+    /// A variable has zero variance, so correlation is undefined.
+    ZeroVariance,
+    /// An input value is NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::LengthMismatch { x, y } => {
+                write!(f, "input lengths differ: {x} vs {y}")
+            }
+            StatsError::TooFewPoints { got, needed } => {
+                write!(f, "need at least {needed} points, got {got}")
+            }
+            StatsError::ZeroVariance => write!(f, "a variable has zero variance"),
+            StatsError::NonFinite => write!(f, "inputs contain NaN or infinity"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+pub(crate) fn check_pair(x: &[f64], y: &[f64], needed: usize) -> Result<(), StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
+    if x.len() < needed {
+        return Err(StatsError::TooFewPoints {
+            got: x.len(),
+            needed,
+        });
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(StatsError::ZeroVariance.to_string().contains("variance"));
+        assert!(StatsError::LengthMismatch { x: 1, y: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+    }
+
+    #[test]
+    fn check_pair_catches_problems() {
+        assert!(check_pair(&[1.0], &[1.0, 2.0], 1).is_err());
+        assert!(check_pair(&[1.0], &[1.0], 2).is_err());
+        assert!(check_pair(&[f64::NAN], &[1.0], 1).is_err());
+        assert!(check_pair(&[1.0, 2.0], &[3.0, 4.0], 2).is_ok());
+    }
+}

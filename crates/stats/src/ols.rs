@@ -1,0 +1,153 @@
+//! Ordinary least squares, simple linear regression.
+
+use crate::{check_pair, mean, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted simple linear regression `y = intercept + slope·x`.
+///
+/// Produced by [`ols`]; carries the goodness-of-fit statistics the paper's
+/// Table IV reports (adjusted R²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// β₀.
+    pub intercept: f64,
+    /// β₁.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// R² adjusted for the two estimated parameters —
+    /// `1 − (1−R²)(n−1)/(n−2)`.
+    pub adj_r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predicts `y` at `x`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let fit = atscale_stats::ols(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+    /// assert!((fit.predict(10.0) - 21.0).abs() < 1e-9);
+    /// ```
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = β₀ + β₁·x` by least squares.
+///
+/// This is the regression behind the paper's Table IV
+/// (`relative AT overhead = β₀ + β₁·log10(M) + ε`).
+///
+/// # Errors
+///
+/// Returns [`StatsError`] for mismatched lengths, fewer than three points
+/// (adjusted R² needs `n > 2`), non-finite values, or constant `x`.
+///
+/// # Example
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.1, 5.9, 8.0];
+/// let fit = atscale_stats::ols(&x, &y).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 0.05);
+/// assert!(fit.adj_r_squared > 0.99);
+/// ```
+pub fn ols(x: &[f64], y: &[f64]) -> Result<OlsFit, StatsError> {
+    check_pair(x, y, 3)?;
+    let n = x.len();
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let pred = intercept + slope * xi;
+        ss_res += (yi - pred) * (yi - pred);
+        ss_tot += (yi - my) * (yi - my);
+    }
+    let r_squared = if ss_tot == 0.0 {
+        1.0 // y is constant and perfectly fit by slope 0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let adj_r_squared = 1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / (n as f64 - 2.0);
+    Ok(OlsFit {
+        intercept,
+        slope,
+        r_squared,
+        adj_r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -0.83 + 0.153 * v).collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.intercept + 0.83).abs() < 1e-9);
+        assert!((fit.slope - 0.153).abs() < 1e-12);
+        assert!((fit.adj_r_squared - 1.0).abs() < 1e-9);
+        assert_eq!(fit.n, 20);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_adjusted_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise" via a hash-like wobble.
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| 2.0 * v + ((v * 12.9898).sin() * 43758.5453).fract() * 30.0)
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!(fit.adj_r_squared < fit.r_squared + 1e-12);
+        assert!(
+            fit.adj_r_squared > 0.5,
+            "still broadly linear: {}",
+            fit.adj_r_squared
+        );
+        assert!(fit.adj_r_squared < 0.999, "noise must reduce the fit");
+        assert!((fit.slope - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn constant_x_is_rejected() {
+        assert_eq!(
+            ols(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn constant_y_fits_perfectly_with_zero_slope() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn two_points_are_too_few() {
+        assert!(matches!(
+            ols(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(StatsError::TooFewPoints { .. })
+        ));
+    }
+}

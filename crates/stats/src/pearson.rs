@@ -1,0 +1,87 @@
+//! Pearson product-moment correlation.
+
+use crate::{check_pair, mean, StatsError};
+
+/// Pearson correlation coefficient between `x` and `y`.
+///
+/// Returns a value in `[-1, 1]`: the degree of *linear* association. The
+/// paper uses this in Table V to ask how well each AT-pressure metric
+/// linearly predicts relative AT overhead.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] if the slices differ in length, have fewer than
+/// two points, contain non-finite values, or either has zero variance.
+///
+/// # Example
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [10.0, 8.0, 6.0];
+/// assert!((atscale_stats::pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    check_pair(x, y, 2)?;
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Symmetric pattern: y identical for +x and −x.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y = [4.0, 1.0, 0.0, 1.0, 4.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_shift_invariant() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 9.0, 3.0, 16.0, 11.0];
+        let r1 = pearson(&x, &y).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| 100.0 * v - 7.0).collect();
+        let r2 = pearson(&xs, &y).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_an_error() {
+        assert_eq!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn monotone_but_nonlinear_is_less_than_one() {
+        let x: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp2()).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r > 0.5 && r < 0.95, "r = {r}");
+    }
+}

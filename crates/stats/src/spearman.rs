@@ -1,0 +1,104 @@
+//! Spearman rank correlation.
+
+use crate::{check_pair, pearson, StatsError};
+
+/// Assigns ranks (1-based) with ties receiving their average rank —
+/// the standard "fractional ranking" used by Spearman's ρ.
+///
+/// # Example
+///
+/// ```
+/// let ranks = atscale_stats::rank_with_ties(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn rank_with_ties(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient between `x` and `y`.
+///
+/// The Pearson correlation of the rank vectors: measures *monotonicity*
+/// rather than linearity. The paper prefers this view for workload
+/// selection ("pick the ten workloads with the most AT pressure"), and its
+/// Table V reports both.
+///
+/// # Errors
+///
+/// As for [`pearson`]: mismatched lengths, fewer than two points,
+/// non-finite inputs, or constant input.
+///
+/// # Example
+///
+/// ```
+/// // Monotone but wildly nonlinear → Spearman 1, Pearson < 1.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 10.0, 100.0, 1000.0];
+/// assert!((atscale_stats::spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    check_pair(x, y, 2)?;
+    let rx = rank_with_ties(x);
+    let ry = rank_with_ties(y);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [9.0, 7.0, 5.0, 3.0, 1.0];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_exactly_one() {
+        let x: Vec<f64> = (1..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3) - 5.0).collect();
+        assert_eq!(spearman(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let ranks = rank_with_ties(&[5.0, 5.0, 5.0]);
+        assert_eq!(ranks, vec![2.0, 2.0, 2.0]);
+        let ranks = rank_with_ties(&[3.0, 1.0, 3.0]);
+        assert_eq!(ranks, vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn all_tied_input_is_zero_variance_error() {
+        assert_eq!(
+            spearman(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn spearman_is_robust_to_outliers_where_pearson_is_not() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 1e6];
+        let rho = spearman(&x, &y).unwrap();
+        let r = pearson(&x, &y).unwrap();
+        assert_eq!(rho, 1.0);
+        assert!(r < 0.9);
+    }
+}

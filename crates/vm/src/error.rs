@@ -1,0 +1,69 @@
+//! Error type for the virtual-memory substrate.
+
+use crate::VirtAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::AddressSpace`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// The address does not fall inside any allocated segment.
+    Unmapped(VirtAddr),
+    /// The heap has no room for a requested allocation.
+    OutOfVirtualMemory {
+        /// Bytes that were requested.
+        requested: u64,
+        /// Bytes still available in the heap region.
+        available: u64,
+    },
+    /// An allocation of zero bytes was requested.
+    ZeroSizedAllocation,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Unmapped(va) => write!(f, "address {va} is not in any segment"),
+            VmError::OutOfVirtualMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "heap exhausted: requested {requested} bytes, {available} available"
+            ),
+            VmError::ZeroSizedAllocation => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            VmError::Unmapped(VirtAddr::new(0x1000)).to_string(),
+            VmError::OutOfVirtualMemory {
+                requested: 10,
+                available: 5,
+            }
+            .to_string(),
+            VmError::ZeroSizedAllocation.to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<VmError>();
+    }
+}

@@ -1,0 +1,296 @@
+//! The simulated address space: segments + page table + demand paging.
+
+use crate::{
+    BackingPolicy, FrameAllocator, PageSize, PageTable, PageTableStats, PhysAddr, Segment,
+    SegmentId, VirtAddr, VmError, WalkPath,
+};
+use crate::layout::HeapLayout;
+
+/// A successful virtual-to-physical translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The translated physical address (page frame + offset).
+    pub paddr: PhysAddr,
+    /// Size of the mapping's page.
+    pub page_size: PageSize,
+}
+
+/// Result of [`AddressSpace::touch`]: the walk path for the address, plus
+/// whether this touch demand-mapped the page (a minor fault).
+#[derive(Debug, Clone, Copy)]
+pub struct TouchOutcome {
+    /// Root-to-leaf walk path for the containing page.
+    pub path: WalkPath,
+    /// Size of the page backing the address.
+    pub page_size: PageSize,
+    /// `true` if this call created the mapping (first touch).
+    pub minor_fault: bool,
+}
+
+/// Aggregate statistics about an [`AddressSpace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SpaceStats {
+    /// Demand-paging faults taken so far (first touches).
+    pub minor_faults: u64,
+    /// Faults whose backing fell back below the requested page size.
+    pub fallback_faults: u64,
+    /// Page-table occupancy.
+    pub table: PageTableStats,
+    /// Bytes of simulated physical memory backing data pages.
+    pub data_bytes: u64,
+    /// Bytes of simulated physical memory backing page-table nodes.
+    pub table_bytes: u64,
+    /// Number of allocated segments.
+    pub segments: usize,
+    /// Total virtual bytes reserved by segments.
+    pub virtual_bytes: u64,
+}
+
+impl SpaceStats {
+    /// Resident-set-size analogue: data + page-table bytes actually backed.
+    ///
+    /// This is the "memory footprint" quantity the paper plots sweeps
+    /// against (measured in the 4 KB configuration).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.data_bytes + self.table_bytes
+    }
+}
+
+/// A simulated process address space.
+///
+/// Combines a [`HeapLayout`] (virtual allocation), a [`BackingPolicy`]
+/// (page-size selection, paper §III-A/B), a [`PageTable`] and a
+/// [`FrameAllocator`]. Pages are mapped on first touch, counting minor
+/// faults, so arbitrarily large virtual allocations cost nothing until used.
+///
+/// # Example
+///
+/// ```
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size2M));
+/// let seg = space.alloc_heap("edges", 64 << 20)?;
+/// let first = space.touch(seg.base())?;
+/// assert!(first.minor_fault);
+/// assert_eq!(first.page_size, PageSize::Size2M);
+/// let again = space.touch(seg.base().add(1024))?;
+/// assert!(!again.minor_fault, "same 2 MiB page already mapped");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    policy: BackingPolicy,
+    heap: HeapLayout,
+    segments: Vec<Segment>,
+    table: PageTable,
+    frames: FrameAllocator,
+    minor_faults: u64,
+    fallback_faults: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the given backing policy.
+    pub fn new(policy: BackingPolicy) -> Self {
+        let mut frames = FrameAllocator::new();
+        let table = PageTable::new(&mut frames);
+        AddressSpace {
+            policy,
+            heap: HeapLayout::new(),
+            segments: Vec::new(),
+            table,
+            frames,
+            minor_faults: 0,
+            fallback_faults: 0,
+        }
+    }
+
+    /// The policy this space was created with.
+    pub fn policy(&self) -> BackingPolicy {
+        self.policy
+    }
+
+    /// Allocates a named heap segment of `bytes` bytes and returns a copy of
+    /// its descriptor. Nothing is mapped until touched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the heap allocator (zero-sized or
+    /// exhausted).
+    pub fn alloc_heap(&mut self, name: &str, bytes: u64) -> Result<Segment, VmError> {
+        let base = self.heap.alloc(bytes, self.policy.requested())?;
+        let id = SegmentId::new(self.segments.len() as u32);
+        let len = (bytes + 4095) & !4095;
+        let seg = Segment::new(id, name, base, len, self.policy.requested());
+        self.segments.push(seg.clone());
+        Ok(seg)
+    }
+
+    /// Ensures the page containing `va` is mapped (demand paging) and
+    /// returns its walk path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Unmapped`] if `va` is outside every segment —
+    /// the simulated equivalent of a segmentation fault.
+    pub fn touch(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
+        if let Some(path) = self.table.walk(va) {
+            return Ok(TouchOutcome {
+                path,
+                page_size: path.page_size,
+                minor_fault: false,
+            });
+        }
+        let seg = self.segment_containing(va).ok_or(VmError::Unmapped(va))?;
+        let resolved = self.policy.resolve(seg, va);
+        let frame = self.frames.alloc_page(resolved.size);
+        self.table
+            .map(va.page_base(resolved.size), resolved.size, frame, &mut self.frames);
+        self.minor_faults += 1;
+        if resolved.fell_back {
+            self.fallback_faults += 1;
+        }
+        let path = self
+            .table
+            .walk(va)
+            .expect("page was just mapped; walk cannot fail");
+        Ok(TouchOutcome {
+            path,
+            page_size: resolved.size,
+            minor_fault: true,
+        })
+    }
+
+    /// Translates `va` if it is mapped. Does not fault pages in.
+    pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
+        self.table.walk(va).map(|path| Translation {
+            paddr: path.frame_base.add(va.page_offset(path.page_size)),
+            page_size: path.page_size,
+        })
+    }
+
+    /// Returns the walk path for `va` if mapped. Does not fault pages in.
+    pub fn walk(&self, va: VirtAddr) -> Option<WalkPath> {
+        self.table.walk(va)
+    }
+
+    /// Hardware-faithful walk attempt: returns either the full path or the
+    /// prefix fetched before a non-present entry. Does not fault pages in —
+    /// this is what a *speculative* walk sees.
+    pub fn probe_walk(&self, va: VirtAddr) -> crate::ProbeResult {
+        self.table.probe_walk(va)
+    }
+
+    /// The segment containing `va`, if any.
+    pub fn segment_containing(&self, va: VirtAddr) -> Option<&Segment> {
+        // Segments are allocated at monotonically increasing bases.
+        let idx = self.segments.partition_point(|s| s.base() <= va);
+        idx.checked_sub(1)
+            .map(|i| &self.segments[i])
+            .filter(|s| s.contains(va))
+    }
+
+    /// All allocated segments, in allocation order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Aggregate statistics (faults, footprint, page-table occupancy).
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            minor_faults: self.minor_faults,
+            fallback_faults: self.fallback_faults,
+            table: self.table.stats(),
+            data_bytes: self.frames.data_bytes(),
+            table_bytes: self.frames.table_node_bytes(),
+            segments: self.segments.len(),
+            virtual_bytes: self.heap.allocated_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_paging_counts_faults_once_per_page() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 16 << 12).unwrap();
+        for i in 0..4u64 {
+            let t = space.touch(seg.base().add(i * 4096)).unwrap();
+            assert!(t.minor_fault);
+        }
+        for i in 0..4u64 {
+            let t = space.touch(seg.base().add(i * 4096 + 128)).unwrap();
+            assert!(!t.minor_fault);
+        }
+        assert_eq!(space.stats().minor_faults, 4);
+    }
+
+    #[test]
+    fn out_of_segment_access_is_a_segfault() {
+        let mut space = AddressSpace::new(BackingPolicy::default());
+        let err = space.touch(VirtAddr::new(0xdead_0000)).unwrap_err();
+        assert!(matches!(err, VmError::Unmapped(_)));
+    }
+
+    #[test]
+    fn translation_preserves_page_offset() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size2M));
+        let seg = space.alloc_heap("a", 4 << 21).unwrap();
+        let va = seg.base().add((1 << 21) + 12345);
+        space.touch(va).unwrap();
+        let t = space.translate(va).unwrap();
+        assert_eq!(t.page_size, PageSize::Size2M);
+        assert_eq!(t.paddr.page_offset(PageSize::Size2M), 12345);
+    }
+
+    #[test]
+    fn one_gig_policy_falls_back_for_small_segments() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size1G));
+        let small = space.alloc_heap("small", 256 << 20).unwrap();
+        let t = space.touch(small.base()).unwrap();
+        assert_eq!(t.page_size, PageSize::Size4K);
+        assert_eq!(space.stats().fallback_faults, 1);
+
+        let big = space.alloc_heap("big", 2 << 30).unwrap();
+        let t = space.touch(big.base()).unwrap();
+        assert_eq!(t.page_size, PageSize::Size1G);
+    }
+
+    #[test]
+    fn segment_lookup_finds_correct_segment() {
+        let mut space = AddressSpace::new(BackingPolicy::default());
+        let a = space.alloc_heap("a", 8192).unwrap();
+        let b = space.alloc_heap("b", 8192).unwrap();
+        assert_eq!(space.segment_containing(a.base().add(4096)).unwrap().name(), "a");
+        assert_eq!(space.segment_containing(b.base()).unwrap().name(), "b");
+        // Guard gap between the two belongs to neither.
+        assert!(space.segment_containing(a.end()).is_none());
+        assert_eq!(space.segments().len(), 2);
+    }
+
+    #[test]
+    fn footprint_counts_data_and_table_bytes() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 1 << 20).unwrap();
+        for i in 0..256u64 {
+            space.touch(seg.base().add(i * 4096)).unwrap();
+        }
+        let stats = space.stats();
+        assert_eq!(stats.data_bytes, 256 * 4096);
+        assert!(stats.table_bytes >= 4 * 4096);
+        assert_eq!(stats.footprint_bytes(), stats.data_bytes + stats.table_bytes);
+        assert_eq!(stats.virtual_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn walk_path_is_shorter_for_superpages() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size1G));
+        let seg = space.alloc_heap("big", 2 << 30).unwrap();
+        let t = space.touch(seg.base()).unwrap();
+        assert_eq!(t.path.steps().len(), 2);
+    }
+}

@@ -1,0 +1,479 @@
+//! Sparse 4-level radix page table.
+//!
+//! The table mirrors x86-64 long-mode paging: a 512-ary radix tree with the
+//! root at level 4 (PML4) and leaves at level 1 (PT), 2 (PD, 2 MiB pages) or
+//! 3 (PDPT, 1 GiB pages). Each node occupies one 4 KiB frame of *simulated*
+//! physical memory, so every walk step has a concrete physical address —
+//! `node_base + 8 * index` — which the page-table walker fetches through the
+//! simulated cache hierarchy. This is what lets the reproduction observe the
+//! paper's Figure 8 (where in the hierarchy PTEs are found) without hardware
+//! counters.
+//!
+//! Nodes are materialised on demand: a 600 GB virtual footprint costs host
+//! memory only for the pages a workload actually touches.
+
+use crate::{FrameAllocator, PageSize, PhysAddr, VirtAddr, PTE_SIZE};
+
+/// Number of radix levels (x86-64 long mode without LA57).
+pub const PT_LEVELS: u8 = 4;
+
+const ENTRIES: usize = 512;
+
+const PRESENT: u64 = 1;
+const PS: u64 = 1 << 7;
+const PAYLOAD_SHIFT: u64 = 12;
+
+/// One step of a page-table walk: the entry the walker must fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Radix level of the entry (4 = PML4 … 1 = PT).
+    pub level: u8,
+    /// Physical address of the 8-byte entry.
+    pub entry_paddr: PhysAddr,
+}
+
+/// The full path of a successful walk, root to leaf.
+///
+/// The page-table walker consults the paging-structure caches to decide how
+/// many of these steps it may skip; an uncached walk fetches all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkPath {
+    steps: [WalkStep; PT_LEVELS as usize],
+    len: u8,
+    /// Size of the mapped page.
+    pub page_size: PageSize,
+    /// Physical base address of the mapped page.
+    pub frame_base: PhysAddr,
+}
+
+impl WalkPath {
+    /// The steps of the walk, ordered root (level 4) first.
+    #[inline]
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// The leaf step (the entry that holds the translation).
+    #[inline]
+    pub fn leaf(&self) -> WalkStep {
+        self.steps[self.len as usize - 1]
+    }
+}
+
+/// The prefix of a walk that terminated at a non-present entry.
+///
+/// The final step in [`PartialWalk::steps`] is the non-present entry whose
+/// fetch revealed the hole; everything before it was a present interior
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialWalk {
+    pub(crate) steps: [WalkStep; PT_LEVELS as usize],
+    pub(crate) len: u8,
+}
+
+impl PartialWalk {
+    /// The entries fetched, root first; the last is non-present.
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.len as usize]
+    }
+}
+
+/// Outcome of [`PageTable::probe_walk`]: a hardware-faithful walk attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The address is mapped; the full path is available.
+    Mapped(WalkPath),
+    /// The walk hit a non-present entry after fetching `fetched` entries
+    /// (a page fault on the architectural path; silently dropped on a
+    /// speculative path).
+    NotPresent {
+        /// The entries the walker fetched before discovering the hole.
+        fetched: PartialWalk,
+    },
+}
+
+/// Occupancy statistics for a [`PageTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PageTableStats {
+    /// Node count per level, indexed `[level-1]` (so `[3]` is the root level).
+    pub nodes_by_level: [u64; PT_LEVELS as usize],
+    /// Mapped page count per size, in [`PageSize::ALL`] order.
+    pub pages_by_size: [u64; 3],
+}
+
+impl PageTableStats {
+    /// Total number of nodes (each 4 KiB of simulated physical memory).
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_by_level.iter().sum()
+    }
+
+    /// Total bytes of simulated physical memory consumed by the table itself.
+    pub fn table_bytes(&self) -> u64 {
+        self.total_nodes() * 4096
+    }
+
+    /// Total mapped pages of all sizes.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_by_size.iter().sum()
+    }
+}
+
+struct Node {
+    entries: Box<[u64; ENTRIES]>,
+    paddr: PhysAddr,
+}
+
+impl Node {
+    fn new(paddr: PhysAddr) -> Self {
+        Node {
+            entries: Box::new([0u64; ENTRIES]),
+            paddr,
+        }
+    }
+
+    #[inline]
+    fn entry_paddr(&self, idx: usize) -> PhysAddr {
+        self.paddr.add(idx as u64 * PTE_SIZE)
+    }
+}
+
+/// A sparse 4-level radix page table.
+///
+/// # Example
+///
+/// ```
+/// use atscale_vm::{FrameAllocator, PageSize, PageTable, VirtAddr};
+///
+/// let mut frames = FrameAllocator::new();
+/// let mut table = PageTable::new(&mut frames);
+/// let frame = frames.alloc_page(PageSize::Size4K);
+/// table.map(VirtAddr::new(0x4000_0000), PageSize::Size4K, frame, &mut frames);
+///
+/// let path = table.walk(VirtAddr::new(0x4000_0123)).expect("mapped");
+/// assert_eq!(path.steps().len(), 4);
+/// assert_eq!(path.frame_base, frame);
+/// ```
+pub struct PageTable {
+    nodes: Vec<Node>,
+    stats: PageTableStats,
+}
+
+impl PageTable {
+    /// Creates an empty table with just the root (PML4) node.
+    pub fn new(frames: &mut FrameAllocator) -> Self {
+        let root = Node::new(frames.alloc_table_node());
+        let mut stats = PageTableStats::default();
+        stats.nodes_by_level[PT_LEVELS as usize - 1] = 1;
+        PageTable {
+            nodes: vec![root],
+            stats,
+        }
+    }
+
+    /// Maps the page of size `size` containing `va` to the physical page at
+    /// `frame_base`, materialising interior nodes as needed.
+    ///
+    /// Returns the number of page-table nodes that had to be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped, if a *larger* page overlapping
+    /// `va` is already mapped (overlap would corrupt the radix tree), or if
+    /// `frame_base` is not aligned to `size`.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+        frame_base: PhysAddr,
+        frames: &mut FrameAllocator,
+    ) -> u8 {
+        assert!(
+            frame_base.is_aligned(size.bytes()),
+            "frame {frame_base} not aligned to {size}"
+        );
+        let leaf_level = size.leaf_level();
+        let mut created = 0u8;
+        let mut node_idx = 0usize;
+        let mut level = PT_LEVELS;
+        while level > leaf_level {
+            let idx = va.pt_index(level);
+            let entry = self.nodes[node_idx].entries[idx];
+            if entry & PRESENT == 0 {
+                let child_paddr = frames.alloc_table_node();
+                let child_arena = self.nodes.len();
+                self.nodes.push(Node::new(child_paddr));
+                self.stats.nodes_by_level[level as usize - 2] += 1;
+                self.nodes[node_idx].entries[idx] =
+                    PRESENT | ((child_arena as u64) << PAYLOAD_SHIFT);
+                node_idx = child_arena;
+                created += 1;
+            } else {
+                assert_eq!(
+                    entry & PS,
+                    0,
+                    "cannot map {size} page at {va}: a larger page already covers it"
+                );
+                node_idx = (entry >> PAYLOAD_SHIFT) as usize;
+            }
+            level -= 1;
+        }
+        let idx = va.pt_index(leaf_level);
+        let slot = &mut self.nodes[node_idx].entries[idx];
+        assert_eq!(*slot & PRESENT, 0, "page at {va} ({size}) already mapped");
+        let ps_bit = if leaf_level > 1 { PS } else { 0 };
+        *slot = PRESENT | ps_bit | ((frame_base.as_u64() >> PAYLOAD_SHIFT) << PAYLOAD_SHIFT);
+        self.stats.pages_by_size[match size {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => 1,
+            PageSize::Size1G => 2,
+        }] += 1;
+        created
+    }
+
+    /// Walks the tree for `va` like hardware would, reporting either the
+    /// complete path or the prefix of entries fetched before hitting a
+    /// non-present entry.
+    ///
+    /// Speculative (wrong-path) accesses frequently probe unmapped
+    /// addresses; the walker still fetches real page-table entries until it
+    /// discovers the hole, and those fetches cost cache bandwidth — the
+    /// waste the paper's §V-D quantifies.
+    pub fn probe_walk(&self, va: VirtAddr) -> ProbeResult {
+        let mut steps = [WalkStep {
+            level: 0,
+            entry_paddr: PhysAddr::new(0),
+        }; PT_LEVELS as usize];
+        let mut node_idx = 0usize;
+        let mut level = PT_LEVELS;
+        let mut n = 0usize;
+        loop {
+            let node = &self.nodes[node_idx];
+            let idx = va.pt_index(level);
+            steps[n] = WalkStep {
+                level,
+                entry_paddr: node.entry_paddr(idx),
+            };
+            n += 1;
+            let entry = node.entries[idx];
+            if entry & PRESENT == 0 {
+                return ProbeResult::NotPresent {
+                    fetched: PartialWalk {
+                        steps,
+                        len: n as u8,
+                    },
+                };
+            }
+            let is_leaf = level == 1 || entry & PS != 0;
+            if is_leaf {
+                let page_size = match level {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    3 => PageSize::Size1G,
+                    _ => unreachable!("PS bit at level 4 is never set by map()"),
+                };
+                return ProbeResult::Mapped(WalkPath {
+                    steps,
+                    len: n as u8,
+                    page_size,
+                    frame_base: PhysAddr::new(entry & !0xfffu64),
+                });
+            }
+            node_idx = (entry >> PAYLOAD_SHIFT) as usize;
+            level -= 1;
+        }
+    }
+
+    /// Walks the tree for `va`, returning the full root-to-leaf path, or
+    /// `None` if no translation exists (a page fault in a real machine).
+    pub fn walk(&self, va: VirtAddr) -> Option<WalkPath> {
+        match self.probe_walk(va) {
+            ProbeResult::Mapped(path) => Some(path),
+            ProbeResult::NotPresent { .. } => None,
+        }
+    }
+    /// Returns `true` if a translation exists for `va`.
+    pub fn is_mapped(&self, va: VirtAddr) -> bool {
+        self.walk(va).is_some()
+    }
+
+    /// Occupancy statistics (node and page counts).
+    pub fn stats(&self) -> PageTableStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageTable")
+            .field("nodes", &self.nodes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FrameAllocator, PageTable) {
+        let mut frames = FrameAllocator::new();
+        let table = PageTable::new(&mut frames);
+        (frames, table)
+    }
+
+    #[test]
+    fn map_and_walk_4k() {
+        let (mut frames, mut table) = setup();
+        let frame = frames.alloc_page(PageSize::Size4K);
+        let created = table.map(VirtAddr::new(0x1234_5000), PageSize::Size4K, frame, &mut frames);
+        assert_eq!(created, 3, "fresh 4K mapping creates PDPT, PD, PT nodes");
+
+        let path = table.walk(VirtAddr::new(0x1234_5678)).unwrap();
+        assert_eq!(path.page_size, PageSize::Size4K);
+        assert_eq!(path.frame_base, frame);
+        assert_eq!(path.steps().len(), 4);
+        let levels: Vec<u8> = path.steps().iter().map(|s| s.level).collect();
+        assert_eq!(levels, [4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn map_and_walk_superpages() {
+        let (mut frames, mut table) = setup();
+        let frame2m = frames.alloc_page(PageSize::Size2M);
+        let frame1g = frames.alloc_page(PageSize::Size1G);
+        table.map(VirtAddr::new(0x4000_0000), PageSize::Size2M, frame2m, &mut frames);
+        table.map(VirtAddr::new(0x1_0000_0000), PageSize::Size1G, frame1g, &mut frames);
+
+        let p2 = table.walk(VirtAddr::new(0x400f_fff0)).unwrap();
+        assert_eq!(p2.page_size, PageSize::Size2M);
+        assert_eq!(p2.steps().len(), 3);
+        assert_eq!(p2.frame_base, frame2m);
+
+        let p1 = table.walk(VirtAddr::new(0x1_2345_6789)).unwrap();
+        assert_eq!(p1.page_size, PageSize::Size1G);
+        assert_eq!(p1.steps().len(), 2);
+        assert_eq!(p1.frame_base, frame1g);
+    }
+
+    #[test]
+    fn unmapped_addresses_fault() {
+        let (mut frames, mut table) = setup();
+        assert!(table.walk(VirtAddr::new(0x9999_9000)).is_none());
+        let frame = frames.alloc_page(PageSize::Size4K);
+        table.map(VirtAddr::new(0x1000), PageSize::Size4K, frame, &mut frames);
+        // Neighbouring page in the same PT node is still unmapped.
+        assert!(table.walk(VirtAddr::new(0x2000)).is_none());
+        assert!(table.is_mapped(VirtAddr::new(0x1fff)));
+    }
+
+    #[test]
+    fn sibling_pages_share_interior_nodes() {
+        let (mut frames, mut table) = setup();
+        let f1 = frames.alloc_page(PageSize::Size4K);
+        let f2 = frames.alloc_page(PageSize::Size4K);
+        let c1 = table.map(VirtAddr::new(0x0000), PageSize::Size4K, f1, &mut frames);
+        let c2 = table.map(VirtAddr::new(0x1000), PageSize::Size4K, f2, &mut frames);
+        assert_eq!(c1, 3);
+        assert_eq!(c2, 0, "second page in same PT reuses all nodes");
+        assert_eq!(table.stats().total_nodes(), 4); // root + 3
+    }
+
+    #[test]
+    fn walk_steps_have_distinct_physical_addresses() {
+        let (mut frames, mut table) = setup();
+        let frame = frames.alloc_page(PageSize::Size4K);
+        table.map(VirtAddr::new(0x7f12_3456_7000), PageSize::Size4K, frame, &mut frames);
+        let path = table.walk(VirtAddr::new(0x7f12_3456_7000)).unwrap();
+        let mut paddrs: Vec<u64> = path.steps().iter().map(|s| s.entry_paddr.as_u64()).collect();
+        paddrs.sort_unstable();
+        paddrs.dedup();
+        assert_eq!(paddrs.len(), 4);
+        assert_eq!(path.leaf().level, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let (mut frames, mut table) = setup();
+        let f1 = frames.alloc_page(PageSize::Size4K);
+        let f2 = frames.alloc_page(PageSize::Size4K);
+        table.map(VirtAddr::new(0x1000), PageSize::Size4K, f1, &mut frames);
+        table.map(VirtAddr::new(0x1000), PageSize::Size4K, f2, &mut frames);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger page already covers")]
+    fn mapping_under_superpage_panics() {
+        let (mut frames, mut table) = setup();
+        let f1 = frames.alloc_page(PageSize::Size2M);
+        let f2 = frames.alloc_page(PageSize::Size4K);
+        table.map(VirtAddr::new(0x20_0000), PageSize::Size2M, f1, &mut frames);
+        table.map(VirtAddr::new(0x20_1000), PageSize::Size4K, f2, &mut frames);
+    }
+
+    #[test]
+    fn stats_track_sizes_and_levels() {
+        let (mut frames, mut table) = setup();
+        for i in 0..3u64 {
+            let f = frames.alloc_page(PageSize::Size4K);
+            table.map(VirtAddr::new(i * 0x1000), PageSize::Size4K, f, &mut frames);
+        }
+        let f2m = frames.alloc_page(PageSize::Size2M);
+        table.map(VirtAddr::new(0x8000_0000), PageSize::Size2M, f2m, &mut frames);
+        let stats = table.stats();
+        assert_eq!(stats.pages_by_size, [3, 1, 0]);
+        assert_eq!(stats.total_pages(), 4);
+        assert_eq!(stats.nodes_by_level[3], 1, "one root");
+        assert!(stats.table_bytes() >= 4 * 4096);
+    }
+
+    #[test]
+    fn probe_walk_reports_partial_prefix_for_unmapped() {
+        let (mut frames, mut table) = setup();
+        // Completely unmapped address: only the root entry is fetched.
+        match table.probe_walk(VirtAddr::new(0x7000_0000_0000)) {
+            ProbeResult::NotPresent { fetched } => {
+                assert_eq!(fetched.steps().len(), 1);
+                assert_eq!(fetched.steps()[0].level, 4);
+            }
+            ProbeResult::Mapped(_) => panic!("expected unmapped"),
+        }
+        // Map a sibling page so interior nodes exist, then probe a hole in
+        // the same PT node: the walker fetches all 4 levels before failing.
+        let f = frames.alloc_page(PageSize::Size4K);
+        table.map(VirtAddr::new(0x1000), PageSize::Size4K, f, &mut frames);
+        match table.probe_walk(VirtAddr::new(0x2000)) {
+            ProbeResult::NotPresent { fetched } => {
+                assert_eq!(fetched.steps().len(), 4);
+                assert_eq!(fetched.steps()[3].level, 1);
+            }
+            ProbeResult::Mapped(_) => panic!("expected unmapped"),
+        }
+    }
+
+    #[test]
+    fn probe_walk_agrees_with_walk_for_mapped_pages() {
+        let (mut frames, mut table) = setup();
+        let f = frames.alloc_page(PageSize::Size2M);
+        table.map(VirtAddr::new(0x4000_0000), PageSize::Size2M, f, &mut frames);
+        let va = VirtAddr::new(0x4000_1234);
+        match table.probe_walk(va) {
+            ProbeResult::Mapped(path) => assert_eq!(Some(path), table.walk(va)),
+            ProbeResult::NotPresent { .. } => panic!("expected mapped"),
+        }
+    }
+
+    #[test]
+    fn frame_base_roundtrips_through_entry_encoding() {
+        // Large physical addresses must survive the PTE packing.
+        let (mut frames, mut table) = setup();
+        for _ in 0..100 {
+            frames.alloc_page(PageSize::Size1G); // push the bump pointer high
+        }
+        let frame = frames.alloc_page(PageSize::Size1G);
+        assert!(frame.as_u64() > 100 << 30);
+        table.map(VirtAddr::new(0x40_0000_0000), PageSize::Size1G, frame, &mut frames);
+        let path = table.walk(VirtAddr::new(0x40_0000_0000)).unwrap();
+        assert_eq!(path.frame_base, frame);
+    }
+}

@@ -1,0 +1,200 @@
+//! Betweenness centrality (GAPBS `bc`, Brandes' algorithm).
+
+use super::CsrGraph;
+use crate::SimArray;
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VmError};
+
+/// The per-vertex working arrays Brandes' algorithm needs, allocated by
+/// the caller in the same address space as the graph.
+#[derive(Debug)]
+pub struct BcArrays {
+    scores: SimArray<f64>,
+    sigma: SimArray<f64>,
+    depth: SimArray<i64>,
+    delta: SimArray<f64>,
+}
+
+impl BcArrays {
+    /// Allocates zeroed working arrays for an `n`-vertex graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    pub fn new(space: &mut AddressSpace, n: usize) -> Result<Self, VmError> {
+        Ok(BcArrays {
+            scores: SimArray::new(space, "bc.scores", n, 0.0f64)?,
+            sigma: SimArray::new(space, "bc.sigma", n, 0.0f64)?,
+            depth: SimArray::new(space, "bc.depth", n, -1i64)?,
+            delta: SimArray::new(space, "bc.delta", n, 0.0f64)?,
+        })
+    }
+
+    /// The accumulated centrality scores.
+    pub fn scores(&self) -> &[f64] {
+        self.scores.as_slice()
+    }
+}
+
+/// Brandes' betweenness centrality from the given source vertices:
+/// a BFS computing shortest-path counts (σ), then a reverse sweep
+/// accumulating dependencies (δ). Returns the centrality scores.
+///
+/// GAPBS samples a handful of sources rather than all vertices; pass the
+/// sources explicitly for determinism.
+///
+/// # Panics
+///
+/// Panics if the arrays were allocated for a different vertex count.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::{betweenness_centrality, BcArrays, CsrGraph};
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// // Path 0-1-2: vertex 1 lies on every shortest path.
+/// let g = CsrGraph::build(&mut space, 3, [(0, 1), (1, 2)].into_iter())?;
+/// let mut arrays = BcArrays::new(&mut space, 3)?;
+/// let mut sink = CountingSink::new();
+/// let scores = betweenness_centrality(&g, &[0, 2], &mut arrays, &mut sink);
+/// assert!(scores[1] > scores[0]);
+/// assert!(scores[1] > scores[2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn betweenness_centrality(
+    graph: &CsrGraph,
+    sources: &[usize],
+    arrays: &mut BcArrays,
+    sink: &mut dyn AccessSink,
+) -> Vec<f64> {
+    let n = graph.vertices();
+    assert_eq!(arrays.scores.len(), n, "arrays sized for a different graph");
+    let BcArrays {
+        scores,
+        sigma,
+        depth,
+        delta,
+    } = arrays;
+
+    for &source in sources {
+        if sink.done() {
+            break;
+        }
+        // Reset per-source state (untimed in GAPBS via epoch tricks).
+        for v in 0..n {
+            sigma.set_silent(v, 0.0);
+            depth.set_silent(v, -1);
+            delta.set_silent(v, 0.0);
+        }
+        sigma.set(source, 1.0, sink);
+        depth.set(source, 0, sink);
+
+        // Forward BFS recording visit order.
+        let mut order = vec![source];
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            let du = depth.get(u, sink);
+            let su = sigma.get(u, sink);
+            let (start, end) = graph.range(u, sink);
+            for i in start..end {
+                let v = graph.target(i, sink);
+                let dv = depth.get(v, sink);
+                sink.instructions(2);
+                if dv == -1 {
+                    depth.set(v, du + 1, sink);
+                    order.push(v);
+                }
+                if dv == -1 || dv == du + 1 {
+                    let sv = sigma.get(v, sink);
+                    sigma.set(v, sv + su, sink);
+                    sink.instructions(2);
+                }
+            }
+            if sink.done() {
+                return scores.as_slice().to_vec();
+            }
+        }
+
+        // Reverse dependency accumulation.
+        for &u in order.iter().rev() {
+            let du = depth.get(u, sink);
+            let su = sigma.get(u, sink);
+            let mut acc = 0.0;
+            let (start, end) = graph.range(u, sink);
+            for i in start..end {
+                let v = graph.target(i, sink);
+                sink.instructions(2);
+                if depth.get(v, sink) == du + 1 {
+                    let term = su / sigma.get(v, sink) * (1.0 + delta.get(v, sink));
+                    acc += term;
+                    sink.instructions(4);
+                }
+            }
+            delta.set(u, acc, sink);
+            if u != source {
+                let s = scores.get(u, sink);
+                scores.set(u, s + acc, sink);
+            }
+            if sink.done() {
+                break;
+            }
+        }
+    }
+    scores.as_slice().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    #[test]
+    fn bridge_vertex_has_highest_centrality() {
+        let mut s = space();
+        // Two cliques joined through vertex 2: 0-1-2, 2-3-4 with extra edges.
+        let g = CsrGraph::build(
+            &mut s,
+            5,
+            [(0u64, 1u64), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)].into_iter(),
+        )
+        .unwrap();
+        let mut arrays = BcArrays::new(&mut s, 5).unwrap();
+        let mut sink = CountingSink::new();
+        let all: Vec<usize> = (0..5).collect();
+        let scores = betweenness_centrality(&g, &all, &mut arrays, &mut sink);
+        for v in [0usize, 1, 3, 4] {
+            assert!(scores[2] > scores[v], "bridge 2 > {v}: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn path_centrality_matches_analytic_value() {
+        let mut s = space();
+        // Path 0-1-2-3-4. For the middle vertex 2, pairs (0,3),(0,4),(1,3),
+        // (1,4) pass through it plus (0..) — classic Brandes value is 4 per
+        // direction when summed over all sources... just check symmetry and
+        // ordering: centrality(2) > centrality(1) = centrality(3) > ends.
+        let g = CsrGraph::build(&mut s, 5, [(0u64, 1u64), (1, 2), (2, 3), (3, 4)].into_iter())
+            .unwrap();
+        let mut arrays = BcArrays::new(&mut s, 5).unwrap();
+        let mut sink = CountingSink::new();
+        let all: Vec<usize> = (0..5).collect();
+        let scores = betweenness_centrality(&g, &all, &mut arrays, &mut sink);
+        assert!((scores[1] - scores[3]).abs() < 1e-9, "symmetry: {scores:?}");
+        assert!(scores[2] > scores[1]);
+        assert!(scores[1] > scores[0]);
+        assert_eq!(scores[0], 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Connected components (GAPBS `cc`, label-propagation style).
+
+use super::CsrGraph;
+use crate::SimArray;
+use atscale_mmu::AccessSink;
+
+/// Computes connected components by iterative label propagation into a
+/// caller-allocated label array (initialised to `0..n`): every vertex
+/// repeatedly adopts the minimum label among itself and its neighbours
+/// until a fixpoint. Returns the number of propagation rounds.
+///
+/// The label array must live in the same address space as the graph.
+///
+/// # Panics
+///
+/// Panics if `comp.len() != graph.vertices()`.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::{connected_components, CsrGraph};
+/// use atscale_workloads::SimArray;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let g = CsrGraph::build(&mut space, 5, [(0, 1), (1, 2), (3, 4)].into_iter())?;
+/// let mut comp = SimArray::from_vec(&mut space, "cc.comp", (0..5u64).collect())?;
+/// let mut sink = CountingSink::new();
+/// connected_components(&g, &mut comp, &mut sink);
+/// assert_eq!(comp.as_slice()[0], comp.as_slice()[2]);
+/// assert_ne!(comp.as_slice()[0], comp.as_slice()[3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(
+    graph: &CsrGraph,
+    comp: &mut SimArray<u64>,
+    sink: &mut dyn AccessSink,
+) -> u32 {
+    assert_eq!(
+        comp.len(),
+        graph.vertices(),
+        "label array must have one slot per vertex"
+    );
+    let n = graph.vertices();
+    let mut rounds = 0;
+    let mut changed = true;
+    while changed && !sink.done() {
+        changed = false;
+        rounds += 1;
+        for u in 0..n {
+            let mut label = comp.get(u, sink);
+            let (start, end) = graph.range(u, sink);
+            for i in start..end {
+                let v = graph.target(i, sink);
+                let lv = comp.get(v, sink);
+                sink.instructions(2);
+                if lv < label {
+                    label = lv;
+                    changed = true;
+                }
+            }
+            if changed {
+                comp.set(u, label, sink);
+            }
+            if sink.done() {
+                break;
+            }
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    fn run_cc(space: &mut AddressSpace, g: &CsrGraph) -> Vec<u64> {
+        let mut comp =
+            SimArray::from_vec(space, "cc.comp", (0..g.vertices() as u64).collect()).unwrap();
+        let mut sink = CountingSink::new();
+        connected_components(g, &mut comp, &mut sink);
+        comp.as_slice().to_vec()
+    }
+
+    /// Host-side union-find for cross-checking.
+    fn reference_components(n: usize, edges: &[(u64, u64)]) -> Vec<usize> {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let root = find(p, p[x]);
+                p[x] = root;
+            }
+            p[x]
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+            parent[ru] = rv;
+        }
+        (0..n).map(|v| find(&mut parent, v)).collect()
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        use atscale_gen::kron::{edges, KronConfig};
+        let cfg = KronConfig::new(8, 5); // 256 vertices (kron leaves isolates)
+        let edge_list: Vec<(u64, u64)> = edges(cfg).collect();
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 256, edge_list.iter().copied()).unwrap();
+        let comp = run_cc(&mut s, &g);
+        let reference = reference_components(256, &edge_list);
+        // Same partition: comp labels equal iff reference roots equal.
+        for a in 0..256 {
+            for b in (a + 1)..256 {
+                assert_eq!(
+                    comp[a] == comp[b],
+                    reference[a] == reference[b],
+                    "partition mismatch at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 3, [(0u64, 1u64)].into_iter()).unwrap();
+        let comp = run_cc(&mut s, &g);
+        assert_eq!(comp[2], 2);
+        assert_eq!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn converges_in_few_rounds_on_a_path() {
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 4, [(0u64, 1u64), (1, 2), (2, 3)].into_iter()).unwrap();
+        let mut comp = SimArray::from_vec(&mut s, "c", (0..4u64).collect()).unwrap();
+        let mut sink = CountingSink::new();
+        let rounds = connected_components(&g, &mut comp, &mut sink);
+        assert!(comp.as_slice().iter().all(|&l| l == 0));
+        assert!(rounds >= 2, "at least one change round plus a quiet round");
+    }
+}

@@ -1,0 +1,173 @@
+//! CSR graph representation addressed through simulated memory.
+
+use crate::SimArray;
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VmError};
+
+/// A compressed-sparse-row graph whose `offsets` and `targets` arrays live
+/// in simulated virtual memory (via [`SimArray`]), exactly like GAPBS's
+/// in-memory representation.
+///
+/// Graphs are stored undirected: each generated edge is inserted in both
+/// directions, and self-loops are dropped.
+///
+/// # Example
+///
+/// ```
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::CsrGraph;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let g = CsrGraph::build(&mut space, 4, [(0, 1), (1, 2), (2, 3)].into_iter())?;
+/// assert_eq!(g.vertices(), 4);
+/// assert_eq!(g.degree_silent(1), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: SimArray<u64>,
+    targets: SimArray<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph over `n` vertices from a directed edge stream,
+    /// symmetrising and dropping self-loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn build(
+        space: &mut AddressSpace,
+        n: usize,
+        edges: impl Iterator<Item = (u64, u64)>,
+    ) -> Result<Self, VmError> {
+        // Host-side build (the real benchmark's untimed build phase).
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            if u != v {
+                pairs.push((u as u32, v as u32));
+                pairs.push((v as u32, u as u32));
+            }
+        }
+        let mut degree = vec![0u64; n];
+        for &(u, _) in &pairs {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; pairs.len()];
+        for &(u, v) in &pairs {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort each adjacency list (GAPBS does; tc requires it).
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Ok(CsrGraph {
+            n,
+            offsets: SimArray::from_vec(space, "csr.offsets", offsets)?,
+            targets: SimArray::from_vec(space, "csr.targets", targets)?,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed (symmetrised) edges.
+    pub fn directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Adjacency range of `v`, emitting the two offset loads.
+    pub fn range(&self, v: usize, sink: &mut dyn AccessSink) -> (usize, usize) {
+        let start = self.offsets.get(v, sink) as usize;
+        let end = self.offsets.get(v + 1, sink) as usize;
+        (start, end)
+    }
+
+    /// Adjacency range without simulated accesses.
+    pub fn range_silent(&self, v: usize) -> (usize, usize) {
+        (
+            self.offsets.get_silent(v) as usize,
+            self.offsets.get_silent(v + 1) as usize,
+        )
+    }
+
+    /// Degree of `v` without simulated accesses.
+    pub fn degree_silent(&self, v: usize) -> usize {
+        let (s, e) = self.range_silent(v);
+        e - s
+    }
+
+    /// Reads the target at CSR index `i`, emitting the load.
+    pub fn target(&self, i: usize, sink: &mut dyn AccessSink) -> usize {
+        self.targets.get(i, sink) as usize
+    }
+
+    /// Reads the target at CSR index `i` silently.
+    pub fn target_silent(&self, i: usize) -> usize {
+        self.targets.get_silent(i) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    #[test]
+    fn builds_symmetric_sorted_csr() {
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 4, [(0u64, 2u64), (0, 1), (3, 0)].into_iter()).unwrap();
+        assert_eq!(g.directed_edges(), 6);
+        let (start, end) = g.range_silent(0);
+        let neigh: Vec<usize> = (start..end).map(|i| g.target_silent(i)).collect();
+        assert_eq!(neigh, vec![1, 2, 3], "sorted adjacency");
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 3, [(1u64, 1u64), (0, 1)].into_iter()).unwrap();
+        assert_eq!(g.directed_edges(), 2);
+        assert_eq!(g.degree_silent(1), 1);
+    }
+
+    #[test]
+    fn accesses_are_emitted() {
+        let mut s = space();
+        let g = CsrGraph::build(&mut s, 3, [(0u64, 1u64), (1, 2)].into_iter()).unwrap();
+        let mut sink = CountingSink::new();
+        let (start, end) = g.range(1, &mut sink);
+        for i in start..end {
+            g.target(i, &mut sink);
+        }
+        assert_eq!(sink.loads, 2 + 2, "two offsets + two targets");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut s = space();
+        let _ = CsrGraph::build(&mut s, 2, [(0u64, 5u64)].into_iter());
+    }
+}

@@ -1,0 +1,326 @@
+//! A memcached-like key-value cache: chained hash table + LRU eviction,
+//! with values in a slab, all addressed through simulated memory.
+
+use crate::SimArray;
+use atscale_gen::splitmix64;
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VmError};
+
+/// Sentinel for "no item" in index-plus-one links.
+const NIL: u32 = 0;
+
+/// A fixed-capacity KV cache with LRU eviction.
+///
+/// Structure mirrors memcached: a bucket array of chain heads, per-item
+/// chain links, an intrusive LRU list, and a value slab. Every lookup
+/// walks its bucket chain with simulated loads; every hit touches the
+/// value bytes and rewires the LRU list with simulated stores.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::KvCache;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let mut cache = KvCache::new(&mut space, 64, 256)?;
+/// let mut sink = CountingSink::new();
+/// cache.set(42, &mut sink);
+/// assert!(cache.get(42, &mut sink));
+/// assert!(!cache.get(7, &mut sink));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KvCache {
+    buckets: SimArray<u32>,
+    keys: SimArray<u64>,
+    chain_next: SimArray<u32>,
+    lru_prev: SimArray<u32>,
+    lru_next: SimArray<u32>,
+    values: SimArray<u8>,
+    value_size: usize,
+    capacity: usize,
+    len: usize,
+    lru_head: u32,
+    lru_tail: u32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl KvCache {
+    /// Creates a cache holding up to `capacity` items of `value_size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(
+        space: &mut AddressSpace,
+        capacity: usize,
+        value_size: usize,
+    ) -> Result<Self, VmError> {
+        assert!(capacity > 0, "cache must hold at least one item");
+        Ok(KvCache {
+            buckets: SimArray::new(space, "kv.buckets", capacity, NIL)?,
+            keys: SimArray::new(space, "kv.keys", capacity, 0u64)?,
+            chain_next: SimArray::new(space, "kv.chain", capacity, NIL)?,
+            lru_prev: SimArray::new(space, "kv.lru_prev", capacity, NIL)?,
+            lru_next: SimArray::new(space, "kv.lru_next", capacity, NIL)?,
+            values: SimArray::new(space, "kv.values", capacity * value_size, 0u8)?,
+            value_size,
+            capacity,
+            len: 0,
+            lru_head: NIL,
+            lru_tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        })
+    }
+
+    /// Items currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        (splitmix64(key) % self.capacity as u64) as usize
+    }
+
+    /// Looks up `key`; on a hit, reads the value and refreshes LRU.
+    pub fn get(&mut self, key: u64, sink: &mut dyn AccessSink) -> bool {
+        sink.instructions(8); // hashing + dispatch
+        match self.find(key, sink) {
+            Some(slot) => {
+                self.touch_value(slot, false, sink);
+                self.lru_unlink(slot, sink);
+                self.lru_push_front(slot, sink);
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts or updates `key`, writing its value bytes. Evicts the LRU
+    /// item when full.
+    pub fn set(&mut self, key: u64, sink: &mut dyn AccessSink) {
+        sink.instructions(8);
+        if let Some(slot) = self.find(key, sink) {
+            self.touch_value(slot, true, sink);
+            self.lru_unlink(slot, sink);
+            self.lru_push_front(slot, sink);
+            return;
+        }
+        let slot = if self.len < self.capacity {
+            let s = self.len;
+            self.len += 1;
+            s
+        } else {
+            self.evict(sink)
+        };
+        self.keys.set(slot, key, sink);
+        let bucket = self.bucket_of(key);
+        let head = self.buckets.get(bucket, sink);
+        self.chain_next.set(slot, head, sink);
+        self.buckets.set(bucket, slot as u32 + 1, sink);
+        self.touch_value(slot, true, sink);
+        self.lru_push_front(slot, sink);
+        sink.instructions(6);
+    }
+
+    fn find(&mut self, key: u64, sink: &mut dyn AccessSink) -> Option<usize> {
+        let bucket = self.bucket_of(key);
+        let mut cursor = self.buckets.get(bucket, sink);
+        while cursor != NIL {
+            let slot = cursor as usize - 1;
+            sink.instructions(3);
+            if self.keys.get(slot, sink) == key {
+                return Some(slot);
+            }
+            cursor = self.chain_next.get(slot, sink);
+        }
+        None
+    }
+
+    fn touch_value(&mut self, slot: usize, write: bool, sink: &mut dyn AccessSink) {
+        let base = slot * self.value_size;
+        let mut off = 0;
+        while off < self.value_size {
+            if write {
+                self.values.set(base + off, off as u8, sink);
+            } else {
+                self.values.get(base + off, sink);
+            }
+            off += 64;
+        }
+        sink.instructions((self.value_size / 64).max(1) as u64);
+    }
+
+    fn evict(&mut self, sink: &mut dyn AccessSink) -> usize {
+        debug_assert_ne!(self.lru_tail, NIL, "full cache has an LRU tail");
+        let victim = self.lru_tail as usize - 1;
+        self.evictions += 1;
+        self.lru_unlink(victim, sink);
+        // Unlink from its bucket chain.
+        let key = self.keys.get(victim, sink);
+        let bucket = self.bucket_of(key);
+        let mut cursor = self.buckets.get(bucket, sink);
+        if cursor as usize == victim + 1 {
+            let next = self.chain_next.get(victim, sink);
+            self.buckets.set(bucket, next, sink);
+        } else {
+            while cursor != NIL {
+                let slot = cursor as usize - 1;
+                let next = self.chain_next.get(slot, sink);
+                if next as usize == victim + 1 {
+                    let skip = self.chain_next.get(victim, sink);
+                    self.chain_next.set(slot, skip, sink);
+                    break;
+                }
+                cursor = next;
+            }
+        }
+        sink.instructions(8);
+        victim
+    }
+
+    fn lru_unlink(&mut self, slot: usize, sink: &mut dyn AccessSink) {
+        let prev = self.lru_prev.get(slot, sink);
+        let next = self.lru_next.get(slot, sink);
+        if prev != NIL {
+            self.lru_next.set(prev as usize - 1, next, sink);
+        } else if self.lru_head as usize == slot + 1 {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.lru_prev.set(next as usize - 1, prev, sink);
+        } else if self.lru_tail as usize == slot + 1 {
+            self.lru_tail = prev;
+        }
+        self.lru_prev.set(slot, NIL, sink);
+        self.lru_next.set(slot, NIL, sink);
+    }
+
+    fn lru_push_front(&mut self, slot: usize, sink: &mut dyn AccessSink) {
+        let old_head = self.lru_head;
+        self.lru_next.set(slot, old_head, sink);
+        self.lru_prev.set(slot, NIL, sink);
+        if old_head != NIL {
+            self.lru_prev.set(old_head as usize - 1, slot as u32 + 1, sink);
+        }
+        self.lru_head = slot as u32 + 1;
+        if self.lru_tail == NIL {
+            self.lru_tail = slot as u32 + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn cache(capacity: usize) -> (AddressSpace, KvCache) {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let cache = KvCache::new(&mut space, capacity, 128).unwrap();
+        (space, cache)
+    }
+
+    #[test]
+    fn get_after_set_hits() {
+        let (_s, mut c) = cache(16);
+        let mut sink = CountingSink::new();
+        for key in [1u64, 100, 12345] {
+            c.set(key, &mut sink);
+        }
+        for key in [1u64, 100, 12345] {
+            assert!(c.get(key, &mut sink), "key {key}");
+        }
+        assert!(!c.get(999, &mut sink));
+        assert_eq!(c.stats().0, 3);
+        assert_eq!(c.stats().1, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_removes_coldest_key() {
+        let (_s, mut c) = cache(4);
+        let mut sink = CountingSink::new();
+        for key in 0..4u64 {
+            c.set(key, &mut sink);
+        }
+        c.get(0, &mut sink); // refresh key 0; key 1 is now coldest
+        c.set(100, &mut sink); // evicts key 1
+        assert!(c.get(0, &mut sink));
+        assert!(!c.get(1, &mut sink), "coldest key evicted");
+        assert!(c.get(100, &mut sink));
+        assert_eq!(c.stats().2, 1);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn update_does_not_grow_the_cache() {
+        let (_s, mut c) = cache(4);
+        let mut sink = CountingSink::new();
+        c.set(7, &mut sink);
+        c.set(7, &mut sink);
+        c.set(7, &mut sink);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().2, 0);
+    }
+
+    #[test]
+    fn chains_survive_collisions() {
+        // Capacity 2 → every key collides in a 2-bucket table often.
+        let (_s, mut c) = cache(2);
+        let mut sink = CountingSink::new();
+        c.set(10, &mut sink);
+        c.set(20, &mut sink);
+        assert!(c.get(10, &mut sink));
+        assert!(c.get(20, &mut sink));
+        // Insert a third: evicts LRU (10, since 20 was touched last... then
+        // 10 was re-touched — check semantics precisely below).
+        c.set(30, &mut sink);
+        assert!(c.get(30, &mut sink));
+        assert_eq!(c.len(), 2);
+        // Exactly one of 10/20 survived: the most recently used (20).
+        assert!(c.get(20, &mut sink));
+        assert!(!c.get(10, &mut sink));
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let (_s, mut c) = cache(32);
+        let mut sink = CountingSink::new();
+        for i in 0..1000u64 {
+            c.set(i % 100, &mut sink);
+            assert!(c.get(i % 100, &mut sink), "just-set key must hit");
+            assert!(c.len() <= 32);
+        }
+        let (hits, misses, evictions) = c.stats();
+        assert_eq!(hits + misses, 1000);
+        assert!(evictions > 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Minimum-cost flow by successive shortest paths (the `mcf` workload).
+//!
+//! SPEC `429.mcf` uses a network simplex; successive shortest paths (SSP)
+//! with Bellman–Ford label correction has the same memory character — a
+//! sequential arc scan inside a label-correcting loop plus pointer-heavy
+//! path walks — while being considerably easier to verify. The residual
+//! arc arrays and node labels live in simulated memory.
+
+use crate::SimArray;
+use atscale_gen::mcf_net::Network;
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VmError};
+
+/// Result of a min-cost-flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Units of flow shipped from the source to the sink.
+    pub flow: i64,
+    /// Total cost of the shipped flow.
+    pub cost: i64,
+}
+
+/// A min-cost-flow solver whose residual network lives in simulated
+/// memory. Allocation (`new`) is separate from solving (`solve`) so the
+/// arrays can be placed in a [`crate::Workload`]-style machine address
+/// space before the measured phase begins.
+#[derive(Debug)]
+pub struct McfSolver {
+    n: usize,
+    supply: i64,
+    adj_off: SimArray<u32>,
+    adj_arc: SimArray<u32>,
+    heads: SimArray<u32>,
+    caps: SimArray<i64>,
+    costs: SimArray<i64>,
+    dist: SimArray<i64>,
+    pred: SimArray<u32>,
+}
+
+/// Convenience wrapper: allocates a [`McfSolver`] in `space` and solves.
+///
+/// # Errors
+///
+/// Propagates allocation failure for the residual-network arrays.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::mcf_net::{generate, McfConfig};
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::min_cost_flow;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let net = generate(McfConfig::new(50, 1));
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let mut sink = CountingSink::new();
+/// let result = min_cost_flow(&net, &mut space, &mut sink)?;
+/// assert!(result.flow > 0);
+/// assert!(result.cost > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_cost_flow(
+    net: &Network,
+    space: &mut AddressSpace,
+    sink: &mut dyn AccessSink,
+) -> Result<FlowResult, VmError> {
+    let mut solver = McfSolver::new(space, net)?;
+    Ok(solver.solve(sink))
+}
+
+impl McfSolver {
+    /// Builds the residual network (forward arc `2i`, backward `2i+1`) and
+    /// its CSR adjacency in `space`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure.
+    pub fn new(space: &mut AddressSpace, net: &Network) -> Result<Self, VmError> {
+    let n = net.nodes as usize;
+
+    // Residual network: forward arc 2i, backward arc 2i+1.
+    let m = net.arcs.len() * 2;
+    #[allow(clippy::needless_range_loop)]
+    {
+    let mut heads = vec![0u32; m];
+    let mut caps = vec![0i64; m];
+    let mut costs = vec![0i64; m];
+    let mut tails = vec![0u32; m];
+    for (i, arc) in net.arcs.iter().enumerate() {
+        heads[2 * i] = arc.to;
+        tails[2 * i] = arc.from;
+        caps[2 * i] = arc.capacity as i64;
+        costs[2 * i] = arc.cost;
+        heads[2 * i + 1] = arc.from;
+        tails[2 * i + 1] = arc.to;
+        caps[2 * i + 1] = 0;
+        costs[2 * i + 1] = -arc.cost;
+    }
+    // CSR adjacency over residual arcs.
+    let mut degree = vec![0u32; n];
+    for &t in &tails {
+        degree[t as usize] += 1;
+    }
+    let mut adj_off = vec![0u32; n + 1];
+    for v in 0..n {
+        adj_off[v + 1] = adj_off[v] + degree[v];
+    }
+    let mut cursor = adj_off.clone();
+    let mut adj_arc = vec![0u32; m];
+    for (a, &t) in tails.iter().enumerate() {
+        adj_arc[cursor[t as usize] as usize] = a as u32;
+        cursor[t as usize] += 1;
+    }
+
+    Ok(McfSolver {
+        n,
+        supply: net.supply as i64,
+        adj_off: SimArray::from_vec(space, "mcf.adj_off", adj_off)?,
+        adj_arc: SimArray::from_vec(space, "mcf.adj_arc", adj_arc)?,
+        heads: SimArray::from_vec(space, "mcf.heads", heads)?,
+        caps: SimArray::from_vec(space, "mcf.caps", caps)?,
+        costs: SimArray::from_vec(space, "mcf.costs", costs)?,
+        dist: SimArray::new(space, "mcf.dist", n, i64::MAX)?,
+        pred: SimArray::new(space, "mcf.pred", n, u32::MAX)?,
+    })
+    }
+    }
+
+    /// Runs successive shortest paths, shipping up to the network's supply
+    /// from node 0 to the last node; returns flow and cost. Polls
+    /// `sink.done()` between augmentations.
+    pub fn solve(&mut self, sink: &mut dyn AccessSink) -> FlowResult {
+    let n = self.n;
+    let supply = self.supply;
+    let source = 0usize;
+    let target = n - 1;
+    let McfSolver {
+        adj_off,
+        adj_arc,
+        heads,
+        caps,
+        costs,
+        dist,
+        pred,
+        ..
+    } = self;
+
+    let mut total_flow = 0i64;
+    let mut total_cost = 0i64;
+    let mut remaining = supply;
+
+    while remaining > 0 && !sink.done() {
+        // Bellman–Ford label correction (SPFA) from the source.
+        for v in 0..n {
+            dist.set_silent(v, i64::MAX);
+            pred.set_silent(v, u32::MAX);
+        }
+        dist.set(source, 0, sink);
+        let mut queue = std::collections::VecDeque::from([source as u32]);
+        let mut in_queue = vec![false; n];
+        in_queue[source] = true;
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            in_queue[u] = false;
+            let du = dist.get(u, sink);
+            let start = adj_off.get(u, sink) as usize;
+            let end = adj_off.get(u + 1, sink) as usize;
+            for e in start..end {
+                let a = adj_arc.get(e, sink) as usize;
+                sink.instructions(3);
+                if caps.get(a, sink) <= 0 {
+                    continue;
+                }
+                let v = heads.get(a, sink) as usize;
+                let nd = du + costs.get(a, sink);
+                if nd < dist.get(v, sink) {
+                    dist.set(v, nd, sink);
+                    pred.set(v, a as u32, sink);
+                    sink.instructions(2);
+                    if !in_queue[v] {
+                        in_queue[v] = true;
+                        queue.push_back(v as u32);
+                    }
+                }
+            }
+            if sink.done() {
+                break;
+            }
+        }
+        if dist.get_silent(target) == i64::MAX {
+            break; // no augmenting path
+        }
+        // Walk the predecessor path: bottleneck, then augment.
+        let mut bottleneck = remaining;
+        let mut v = target;
+        while v != source {
+            let a = pred.get(v, sink) as usize;
+            bottleneck = bottleneck.min(caps.get(a, sink));
+            v = heads.get_silent(a ^ 1) as usize; // tail of a = head of its pair
+            sink.instructions(3);
+        }
+        let mut v = target;
+        while v != source {
+            let a = pred.get(v, sink) as usize;
+            caps.set(a, caps.get(a, sink) - bottleneck, sink);
+            caps.set(a ^ 1, caps.get(a ^ 1, sink) + bottleneck, sink);
+            total_cost += bottleneck * costs.get_silent(a);
+            v = heads.get_silent(a ^ 1) as usize;
+            sink.instructions(4);
+        }
+        total_flow += bottleneck;
+        remaining -= bottleneck;
+    }
+    FlowResult {
+        flow: total_flow,
+        cost: total_cost,
+    }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_gen::mcf_net::{Arc, Network};
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    #[test]
+    fn picks_the_cheaper_path() {
+        // 0 → 2 directly costs 10; 0 → 1 → 2 costs 2 + 3 = 5.
+        let net = Network {
+            nodes: 3,
+            arcs: vec![
+                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
+                Arc { from: 0, to: 1, capacity: 1, cost: 2 },
+                Arc { from: 1, to: 2, capacity: 1, cost: 3 },
+            ],
+            supply: 1,
+        };
+        let mut s = space();
+        let mut sink = CountingSink::new();
+        let r = min_cost_flow(&net, &mut s, &mut sink).unwrap();
+        assert_eq!(r, FlowResult { flow: 1, cost: 5 });
+    }
+
+    #[test]
+    fn splits_flow_across_paths_when_capacity_binds() {
+        // Two units must use both paths: cheap (cost 5) then expensive (10).
+        let net = Network {
+            nodes: 3,
+            arcs: vec![
+                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
+                Arc { from: 0, to: 1, capacity: 1, cost: 2 },
+                Arc { from: 1, to: 2, capacity: 1, cost: 3 },
+            ],
+            supply: 2,
+        };
+        let mut s = space();
+        let mut sink = CountingSink::new();
+        let r = min_cost_flow(&net, &mut s, &mut sink).unwrap();
+        assert_eq!(r, FlowResult { flow: 2, cost: 15 });
+    }
+
+    #[test]
+    fn residual_arcs_enable_rerouting() {
+        // Classic case where a later augmentation must push flow *back*
+        // along an earlier choice: diamond with a cross edge.
+        //   0→1 (1, cost 1), 0→2 (1, cost 10), 1→3 (1, cost 10),
+        //   2→3 (1, cost 1), 1→2 (1, cost 1).
+        // 2 units: optimum routes 0→1→2→3 (3) + 0→2... capacity of 0→2 is 1
+        // and 2→3 is 1 → optimum = 0→1→3 (11) + 0→2→3 (11)?? With the cross
+        // edge the SSP first sends 0→1→2→3 at cost 3, then must reroute.
+        let net = Network {
+            nodes: 4,
+            arcs: vec![
+                Arc { from: 0, to: 1, capacity: 1, cost: 1 },
+                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
+                Arc { from: 1, to: 3, capacity: 1, cost: 10 },
+                Arc { from: 2, to: 3, capacity: 1, cost: 1 },
+                Arc { from: 1, to: 2, capacity: 1, cost: 1 },
+            ],
+            supply: 2,
+        };
+        let mut s = space();
+        let mut sink = CountingSink::new();
+        let r = min_cost_flow(&net, &mut s, &mut sink).unwrap();
+        assert_eq!(r.flow, 2);
+        // Optimal: 0→1→2→3 (cost 3) + 0→2 residual... enumerate: the two
+        // disjoint routings are {0→1→3, 0→2→3} = 22 and the SSP answer
+        // must match the true optimum 22 − nothing cheaper exists for 2
+        // units, but 1 unit via 0→1→2→3 then 1 via 0→2(→3 is full)→ fails,
+        // so rerouting through residuals yields exactly 22.
+        assert_eq!(r.cost, 22);
+    }
+
+    #[test]
+    fn generated_networks_ship_their_supply() {
+        use atscale_gen::mcf_net::{generate, McfConfig};
+        let net = generate(McfConfig::new(120, 4));
+        let mut s = space();
+        let mut sink = CountingSink::new();
+        let r = min_cost_flow(&net, &mut s, &mut sink).unwrap();
+        assert!(r.flow >= 1);
+        assert!(r.cost > 0);
+        assert!(sink.loads > 1000, "label correction reads heavily");
+    }
+}

@@ -1,0 +1,28 @@
+//! Real, executable implementations of the paper's workloads.
+//!
+//! Every kernel here genuinely computes its answer — BFS produces a parent
+//! tree, PageRank converges, the min-cost-flow solver finds optimal flow —
+//! while addressing its data through [`crate::SimArray`]s so the simulated
+//! MMU observes the true address trace. They are used by the example
+//! binaries and by validation tests that anchor the paper-scale models in
+//! [`crate::models`].
+
+mod bc;
+mod bfs;
+mod cc;
+mod graph;
+mod kv;
+mod mcf;
+mod pr;
+mod streamcluster;
+mod tc;
+
+pub use bc::{betweenness_centrality, BcArrays};
+pub use bfs::bfs;
+pub use cc::connected_components;
+pub use graph::CsrGraph;
+pub use kv::KvCache;
+pub use mcf::{min_cost_flow, FlowResult, McfSolver};
+pub use pr::pagerank;
+pub use streamcluster::{generate_points, stream_kmedian, ClusteringResult};
+pub use tc::triangle_count;

@@ -1,0 +1,172 @@
+//! Streaming k-median clustering (PARSEC `streamcluster`).
+
+use crate::SimArray;
+use atscale_gen::points::{point, PointsConfig};
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VmError};
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct ClusteringResult {
+    /// Indices of the opened centres (into the point block).
+    pub centers: Vec<usize>,
+    /// Sum of distances from every point to its nearest centre.
+    pub cost: f64,
+}
+
+/// Generates `n_points` points from `config` into a simulated-memory
+/// block, `dims` consecutive `f32`s per point (the program's untimed
+/// input-read phase).
+///
+/// # Errors
+///
+/// Propagates allocation failure for the point block.
+pub fn generate_points(
+    config: PointsConfig,
+    n_points: usize,
+    space: &mut AddressSpace,
+) -> Result<SimArray<f32>, VmError> {
+    let dims = config.dims as usize;
+    let mut block = vec![0.0f32; n_points * dims];
+    let mut buf = vec![0.0f32; dims];
+    for i in 0..n_points {
+        point(config, i as u64, &mut buf);
+        block[i * dims..(i + 1) * dims].copy_from_slice(&buf);
+    }
+    SimArray::from_vec(space, "sc.points", block)
+}
+
+/// Online facility-location clustering over a pre-generated block of
+/// points — the core loop of PARSEC streamcluster: every point is scanned
+/// against the current centres (dense sequential float reads), opening a
+/// new facility when it is far from all of them. At most `max_centers`
+/// facilities open.
+///
+/// # Panics
+///
+/// Panics if `max_centers` is zero or the block is not a whole number of
+/// `dims`-sized points.
+///
+/// # Example
+///
+/// ```
+/// use atscale_gen::points::PointsConfig;
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::kernels::{generate_points, stream_kmedian};
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let cfg = PointsConfig::new(7);
+/// let points = generate_points(cfg, 200, &mut space)?;
+/// let mut sink = CountingSink::new();
+/// let result = stream_kmedian(&points, cfg.dims as usize, 8, &mut sink);
+/// assert!(!result.centers.is_empty());
+/// assert!(result.cost.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn stream_kmedian(
+    points: &SimArray<f32>,
+    dims: usize,
+    max_centers: usize,
+    sink: &mut dyn AccessSink,
+) -> ClusteringResult {
+    assert!(max_centers > 0, "need at least one centre");
+    assert_eq!(points.len() % dims, 0, "block must be whole points");
+    let n_points = points.len() / dims;
+
+    let mut centers: Vec<usize> = vec![0];
+    let mut cost = 0.0f64;
+    // Opening threshold adapts like streamcluster's facility cost.
+    let mut facility_cost = 0.5 * dims as f64 * 0.01;
+
+    for i in 1..n_points {
+        if sink.done() {
+            break;
+        }
+        // Distance to every open centre: dense sequential reads of the
+        // point's coords and the centre's coords.
+        let mut best = f64::MAX;
+        for &c in &centers {
+            let mut d = 0.0f64;
+            for k in (0..dims).step_by(8) {
+                let a = points.get(i * dims + k, sink) as f64;
+                let b = points.get(c * dims + k, sink) as f64;
+                d += (a - b) * (a - b);
+                sink.instructions(4);
+            }
+            if d < best {
+                best = d;
+            }
+        }
+        if best > facility_cost && centers.len() < max_centers {
+            centers.push(i);
+            facility_cost *= 1.2; // opening gets progressively harder
+            sink.instructions(8);
+        } else {
+            cost += best.sqrt();
+            sink.instructions(2);
+        }
+    }
+    ClusteringResult { centers, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    fn run(config: PointsConfig, n: usize, k: usize) -> (ClusteringResult, CountingSink) {
+        let mut s = space();
+        let points = generate_points(config, n, &mut s).unwrap();
+        let mut sink = CountingSink::new();
+        let r = stream_kmedian(&points, config.dims as usize, k, &mut sink);
+        (r, sink)
+    }
+
+    #[test]
+    fn separated_clusters_open_multiple_centers() {
+        let config = PointsConfig {
+            dims: 32,
+            centers: 4,
+            spread: 0.01,
+            seed: 9,
+        };
+        let (r, _sink) = run(config, 400, 16);
+        assert!(
+            r.centers.len() >= 3,
+            "4 latent clusters should open ≥3 centres, got {}",
+            r.centers.len()
+        );
+        assert!(r.cost > 0.0);
+    }
+
+    #[test]
+    fn center_budget_is_respected() {
+        let (r, _sink) = run(PointsConfig::new(3), 300, 2);
+        assert!(r.centers.len() <= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = PointsConfig::new(11);
+        let (a, k1) = run(config, 150, 8);
+        let (b, k2) = run(config, 150, 8);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(k1.loads, k2.loads);
+    }
+
+    #[test]
+    fn access_stream_is_load_dominated() {
+        let (_r, sink) = run(PointsConfig::new(1), 200, 8);
+        assert!(sink.loads > 1000);
+        assert_eq!(sink.stores, 0);
+    }
+}

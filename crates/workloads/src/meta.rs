@@ -1,0 +1,108 @@
+//! Per-program dynamics profiles.
+//!
+//! The paper stresses (Fig. 5 discussion) that a workload's *dynamics* —
+//! the composition of its dynamic instruction stream — determine how much
+//! translation latency reaches the critical path. These profiles encode
+//! each program's character:
+//!
+//! * graph kernels: branchy, decent memory-level parallelism (independent
+//!   neighbour accesses), moderate base CPI;
+//! * `mcf`: pointer-chasing network simplex — almost no MLP, branch
+//!   outcomes depend on loaded data;
+//! * `memcached`: request-handling code with hash-and-chain dependencies;
+//! * `streamcluster`: dense floating-point streaming, superb MLP, few
+//!   mispredicts.
+
+use atscale_mmu::WorkloadProfile;
+
+/// Profile for GAPBS `bc`, `bfs`, `cc`, `pr` (edge-centric graph kernels).
+pub fn graph_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        base_cpi: 0.55,
+        mlp: 3.0,
+        store_walk_exposure: 0.5,
+        mispredicts_per_kinstr: 3.5,
+        clears_base_per_kinstr: 0.02,
+        dep_load_prob: 0.5,
+    }
+}
+
+/// Profile for GAPBS `tc` (set-intersection heavy, more compare branches).
+pub fn tc_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        base_cpi: 0.5,
+        mlp: 3.0,
+        store_walk_exposure: 0.5,
+        mispredicts_per_kinstr: 8.0,
+        clears_base_per_kinstr: 0.02,
+        dep_load_prob: 0.45,
+    }
+}
+
+/// Profile for SPEC `mcf` (serialised pointer chasing).
+pub fn mcf_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        base_cpi: 0.7,
+        mlp: 1.4,
+        store_walk_exposure: 0.6,
+        mispredicts_per_kinstr: 9.0,
+        clears_base_per_kinstr: 0.03,
+        dep_load_prob: 0.7,
+    }
+}
+
+/// Profile for `memcached` request handling.
+pub fn memcached_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        base_cpi: 0.8,
+        mlp: 2.5,
+        store_walk_exposure: 0.5,
+        mispredicts_per_kinstr: 3.5,
+        clears_base_per_kinstr: 0.025,
+        dep_load_prob: 0.5,
+    }
+}
+
+/// Profile for PARSEC `streamcluster` (dense FP streaming).
+pub fn streamcluster_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        base_cpi: 0.5,
+        mlp: 6.0,
+        store_walk_exposure: 0.4,
+        mispredicts_per_kinstr: 1.5,
+        clears_base_per_kinstr: 0.015,
+        dep_load_prob: 0.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in [
+            graph_profile(),
+            tc_profile(),
+            mcf_profile(),
+            memcached_profile(),
+            streamcluster_profile(),
+        ] {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn mcf_has_least_parallelism() {
+        assert!(mcf_profile().mlp < graph_profile().mlp);
+        assert!(mcf_profile().mlp < streamcluster_profile().mlp);
+    }
+
+    #[test]
+    fn streamcluster_is_least_speculative() {
+        let sc = streamcluster_profile();
+        for other in [graph_profile(), tc_profile(), mcf_profile()] {
+            assert!(sc.mispredicts_per_kinstr < other.mispredicts_per_kinstr);
+        }
+    }
+}

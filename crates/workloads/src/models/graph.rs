@@ -1,0 +1,561 @@
+//! Access-pattern models for the five GAPBS graph kernels.
+//!
+//! All five kernels share a CSR-style layout — an `offsets` array, a large
+//! `edges` array (16 edges/vertex, the GAPBS default), and per-vertex value
+//! arrays — and differ in how they traverse it:
+//!
+//! * `pr` streams the edge array and gathers per-vertex contributions;
+//! * `cc` streams edges and hits both endpoints' component labels;
+//! * `bfs` pops frontier vertices, scans their adjacency runs, and probes a
+//!   visited bitmap (direction-optimisation keeps the probe rate modest);
+//! * `bc` is BFS plus a dependency-accumulation phase over float arrays;
+//! * `tc` intersects pairs of sorted adjacency runs — overwhelmingly
+//!   sequential, and on `kron` inputs concentrated on the high-degree core
+//!   thanks to GAPBS's degree-ordering optimisation (the mechanism behind
+//!   the paper's `tc-kron` exception).
+//!
+//! The `urand`/`kron` distinction enters through endpoint sampling: uniform
+//! for `urand`, Zipf-skewed over *scattered* addresses for `kron` (hubs are
+//! popular but live on pages shared with cold vertices).
+
+use super::Region;
+use crate::workload::Workload;
+use crate::meta;
+use atscale_gen::zipf::Zipf;
+use atscale_mmu::{AccessSink, WorkloadProfile};
+use atscale_vm::{AddressSpace, VmError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which GAPBS kernel to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKernel {
+    /// Betweenness centrality.
+    Bc,
+    /// Breadth-first search (direction-optimising).
+    Bfs,
+    /// Connected components.
+    Cc,
+    /// PageRank.
+    Pr,
+    /// Triangle counting (degree-ordered).
+    Tc,
+}
+
+impl GraphKernel {
+    /// Kernel name as used in workload labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GraphKernel::Bc => "bc",
+            GraphKernel::Bfs => "bfs",
+            GraphKernel::Cc => "cc",
+            GraphKernel::Pr => "pr",
+            GraphKernel::Tc => "tc",
+        }
+    }
+}
+
+/// Which input generator shapes the endpoint distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphGen {
+    /// GAPBS `-u`: uniform endpoints.
+    Urand,
+    /// GAPBS `-g`: Kronecker/RMAT, heavy-tailed endpoints.
+    Kron,
+}
+
+impl GraphGen {
+    /// Generator name as used in workload labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GraphGen::Urand => "urand",
+            GraphGen::Kron => "kron",
+        }
+    }
+}
+
+/// GAPBS default degree (edges per vertex).
+const DEGREE: u64 = 16;
+
+/// Zipf skew approximating RMAT endpoint popularity.
+const KRON_THETA: f64 = 0.6;
+
+/// Stronger effective skew for `tc-kron`: degree-ordering concentrates
+/// intersection work on the hub core.
+const TC_KRON_THETA: f64 = 0.88;
+
+struct Arrays {
+    offsets: Region,
+    edges: Region,
+    vdata: Option<Region>,
+    vdata2: Option<Region>,
+    bitmap: Option<Region>,
+    frontier: Option<Region>,
+    /// Stack/locals: the hot accesses every real instruction stream is
+    /// diluted with. Always TLB- and mostly L1-resident.
+    hot: Region,
+}
+
+/// A paper-scale model of one GAPBS kernel on one generator.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::models::{GraphGen, GraphKernel, GraphModel};
+/// use atscale_workloads::Workload;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut model = GraphModel::new(GraphKernel::Pr, GraphGen::Urand, 8 << 20, 42);
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// model.setup(&mut space)?;
+/// let mut sink = CountingSink::with_budget(10_000);
+/// model.run(&mut sink);
+/// assert!(sink.loads > 2_000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct GraphModel {
+    kernel: GraphKernel,
+    gen: GraphGen,
+    footprint: u64,
+    n_vertices: u64,
+    rng: SmallRng,
+    zipf: Option<Zipf>,
+    arrays: Option<Arrays>,
+}
+
+impl GraphModel {
+    /// Creates a model instance sized so the mapped working set is
+    /// approximately `footprint` bytes.
+    pub fn new(kernel: GraphKernel, gen: GraphGen, footprint: u64, seed: u64) -> Self {
+        let bpv = Self::bytes_per_vertex(kernel);
+        let n_vertices = (footprint / bpv).max(1024);
+        let theta = match (kernel, gen) {
+            (_, GraphGen::Urand) => None,
+            (GraphKernel::Tc, GraphGen::Kron) => Some(TC_KRON_THETA),
+            (_, GraphGen::Kron) => Some(KRON_THETA),
+        };
+        GraphModel {
+            kernel,
+            gen,
+            footprint,
+            n_vertices,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: theta.map(|t| Zipf::new(n_vertices, t)),
+            arrays: None,
+        }
+    }
+
+    /// Vertices in the modelled graph.
+    pub fn vertices(&self) -> u64 {
+        self.n_vertices
+    }
+
+    /// Nominal footprint requested at construction.
+    pub fn nominal_footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    fn bytes_per_vertex(kernel: GraphKernel) -> u64 {
+        // offsets (8) + edges (8·16) everywhere; value arrays per kernel.
+        match kernel {
+            GraphKernel::Pr => 8 + 8 * DEGREE + 8 + 8,
+            GraphKernel::Cc => 8 + 8 * DEGREE + 8,
+            GraphKernel::Bfs => 8 + 8 * DEGREE + 8 + 1,
+            GraphKernel::Bc => 8 + 8 * DEGREE + 8 + 8 + 8 + 1,
+            GraphKernel::Tc => 8 + 8 * DEGREE,
+        }
+    }
+
+    /// Samples an endpoint vertex id according to the generator.
+    #[inline]
+    fn endpoint(&mut self) -> u64 {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.n_vertices),
+            Some(z) => z.sample(&mut self.rng),
+        }
+    }
+
+    /// Address of a sampled endpoint's slot in a per-vertex array.
+    ///
+    /// Uniform endpoints map uniformly; skewed endpoints are scattered so
+    /// hub slots share pages with cold slots (real vertex ids are permuted).
+    #[inline]
+    fn endpoint_slot(&mut self, which: Which) -> atscale_vm::VirtAddr {
+        let e = self.endpoint();
+        let arrays = self.arrays.as_ref().expect("setup() must run first");
+        let region = match which {
+            Which::VData => arrays.vdata.as_ref().expect("kernel uses vdata"),
+            Which::VData2 => arrays.vdata2.as_ref().expect("kernel uses vdata2"),
+            Which::Offsets => &arrays.offsets,
+            Which::Bitmap => arrays.bitmap.as_ref().expect("kernel uses bitmap"),
+        };
+        match self.gen {
+            GraphGen::Urand => {
+                let slots = region.len() / 8;
+                region.at((e % slots) * 8)
+            }
+            GraphGen::Kron => region.scattered(e),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    VData,
+    VData2,
+    Offsets,
+    Bitmap,
+}
+
+impl Workload for GraphModel {
+    fn program(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    fn generator(&self) -> &'static str {
+        self.gen.name()
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        match self.kernel {
+            GraphKernel::Tc => meta::tc_profile(),
+            _ => meta::graph_profile(),
+        }
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) -> Result<(), VmError> {
+        let n = self.n_vertices;
+        let alloc = |space: &mut AddressSpace, name, bytes: u64| -> Result<Region, VmError> {
+            let seg = space.alloc_heap(name, bytes.max(4096))?;
+            Ok(Region::new(&seg))
+        };
+        let offsets = alloc(space, "csr.offsets", (n + 1) * 8)?;
+        let edges = alloc(space, "csr.edges", n * DEGREE * 8)?;
+        let vdata = match self.kernel {
+            GraphKernel::Tc => None,
+            _ => Some(alloc(space, "vdata", n * 8)?),
+        };
+        let vdata2 = match self.kernel {
+            GraphKernel::Pr | GraphKernel::Bc => Some(alloc(space, "vdata2", n * 8)?),
+            _ => None,
+        };
+        let bitmap = match self.kernel {
+            GraphKernel::Bfs | GraphKernel::Bc => Some(alloc(space, "visited", n / 8 + 8)?),
+            _ => None,
+        };
+        let frontier = match self.kernel {
+            GraphKernel::Bfs | GraphKernel::Bc => Some(alloc(space, "frontier", n * 8)?),
+            _ => None,
+        };
+        let hot = alloc(space, "stack", 64 << 10)?;
+        let mut arrays = Arrays {
+            offsets,
+            edges,
+            vdata,
+            vdata2,
+            bitmap,
+            frontier,
+            hot,
+        };
+        arrays.hot.touch_all(space);
+        // Build phase: fault in the whole instance.
+        arrays.offsets.touch_all(space);
+        arrays.edges.touch_all(space);
+        for r in [&arrays.vdata, &arrays.vdata2, &arrays.bitmap, &arrays.frontier]
+            .into_iter()
+            .flatten()
+        {
+            r.touch_all(space);
+        }
+        // Sampled window: sequential cursors start mid-stream.
+        arrays.edges.randomize_cursor(&mut self.rng);
+        arrays.offsets.randomize_cursor(&mut self.rng);
+        if let Some(f) = arrays.frontier.as_mut() {
+            f.randomize_cursor(&mut self.rng);
+        }
+        if let Some(v) = arrays.vdata2.as_mut() {
+            v.randomize_cursor(&mut self.rng);
+        }
+        self.arrays = Some(arrays);
+        Ok(())
+    }
+
+    fn run(&mut self, sink: &mut dyn AccessSink) {
+        assert!(self.arrays.is_some(), "setup() must run before run()");
+        while !sink.done() {
+            match self.kernel {
+                GraphKernel::Pr => self.step_pr(sink),
+                GraphKernel::Cc => self.step_cc(sink),
+                GraphKernel::Bfs => self.step_bfs(sink, false),
+                GraphKernel::Bc => self.step_bfs(sink, true),
+                GraphKernel::Tc => self.step_tc(sink),
+            }
+        }
+    }
+}
+
+impl GraphModel {
+    /// Emits one hot (stack/locals) access — the traffic every real
+    /// dynamic instruction stream is diluted with. These hit the TLB and
+    /// almost always the L1.
+    #[inline]
+    fn hot(&mut self, sink: &mut dyn AccessSink) {
+        let arrays = self.arrays.as_mut().expect("setup ran");
+        sink.load(arrays.hot.seq(64));
+    }
+
+    /// One PageRank vertex: stream the adjacency run, gather contributions.
+    fn step_pr(&mut self, sink: &mut dyn AccessSink) {
+        {
+            let arrays = self.arrays.as_mut().expect("setup ran");
+            sink.load(arrays.offsets.seq(8));
+        }
+        self.hot(sink);
+        sink.instructions(4);
+        for _ in 0..DEGREE {
+            let edge_va = self.arrays.as_mut().expect("setup ran").edges.seq(8);
+            sink.load(edge_va);
+            let contrib = self.endpoint_slot(Which::VData);
+            sink.load(contrib);
+            self.hot(sink);
+            sink.instructions(4);
+        }
+        let arrays = self.arrays.as_mut().expect("setup ran");
+        sink.store(arrays.vdata2.as_mut().expect("pr has vdata2").seq(8));
+        sink.instructions(4);
+    }
+
+    /// One CC edge-block: GAPBS scans edges by source vertex, so `comp[u]`
+    /// is quasi-sequential and only `comp[v]` is a cold random access.
+    fn step_cc(&mut self, sink: &mut dyn AccessSink) {
+        {
+            let arrays = self.arrays.as_mut().expect("setup ran");
+            // New source vertex every DEGREE edges: offsets + comp[u].
+            sink.load(arrays.offsets.seq(8));
+            let vdata = arrays.vdata.as_mut().expect("cc has vdata");
+            sink.load(vdata.seq(8));
+        }
+        sink.instructions(4);
+        for _ in 0..DEGREE {
+            {
+                let arrays = self.arrays.as_mut().expect("setup ran");
+                sink.load(arrays.edges.seq(8));
+            }
+            let comp_v = self.endpoint_slot(Which::VData);
+            sink.load(comp_v);
+            self.hot(sink);
+            sink.instructions(5);
+            if self.rng.gen::<f64>() < 0.08 {
+                sink.store(comp_v);
+                sink.instructions(1);
+            }
+        }
+    }
+
+    /// One BFS vertex. GAPBS's direction-optimising BFS mixes two phases:
+    ///
+    /// * **top-down** (≈⅓ of work): pop a frontier vertex — its offsets
+    ///   entry and adjacency run sit at *random* positions — and probe the
+    ///   visited bitmap for nearly every neighbour;
+    /// * **bottom-up** (≈⅔): scan vertices sequentially, probing the
+    ///   bitmap for a fraction of neighbours with early exit on the first
+    ///   visited parent.
+    ///
+    /// The bitmap (one bit per vertex ≈ footprint/1152) is the array whose
+    /// crossing of the TLB reach produces the paper's mid-sweep miss-rate
+    /// cliff for bfs-urand. With `bc`, dependency-accumulation float
+    /// traffic rides along.
+    fn step_bfs(&mut self, sink: &mut dyn AccessSink, bc: bool) {
+        let top_down = self.rng.gen::<f64>() < 0.45;
+        if top_down {
+            let off = self.endpoint_slot(Which::Offsets);
+            sink.load(off);
+        } else {
+            let arrays = self.arrays.as_mut().expect("setup ran");
+            sink.load(arrays.offsets.seq(8));
+        }
+        let run_start = {
+            let arrays = self.arrays.as_mut().expect("setup ran");
+            let frontier = arrays.frontier.as_mut().expect("bfs has frontier");
+            sink.load(frontier.seq(8));
+            if top_down {
+                Some(arrays.edges.random_run(&mut self.rng, DEGREE * 8))
+            } else {
+                None
+            }
+        };
+        self.hot(sink);
+        sink.instructions(5);
+        let probe_prob = if top_down { 0.5 } else { 0.12 };
+        for k in 0..DEGREE {
+            match run_start {
+                Some(start) => sink.load(start.add(k * 8)),
+                None => {
+                    let arrays = self.arrays.as_mut().expect("setup ran");
+                    sink.load(arrays.edges.seq(8));
+                }
+            }
+            self.hot(sink);
+            sink.instructions(3);
+            if self.rng.gen::<f64>() < probe_prob {
+                if top_down {
+                    // Top-down checks (and CASes) the parent array —
+                    // 8 bytes per vertex, a large cold array.
+                    let parent = self.endpoint_slot(Which::VData);
+                    sink.load(parent);
+                    sink.instructions(1);
+                    if self.rng.gen::<f64>() < 0.15 {
+                        // Newly discovered: CAS parent + enqueue.
+                        sink.store(parent);
+                        let arrays = self.arrays.as_mut().expect("setup ran");
+                        sink.store(
+                            arrays.frontier.as_mut().expect("bfs has frontier").seq(8),
+                        );
+                        sink.instructions(2);
+                    }
+                } else {
+                    // Bottom-up probes the visited bitmap.
+                    let bm = self.endpoint_slot(Which::Bitmap);
+                    sink.load(bm);
+                    sink.instructions(1);
+                }
+            }
+            if bc && self.rng.gen::<f64>() < 0.25 {
+                let d = self.endpoint_slot(Which::VData);
+                sink.load(d);
+                sink.instructions(2);
+                if self.rng.gen::<f64>() < 0.4 {
+                    let d2 = self.endpoint_slot(Which::VData2);
+                    sink.store(d2);
+                }
+            }
+            if !top_down && self.rng.gen::<f64>() < 0.05 {
+                break; // bottom-up early exit: found a visited parent
+            }
+        }
+    }
+
+    /// One TC intersection: march two sorted adjacency runs in lockstep.
+    fn step_tc(&mut self, sink: &mut dyn AccessSink) {
+        // Pick two vertices (hub-biased under kron's degree ordering) and
+        // intersect their runs; adjacency of vertex v sits at v·DEGREE·8.
+        let (u, v) = (self.endpoint(), self.endpoint());
+        {
+            let arrays = self.arrays.as_mut().expect("setup ran");
+            let run_u = arrays.offsets.at(u * 8); // offsets lookup
+            sink.load(run_u);
+        }
+        self.hot(sink);
+        sink.instructions(5);
+        // Hub adjacency lists on kron inputs are long: the degree-ordered
+        // intersection streams far more sequential work per (hub-biased)
+        // random run start, which is what keeps tc-kron translation-cheap.
+        let compares = match self.gen {
+            GraphGen::Urand => DEGREE * 3 / 4,
+            GraphGen::Kron => DEGREE * 5 / 2,
+        };
+        let run = compares * 8 + 8;
+        let (start_u, start_v) = {
+            let arrays = self.arrays.as_ref().expect("setup ran");
+            (
+                arrays.edges.at_run(u * DEGREE * 8, run),
+                arrays.edges.at_run(v * DEGREE * 8, run),
+            )
+        };
+        for k in 0..compares {
+            sink.load(start_u.add(k * 8));
+            sink.load(start_v.add(k * 8));
+            if k % 3 == 0 {
+                self.hot(sink);
+            }
+            sink.instructions(4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn run_model(kernel: GraphKernel, gen: GraphGen) -> CountingSink {
+        let mut model = GraphModel::new(kernel, gen, 4 << 20, 7);
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        model.setup(&mut space).unwrap();
+        let mut sink = CountingSink::with_budget(20_000);
+        model.run(&mut sink);
+        sink
+    }
+
+    #[test]
+    fn all_kernels_emit_accesses_and_respect_budget() {
+        for kernel in [
+            GraphKernel::Bc,
+            GraphKernel::Bfs,
+            GraphKernel::Cc,
+            GraphKernel::Pr,
+            GraphKernel::Tc,
+        ] {
+            for gen in [GraphGen::Urand, GraphGen::Kron] {
+                let sink = run_model(kernel, gen);
+                assert!(sink.loads > 1000, "{kernel:?}/{gen:?}: {} loads", sink.loads);
+                assert!(
+                    sink.total_instructions() >= 20_000,
+                    "{kernel:?}/{gen:?} stopped early"
+                );
+                assert!(
+                    sink.total_instructions() < 21_000,
+                    "{kernel:?}/{gen:?} overshot the budget grossly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pr_and_cc_have_store_traffic_tc_does_not() {
+        assert!(run_model(GraphKernel::Pr, GraphGen::Urand).stores > 0);
+        assert!(run_model(GraphKernel::Cc, GraphGen::Urand).stores > 0);
+        assert_eq!(run_model(GraphKernel::Tc, GraphGen::Urand).stores, 0);
+    }
+
+    #[test]
+    fn footprint_sizing_is_roughly_linear() {
+        let small = GraphModel::new(GraphKernel::Pr, GraphGen::Urand, 16 << 20, 1);
+        let large = GraphModel::new(GraphKernel::Pr, GraphGen::Urand, 160 << 20, 1);
+        let ratio = large.vertices() as f64 / small.vertices() as f64;
+        assert!((9.0..=11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn setup_faults_in_the_nominal_footprint() {
+        let mut model = GraphModel::new(GraphKernel::Cc, GraphGen::Urand, 8 << 20, 3);
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        model.setup(&mut space).unwrap();
+        let mapped = space.stats().data_bytes;
+        let nominal = 8 << 20;
+        assert!(
+            mapped as f64 > nominal as f64 * 0.9 && (mapped as f64) < nominal as f64 * 1.15,
+            "mapped {mapped} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        let m = GraphModel::new(GraphKernel::Bfs, GraphGen::Kron, 1 << 20, 0);
+        assert_eq!(m.label(), "bfs-kron");
+        assert_eq!(m.program(), "bfs");
+        assert_eq!(m.generator(), "kron");
+    }
+
+    #[test]
+    #[should_panic(expected = "setup() must run before run()")]
+    fn run_before_setup_panics() {
+        let mut m = GraphModel::new(GraphKernel::Pr, GraphGen::Urand, 1 << 20, 0);
+        let mut sink = CountingSink::with_budget(10);
+        m.run(&mut sink);
+    }
+}

@@ -1,0 +1,209 @@
+//! Access-pattern model of SPEC `mcf` (network simplex).
+//!
+//! `mcf` is the paper's most translation-hostile workload: its network
+//! simplex alternates a sequential arc-pricing scan with *dependent*
+//! pointer chases through the node tree (computing potentials along basis
+//! paths). The chases are serialised — each node load produces the pointer
+//! for the next — so the profile's MLP is near 1 and walk latency lands
+//! squarely on the critical path. TLB misses per access keep growing with
+//! footprint with no sign of saturation (paper Fig. 6), and at very large
+//! footprints PTEs "outcompete" regular data in the cache hierarchy,
+//! *lowering* the average PTE latency (paper §V-C).
+
+use super::Region;
+use crate::meta;
+use crate::workload::Workload;
+use atscale_gen::zipf::Zipf;
+use atscale_mmu::{AccessSink, WorkloadProfile};
+use atscale_vm::{AddressSpace, VmError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Probability an arc triggers a basis-path pointer chase.
+const CHASE_PROB: f64 = 0.3;
+
+/// Mean chase depth (geometric).
+const CHASE_CONTINUE: f64 = 0.55;
+
+/// Probability an arc wins pricing and triggers a pivot.
+const PIVOT_PROB: f64 = 0.02;
+
+/// Skew of node-visit popularity. The basis tree's upper levels are hot;
+/// a mild Zipf over nodes means the touched set keeps growing with the
+/// instance — the paper's "mcf keeps rising with no sign of levelling off"
+/// TLB behaviour — instead of saturating immediately.
+const NODE_THETA: f64 = 0.35;
+
+struct Layout {
+    arcs: Region,
+    nodes: Region,
+    hot: Region,
+}
+
+/// The mcf-rand model.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::models::McfModel;
+/// use atscale_workloads::Workload;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut model = McfModel::new(8 << 20, 3);
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// model.setup(&mut space)?;
+/// let mut sink = CountingSink::with_budget(5_000);
+/// model.run(&mut sink);
+/// assert!(sink.loads > 1_000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct McfModel {
+    footprint: u64,
+    rng: SmallRng,
+    zipf: Zipf,
+    layout: Option<Layout>,
+}
+
+impl McfModel {
+    /// Creates an instance with ≈`footprint` bytes of network data.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        let node_slots = (footprint * 30 / 100 / 8).max(1024);
+        McfModel {
+            footprint,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: Zipf::new(node_slots, NODE_THETA),
+            layout: None,
+        }
+    }
+
+    /// A skew-weighted node address: hot tree levels get most visits, but
+    /// the tail keeps growing with the instance.
+    fn node_slot(&mut self) -> atscale_vm::VirtAddr {
+        let rank = self.zipf.sample(&mut self.rng);
+        let layout = self.layout.as_ref().expect("setup ran");
+        layout.nodes.scattered(rank)
+    }
+
+    /// Nominal footprint requested at construction.
+    pub fn nominal_footprint(&self) -> u64 {
+        self.footprint
+    }
+}
+
+impl Workload for McfModel {
+    fn program(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn generator(&self) -> &'static str {
+        "rand"
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        meta::mcf_profile()
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) -> Result<(), VmError> {
+        // SPEC mcf's memory is dominated by the arc array, with node
+        // structures around a third of the total.
+        let arcs = Region::new(&space.alloc_heap("net.arcs", self.footprint * 70 / 100)?);
+        let nodes = Region::new(&space.alloc_heap("net.nodes", self.footprint * 30 / 100)?);
+        let hot = Region::new(&space.alloc_heap("stack", 64 << 10)?);
+        arcs.touch_all(space);
+        nodes.touch_all(space);
+        hot.touch_all(space);
+        let mut layout = Layout { arcs, nodes, hot };
+        layout.arcs.randomize_cursor(&mut self.rng);
+        self.layout = Some(layout);
+        Ok(())
+    }
+
+    fn run(&mut self, sink: &mut dyn AccessSink) {
+        assert!(self.layout.is_some(), "setup() must run before run()");
+        while !sink.done() {
+            self.step_arc(sink);
+        }
+    }
+}
+
+impl McfModel {
+    /// One arc of the pricing scan.
+    fn step_arc(&mut self, sink: &mut dyn AccessSink) {
+        // Arc structs are 64 bytes; pricing reads cost+state (two fields).
+        {
+            let layout = self.layout.as_mut().expect("setup ran");
+            let arc = layout.arcs.seq(64);
+            sink.load(arc);
+            sink.load(arc.add(32));
+            sink.load(layout.hot.seq(64));
+        }
+        sink.instructions(6);
+        // Reduced-cost computation needs node potentials along the basis
+        // path: a serialised pointer chase.
+        if self.rng.gen::<f64>() < CHASE_PROB {
+            loop {
+                let node = self.node_slot();
+                sink.load(node);
+                sink.instructions(3);
+                if self.rng.gen::<f64>() >= CHASE_CONTINUE {
+                    break;
+                }
+            }
+        }
+        // A winning arc pivots: rethread the tree (loads + stores).
+        if self.rng.gen::<f64>() < PIVOT_PROB {
+            for _ in 0..8 {
+                let node = self.node_slot();
+                let arc = {
+                    let layout = self.layout.as_ref().expect("setup ran");
+                    layout.arcs.random(&mut self.rng)
+                };
+                sink.load(node);
+                sink.load(arc);
+                if self.rng.gen::<f64>() < 0.5 {
+                    sink.store(node);
+                }
+                sink.instructions(5);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    #[test]
+    fn emits_mixed_load_store_stream() {
+        let mut model = McfModel::new(8 << 20, 11);
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        model.setup(&mut space).unwrap();
+        let mut sink = CountingSink::with_budget(50_000);
+        model.run(&mut sink);
+        assert!(sink.loads > 10_000);
+        assert!(sink.stores > 50, "pivots produce stores: {}", sink.stores);
+        assert!(sink.instructions > sink.loads, "mcf is not pure memory ops");
+    }
+
+    #[test]
+    fn footprint_split_touches_both_regions() {
+        let mut model = McfModel::new(16 << 20, 1);
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        model.setup(&mut space).unwrap();
+        let stats = space.stats();
+        assert!(stats.data_bytes as f64 > (16 << 20) as f64 * 0.9);
+        assert_eq!(stats.segments, 3, "arcs + nodes + stack");
+    }
+
+    #[test]
+    fn profile_is_low_mlp() {
+        let model = McfModel::new(1 << 20, 0);
+        assert!(model.profile().mlp < 2.0);
+        assert_eq!(model.label(), "mcf-rand");
+    }
+}

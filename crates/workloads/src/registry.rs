@@ -1,0 +1,250 @@
+//! The paper's 13 workload–generator combinations (Table I × Table II).
+
+use crate::models::{GraphGen, GraphKernel, GraphModel, KvModel, McfModel, StreamclusterModel};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Program under study (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Program {
+    Bc,
+    Bfs,
+    Cc,
+    Pr,
+    Tc,
+    Mcf,
+    Memcached,
+    Streamcluster,
+}
+
+impl Program {
+    /// Lowercase program name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Program::Bc => "bc",
+            Program::Bfs => "bfs",
+            Program::Cc => "cc",
+            Program::Pr => "pr",
+            Program::Tc => "tc",
+            Program::Mcf => "mcf",
+            Program::Memcached => "memcached",
+            Program::Streamcluster => "streamcluster",
+        }
+    }
+
+    /// Benchmark suite the program comes from.
+    pub const fn suite(self) -> &'static str {
+        match self {
+            Program::Bc | Program::Bfs | Program::Cc | Program::Pr | Program::Tc => "gapbs",
+            Program::Memcached => "ycsb",
+            Program::Mcf => "spec2006",
+            Program::Streamcluster => "parsec",
+        }
+    }
+}
+
+/// Input generator (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Generator {
+    Urand,
+    Kron,
+    Uniform,
+    Rand,
+}
+
+impl Generator {
+    /// Lowercase generator name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Generator::Urand => "urand",
+            Generator::Kron => "kron",
+            Generator::Uniform => "uniform",
+            Generator::Rand => "rand",
+        }
+    }
+}
+
+/// A workload identity: `program-generator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkloadId {
+    /// The program.
+    pub program: Program,
+    /// The input generator.
+    pub generator: Generator,
+}
+
+impl WorkloadId {
+    /// Creates an identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics for combinations the paper does not study (e.g. `mcf-kron`).
+    pub fn new(program: Program, generator: Generator) -> Self {
+        let id = WorkloadId { program, generator };
+        assert!(
+            Self::all().contains(&id),
+            "{}-{} is not one of the paper's workloads",
+            program.name(),
+            generator.name()
+        );
+        id
+    }
+
+    /// All 13 combinations the paper studies.
+    pub fn all() -> Vec<WorkloadId> {
+        let mut ids = Vec::with_capacity(13);
+        for program in [Program::Bc, Program::Bfs, Program::Cc, Program::Pr, Program::Tc] {
+            for generator in [Generator::Urand, Generator::Kron] {
+                ids.push(WorkloadId { program, generator });
+            }
+        }
+        ids.push(WorkloadId {
+            program: Program::Mcf,
+            generator: Generator::Rand,
+        });
+        ids.push(WorkloadId {
+            program: Program::Memcached,
+            generator: Generator::Uniform,
+        });
+        ids.push(WorkloadId {
+            program: Program::Streamcluster,
+            generator: Generator::Rand,
+        });
+        ids
+    }
+
+    /// Parses `"program-generator"` labels.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use atscale_workloads::WorkloadId;
+    ///
+    /// let id = WorkloadId::parse("cc-urand").unwrap();
+    /// assert_eq!(id.to_string(), "cc-urand");
+    /// assert!(WorkloadId::parse("mcf-kron").is_none());
+    /// ```
+    pub fn parse(label: &str) -> Option<WorkloadId> {
+        WorkloadId::all().into_iter().find(|id| id.to_string() == label)
+    }
+
+    /// Builds the paper-scale model of this workload at the given nominal
+    /// footprint, seeded for reproducibility.
+    pub fn build_model(&self, footprint_bytes: u64, seed: u64) -> Box<dyn Workload> {
+        let gg = match self.generator {
+            Generator::Urand => Some(GraphGen::Urand),
+            Generator::Kron => Some(GraphGen::Kron),
+            _ => None,
+        };
+        match self.program {
+            Program::Bc => Box::new(GraphModel::new(
+                GraphKernel::Bc,
+                gg.expect("graph generator"),
+                footprint_bytes,
+                seed,
+            )),
+            Program::Bfs => Box::new(GraphModel::new(
+                GraphKernel::Bfs,
+                gg.expect("graph generator"),
+                footprint_bytes,
+                seed,
+            )),
+            Program::Cc => Box::new(GraphModel::new(
+                GraphKernel::Cc,
+                gg.expect("graph generator"),
+                footprint_bytes,
+                seed,
+            )),
+            Program::Pr => Box::new(GraphModel::new(
+                GraphKernel::Pr,
+                gg.expect("graph generator"),
+                footprint_bytes,
+                seed,
+            )),
+            Program::Tc => Box::new(GraphModel::new(
+                GraphKernel::Tc,
+                gg.expect("graph generator"),
+                footprint_bytes,
+                seed,
+            )),
+            Program::Mcf => Box::new(McfModel::new(footprint_bytes, seed)),
+            Program::Memcached => Box::new(KvModel::new(footprint_bytes, seed)),
+            Program::Streamcluster => Box::new(StreamclusterModel::new(footprint_bytes, seed)),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.program.name(), self.generator.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+
+    #[test]
+    fn there_are_exactly_thirteen_workloads() {
+        let all = WorkloadId::all();
+        assert_eq!(all.len(), 13);
+        let labels: Vec<String> = all.iter().map(|id| id.to_string()).collect();
+        for expected in [
+            "bc-urand",
+            "bc-kron",
+            "bfs-urand",
+            "bfs-kron",
+            "cc-urand",
+            "cc-kron",
+            "pr-urand",
+            "pr-kron",
+            "tc-urand",
+            "tc-kron",
+            "mcf-rand",
+            "memcached-uniform",
+            "streamcluster-rand",
+        ] {
+            assert!(labels.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_every_workload() {
+        for id in WorkloadId::all() {
+            assert_eq!(WorkloadId::parse(&id.to_string()), Some(id));
+        }
+        assert!(WorkloadId::parse("nonsense").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of the paper's workloads")]
+    fn invalid_combination_panics() {
+        WorkloadId::new(Program::Mcf, Generator::Kron);
+    }
+
+    #[test]
+    fn every_model_builds_and_runs() {
+        use atscale_mmu::CountingSink;
+        for id in WorkloadId::all() {
+            let mut w = id.build_model(4 << 20, 1);
+            assert_eq!(w.label(), id.to_string());
+            let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+            w.setup(&mut space).unwrap();
+            let mut sink = CountingSink::with_budget(5_000);
+            w.run(&mut sink);
+            assert!(sink.loads > 300, "{id}: only {} loads", sink.loads);
+        }
+    }
+
+    #[test]
+    fn suites_match_table_i() {
+        assert_eq!(Program::Pr.suite(), "gapbs");
+        assert_eq!(Program::Mcf.suite(), "spec2006");
+        assert_eq!(Program::Memcached.suite(), "ycsb");
+        assert_eq!(Program::Streamcluster.suite(), "parsec");
+    }
+}

@@ -1,0 +1,248 @@
+//! Instrumented arrays: host data addressed through simulated virtual
+//! memory.
+//!
+//! [`SimArray<T>`] is how the *real* kernels couple to the simulator: the
+//! element values live in an ordinary `Vec<T>` (so the algorithm genuinely
+//! computes), while every `get`/`set` also emits the corresponding simulated
+//! virtual address to an [`AccessSink`]. The MMU stack therefore sees
+//! exactly the address trace the algorithm produces.
+
+use atscale_mmu::AccessSink;
+use atscale_vm::{AddressSpace, VirtAddr, VmError};
+
+/// A typed array in simulated virtual memory backed by host data.
+///
+/// # Example
+///
+/// ```
+/// use atscale_mmu::CountingSink;
+/// use atscale_vm::{AddressSpace, BackingPolicy, PageSize};
+/// use atscale_workloads::SimArray;
+///
+/// # fn main() -> Result<(), atscale_vm::VmError> {
+/// let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+/// let mut arr = SimArray::new(&mut space, "ranks", 100, 0.0f64)?;
+/// let mut sink = CountingSink::new();
+/// arr.set(3, 1.5, &mut sink);
+/// assert_eq!(arr.get(3, &mut sink), 1.5);
+/// assert_eq!(sink.loads, 1);
+/// assert_eq!(sink.stores, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimArray<T> {
+    base: VirtAddr,
+    data: Vec<T>,
+}
+
+impl<T: Copy> SimArray<T> {
+    /// Allocates a named segment holding `len` elements of `fill`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the address space.
+    pub fn new(
+        space: &mut AddressSpace,
+        name: &str,
+        len: usize,
+        fill: T,
+    ) -> Result<Self, VmError> {
+        Self::from_vec(space, name, vec![fill; len])
+    }
+
+    /// Wraps an existing host vector in a simulated segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the address space.
+    pub fn from_vec(space: &mut AddressSpace, name: &str, data: Vec<T>) -> Result<Self, VmError> {
+        let bytes = (data.len().max(1) * std::mem::size_of::<T>()) as u64;
+        let seg = space.alloc_heap(name, bytes)?;
+        Ok(SimArray {
+            base: seg.base(),
+            data,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The simulated virtual address of element `i`.
+    #[inline]
+    pub fn va(&self, i: usize) -> VirtAddr {
+        debug_assert!(i < self.data.len());
+        self.base.add((i * std::mem::size_of::<T>()) as u64)
+    }
+
+    /// Reads element `i`, emitting the load to `sink`.
+    #[inline]
+    pub fn get(&self, i: usize, sink: &mut dyn AccessSink) -> T {
+        sink.load(self.va(i));
+        self.data[i]
+    }
+
+    /// Writes element `i`, emitting the store to `sink`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T, sink: &mut dyn AccessSink) {
+        sink.store(self.va(i));
+        self.data[i] = value;
+    }
+
+    /// Reads element `i` without touching the simulator (setup-phase work
+    /// that a real program would have done before measurement).
+    #[inline]
+    pub fn get_silent(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Writes element `i` without touching the simulator.
+    #[inline]
+    pub fn set_silent(&mut self, i: usize, value: T) {
+        self.data[i] = value;
+    }
+
+    /// The raw host data (no simulated accesses).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// A bit-per-item visited set (BFS/BC frontier bookkeeping), addressed in
+/// simulated memory at one `u64` word per 64 bits like a real bitmap.
+#[derive(Debug, Clone)]
+pub struct SimBitmap {
+    words: SimArray<u64>,
+    bits: usize,
+}
+
+impl SimBitmap {
+    /// Allocates a cleared bitmap of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure from the address space.
+    pub fn new(space: &mut AddressSpace, name: &str, bits: usize) -> Result<Self, VmError> {
+        let words = SimArray::new(space, name, bits.div_ceil(64).max(1), 0u64)?;
+        Ok(SimBitmap { words, bits })
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// `true` if the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Tests bit `i`, emitting one load.
+    pub fn test(&self, i: usize, sink: &mut dyn AccessSink) -> bool {
+        debug_assert!(i < self.bits);
+        (self.words.get(i / 64, sink) >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`, emitting one load and one store (read-modify-write).
+    pub fn set(&mut self, i: usize, sink: &mut dyn AccessSink) {
+        debug_assert!(i < self.bits);
+        let word = self.words.get(i / 64, sink) | (1u64 << (i % 64));
+        self.words.set(i / 64, word, sink);
+    }
+
+    /// Tests without simulated accesses.
+    pub fn test_silent(&self, i: usize) -> bool {
+        (self.words.get_silent(i / 64) >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears all bits without simulated accesses (setup phase).
+    pub fn clear_silent(&mut self) {
+        for i in 0..self.words.len() {
+            self.words.set_silent(i, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atscale_mmu::CountingSink;
+    use atscale_vm::{BackingPolicy, PageSize};
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K))
+    }
+
+    #[test]
+    fn elements_have_disjoint_addresses() {
+        let mut s = space();
+        let arr = SimArray::new(&mut s, "a", 10, 0u32).unwrap();
+        let vas: Vec<u64> = (0..10).map(|i| arr.va(i).as_u64()).collect();
+        for w in vas.windows(2) {
+            assert_eq!(w[1] - w[0], 4, "u32 elements are 4 bytes apart");
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_count() {
+        let mut s = space();
+        let mut arr = SimArray::new(&mut s, "a", 8, 0i64).unwrap();
+        let mut sink = CountingSink::new();
+        arr.set(7, -42, &mut sink);
+        assert_eq!(arr.get(7, &mut sink), -42);
+        assert_eq!((sink.loads, sink.stores), (1, 1));
+        assert_eq!(arr.get_silent(7), -42);
+        assert_eq!((sink.loads, sink.stores), (1, 1), "silent ops emit nothing");
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let mut s = space();
+        let arr = SimArray::from_vec(&mut s, "v", vec![3u8, 1, 4, 1, 5]).unwrap();
+        assert_eq!(arr.as_slice(), &[3, 1, 4, 1, 5]);
+        assert_eq!(arr.len(), 5);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    fn bitmap_set_and_test() {
+        let mut s = space();
+        let mut bm = SimBitmap::new(&mut s, "visited", 130).unwrap();
+        let mut sink = CountingSink::new();
+        assert!(!bm.test(129, &mut sink));
+        bm.set(129, &mut sink);
+        assert!(bm.test(129, &mut sink));
+        assert!(!bm.test_silent(128));
+        assert!(bm.test_silent(129));
+        assert_eq!(bm.len(), 130);
+        bm.clear_silent();
+        assert!(!bm.test_silent(129));
+    }
+
+    #[test]
+    fn bitmap_words_are_packed() {
+        let mut s = space();
+        let mut bm = SimBitmap::new(&mut s, "b", 256).unwrap();
+        let mut sink = CountingSink::new();
+        // Bits 0..63 share one word → same address.
+        bm.set(0, &mut sink);
+        bm.set(63, &mut sink);
+        assert!(bm.test_silent(0) && bm.test_silent(63));
+    }
+
+    #[test]
+    fn arrays_in_same_space_do_not_overlap() {
+        let mut s = space();
+        let a = SimArray::new(&mut s, "a", 1000, 0u64).unwrap();
+        let b = SimArray::new(&mut s, "b", 1000, 0u64).unwrap();
+        let a_end = a.va(999).as_u64() + 8;
+        assert!(b.va(0).as_u64() >= a_end);
+    }
+}
