@@ -1,0 +1,341 @@
+//! Rule 1 — counter coverage.
+//!
+//! Every PMU-event field of `atscale_mmu::Counters` must be (a) exported by
+//! [`Counters::events`] so reports show it under its Intel event name,
+//! (b) consumed by at least one formula — the Table VI walk-outcome
+//! arithmetic, the Eq. 1 decomposition, a derived metric, or an invariant —
+//! and (c) exercised by at least one test. Simulator ground-truth fields
+//! (`truth_*`) are exempt from (a) but must instead feed the
+//! counter-vs-ground-truth consistency checks.
+//!
+//! The scan is field-name based: a dotted read `x.cycles` anywhere in
+//! non-test workspace code counts as consumption, while `x.cycles += 1` /
+//! `x.cycles = 0` do not (bumping a counter is production, not use).
+
+use crate::source::{
+    block_after, has_ident, non_test_region, reads_field, self_field_refs, test_region,
+    without_block,
+};
+use crate::{Audit, Workspace};
+
+/// Path (workspace-relative suffix) of the counter file under audit.
+pub const COUNTERS_PATH: &str = "crates/mmu/src/counters.rs";
+const RULE: &str = "counter-coverage";
+
+/// Runs the counter-coverage rule over the workspace.
+pub fn audit_counter_coverage(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    let Some(file) = ws.file(COUNTERS_PATH) else {
+        audit.fail(
+            COUNTERS_PATH,
+            format!("{COUNTERS_PATH} not found in workspace"),
+        );
+        return audit;
+    };
+    let src = &file.stripped;
+
+    let fields = counter_fields(src);
+    if fields.is_empty() {
+        audit.fail(
+            COUNTERS_PATH,
+            "could not parse any fields from `pub struct Counters`",
+        );
+        return audit;
+    }
+
+    check_events_export(&mut audit, src, &fields);
+    check_truth_consistency(&mut audit, src, &fields);
+    check_formula_consumption(&mut audit, ws, &fields);
+    check_test_coverage(&mut audit, ws, &fields);
+    audit
+}
+
+/// Field names of `pub struct Counters`, in declaration order.
+pub fn counter_fields(stripped: &str) -> Vec<String> {
+    let Some(body) = block_after(stripped, "pub struct Counters") else {
+        return Vec::new();
+    };
+    body.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("pub ")?;
+            let (name, _ty) = rest.split_once(':')?;
+            let name = name.trim();
+            name.bytes()
+                .all(|c| c == b'_' || c.is_ascii_alphanumeric())
+                .then(|| name.to_string())
+        })
+        .collect()
+}
+
+/// (a) Every hardware-event field appears in `Counters::events`, and every
+/// field `events` reads actually exists on the struct.
+fn check_events_export(audit: &mut Audit, src: &str, fields: &[String]) {
+    let Some(events_body) = block_after(src, "pub fn events") else {
+        audit.fail(COUNTERS_PATH, "`Counters::events` not found");
+        return;
+    };
+    let exported = self_field_refs(events_body);
+    for field in fields.iter().filter(|f| !f.starts_with("truth_")) {
+        audit.check();
+        if !exported.contains(field) {
+            audit.fail(
+                COUNTERS_PATH,
+                format!(
+                    "counter field `{field}` is not exported by `Counters::events()` — \
+                     every PMU event must be reportable under its Intel event name"
+                ),
+            );
+        }
+    }
+    for read in &exported {
+        audit.check();
+        if !fields.iter().any(|f| f == read) {
+            audit.fail(
+                COUNTERS_PATH,
+                format!("`Counters::events()` reads `{read}`, which is not a struct field"),
+            );
+        }
+    }
+}
+
+/// The audit's own sources quote counter-field names in diagnostics and in
+/// the doctored-source negative tests, so they are excluded from the
+/// consumption and test corpora — mentioning a field is not wiring it.
+fn is_audit_source(path: &str) -> bool {
+    path.starts_with("crates/audit/")
+}
+
+/// Ground-truth fields must feed the counter-vs-truth consistency checks.
+fn check_truth_consistency(audit: &mut Audit, src: &str, fields: &[String]) {
+    let consistency: String = ["pub fn assert_consistent", "fn check_invariants"]
+        .iter()
+        .filter_map(|needle| block_after(src, needle))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for field in fields.iter().filter(|f| f.starts_with("truth_")) {
+        audit.check();
+        if !has_ident(&consistency, field) {
+            audit.fail(
+                COUNTERS_PATH,
+                format!(
+                    "ground-truth field `{field}` is not used by `assert_consistent` or \
+                     `check_invariants` — truth fields exist to validate the counters"
+                ),
+            );
+        }
+    }
+}
+
+/// (b) Every field is read by at least one formula in non-test code.
+///
+/// The `events()` body is excluded — exporting a value is not consuming
+/// it — so a freshly added field must gain a real formula, metric, or
+/// invariant before this rule passes.
+fn check_formula_consumption(audit: &mut Audit, ws: &Workspace, fields: &[String]) {
+    let corpus: Vec<(String, String)> = ws
+        .rust_sources()
+        .filter(|f| !f.path.contains("/tests/") && !is_audit_source(&f.path))
+        .map(|f| {
+            let text = if f.path.ends_with(COUNTERS_PATH) {
+                without_block(&f.stripped, "pub fn events")
+            } else {
+                f.stripped.clone()
+            };
+            (f.path.clone(), non_test_region(&text).to_string())
+        })
+        .collect();
+    for field in fields {
+        audit.check();
+        if !corpus.iter().any(|(_, text)| reads_field(text, field)) {
+            audit.fail(
+                COUNTERS_PATH,
+                format!(
+                    "counter field `{field}` is never consumed by a formula — no non-test \
+                     code reads it (walk outcomes, decomposition, metric, or invariant)"
+                ),
+            );
+        }
+    }
+}
+
+/// (c) Every field appears in at least one test (a `#[cfg(test)]` module
+/// or an integration test under `tests/`).
+fn check_test_coverage(audit: &mut Audit, ws: &Workspace, fields: &[String]) {
+    let corpus: Vec<String> = ws
+        .rust_sources()
+        .filter(|f| !is_audit_source(&f.path))
+        .map(|f| {
+            if f.path.contains("/tests/") {
+                f.stripped.clone()
+            } else {
+                test_region(&f.stripped).to_string()
+            }
+        })
+        .filter(|t| !t.is_empty())
+        .collect();
+    for field in fields {
+        audit.check();
+        if !corpus.iter().any(|text| has_ident(text, field)) {
+            audit.fail(
+                COUNTERS_PATH,
+                format!("counter field `{field}` is never exercised by a test"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    /// A minimal, fully covered counter file.
+    const GOOD: &str = r#"
+        pub struct Counters {
+            pub cycles: u64,
+            pub truth_retired_walks: u64,
+        }
+        impl Counters {
+            pub fn cpi(&self) -> f64 { self.cycles as f64 }
+            pub fn events(&self) -> Vec<(&'static str, u64)> {
+                vec![("cpu_clk_unhalted.thread", self.cycles)]
+            }
+            pub fn assert_consistent(&self) {
+                assert_eq!(self.truth_retired_walks, 0);
+            }
+        }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                let c = Counters { cycles: 1, truth_retired_walks: 0 };
+                assert!(c.cycles > 0);
+                assert_eq!(c.truth_retired_walks, 0);
+            }
+        }
+    "#;
+
+    #[test]
+    fn fully_covered_counters_pass() {
+        let ws = workspace_from(&[(COUNTERS_PATH, GOOD)]);
+        let audit = audit_counter_coverage(&ws);
+        assert_eq!(audit.violations, Vec::new());
+        assert!(audit.checked > 0);
+    }
+
+    #[test]
+    fn field_missing_from_events_is_flagged() {
+        let doctored = GOOD.replace(
+            "pub cycles: u64,",
+            "pub cycles: u64,\n            pub bogus_event: u64,",
+        );
+        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`bogus_event`") && v.message.contains("events()")));
+    }
+
+    #[test]
+    fn field_with_no_formula_is_flagged() {
+        // Exported and tested, but nothing ever *reads* it outside events().
+        let doctored = GOOD
+            .replace(
+                "pub cycles: u64,",
+                "pub cycles: u64,\n            pub bogus_event: u64,",
+            )
+            .replace(
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles)]",
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"bogus.event\", self.bogus_event)]",
+            )
+            .replace("assert!(c.cycles > 0);", "assert!(c.cycles > 0); let _ = c.bogus_event;");
+        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`bogus_event`") && v.message.contains("formula")));
+        // The same dotted read in a *test* does not satisfy the formula rule,
+        // but does satisfy test coverage: only the formula violation remains.
+        assert_eq!(audit.violations.len(), 1);
+    }
+
+    #[test]
+    fn counter_bumps_do_not_count_as_consumption() {
+        let doctored = GOOD
+            .replace(
+                "pub cycles: u64,",
+                "pub cycles: u64,\n            pub bogus_event: u64,",
+            )
+            .replace(
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles)]",
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"bogus.event\", self.bogus_event)]",
+            );
+        let engine = "fn tick(c: &mut Counters) { c.bogus_event += 1; }";
+        let ws = workspace_from(&[
+            (COUNTERS_PATH, &doctored),
+            ("crates/mmu/src/engine.rs", engine),
+        ]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`bogus_event`") && v.message.contains("formula")));
+    }
+
+    #[test]
+    fn untested_field_is_flagged() {
+        let doctored = GOOD
+            .replace(
+                "pub cycles: u64,",
+                "pub cycles: u64,\n            pub bogus_event: u64,",
+            )
+            .replace(
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles)]",
+                "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"bogus.event\", self.bogus_event)]",
+            )
+            .replace("pub fn cpi(&self) -> f64 { self.cycles as f64 }",
+                     "pub fn cpi(&self) -> f64 { (self.cycles + self.bogus_event) as f64 }");
+        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0]
+            .message
+            .contains("never exercised by a test"));
+    }
+
+    #[test]
+    fn truth_field_must_feed_consistency_checks() {
+        let doctored = GOOD.replace(
+            "assert_eq!(self.truth_retired_walks, 0);",
+            "let _ = self.cycles;",
+        );
+        // Keep a non-test read elsewhere so only the consistency rule fires.
+        let other = "fn f(c: &Counters) -> u64 { c.truth_retired_walks }";
+        let ws = workspace_from(&[
+            (COUNTERS_PATH, &doctored),
+            ("crates/mmu/src/other.rs", other),
+        ]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("truth_retired_walks") && v.message.contains("validate")));
+    }
+
+    #[test]
+    fn stale_events_entry_is_flagged() {
+        let doctored = GOOD.replace(
+            "vec![(\"cpu_clk_unhalted.thread\", self.cycles)]",
+            "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"gone.event\", self.removed_field)]",
+        );
+        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`removed_field`")
+                && v.message.contains("not a struct field")));
+    }
+}

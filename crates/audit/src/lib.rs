@@ -1,0 +1,232 @@
+//! # atscale-audit — workspace static-analysis pass
+//!
+//! A self-contained consistency checker for the atscale workspace, run in
+//! CI as `cargo run -p atscale-audit`. It enforces three rules that rustc
+//! and clippy cannot express:
+//!
+//! 1. **Counter coverage** ([`audit_counter_coverage`]) — every PMU-event
+//!    field of `atscale_mmu::Counters` is exported by `Counters::events`,
+//!    consumed by at least one formula (Table VI walk outcomes, the Eq. 1
+//!    decomposition, a metric, or an invariant), and exercised by at least
+//!    one test. Adding a counter without wiring it through fails the build.
+//! 2. **Invariant annotations** ([`audit_invariant_annotations`]) — every
+//!    public mutator of counter/TLB/cache state in `atscale-vm`,
+//!    `atscale-cache`, and `atscale-mmu` is covered by the debug-build
+//!    invariant layer (`CheckInvariants` impl, inline `invariant!` checks,
+//!    or the documented indirect-coverage allowlist), and the layer stays
+//!    wired into the MMU engine's hot paths.
+//! 3. **Lint wiring** ([`audit_lint_wiring`]) — the `[workspace.lints]`
+//!    policy exists, every member crate opts in, and every crate root
+//!    carries `#![forbid(unsafe_code)]`.
+//!
+//! The audit scans comment-stripped source text with a small brace matcher
+//! (see [`source`]) rather than a full parser: the offline build vendors no
+//! `syn`, and the shapes under audit — struct fields, impl headers, `pub
+//! fn` signatures — are kept canonical by rustfmt. The trade-off is
+//! documented per rule; scans are field-name based, not type-resolved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod invariants;
+pub mod lints;
+pub mod source;
+
+pub use counters::audit_counter_coverage;
+pub use invariants::audit_invariant_annotations;
+pub use lints::audit_lint_wiring;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One audited source file, held in memory with a pre-stripped copy.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Raw file contents.
+    pub text: String,
+    /// Comment-stripped contents for `.rs` files (identical to `text`
+    /// otherwise).
+    pub stripped: String,
+}
+
+impl SourceFile {
+    /// Builds a file entry, stripping comments when the path is Rust source.
+    pub fn new(path: String, text: String) -> Self {
+        let stripped = if path.ends_with(".rs") {
+            source::strip_comments(&text)
+        } else {
+            text.clone()
+        };
+        SourceFile {
+            path,
+            text,
+            stripped,
+        }
+    }
+}
+
+/// The loaded workspace: root manifest plus everything under `crates/`.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Filesystem root the files were loaded from.
+    pub root: PathBuf,
+    /// All loaded files.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads the root `Cargo.toml` and every `.rs` / `Cargo.toml` under
+    /// `root/crates/`, skipping build output.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let root_manifest = root.join("Cargo.toml");
+        files.push(SourceFile::new(
+            "Cargo.toml".to_string(),
+            std::fs::read_to_string(&root_manifest)?,
+        ));
+        collect(root, &root.join("crates"), &mut files)?;
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The file whose workspace-relative path ends with `suffix`.
+    pub fn file(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| {
+            f.path == suffix || f.path.ends_with(&format!("/{suffix}")) || f.path.ends_with(suffix)
+        })
+    }
+
+    /// All Rust sources.
+    pub fn rust_sources(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(|f| f.path.ends_with(".rs"))
+    }
+
+    /// Member-crate manifests (`crates/*/Cargo.toml`).
+    pub fn crate_manifests(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files
+            .iter()
+            .filter(|f| f.path.starts_with("crates/") && f.path.ends_with("/Cargo.toml"))
+    }
+
+    /// Each member crate's root source file: `src/lib.rs`, or `src/main.rs`
+    /// for binary-only crates.
+    pub fn crate_roots(&self) -> Vec<&SourceFile> {
+        self.crate_manifests()
+            .filter_map(|m| {
+                let dir = m.path.trim_end_matches("/Cargo.toml");
+                self.file(&format!("{dir}/src/lib.rs"))
+                    .or_else(|| self.file(&format!("{dir}/src/main.rs")))
+            })
+            .collect()
+    }
+}
+
+/// Recursively collects `.rs` and `Cargo.toml` files under `dir`.
+fn collect(root: &Path, dir: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                collect(root, &path, files)?;
+            }
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::new(rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired (e.g. `counter-coverage`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.rule, self.file, self.message)
+    }
+}
+
+/// The outcome of one rule: how many individual checks ran and which failed.
+#[derive(Debug)]
+pub struct Audit {
+    /// The rule's name.
+    pub rule: &'static str,
+    /// Number of individual checks executed.
+    pub checked: usize,
+    /// Checks that failed.
+    pub violations: Vec<Violation>,
+}
+
+impl Audit {
+    /// Starts an empty tally for `rule`.
+    pub fn new(rule: &'static str) -> Self {
+        Audit {
+            rule,
+            checked: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Records one executed check.
+    pub fn check(&mut self) {
+        self.checked += 1;
+    }
+
+    /// Records a failed check.
+    pub fn fail(&mut self, file: impl Into<String>, message: impl Into<String>) {
+        self.violations.push(Violation {
+            rule: self.rule,
+            file: file.into(),
+            message: message.into(),
+        });
+    }
+}
+
+/// Runs every rule and returns the per-rule outcomes.
+pub fn run_all(ws: &Workspace) -> Vec<Audit> {
+    vec![
+        audit_counter_coverage(ws),
+        audit_invariant_annotations(ws),
+        audit_lint_wiring(ws),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::{SourceFile, Workspace};
+    use std::path::PathBuf;
+
+    /// Builds an in-memory workspace from `(path, contents)` pairs — the
+    /// doctored-source harness the negative tests feed.
+    pub fn workspace_from(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::from("<memory>"),
+            files: files
+                .iter()
+                .map(|(p, t)| SourceFile::new((*p).to_string(), (*t).to_string()))
+                .collect(),
+        }
+    }
+}

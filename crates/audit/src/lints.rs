@@ -1,0 +1,207 @@
+//! Rule 3 — lint wiring.
+//!
+//! The workspace commits to a shared lint policy: a `[workspace.lints]`
+//! table in the root manifest (rustc `missing_docs` / `unsafe_code` plus a
+//! clippy pedantic subset), every member crate opting in with
+//! `[lints] workspace = true`, and `#![forbid(unsafe_code)]` at the root of
+//! every crate. CI runs clippy with `-D warnings`; this rule makes the
+//! *configuration* itself tamper-evident so a crate cannot quietly drop out
+//! of the policy.
+
+use crate::{Audit, Workspace};
+
+const RULE: &str = "lint-wiring";
+
+/// Keys the root `[workspace.lints.rust]` table must define.
+const REQUIRED_RUST_LINTS: [&str; 2] = ["missing_docs", "unsafe_code"];
+
+/// Runs the lint-wiring rule over the workspace.
+pub fn audit_lint_wiring(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    check_root_tables(&mut audit, ws);
+    check_member_manifests(&mut audit, ws);
+    check_unsafe_forbidden(&mut audit, ws);
+    audit
+}
+
+/// The root manifest must carry the shared lint tables.
+fn check_root_tables(audit: &mut Audit, ws: &Workspace) {
+    const ROOT: &str = "Cargo.toml";
+    let Some(root) = ws.file(ROOT) else {
+        audit.fail(ROOT, "workspace root Cargo.toml not found");
+        return;
+    };
+    audit.check();
+    if !root.text.contains("[workspace.lints.rust]") {
+        audit.fail(ROOT, "missing `[workspace.lints.rust]` table");
+    }
+    for key in REQUIRED_RUST_LINTS {
+        audit.check();
+        if !table_defines(&root.text, "[workspace.lints.rust]", key) {
+            audit.fail(
+                ROOT,
+                format!("`[workspace.lints.rust]` does not configure `{key}`"),
+            );
+        }
+    }
+    audit.check();
+    let clippy_count = table_keys(&root.text, "[workspace.lints.clippy]");
+    if clippy_count == 0 {
+        audit.fail(
+            ROOT,
+            "`[workspace.lints.clippy]` is missing or empty — the workspace pins a \
+             pedantic subset it commits to keeping clean",
+        );
+    }
+}
+
+/// Every member crate must opt in to the shared tables.
+fn check_member_manifests(audit: &mut Audit, ws: &Workspace) {
+    for manifest in ws.crate_manifests() {
+        audit.check();
+        let has_lints = manifest.text.contains("[lints]")
+            && table_defines(&manifest.text, "[lints]", "workspace");
+        if !has_lints {
+            audit.fail(
+                &manifest.path,
+                "missing `[lints]\\nworkspace = true` — the crate is not covered by the \
+                 workspace lint policy",
+            );
+        }
+    }
+}
+
+/// Every crate root must forbid unsafe code outright.
+fn check_unsafe_forbidden(audit: &mut Audit, ws: &Workspace) {
+    for root in ws.crate_roots() {
+        audit.check();
+        if !root.text.contains("#![forbid(unsafe_code)]") {
+            audit.fail(
+                &root.path,
+                "missing `#![forbid(unsafe_code)]` at the crate root",
+            );
+        }
+    }
+}
+
+/// True when `key = ...` appears inside the given TOML table (before the
+/// next `[` header).
+fn table_defines(toml: &str, table: &str, key: &str) -> bool {
+    table_body(toml, table).is_some_and(|body| {
+        body.lines().map(str::trim).any(|l| {
+            l.strip_prefix(key)
+                .is_some_and(|rest| rest.trim_start().starts_with('='))
+        })
+    })
+}
+
+/// Number of `key = value` lines inside the given TOML table.
+fn table_keys(toml: &str, table: &str) -> usize {
+    table_body(toml, table).map_or(0, |body| {
+        body.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#') && l.contains('='))
+            .count()
+    })
+}
+
+/// The text between a `[table]` header and the next header.
+fn table_body<'a>(toml: &'a str, table: &str) -> Option<&'a str> {
+    let at = toml.find(table)? + table.len();
+    let body = &toml[at..];
+    Some(match body.find("\n[") {
+        Some(end) => &body[..end],
+        None => body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    const GOOD_ROOT: &str = "
+[workspace]
+members = [\"crates/*\"]
+
+[workspace.lints.rust]
+missing_docs = \"warn\"
+unsafe_code = \"deny\"
+
+[workspace.lints.clippy]
+semicolon_if_nothing_returned = \"warn\"
+";
+    const GOOD_CRATE: &str = "
+[package]
+name = \"x\"
+
+[lints]
+workspace = true
+";
+
+    fn good() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("Cargo.toml", GOOD_ROOT),
+            ("crates/x/Cargo.toml", GOOD_CRATE),
+            (
+                "crates/x/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn f() {}",
+            ),
+        ]
+    }
+
+    #[test]
+    fn wired_workspace_passes() {
+        let ws = workspace_from(&good());
+        assert_eq!(audit_lint_wiring(&ws).violations, Vec::new());
+    }
+
+    #[test]
+    fn missing_clippy_table_is_flagged() {
+        let root = GOOD_ROOT.replace(
+            "[workspace.lints.clippy]\nsemicolon_if_nothing_returned = \"warn\"\n",
+            "",
+        );
+        let mut files = good();
+        files[0] = ("Cargo.toml", Box::leak(root.into_boxed_str()));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("clippy")));
+    }
+
+    #[test]
+    fn crate_without_opt_in_is_flagged() {
+        let mut files = good();
+        files[1] = ("crates/x/Cargo.toml", "[package]\nname = \"x\"\n");
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("[lints]")));
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged() {
+        let mut files = good();
+        files[2] = ("crates/x/src/lib.rs", "pub fn f() {}");
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("forbid(unsafe_code)")));
+    }
+
+    #[test]
+    fn missing_rust_lint_key_is_flagged() {
+        let root = GOOD_ROOT.replace("missing_docs = \"warn\"\n", "");
+        let mut files = good();
+        files[0] = ("Cargo.toml", Box::leak(root.into_boxed_str()));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("missing_docs")));
+    }
+}

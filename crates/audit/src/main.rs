@@ -1,0 +1,72 @@
+//! CLI entry point: `cargo run -p atscale-audit [workspace-root]`.
+//!
+//! Exits non-zero when any rule reports a violation, so CI can gate on it.
+
+#![forbid(unsafe_code)]
+
+use atscale_audit::{run_all, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(find_workspace_root, PathBuf::from);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "atscale-audit: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "atscale-audit: scanning {} files under {}",
+        ws.files.len(),
+        ws.root.display()
+    );
+    let audits = run_all(&ws);
+    let mut failed = false;
+    for audit in &audits {
+        println!(
+            "  {:<22} {:>3} checks, {} violation{}",
+            audit.rule,
+            audit.checked,
+            audit.violations.len(),
+            if audit.violations.len() == 1 { "" } else { "s" }
+        );
+        failed |= !audit.violations.is_empty();
+    }
+    for audit in &audits {
+        for v in &audit.violations {
+            eprintln!("{v}");
+        }
+    }
+    if failed {
+        eprintln!("atscale-audit: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("atscale-audit: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`, falling back to the compile-time layout.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            // `crates/audit` → workspace root, resolved at compile time.
+            return PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        }
+    }
+}

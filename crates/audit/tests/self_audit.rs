@@ -1,0 +1,158 @@
+//! The audit's acceptance tests, run against the *real* workspace.
+//!
+//! The positive half pins the contract: the shipped tree has zero
+//! violations, so `cargo test -p atscale-audit` fails the moment someone
+//! adds a counter field without wiring it through events/formula/tests, or
+//! a state mutator without invariant coverage. The negative half doctors
+//! the real `counters.rs` in memory and asserts each coverage leg trips.
+
+use atscale_audit::counters::COUNTERS_PATH;
+use atscale_audit::{run_all, SourceFile, Workspace};
+use std::path::Path;
+
+fn real_workspace() -> Workspace {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    Workspace::load(&root).expect("workspace loads")
+}
+
+#[test]
+fn the_shipped_workspace_is_clean() {
+    let ws = real_workspace();
+    for audit in run_all(&ws) {
+        assert!(
+            audit.violations.is_empty(),
+            "rule `{}` found violations:\n{}",
+            audit.rule,
+            audit
+                .violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(audit.checked > 0, "rule `{}` ran no checks", audit.rule);
+    }
+}
+
+/// Doctors the real counters.rs with `edit` and returns all violations.
+fn violations_after(edit: impl Fn(&str) -> String) -> Vec<String> {
+    let mut ws = real_workspace();
+    let file = ws
+        .files
+        .iter_mut()
+        .find(|f| f.path.ends_with(COUNTERS_PATH))
+        .expect("counters.rs present");
+    *file = SourceFile::new(file.path.clone(), edit(&file.text));
+    run_all(&ws)
+        .into_iter()
+        .flat_map(|a| a.violations)
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[test]
+fn adding_a_counter_without_wiring_fails_every_coverage_leg() {
+    // A new PMU field nobody exports, consumes, or tests.
+    let violations = violations_after(|src| {
+        src.replace(
+            "pub inst_retired: u64,",
+            "pub inst_retired: u64,\n    pub unwired_event: u64,",
+        )
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("`unwired_event`") && v.contains("events()")),
+        "missing events() violation in {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("`unwired_event`") && v.contains("formula")),
+        "missing formula violation in {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("`unwired_event`") && v.contains("never exercised by a test")),
+        "missing test violation in {violations:?}"
+    );
+}
+
+#[test]
+fn dropping_a_field_from_events_is_caught() {
+    let violations =
+        violations_after(|src| src.replace("(\"machine_clears.count\", self.machine_clears),", ""));
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("`machine_clears`") && v.contains("events()")),
+        "missing events() violation in {violations:?}"
+    );
+}
+
+#[test]
+fn dropping_the_ground_truth_checks_is_caught() {
+    // Sever `truth_aborted_walks` from both consistency paths. The field
+    // keeps its formula reads (engine bumps aside, `first_regression_since`
+    // is not a consistency check), so only the truth rule should fire.
+    // The doctored source only has to fool the text scan, not compile.
+    let violations = violations_after(|src| {
+        src.replace("== self.truth_aborted_walks", "== 0")
+            .replace(
+                ", self.truth_aborted_walks, \"aborted ground truth\"",
+                ", 0, \"aborted\"",
+            )
+            .replace("+ self.truth_aborted_walks", "")
+            .replace("self.truth_aborted_walks\n        );", "0\n        );")
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("truth_aborted_walks") && v.contains("validate")),
+        "missing ground-truth violation in {violations:?}"
+    );
+}
+
+#[test]
+fn removing_the_lint_opt_in_is_caught() {
+    let mut ws = real_workspace();
+    let file = ws
+        .files
+        .iter_mut()
+        .find(|f| f.path == "crates/mmu/Cargo.toml")
+        .expect("mmu manifest present");
+    *file = SourceFile::new(
+        file.path.clone(),
+        file.text.replace("[lints]\nworkspace = true", ""),
+    );
+    let violations: Vec<String> = run_all(&ws)
+        .into_iter()
+        .flat_map(|a| a.violations)
+        .map(|v| v.to_string())
+        .collect();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("crates/mmu/Cargo.toml") && v.contains("[lints]")),
+        "missing lint-wiring violation in {violations:?}"
+    );
+}
+
+#[test]
+fn an_uncovered_state_mutator_is_caught() {
+    let mut ws = real_workspace();
+    ws.files.push(SourceFile::new(
+        "crates/mmu/src/rogue.rs".to_string(),
+        "impl RogueState { pub fn mutate(&mut self) { self.n += 1; } }".to_string(),
+    ));
+    let violations: Vec<String> = run_all(&ws)
+        .into_iter()
+        .flat_map(|a| a.violations)
+        .map(|v| v.to_string())
+        .collect();
+    assert!(
+        violations.iter().any(|v| v.contains("RogueState::mutate")),
+        "missing invariant-annotation violation in {violations:?}"
+    );
+}

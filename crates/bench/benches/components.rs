@@ -27,7 +27,7 @@ fn bench_tlb(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % addrs.len();
             black_box(tlb.lookup(addrs[i]))
-        })
+        });
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_cache_hierarchy(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % addrs.len();
             black_box(caches.access(atscale_vm::PhysAddr::new(addrs[i]), AccessKind::Data))
-        })
+        });
     });
 }
 
@@ -63,7 +63,7 @@ fn bench_walk(c: &mut Criterion) {
             i = (i + 1) % paths.len();
             let (va, path) = &paths[i];
             black_box(walker.walk(*va, path, &mut psc, &mut caches, None))
-        })
+        });
     });
 }
 
@@ -82,7 +82,7 @@ fn bench_translate(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % addrs.len();
             black_box(space.translate(addrs[i]))
-        })
+        });
     });
 }
 

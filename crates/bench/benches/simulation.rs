@@ -24,7 +24,7 @@ fn bench_models(c: &mut Criterion) {
                     budget_instr: 200_000,
                 };
                 black_box(execute_run(&spec, &MachineConfig::haswell()))
-            })
+            });
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_page_sizes(c: &mut Criterion) {
                         budget_instr: 200_000,
                     };
                     black_box(execute_run(&spec, &MachineConfig::haswell()))
-                })
+                });
             },
         );
     }

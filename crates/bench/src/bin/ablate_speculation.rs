@@ -35,8 +35,7 @@ fn main() {
         let r_off = off.run(&spec);
         let c_on = &r_on.result.counters;
         let c_off = &r_off.result.counters;
-        let waste =
-            1.0 - c_off.walks_initiated() as f64 / c_on.walks_initiated().max(1) as f64;
+        let waste = 1.0 - c_off.walks_initiated() as f64 / c_on.walks_initiated().max(1) as f64;
         table.row_owned(vec![
             human_bytes(fp),
             c_on.walks_initiated().to_string(),

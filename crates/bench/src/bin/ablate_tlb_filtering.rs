@@ -24,12 +24,7 @@ fn main() {
         atscale::report::human_bytes(fp)
     );
 
-    let mut table = Table::new(&[
-        "l2_tlb_entries",
-        "tlb_miss_ratio",
-        "acc_per_walk",
-        "wcpi",
-    ]);
+    let mut table = Table::new(&["l2_tlb_entries", "tlb_miss_ratio", "acc_per_walk", "wcpi"]);
     for entries in [64u32, 256, 1024, 4096, 16384] {
         let mut cfg = MachineConfig::haswell();
         cfg.tlb.l2 = TlbGeometry::new(entries, 8);

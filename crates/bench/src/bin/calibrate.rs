@@ -23,8 +23,18 @@ fn main() {
     println!("calibrating on {workload} ({} points)", sweep.points);
     println!(
         "{:>10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7}",
-        "footprint", "t_wall", "overhead", "wcpi", "miss/acc", "acc/walk", "lat/acc", "Minstr/s",
-        "cpi4k", "cpi2m", "cpi1g", "wcpi2m"
+        "footprint",
+        "t_wall",
+        "overhead",
+        "wcpi",
+        "miss/acc",
+        "acc/walk",
+        "lat/acc",
+        "Minstr/s",
+        "cpi4k",
+        "cpi2m",
+        "cpi1g",
+        "wcpi2m"
     );
     for fp in sweep.footprints() {
         let spec = sweep.spec(workload, fp);

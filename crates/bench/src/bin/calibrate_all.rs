@@ -17,8 +17,17 @@ fn main() {
     };
     println!(
         "{:<20} {:>9} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7}",
-        "workload", "footprint", "overhead", "wcpi", "miss/acc", "acc/instr", "acc/walk",
-        "lat/acc", "cpi4k", "wp%", "abort%"
+        "workload",
+        "footprint",
+        "overhead",
+        "wcpi",
+        "miss/acc",
+        "acc/instr",
+        "acc/walk",
+        "lat/acc",
+        "cpi4k",
+        "wp%",
+        "abort%"
     );
     for id in WorkloadId::all() {
         for fp in sweep.footprints() {

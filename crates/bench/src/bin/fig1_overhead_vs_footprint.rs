@@ -48,10 +48,11 @@ fn main() {
     let ys: Vec<f64> = all_points
         .iter()
         .flatten()
-        .map(|p| p.relative_overhead())
+        .map(atscale::OverheadPoint::relative_overhead)
         .collect();
     match atscale_stats::pearson(&xs, &ys) {
         Ok(r) => println!("inter-workload Pearson(log10 footprint, overhead) = {r:.3}"),
         Err(e) => println!("correlation unavailable: {e}"),
     }
+    println!("{}", atscale_vm::invariant::summary());
 }

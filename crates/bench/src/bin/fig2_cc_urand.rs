@@ -8,8 +8,8 @@
 //! the *logarithm* of footprint (paper fit for cc-urand:
 //! β₁ = 0.135, adj. R² = 0.973).
 
-use atscale::report::{fmt, human_bytes, Table};
 use atscale::fit_overhead_scaling;
+use atscale::report::{fmt, human_bytes, Table};
 use atscale_bench::HarnessOptions;
 use atscale_workloads::WorkloadId;
 

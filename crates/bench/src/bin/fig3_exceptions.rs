@@ -11,7 +11,12 @@ use atscale::report::{fmt, human_bytes, Table};
 use atscale_bench::HarnessOptions;
 use atscale_workloads::WorkloadId;
 
-const EXCEPTIONS: [&str; 4] = ["mcf-rand", "memcached-uniform", "streamcluster-rand", "tc-kron"];
+const EXCEPTIONS: [&str; 4] = [
+    "mcf-rand",
+    "memcached-uniform",
+    "streamcluster-rand",
+    "tc-kron",
+];
 
 fn main() {
     let opts = HarnessOptions::from_args();

@@ -48,4 +48,5 @@ fn main() {
     let csv = opts.csv_path("fig7_walk_outcomes");
     table.write_csv(&csv).expect("write csv");
     println!("wrote {}", csv.display());
+    println!("{}", atscale_vm::invariant::summary());
 }

@@ -34,7 +34,10 @@ fn main() {
         table.row_owned(vec![
             human_bytes(p.run_4k.spec.nominal_footprint),
             fmt(cpk, 3),
-            fmt(c.branch_mispredicts as f64 * 1000.0 / c.inst_retired as f64, 3),
+            fmt(
+                c.branch_mispredicts as f64 * 1000.0 / c.inst_retired as f64,
+                3,
+            ),
             fmt(o.non_correct_fraction(), 3),
         ]);
     }

@@ -25,15 +25,31 @@ fn main() {
     let h = &cfg.hierarchy;
     t3.row_owned(vec![
         "L1D".into(),
-        format!("{} KB, {}-way, {} B lines, {} cyc", h.l1.size_bytes >> 10, h.l1.ways, h.l1.line_bytes, h.latency.l1),
+        format!(
+            "{} KB, {}-way, {} B lines, {} cyc",
+            h.l1.size_bytes >> 10,
+            h.l1.ways,
+            h.l1.line_bytes,
+            h.latency.l1
+        ),
     ]);
     t3.row_owned(vec![
         "L2".into(),
-        format!("{} KB, {}-way, {} cyc", h.l2.size_bytes >> 10, h.l2.ways, h.latency.l2),
+        format!(
+            "{} KB, {}-way, {} cyc",
+            h.l2.size_bytes >> 10,
+            h.l2.ways,
+            h.latency.l2
+        ),
     ]);
     t3.row_owned(vec![
         "L3".into(),
-        format!("{} MB shared, {}-way, {} cyc", h.l3.size_bytes >> 20, h.l3.ways, h.latency.l3),
+        format!(
+            "{} MB shared, {}-way, {} cyc",
+            h.l3.size_bytes >> 20,
+            h.l3.ways,
+            h.latency.l3
+        ),
     ]);
     t3.row_owned(vec!["DRAM".into(), format!("{} cyc", h.latency.memory)]);
     t3.row_owned(vec![

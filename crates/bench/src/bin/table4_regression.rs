@@ -35,7 +35,12 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                table.row_owned(vec![id.to_string(), "-".into(), "-".into(), format!("({e})")]);
+                table.row_owned(vec![
+                    id.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    format!("({e})"),
+                ]);
             }
         }
     }

@@ -27,7 +27,10 @@ fn main() {
             .iter()
             .map(|p| PressureMetric::Wcpi.value(&p.run_4k))
             .collect();
-        let overheads: Vec<f64> = points.iter().map(|p| p.relative_overhead()).collect();
+        let overheads: Vec<f64> = points
+            .iter()
+            .map(atscale::OverheadPoint::relative_overhead)
+            .collect();
         match spearman(&wcpi, &overheads) {
             Ok(rho) => {
                 let band = if rho > 0.9999 {

@@ -104,9 +104,6 @@ mod tests {
         };
         // Building the harness must not panic and must honour the config.
         let harness = opts.harness();
-        assert_eq!(
-            harness.config(),
-            &atscale_mmu::MachineConfig::haswell()
-        );
+        assert_eq!(harness.config(), &atscale_mmu::MachineConfig::haswell());
     }
 }

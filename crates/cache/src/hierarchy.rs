@@ -2,7 +2,7 @@
 
 use crate::stats::HierarchyStats;
 use crate::{HierarchyConfig, SetAssocCache};
-use atscale_vm::PhysAddr;
+use atscale_vm::{CheckInvariants, PhysAddr};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -149,6 +149,43 @@ impl CacheHierarchy {
     }
 }
 
+impl CheckInvariants for CacheHierarchy {
+    fn check_invariants(&self) {
+        let lat = &self.config.latency;
+        atscale_vm::invariant!(
+            lat.l1 <= lat.l2 && lat.l2 <= lat.l3 && lat.l3 <= lat.memory,
+            "latencies must grow outward: l1={} l2={} l3={} mem={}",
+            lat.l1,
+            lat.l2,
+            lat.l3,
+            lat.memory
+        );
+        // Lookups filter strictly downward: an outer level is consulted
+        // exactly once per inner-level miss. Per-cache counters survive
+        // `reset_stats`, so these equalities hold over the whole run.
+        atscale_vm::invariant!(
+            self.l2.hits() + self.l2.misses() == self.l1.misses(),
+            "L2 saw {} accesses but L1 recorded {} misses",
+            self.l2.hits() + self.l2.misses(),
+            self.l1.misses()
+        );
+        atscale_vm::invariant!(
+            self.l3.hits() + self.l3.misses() == self.l2.misses(),
+            "L3 saw {} accesses but L2 recorded {} misses",
+            self.l3.hits() + self.l3.misses(),
+            self.l2.misses()
+        );
+        // Window stats (reset after warm-up) never exceed cumulative counts.
+        atscale_vm::invariant!(
+            self.stats.data.total() + self.stats.pte.total() <= self.l1.hits() + self.l1.misses(),
+            "windowed stats exceed cumulative L1 accesses"
+        );
+        self.l1.check_invariants();
+        self.l2.check_invariants();
+        self.l3.check_invariants();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,8 +197,14 @@ mod tests {
     #[test]
     fn miss_fills_all_levels() {
         let mut h = tiny();
-        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::Memory);
-        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::L1);
+        assert_eq!(
+            h.access(PhysAddr::new(0), AccessKind::Data).level,
+            HitLevel::Memory
+        );
+        assert_eq!(
+            h.access(PhysAddr::new(0), AccessKind::Data).level,
+            HitLevel::L1
+        );
     }
 
     #[test]
@@ -181,8 +224,14 @@ mod tests {
     fn latencies_match_config() {
         let mut h = tiny();
         let lat = h.config().latency;
-        assert_eq!(h.access(PhysAddr::new(0x100), AccessKind::Data).latency, lat.memory);
-        assert_eq!(h.access(PhysAddr::new(0x100), AccessKind::Data).latency, lat.l1);
+        assert_eq!(
+            h.access(PhysAddr::new(0x100), AccessKind::Data).latency,
+            lat.memory
+        );
+        assert_eq!(
+            h.access(PhysAddr::new(0x100), AccessKind::Data).latency,
+            lat.l1
+        );
     }
 
     #[test]
@@ -208,7 +257,11 @@ mod tests {
             h.access(PhysAddr::new(i * 64), AccessKind::Data);
         }
         let r = h.access(pte_addr, AccessKind::PageTable);
-        assert_eq!(r.level, HitLevel::Memory, "data traffic evicted the PTE line");
+        assert_eq!(
+            r.level,
+            HitLevel::Memory,
+            "data traffic evicted the PTE line"
+        );
     }
 
     #[test]
@@ -217,7 +270,10 @@ mod tests {
         h.access(PhysAddr::new(0), AccessKind::Data);
         h.reset_stats();
         assert_eq!(h.stats().data.total(), 0);
-        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::L1);
+        assert_eq!(
+            h.access(PhysAddr::new(0), AccessKind::Data).level,
+            HitLevel::L1
+        );
     }
 
     #[test]
@@ -225,7 +281,10 @@ mod tests {
         let mut h = tiny();
         h.access(PhysAddr::new(0), AccessKind::Data);
         h.flush();
-        assert_eq!(h.access(PhysAddr::new(0), AccessKind::Data).level, HitLevel::Memory);
+        assert_eq!(
+            h.access(PhysAddr::new(0), AccessKind::Data).level,
+            HitLevel::Memory
+        );
     }
 
     #[test]

@@ -117,6 +117,34 @@ impl SetAssocCache {
     }
 }
 
+impl atscale_vm::CheckInvariants for SetAssocCache {
+    fn check_invariants(&self) {
+        atscale_vm::invariant!(
+            self.tags.len() == (self.sets as usize) * self.ways,
+            "tag array holds {} entries for {} sets x {} ways",
+            self.tags.len(),
+            self.sets,
+            self.ways
+        );
+        for (set, ways) in self.tags.chunks(self.ways).enumerate() {
+            for (i, &tag) in ways.iter().enumerate() {
+                if tag == INVALID {
+                    continue;
+                }
+                atscale_vm::invariant!(
+                    !ways[..i].contains(&tag),
+                    "duplicate block {tag:#x} in set {set}"
+                );
+                atscale_vm::invariant!(
+                    (tag % self.sets) as usize == set,
+                    "block {tag:#x} stored in set {set}, indexes to {}",
+                    tag % self.sets
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

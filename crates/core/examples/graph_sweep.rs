@@ -36,19 +36,15 @@ fn main() {
 
             let summary = match kernel {
                 "bfs" => {
-                    let mut parent =
-                        SimArray::new(machine.space_mut(), "bfs.parent", n, -1i64)
-                            .expect("alloc parent");
+                    let mut parent = SimArray::new(machine.space_mut(), "bfs.parent", n, -1i64)
+                        .expect("alloc parent");
                     let reached = bfs(&graph, 0, &mut parent, &mut machine);
                     format!("reached {reached}/{n} vertices")
                 }
                 "cc" => {
-                    let mut comp = SimArray::from_vec(
-                        machine.space_mut(),
-                        "cc.comp",
-                        (0..n as u64).collect(),
-                    )
-                    .expect("alloc labels");
+                    let mut comp =
+                        SimArray::from_vec(machine.space_mut(), "cc.comp", (0..n as u64).collect())
+                            .expect("alloc labels");
                     connected_components(&graph, &mut comp, &mut machine);
                     let mut labels = comp.as_slice().to_vec();
                     labels.sort_unstable();
@@ -58,11 +54,10 @@ fn main() {
                 "pr" => {
                     let mut ranks = SimArray::new(machine.space_mut(), "pr.ranks", n, 0.0f64)
                         .expect("alloc ranks");
-                    let mut contrib =
-                        SimArray::new(machine.space_mut(), "pr.contrib", n, 0.0f64)
-                            .expect("alloc contrib");
+                    let mut contrib = SimArray::new(machine.space_mut(), "pr.contrib", n, 0.0f64)
+                        .expect("alloc contrib");
                     let out = pagerank(&graph, 3, &mut ranks, &mut contrib, &mut machine);
-                    let top = out.iter().cloned().fold(f64::MIN, f64::max);
+                    let top = out.iter().copied().fold(f64::MIN, f64::max);
                     format!("top rank {top:.2e}")
                 }
                 other => unreachable!("unknown kernel {other}"),

@@ -22,7 +22,14 @@ fn main() {
     println!("superpage study: {workload}\n");
     println!(
         "{:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>12} {:>12}",
-        "footprint", "overhead", "wcpi_4k", "wcpi_2m", "wcpi_1g", "miss2m/Macc", "noncorrect4k", "noncorrect2m"
+        "footprint",
+        "overhead",
+        "wcpi_4k",
+        "wcpi_2m",
+        "wcpi_1g",
+        "miss2m/Macc",
+        "noncorrect4k",
+        "noncorrect2m"
     );
     for footprint in [256u64 << 20, 1 << 30, 4 << 30, 16 << 30] {
         let spec = RunSpec {

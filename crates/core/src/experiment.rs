@@ -123,8 +123,7 @@ impl Harness {
     /// per available CPU (capped at 8 to bound memory).
     pub fn new() -> Harness {
         let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+            .map_or(4, std::num::NonZero::get)
             .min(8);
         Harness {
             config: MachineConfig::haswell(),

@@ -28,7 +28,7 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -44,7 +44,8 @@ impl Table {
             self.headers.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
         self
     }
 
@@ -69,7 +70,7 @@ impl Table {
     /// right-aligned, numeric-report style).
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -191,7 +192,7 @@ mod tests {
         t.row(&["1", "has,comma"]);
         t.row(&["2", "has\"quote"]);
         t.write_csv(&path).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"has,comma\""));
         assert!(text.contains("\"has\"\"quote\""));
         assert_eq!(text.lines().count(), 3);

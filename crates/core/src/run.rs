@@ -82,7 +82,10 @@ pub fn execute_run(spec: &RunSpec, config: &MachineConfig) -> RunRecord {
     workload.run(&mut machine);
     let result = machine.finish();
     result.counters.assert_consistent();
-    RunRecord { spec: *spec, result }
+    RunRecord {
+        spec: *spec,
+        result,
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +139,10 @@ mod tests {
         let mut s = spec();
         s.nominal_footprint = 128 << 20;
         let base = execute_run(&s, &MachineConfig::haswell());
-        let huge = execute_run(&s.with_page_size(PageSize::Size2M), &MachineConfig::haswell());
+        let huge = execute_run(
+            &s.with_page_size(PageSize::Size2M),
+            &MachineConfig::haswell(),
+        );
         assert!(
             huge.result.counters.walks_retired() * 5 < base.result.counters.walks_retired(),
             "2MB walks {} vs 4KB walks {}",

@@ -31,17 +31,16 @@ impl ScalingFit {
 /// Propagates [`StatsError`] for degenerate sweeps (fewer than three
 /// points, constant footprint).
 pub fn fit_overhead_scaling(points: &[OverheadPoint]) -> Result<ScalingFit, StatsError> {
-    let xs: Vec<f64> = points
+    let xs: Vec<f64> = points.iter().map(|p| p.footprint_kb().log10()).collect();
+    let ys: Vec<f64> = points
         .iter()
-        .map(|p| p.footprint_kb().log10())
+        .map(OverheadPoint::relative_overhead)
         .collect();
-    let ys: Vec<f64> = points.iter().map(|p| p.relative_overhead()).collect();
     let fit = ols(&xs, &ys)?;
     Ok(ScalingFit {
         workload: points
             .first()
-            .map(|p| p.workload())
-            .unwrap_or_else(|| "<empty>".into()),
+            .map_or_else(|| "<empty>".into(), OverheadPoint::workload),
         fit,
         points: points.len(),
     })

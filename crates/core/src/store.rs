@@ -75,14 +75,12 @@ impl RunStore {
 
     /// Number of cached records.
     pub fn len(&self) -> usize {
-        fs::read_dir(&self.dir)
-            .map(|entries| {
-                entries
-                    .filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .count()
-            })
-            .unwrap_or(0)
+        fs::read_dir(&self.dir).map_or(0, |entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
     }
 
     /// `true` if no records are cached.
@@ -113,7 +111,8 @@ mod tests {
     }
 
     fn temp_store(tag: &str) -> RunStore {
-        let dir = std::env::temp_dir().join(format!("atscale-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("atscale-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         RunStore::open(dir).unwrap()
     }

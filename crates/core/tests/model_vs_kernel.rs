@@ -21,8 +21,7 @@ fn run_real_cc(scale: u32, budget: u64) -> RunResult {
     let n = cfg.vertices() as usize;
     let graph = CsrGraph::build(machine.space_mut(), n, edges(cfg)).expect("alloc");
     let mut comp =
-        SimArray::from_vec(machine.space_mut(), "cc.comp", (0..n as u64).collect())
-            .expect("alloc");
+        SimArray::from_vec(machine.space_mut(), "cc.comp", (0..n as u64).collect()).expect("alloc");
     machine.set_limits(50_000, budget);
     // Iterate until the budget is consumed (label propagation converges
     // and restarts, like repeated trials).

@@ -20,7 +20,10 @@ fn spec(workload: &str, footprint: u64, budget: u64) -> RunSpec {
 }
 
 fn overhead(workload: &str, footprint: u64) -> OverheadPoint {
-    OverheadPoint::measure(&spec(workload, footprint, 250_000), &MachineConfig::haswell())
+    OverheadPoint::measure(
+        &spec(workload, footprint, 250_000),
+        &MachineConfig::haswell(),
+    )
 }
 
 /// §V-A: overhead grows with footprint for AT-intensive workloads.
@@ -156,7 +159,10 @@ fn wcpi_tracks_overhead_within_a_workload() {
         .iter()
         .map(|p| PressureMetric::Wcpi.value(&p.run_4k))
         .collect();
-    let overheads: Vec<f64> = points.iter().map(|p| p.relative_overhead()).collect();
+    let overheads: Vec<f64> = points
+        .iter()
+        .map(OverheadPoint::relative_overhead)
+        .collect();
     let rho = atscale_stats::spearman(&wcpi, &overheads).expect("non-degenerate");
     assert!(rho > 0.7, "Spearman(WCPI, overhead) = {rho}");
 }
@@ -166,10 +172,8 @@ fn wcpi_tracks_overhead_within_a_workload() {
 #[test]
 fn measured_footprint_tracks_nominal() {
     for workload in ["pr-urand", "mcf-rand", "memcached-uniform"] {
-        let record = atscale::execute_run(
-            &spec(workload, 96 << 20, 50_000),
-            &MachineConfig::haswell(),
-        );
+        let record =
+            atscale::execute_run(&spec(workload, 96 << 20, 50_000), &MachineConfig::haswell());
         let measured = record.result.footprint_bytes() as f64;
         let nominal = (96 << 20) as f64;
         assert!(

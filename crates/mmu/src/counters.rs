@@ -12,6 +12,7 @@
 //! counter-derived outcomes equal the ground truth — a consistency check a
 //! real machine cannot offer.
 
+use atscale_vm::{invariant, CheckInvariants};
 use serde::{Deserialize, Serialize};
 
 /// The software performance-counter file.
@@ -197,10 +198,34 @@ impl Counters {
         ]
     }
 
+    /// Returns the event name of the first counter that is *smaller* than in
+    /// `prev`. Counters are cumulative: between two snapshots of the same
+    /// measurement window every field must be monotonically non-decreasing.
+    /// Returns `None` when no counter regressed.
+    pub fn first_regression_since(&self, prev: &Counters) -> Option<&'static str> {
+        let truth = |c: &Counters| {
+            [
+                ("truth.retired_walks", c.truth_retired_walks),
+                ("truth.wrong_path_walks", c.truth_wrong_path_walks),
+                ("truth.aborted_walks", c.truth_aborted_walks),
+            ]
+        };
+        self.events()
+            .into_iter()
+            .chain(truth(self))
+            .zip(prev.events().into_iter().chain(truth(prev)))
+            .find(|((_, now), (_, before))| now < before)
+            .map(|((name, _), _)| name)
+    }
+
     /// Asserts the internal consistency invariants that hold by
     /// construction on real hardware and must hold in the simulator:
     /// `retired ≤ completed ≤ initiated`, and Table VI outcomes must match
     /// the simulator's ground truth.
+    ///
+    /// Unlike [`CheckInvariants::check_invariants`], these assertions are
+    /// active in **all** build profiles — tests and experiment binaries call
+    /// this on final results regardless of optimisation level.
     ///
     /// # Panics
     ///
@@ -223,6 +248,73 @@ impl Counters {
     }
 }
 
+impl CheckInvariants for Counters {
+    fn check_invariants(&self) {
+        let o = self.walk_outcomes();
+        invariant!(
+            o.retired <= o.completed && o.completed <= o.initiated,
+            "Table VI ordering: retired {} <= completed {} <= initiated {}",
+            o.retired,
+            o.completed,
+            o.initiated
+        );
+        invariant!(
+            o.retired == self.truth_retired_walks,
+            "counter-derived retired walks ({}) diverge from ground truth ({})",
+            o.retired,
+            self.truth_retired_walks
+        );
+        invariant!(
+            o.wrong_path == self.truth_wrong_path_walks,
+            "counter-derived wrong-path walks ({}) diverge from ground truth ({})",
+            o.wrong_path,
+            self.truth_wrong_path_walks
+        );
+        invariant!(
+            o.aborted == self.truth_aborted_walks,
+            "counter-derived aborted walks ({}) diverge from ground truth ({})",
+            o.aborted,
+            self.truth_aborted_walks
+        );
+        invariant!(
+            o.initiated
+                == self.truth_retired_walks
+                    + self.truth_wrong_path_walks
+                    + self.truth_aborted_walks,
+            "walk accounting: initiated ({}) != retired + wrong-path + squashed ({})",
+            o.initiated,
+            self.truth_retired_walks + self.truth_wrong_path_walks + self.truth_aborted_walks
+        );
+        invariant!(
+            self.accesses_retired() <= self.inst_retired,
+            "retired memory uops ({}) exceed retired instructions ({})",
+            self.accesses_retired(),
+            self.inst_retired
+        );
+        invariant!(
+            self.stlb_miss_loads <= self.loads_retired && self.stlb_hit_loads <= self.loads_retired,
+            "STLB load events ({} miss / {} hit) exceed retired loads ({})",
+            self.stlb_miss_loads,
+            self.stlb_hit_loads,
+            self.loads_retired
+        );
+        invariant!(
+            self.stlb_miss_stores <= self.stores_retired
+                && self.stlb_hit_stores <= self.stores_retired,
+            "STLB store events ({} miss / {} hit) exceed retired stores ({})",
+            self.stlb_miss_stores,
+            self.stlb_hit_stores,
+            self.stores_retired
+        );
+        invariant!(
+            self.pt_accesses >= o.completed,
+            "every completed walk fetches at least one PTE: {} accesses, {} completed",
+            self.pt_accesses,
+            o.completed
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,11 +327,16 @@ mod tests {
             stores_retired: 100,
             stlb_miss_loads: 30,
             stlb_miss_stores: 10,
+            stlb_hit_loads: 50,
+            stlb_hit_stores: 12,
             walk_initiated_loads: 70,
             walk_initiated_stores: 20,
             walk_completed_loads: 50,
             walk_completed_stores: 15,
             walk_duration_cycles: 900,
+            pt_accesses: 130,
+            machine_clears: 3,
+            branch_mispredicts: 7,
             truth_retired_walks: 40,
             truth_wrong_path_walks: 25,
             truth_aborted_walks: 25,
@@ -256,12 +353,34 @@ mod tests {
         assert_eq!(o.aborted, 25);
         assert_eq!(o.wrong_path, 25);
         assert!((o.non_correct_fraction() - 50.0 / 90.0).abs() < 1e-12);
-        assert!((o.retired_fraction() + o.aborted_fraction() + o.wrong_path_fraction() - 1.0).abs() < 1e-12);
+        assert!(
+            (o.retired_fraction() + o.aborted_fraction() + o.wrong_path_fraction() - 1.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn consistency_check_accepts_valid_counters() {
         sample().assert_consistent();
+        sample().check_invariants();
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "invariants compile out in release")]
+    #[should_panic(expected = "aborted walks")]
+    fn invariant_check_catches_unaccounted_walks() {
+        let mut c = sample();
+        c.walk_initiated_loads += 1; // initiated with no matching outcome
+        c.check_invariants();
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "invariants compile out in release")]
+    #[should_panic(expected = "at least one PTE")]
+    fn invariant_check_catches_missing_pte_fetches() {
+        let mut c = sample();
+        c.pt_accesses = 1;
+        c.check_invariants();
     }
 
     #[test]
@@ -271,6 +390,27 @@ mod tests {
         c.truth_wrong_path_walks += 1;
         c.truth_aborted_walks -= 1;
         c.assert_consistent();
+    }
+
+    #[test]
+    fn regression_detection_names_the_shrinking_counter() {
+        let a = sample();
+        assert_eq!(a.first_regression_since(&a), None);
+        let mut later = a;
+        later.inst_retired += 10;
+        assert_eq!(later.first_regression_since(&a), None);
+        let mut broken = a;
+        broken.pt_accesses -= 1;
+        assert_eq!(
+            broken.first_regression_since(&a),
+            Some("page_walker_loads.total")
+        );
+        let mut truth_broken = a;
+        truth_broken.truth_aborted_walks -= 1;
+        assert_eq!(
+            truth_broken.first_regression_since(&a),
+            Some("truth.aborted_walks")
+        );
     }
 
     #[test]
@@ -295,6 +435,17 @@ mod tests {
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn speculation_events_are_reported() {
+        let c = sample();
+        let events = c.events();
+        assert!(events.contains(&("machine_clears.count", c.machine_clears)));
+        assert!(events.contains(&("br_misp_retired.all_branches", c.branch_mispredicts)));
+        assert!(events.contains(&("mem_uops_retired.stlb_miss_loads", c.stlb_miss_loads)));
+        assert!(events.contains(&("dtlb_load_misses.stlb_hit", c.stlb_hit_loads)));
+        assert!(events.contains(&("dtlb_store_misses.stlb_hit", c.stlb_hit_stores)));
     }
 
     #[test]

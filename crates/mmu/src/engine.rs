@@ -32,7 +32,10 @@ use crate::{
     SpecEvent, SpeculationModel, TlbHierarchy, TlbHit, TlbStats, WorkloadProfile,
 };
 use atscale_cache::{AccessKind, CacheHierarchy, HierarchyStats, PteLocationDistribution};
-use atscale_vm::{AddressSpace, BackingPolicy, PageSize, ProbeResult, SpaceStats, VirtAddr};
+use atscale_vm::{
+    invariant, AddressSpace, BackingPolicy, CheckInvariants, PageSize, ProbeResult, SpaceStats,
+    VirtAddr,
+};
 use serde::{Deserialize, Serialize};
 
 /// Interval (in retired instructions) between speculation-pressure updates.
@@ -95,6 +98,9 @@ pub struct Machine {
     walker: PageTableWalker,
     spec: SpeculationModel,
     counters: Counters,
+    /// Counter snapshot from the previous invariant sweep, for the
+    /// debug-build monotonicity check (counters must never decrease).
+    last_checked: Counters,
     cycles_f: f64,
     stall_window: f64,
     walk_stall_window: f64,
@@ -126,6 +132,7 @@ impl Machine {
             walker: PageTableWalker::new(config.walker),
             spec: SpeculationModel::new(config.spec, &profile),
             counters: Counters::new(),
+            last_checked: Counters::new(),
             cycles_f: 0.0,
             stall_window: 0.0,
             walk_stall_window: 0.0,
@@ -183,7 +190,14 @@ impl Machine {
     }
 
     /// Finishes the run and extracts all measurements.
+    ///
+    /// In debug builds this runs the full invariant sweep — counter
+    /// identities, cross-structure couplings, and the structural scans of
+    /// every cache and TLB array — before the result is extracted.
     pub fn finish(self) -> RunResult {
+        if cfg!(debug_assertions) {
+            self.check_invariants();
+        }
         let mut counters = self.counters;
         counters.cycles = self.cycles_f as u64;
         counters.minor_faults = self.space.stats().minor_faults;
@@ -220,11 +234,68 @@ impl Machine {
             self.stall_window = 0.0;
             self.walk_stall_window = 0.0;
             self.window_start_cycles = self.cycles_f;
+            if cfg!(debug_assertions) {
+                self.debug_check_window();
+            }
         }
+    }
+
+    /// Debug-cadence invariant sweep, run once per pressure window: the
+    /// counter identities and cross-structure couplings (cheap), plus the
+    /// monotonicity check against the previous window's snapshot. The full
+    /// structural scan of cache/TLB arrays runs only in [`Machine::finish`].
+    fn debug_check_window(&mut self) {
+        let snapshot = self.counters();
+        invariant!(
+            snapshot
+                .first_regression_since(&self.last_checked)
+                .is_none(),
+            "counter {} decreased between invariant sweeps",
+            snapshot
+                .first_regression_since(&self.last_checked)
+                .unwrap_or("<none>")
+        );
+        snapshot.check_invariants();
+        self.check_counter_couplings(&snapshot);
+        self.last_checked = snapshot;
+    }
+
+    /// Invariants tying the counter file to the structures that feed it.
+    fn check_counter_couplings(&self, c: &Counters) {
+        let tlb = self.tlbs.stats();
+        invariant!(
+            tlb.misses == c.walks_initiated(),
+            "every TLB miss initiates exactly one walk: {} misses, {} walks",
+            tlb.misses,
+            c.walks_initiated()
+        );
+        invariant!(
+            tlb.l2_hits >= c.stlb_hit_loads + c.stlb_hit_stores,
+            "retired STLB hits ({}) exceed all L2 TLB hits ({})",
+            c.stlb_hit_loads + c.stlb_hit_stores,
+            tlb.l2_hits
+        );
+        invariant!(
+            self.caches.stats().pte.total() == c.pt_accesses,
+            "walker PTE fetches ({}) diverge from hierarchy PTE accesses ({})",
+            c.pt_accesses,
+            self.caches.stats().pte.total()
+        );
+        let o = c.walk_outcomes();
+        let setup = self.config.walker.setup_cycles as u64;
+        let min_completed = setup + self.config.hierarchy.latency.l1 as u64;
+        invariant!(
+            c.walk_duration_cycles >= o.completed * min_completed + o.aborted * setup,
+            "walk duration ({}) below the floor for {} completed + {} aborted walks",
+            c.walk_duration_cycles,
+            o.completed,
+            o.aborted
+        );
     }
 
     fn reset_measurement(&mut self) {
         self.counters = Counters::new();
+        self.last_checked = Counters::new();
         self.cycles_f = 0.0;
         self.stall_window = 0.0;
         self.walk_stall_window = 0.0;
@@ -258,7 +329,9 @@ impl Machine {
             let budget = plan.squash_budget - elapsed;
             let walk = match self.space.probe_walk(va) {
                 ProbeResult::Mapped(path) => {
-                    let w = self.walker.walk(va, &path, &mut self.psc, &mut self.caches, Some(budget));
+                    let w =
+                        self.walker
+                            .walk(va, &path, &mut self.psc, &mut self.caches, Some(budget));
                     if w.completed {
                         self.tlbs.fill(va, path.page_size);
                     }
@@ -272,6 +345,10 @@ impl Machine {
             self.counters.walk_duration_cycles += walk.cycles;
             self.counters.pt_accesses += walk.accesses as u64;
             elapsed += walk.cycles;
+            invariant!(
+                walk.cycles >= self.config.walker.setup_cycles as u64,
+                "walk consumed fewer cycles than walker setup"
+            );
             if walk.completed {
                 self.counters.walk_completed_loads += 1;
                 self.counters.truth_wrong_path_walks += 1;
@@ -281,6 +358,18 @@ impl Machine {
                 break;
             }
         }
+    }
+}
+
+impl CheckInvariants for Machine {
+    fn check_invariants(&self) {
+        let snapshot = self.counters();
+        snapshot.check_invariants();
+        self.check_counter_couplings(&snapshot);
+        self.tlbs.check_invariants();
+        self.psc.check_invariants();
+        self.caches.check_invariants();
+        self.space.check_invariants();
     }
 }
 
@@ -329,10 +418,14 @@ impl AccessSink for Machine {
                     }
                 }
                 self.counters.truth_retired_walks += 1;
-                let walk =
-                    self.walker
-                        .walk(va, &touch.path, &mut self.psc, &mut self.caches, None);
-                debug_assert!(walk.completed, "retired walks always complete");
+                let walk = self
+                    .walker
+                    .walk(va, &touch.path, &mut self.psc, &mut self.caches, None);
+                invariant!(walk.completed, "retired walks always complete");
+                invariant!(
+                    walk.accesses >= 1,
+                    "a completed walk fetches at least the leaf PTE"
+                );
                 self.counters.walk_duration_cycles += walk.cycles;
                 self.counters.pt_accesses += walk.accesses as u64;
                 self.tlbs.fill(va, touch.page_size);

@@ -13,7 +13,7 @@
 //! pattern and their hit rates improve — fewer accesses per walk.
 
 use crate::{MmuCacheConfig, PscLevels, TlbArray};
-use atscale_vm::{VirtAddr, WalkPath};
+use atscale_vm::{invariant, CheckInvariants, VirtAddr, WalkPath};
 use serde::{Deserialize, Serialize};
 
 /// Result of a paging-structure-cache lookup.
@@ -147,6 +147,20 @@ impl PagingStructureCaches {
     }
 }
 
+impl CheckInvariants for PagingStructureCaches {
+    fn check_invariants(&self) {
+        self.pml4e.check_invariants();
+        self.pdpte.check_invariants();
+        self.pde.check_invariants();
+        let hits: u64 = self.hits.iter().sum();
+        invariant!(
+            hits <= self.lookups,
+            "paging-structure caches hit {hits} times in {} lookups",
+            self.lookups
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,10 +264,7 @@ mod tests {
         // Same PD region → PDE hit.
         assert_eq!(psc.lookup(seg.base().add(0x1000), 1).resume_below, Some(2));
         // Different PD region → nothing (PDPTE disabled).
-        assert_eq!(
-            psc.lookup(seg.base().add(128 << 21), 1).resume_below,
-            None
-        );
+        assert_eq!(psc.lookup(seg.base().add(128 << 21), 1).resume_below, None);
     }
 
     #[test]

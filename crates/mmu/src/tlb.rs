@@ -1,7 +1,7 @@
 //! Translation lookaside buffers.
 
 use crate::{TlbConfig, TlbGeometry};
-use atscale_vm::{PageSize, VirtAddr};
+use atscale_vm::{invariant, CheckInvariants, PageSize, VirtAddr};
 use serde::{Deserialize, Serialize};
 
 const INVALID: u64 = u64::MAX;
@@ -83,6 +83,33 @@ impl TlbArray {
     /// Invalidates all entries.
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
+    }
+}
+
+impl CheckInvariants for TlbArray {
+    fn check_invariants(&self) {
+        invariant!(
+            self.tags.len() == self.geometry.entries as usize,
+            "tag array holds {} entries, geometry says {}",
+            self.tags.len(),
+            self.geometry.entries
+        );
+        for (set, ways) in self.tags.chunks(self.ways).enumerate() {
+            for (i, &tag) in ways.iter().enumerate() {
+                if tag == INVALID {
+                    continue;
+                }
+                invariant!(
+                    !ways[..i].contains(&tag),
+                    "duplicate key {tag:#x} in TLB set {set}"
+                );
+                invariant!(
+                    (tag % self.sets) as usize == set,
+                    "key {tag:#x} stored in set {set}, indexes to {}",
+                    tag % self.sets
+                );
+            }
+        }
     }
 }
 
@@ -199,6 +226,16 @@ impl TlbHierarchy {
         if size != PageSize::Size1G {
             self.l2.fill(Self::l2_key(va, size));
         }
+        // Mostly-inclusive fill: after installation the entry must be
+        // resident in its L1 array, and (for sizes the L2 holds) in the L2.
+        invariant!(
+            self.l1_for(size).probe(va.vpn(size)),
+            "fill did not install {va} ({size}) in its L1 array"
+        );
+        invariant!(
+            size == PageSize::Size1G || self.l2.probe(Self::l2_key(va, size)),
+            "fill did not install {va} ({size}) in the shared L2"
+        );
     }
 
     /// Accumulated statistics.
@@ -230,6 +267,19 @@ impl TlbHierarchy {
     /// L2 key: size-tagged VPN so 4 KB and 2 MB entries never alias.
     fn l2_key(va: VirtAddr, size: PageSize) -> u64 {
         (va.vpn(size) << 1) | (size == PageSize::Size2M) as u64
+    }
+}
+
+impl CheckInvariants for TlbHierarchy {
+    fn check_invariants(&self) {
+        self.l1_4k.check_invariants();
+        self.l1_2m.check_invariants();
+        self.l1_1g.check_invariants();
+        self.l2.check_invariants();
+        invariant!(
+            self.stats.lookups() >= self.stats.misses,
+            "TLB lookup total underflows its components"
+        );
     }
 }
 

@@ -1,0 +1,133 @@
+//! Property tests for the Table VI walk-outcome accounting.
+//!
+//! The paper derives walk outcomes purely from counters (aborted =
+//! initiated − completed, wrong-path = completed − retired); the simulator
+//! additionally records ground truth for each walk. These properties assert
+//! the two decompositions agree across randomized traces — speculative
+//! wrong-path walks, machine clears, warm-up resets and all — which is the
+//! consistency check a real machine cannot offer.
+
+use atscale_mmu::{AccessSink, Machine, MachineConfig, WorkloadProfile};
+use atscale_vm::{BackingPolicy, PageSize, VirtAddr};
+use proptest::prelude::*;
+
+/// One randomized memory access: load/store, an offset selector, and how
+/// many plain instructions retire after it.
+type Step = (bool, u64, u64);
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec((prop::bool::ANY, 0u64..u64::MAX, 0u64..6), 50..400)
+}
+
+/// Drives a tiny-geometry machine (so misses and evictions appear within a
+/// few hundred accesses) through the trace and returns it for inspection.
+fn run_trace(steps: &[Step], page: PageSize, warmup: u64) -> Machine {
+    let mut m = Machine::new(
+        MachineConfig::tiny_test(),
+        BackingPolicy::uniform(page),
+        WorkloadProfile::default(),
+    );
+    if warmup > 0 {
+        m.set_limits(warmup, 0);
+    }
+    let seg = m.space_mut().alloc_heap("prop", 16 << 20).unwrap();
+    let slots = seg.len() / 8;
+    for &(is_load, off, gap) in steps {
+        let va = seg.base().add((off % slots) * 8);
+        if is_load {
+            m.load(va);
+        } else {
+            m.store(va);
+        }
+        if gap > 0 {
+            m.instructions(gap);
+        }
+    }
+    m
+}
+
+proptest! {
+    /// Counter-derived Table VI outcomes equal the simulator ground truth
+    /// on any trace, and the outcomes partition the initiated walks.
+    #[test]
+    fn counter_outcomes_match_ground_truth(
+        steps in steps(),
+        page_idx in 0usize..2,
+    ) {
+        let result = run_trace(&steps, PageSize::ALL[page_idx], 0).finish();
+        let c = result.counters;
+        c.assert_consistent();
+        let o = c.walk_outcomes();
+        prop_assert_eq!(o.retired, c.truth_retired_walks);
+        prop_assert_eq!(o.wrong_path, c.truth_wrong_path_walks);
+        prop_assert_eq!(o.aborted, c.truth_aborted_walks);
+        prop_assert_eq!(o.initiated, o.retired + o.wrong_path + o.aborted);
+        prop_assert!(c.pt_accesses >= o.completed);
+    }
+
+    /// The agreement survives a warm-up reset mid-trace: the measurement
+    /// window starts with counters and ground truth zeroed together.
+    #[test]
+    fn agreement_survives_warmup_reset(
+        steps in steps(),
+        warmup in 1u64..400,
+    ) {
+        let result = run_trace(&steps, PageSize::Size4K, warmup).finish();
+        let c = result.counters;
+        c.assert_consistent();
+        let o = c.walk_outcomes();
+        prop_assert_eq!(o.initiated, c.truth_retired_walks + c.truth_wrong_path_walks + c.truth_aborted_walks);
+    }
+
+    /// Counters are cumulative: between any two snapshots of the same
+    /// window no event count regresses, and `first_regression_since` finds
+    /// nothing to report.
+    #[test]
+    fn snapshots_are_monotonic(steps in steps()) {
+        let mut m = Machine::new(
+            MachineConfig::tiny_test(),
+            BackingPolicy::uniform(PageSize::Size4K),
+            WorkloadProfile::default(),
+        );
+        let seg = m.space_mut().alloc_heap("prop", 16 << 20).unwrap();
+        let slots = seg.len() / 8;
+        let mut prev = m.counters();
+        for &(is_load, off, gap) in &steps {
+            let va = seg.base().add((off % slots) * 8);
+            if is_load { m.load(va) } else { m.store(va) }
+            m.instructions(gap);
+            let now = m.counters();
+            prop_assert_eq!(now.first_regression_since(&prev), None);
+            prev = now;
+        }
+    }
+
+    /// Every trace retires every access it issues: loads + stores in the
+    /// counter file match the trace, and each retired access translated
+    /// (so the address-space page table saw it).
+    #[test]
+    fn retired_accesses_match_the_trace(steps in steps()) {
+        let m = run_trace(&steps, PageSize::Size2M, 0);
+        let c = m.counters();
+        let loads = steps.iter().filter(|s| s.0).count() as u64;
+        prop_assert_eq!(c.loads_retired, loads);
+        prop_assert_eq!(c.stores_retired, steps.len() as u64 - loads);
+        prop_assert!(c.accesses_retired() <= c.inst_retired);
+    }
+}
+
+/// Sanity outside proptest: a VirtAddr round-trips through the segment
+/// arithmetic the strategies rely on.
+#[test]
+fn segment_offset_arithmetic_is_sound() {
+    let mut m = Machine::new(
+        MachineConfig::tiny_test(),
+        BackingPolicy::uniform(PageSize::Size4K),
+        WorkloadProfile::default(),
+    );
+    let seg = m.space_mut().alloc_heap("s", 1 << 20).unwrap();
+    let va = seg.base().add(seg.len() - 8);
+    assert!(va < VirtAddr::new(seg.base().as_u64() + seg.len()));
+    m.load(va);
+    assert_eq!(m.counters().loads_retired, 1);
+}

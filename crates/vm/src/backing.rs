@@ -113,7 +113,13 @@ mod tests {
     use crate::SegmentId;
 
     fn segment(base: u64, len: u64) -> Segment {
-        Segment::new(SegmentId::new(0), "test", VirtAddr::new(base), len, PageSize::Size4K)
+        Segment::new(
+            SegmentId::new(0),
+            "test",
+            VirtAddr::new(base),
+            len,
+            PageSize::Size4K,
+        )
     }
 
     #[test]

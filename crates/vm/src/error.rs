@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn error_is_send_sync() {
-        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
         assert_traits::<VmError>();
     }
 }

@@ -16,6 +16,8 @@
 //!   makes 1 GiB pages *worse* than 2 MiB pages at small footprints
 //!   (paper §III-B).
 //! * [`AddressSpace`] — segments, a heap, demand paging, and translation.
+//! * [`invariant!`] / [`CheckInvariants`] — the debug-build runtime
+//!   invariant layer used across the whole workspace (see [`invariant`]).
 //!
 //! Virtual footprints of hundreds of gigabytes are representable because the
 //! page table is materialised only for *touched* pages: untouched regions
@@ -43,6 +45,7 @@ mod addr;
 mod backing;
 mod error;
 mod frame;
+pub mod invariant;
 mod layout;
 mod page;
 mod space;
@@ -52,7 +55,10 @@ pub use addr::{PhysAddr, VirtAddr};
 pub use backing::{BackingPolicy, ResolvedBacking};
 pub use error::VmError;
 pub use frame::FrameAllocator;
+pub use invariant::{CheckInvariants, InvariantSummary};
 pub use layout::{HeapLayout, Segment, SegmentId};
 pub use page::{PageSize, PAGE_SHIFT_4K, PTE_SIZE};
 pub use space::{AddressSpace, SpaceStats, TouchOutcome, Translation};
-pub use table::{PageTable, PageTableStats, PartialWalk, ProbeResult, WalkPath, WalkStep, PT_LEVELS};
+pub use table::{
+    PageTable, PageTableStats, PartialWalk, ProbeResult, WalkPath, WalkStep, PT_LEVELS,
+};

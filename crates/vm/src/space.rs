@@ -1,10 +1,10 @@
 //! The simulated address space: segments + page table + demand paging.
 
-use crate::{
-    BackingPolicy, FrameAllocator, PageSize, PageTable, PageTableStats, PhysAddr, Segment,
-    SegmentId, VirtAddr, VmError, WalkPath,
-};
 use crate::layout::HeapLayout;
+use crate::{
+    BackingPolicy, CheckInvariants, FrameAllocator, PageSize, PageTable, PageTableStats, PhysAddr,
+    Segment, SegmentId, VirtAddr, VmError, WalkPath,
+};
 
 /// A successful virtual-to-physical translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,8 +145,12 @@ impl AddressSpace {
         let seg = self.segment_containing(va).ok_or(VmError::Unmapped(va))?;
         let resolved = self.policy.resolve(seg, va);
         let frame = self.frames.alloc_page(resolved.size);
-        self.table
-            .map(va.page_base(resolved.size), resolved.size, frame, &mut self.frames);
+        self.table.map(
+            va.page_base(resolved.size),
+            resolved.size,
+            frame,
+            &mut self.frames,
+        );
         self.minor_faults += 1;
         if resolved.fell_back {
             self.fallback_faults += 1;
@@ -210,6 +214,57 @@ impl AddressSpace {
     }
 }
 
+impl CheckInvariants for AddressSpace {
+    fn check_invariants(&self) {
+        self.table.check_invariants();
+        let table = self.table.stats();
+        crate::invariant!(
+            self.frames.table_node_bytes() == table.table_bytes(),
+            "frame allocator backed {} table bytes but the table occupies {}",
+            self.frames.table_node_bytes(),
+            table.table_bytes()
+        );
+        let data_bytes: u64 = PageSize::ALL
+            .iter()
+            .zip(table.pages_by_size)
+            .map(|(size, pages)| pages * size.bytes())
+            .sum();
+        crate::invariant!(
+            self.frames.data_bytes() == data_bytes,
+            "frame allocator backed {} data bytes but mapped pages cover {}",
+            self.frames.data_bytes(),
+            data_bytes
+        );
+        crate::invariant!(
+            self.minor_faults == table.total_pages(),
+            "every minor fault maps exactly one page: {} faults, {} pages",
+            self.minor_faults,
+            table.total_pages()
+        );
+        crate::invariant!(
+            self.fallback_faults <= self.minor_faults,
+            "fallback faults ({}) are a subset of minor faults ({})",
+            self.fallback_faults,
+            self.minor_faults
+        );
+        let segment_bytes: u64 = self.segments.iter().map(Segment::len).sum();
+        crate::invariant!(
+            self.heap.allocated_bytes() == segment_bytes,
+            "heap handed out {} bytes but segments cover {}",
+            self.heap.allocated_bytes(),
+            segment_bytes
+        );
+        for pair in self.segments.windows(2) {
+            crate::invariant!(
+                pair[0].end() <= pair[1].base(),
+                "segments {:?} and {:?} overlap or are out of order",
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,7 +320,10 @@ mod tests {
         let mut space = AddressSpace::new(BackingPolicy::default());
         let a = space.alloc_heap("a", 8192).unwrap();
         let b = space.alloc_heap("b", 8192).unwrap();
-        assert_eq!(space.segment_containing(a.base().add(4096)).unwrap().name(), "a");
+        assert_eq!(
+            space.segment_containing(a.base().add(4096)).unwrap().name(),
+            "a"
+        );
         assert_eq!(space.segment_containing(b.base()).unwrap().name(), "b");
         // Guard gap between the two belongs to neither.
         assert!(space.segment_containing(a.end()).is_none());
@@ -282,7 +340,10 @@ mod tests {
         let stats = space.stats();
         assert_eq!(stats.data_bytes, 256 * 4096);
         assert!(stats.table_bytes >= 4 * 4096);
-        assert_eq!(stats.footprint_bytes(), stats.data_bytes + stats.table_bytes);
+        assert_eq!(
+            stats.footprint_bytes(),
+            stats.data_bytes + stats.table_bytes
+        );
         assert_eq!(stats.virtual_bytes, 1 << 20);
     }
 

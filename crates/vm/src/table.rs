@@ -302,6 +302,22 @@ impl PageTable {
     }
 }
 
+impl crate::CheckInvariants for PageTable {
+    fn check_invariants(&self) {
+        crate::invariant!(
+            self.stats.total_nodes() == self.nodes.len() as u64,
+            "page-table stats claim {} nodes but the arena holds {}",
+            self.stats.total_nodes(),
+            self.nodes.len()
+        );
+        crate::invariant!(
+            self.stats.nodes_by_level[PT_LEVELS as usize - 1] == 1,
+            "a 4-level table has exactly one root node, stats claim {}",
+            self.stats.nodes_by_level[PT_LEVELS as usize - 1]
+        );
+    }
+}
+
 impl std::fmt::Debug for PageTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageTable")
@@ -325,7 +341,12 @@ mod tests {
     fn map_and_walk_4k() {
         let (mut frames, mut table) = setup();
         let frame = frames.alloc_page(PageSize::Size4K);
-        let created = table.map(VirtAddr::new(0x1234_5000), PageSize::Size4K, frame, &mut frames);
+        let created = table.map(
+            VirtAddr::new(0x1234_5000),
+            PageSize::Size4K,
+            frame,
+            &mut frames,
+        );
         assert_eq!(created, 3, "fresh 4K mapping creates PDPT, PD, PT nodes");
 
         let path = table.walk(VirtAddr::new(0x1234_5678)).unwrap();
@@ -341,8 +362,18 @@ mod tests {
         let (mut frames, mut table) = setup();
         let frame2m = frames.alloc_page(PageSize::Size2M);
         let frame1g = frames.alloc_page(PageSize::Size1G);
-        table.map(VirtAddr::new(0x4000_0000), PageSize::Size2M, frame2m, &mut frames);
-        table.map(VirtAddr::new(0x1_0000_0000), PageSize::Size1G, frame1g, &mut frames);
+        table.map(
+            VirtAddr::new(0x4000_0000),
+            PageSize::Size2M,
+            frame2m,
+            &mut frames,
+        );
+        table.map(
+            VirtAddr::new(0x1_0000_0000),
+            PageSize::Size1G,
+            frame1g,
+            &mut frames,
+        );
 
         let p2 = table.walk(VirtAddr::new(0x400f_fff0)).unwrap();
         assert_eq!(p2.page_size, PageSize::Size2M);
@@ -382,9 +413,18 @@ mod tests {
     fn walk_steps_have_distinct_physical_addresses() {
         let (mut frames, mut table) = setup();
         let frame = frames.alloc_page(PageSize::Size4K);
-        table.map(VirtAddr::new(0x7f12_3456_7000), PageSize::Size4K, frame, &mut frames);
+        table.map(
+            VirtAddr::new(0x7f12_3456_7000),
+            PageSize::Size4K,
+            frame,
+            &mut frames,
+        );
         let path = table.walk(VirtAddr::new(0x7f12_3456_7000)).unwrap();
-        let mut paddrs: Vec<u64> = path.steps().iter().map(|s| s.entry_paddr.as_u64()).collect();
+        let mut paddrs: Vec<u64> = path
+            .steps()
+            .iter()
+            .map(|s| s.entry_paddr.as_u64())
+            .collect();
         paddrs.sort_unstable();
         paddrs.dedup();
         assert_eq!(paddrs.len(), 4);
@@ -419,7 +459,12 @@ mod tests {
             table.map(VirtAddr::new(i * 0x1000), PageSize::Size4K, f, &mut frames);
         }
         let f2m = frames.alloc_page(PageSize::Size2M);
-        table.map(VirtAddr::new(0x8000_0000), PageSize::Size2M, f2m, &mut frames);
+        table.map(
+            VirtAddr::new(0x8000_0000),
+            PageSize::Size2M,
+            f2m,
+            &mut frames,
+        );
         let stats = table.stats();
         assert_eq!(stats.pages_by_size, [3, 1, 0]);
         assert_eq!(stats.total_pages(), 4);
@@ -472,7 +517,12 @@ mod tests {
         }
         let frame = frames.alloc_page(PageSize::Size1G);
         assert!(frame.as_u64() > 100 << 30);
-        table.map(VirtAddr::new(0x40_0000_0000), PageSize::Size1G, frame, &mut frames);
+        table.map(
+            VirtAddr::new(0x40_0000_0000),
+            PageSize::Size1G,
+            frame,
+            &mut frames,
+        );
         let path = table.walk(VirtAddr::new(0x40_0000_0000)).unwrap();
         assert_eq!(path.frame_base, frame);
     }

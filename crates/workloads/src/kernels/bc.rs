@@ -186,8 +186,12 @@ mod tests {
         // (1,4) pass through it plus (0..) — classic Brandes value is 4 per
         // direction when summed over all sources... just check symmetry and
         // ordering: centrality(2) > centrality(1) = centrality(3) > ends.
-        let g = CsrGraph::build(&mut s, 5, [(0u64, 1u64), (1, 2), (2, 3), (3, 4)].into_iter())
-            .unwrap();
+        let g = CsrGraph::build(
+            &mut s,
+            5,
+            [(0u64, 1u64), (1, 2), (2, 3), (3, 4)].into_iter(),
+        )
+        .unwrap();
         let mut arrays = BcArrays::new(&mut s, 5).unwrap();
         let mut sink = CountingSink::new();
         let all: Vec<usize> = (0..5).collect();

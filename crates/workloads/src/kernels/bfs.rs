@@ -95,8 +95,12 @@ mod tests {
     fn parents_form_a_valid_bfs_tree() {
         let mut s = space();
         // A path plus a branch: 0-1-2-3, 1-4.
-        let g = CsrGraph::build(&mut s, 5, [(0u64, 1u64), (1, 2), (2, 3), (1, 4)].into_iter())
-            .unwrap();
+        let g = CsrGraph::build(
+            &mut s,
+            5,
+            [(0u64, 1u64), (1, 2), (2, 3), (1, 4)].into_iter(),
+        )
+        .unwrap();
         let (reached, parents) = run_bfs(&mut s, &g, 0);
         assert_eq!(parents, vec![0, 0, 1, 2, 1]);
         assert_eq!(reached, 5);

@@ -51,7 +51,10 @@ impl CsrGraph {
         // Host-side build (the real benchmark's untimed build phase).
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             if u != v {
                 pairs.push((u as u32, v as u32));
                 pairs.push((v as u32, u as u32));

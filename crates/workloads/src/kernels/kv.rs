@@ -227,7 +227,8 @@ impl KvCache {
         self.lru_next.set(slot, old_head, sink);
         self.lru_prev.set(slot, NIL, sink);
         if old_head != NIL {
-            self.lru_prev.set(old_head as usize - 1, slot as u32 + 1, sink);
+            self.lru_prev
+                .set(old_head as usize - 1, slot as u32 + 1, sink);
         }
         self.lru_head = slot as u32 + 1;
         if self.lru_tail == NIL {

@@ -78,145 +78,145 @@ impl McfSolver {
     ///
     /// Propagates allocation failure.
     pub fn new(space: &mut AddressSpace, net: &Network) -> Result<Self, VmError> {
-    let n = net.nodes as usize;
+        let n = net.nodes as usize;
 
-    // Residual network: forward arc 2i, backward arc 2i+1.
-    let m = net.arcs.len() * 2;
-    #[allow(clippy::needless_range_loop)]
-    {
-    let mut heads = vec![0u32; m];
-    let mut caps = vec![0i64; m];
-    let mut costs = vec![0i64; m];
-    let mut tails = vec![0u32; m];
-    for (i, arc) in net.arcs.iter().enumerate() {
-        heads[2 * i] = arc.to;
-        tails[2 * i] = arc.from;
-        caps[2 * i] = arc.capacity as i64;
-        costs[2 * i] = arc.cost;
-        heads[2 * i + 1] = arc.from;
-        tails[2 * i + 1] = arc.to;
-        caps[2 * i + 1] = 0;
-        costs[2 * i + 1] = -arc.cost;
-    }
-    // CSR adjacency over residual arcs.
-    let mut degree = vec![0u32; n];
-    for &t in &tails {
-        degree[t as usize] += 1;
-    }
-    let mut adj_off = vec![0u32; n + 1];
-    for v in 0..n {
-        adj_off[v + 1] = adj_off[v] + degree[v];
-    }
-    let mut cursor = adj_off.clone();
-    let mut adj_arc = vec![0u32; m];
-    for (a, &t) in tails.iter().enumerate() {
-        adj_arc[cursor[t as usize] as usize] = a as u32;
-        cursor[t as usize] += 1;
-    }
+        // Residual network: forward arc 2i, backward arc 2i+1.
+        let m = net.arcs.len() * 2;
+        #[allow(clippy::needless_range_loop)]
+        {
+            let mut heads = vec![0u32; m];
+            let mut caps = vec![0i64; m];
+            let mut costs = vec![0i64; m];
+            let mut tails = vec![0u32; m];
+            for (i, arc) in net.arcs.iter().enumerate() {
+                heads[2 * i] = arc.to;
+                tails[2 * i] = arc.from;
+                caps[2 * i] = arc.capacity as i64;
+                costs[2 * i] = arc.cost;
+                heads[2 * i + 1] = arc.from;
+                tails[2 * i + 1] = arc.to;
+                caps[2 * i + 1] = 0;
+                costs[2 * i + 1] = -arc.cost;
+            }
+            // CSR adjacency over residual arcs.
+            let mut degree = vec![0u32; n];
+            for &t in &tails {
+                degree[t as usize] += 1;
+            }
+            let mut adj_off = vec![0u32; n + 1];
+            for v in 0..n {
+                adj_off[v + 1] = adj_off[v] + degree[v];
+            }
+            let mut cursor = adj_off.clone();
+            let mut adj_arc = vec![0u32; m];
+            for (a, &t) in tails.iter().enumerate() {
+                adj_arc[cursor[t as usize] as usize] = a as u32;
+                cursor[t as usize] += 1;
+            }
 
-    Ok(McfSolver {
-        n,
-        supply: net.supply as i64,
-        adj_off: SimArray::from_vec(space, "mcf.adj_off", adj_off)?,
-        adj_arc: SimArray::from_vec(space, "mcf.adj_arc", adj_arc)?,
-        heads: SimArray::from_vec(space, "mcf.heads", heads)?,
-        caps: SimArray::from_vec(space, "mcf.caps", caps)?,
-        costs: SimArray::from_vec(space, "mcf.costs", costs)?,
-        dist: SimArray::new(space, "mcf.dist", n, i64::MAX)?,
-        pred: SimArray::new(space, "mcf.pred", n, u32::MAX)?,
-    })
-    }
+            Ok(McfSolver {
+                n,
+                supply: net.supply as i64,
+                adj_off: SimArray::from_vec(space, "mcf.adj_off", adj_off)?,
+                adj_arc: SimArray::from_vec(space, "mcf.adj_arc", adj_arc)?,
+                heads: SimArray::from_vec(space, "mcf.heads", heads)?,
+                caps: SimArray::from_vec(space, "mcf.caps", caps)?,
+                costs: SimArray::from_vec(space, "mcf.costs", costs)?,
+                dist: SimArray::new(space, "mcf.dist", n, i64::MAX)?,
+                pred: SimArray::new(space, "mcf.pred", n, u32::MAX)?,
+            })
+        }
     }
 
     /// Runs successive shortest paths, shipping up to the network's supply
     /// from node 0 to the last node; returns flow and cost. Polls
     /// `sink.done()` between augmentations.
     pub fn solve(&mut self, sink: &mut dyn AccessSink) -> FlowResult {
-    let n = self.n;
-    let supply = self.supply;
-    let source = 0usize;
-    let target = n - 1;
-    let McfSolver {
-        adj_off,
-        adj_arc,
-        heads,
-        caps,
-        costs,
-        dist,
-        pred,
-        ..
-    } = self;
+        let n = self.n;
+        let supply = self.supply;
+        let source = 0usize;
+        let target = n - 1;
+        let McfSolver {
+            adj_off,
+            adj_arc,
+            heads,
+            caps,
+            costs,
+            dist,
+            pred,
+            ..
+        } = self;
 
-    let mut total_flow = 0i64;
-    let mut total_cost = 0i64;
-    let mut remaining = supply;
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        let mut remaining = supply;
 
-    while remaining > 0 && !sink.done() {
-        // Bellman–Ford label correction (SPFA) from the source.
-        for v in 0..n {
-            dist.set_silent(v, i64::MAX);
-            pred.set_silent(v, u32::MAX);
-        }
-        dist.set(source, 0, sink);
-        let mut queue = std::collections::VecDeque::from([source as u32]);
-        let mut in_queue = vec![false; n];
-        in_queue[source] = true;
-        while let Some(u) = queue.pop_front() {
-            let u = u as usize;
-            in_queue[u] = false;
-            let du = dist.get(u, sink);
-            let start = adj_off.get(u, sink) as usize;
-            let end = adj_off.get(u + 1, sink) as usize;
-            for e in start..end {
-                let a = adj_arc.get(e, sink) as usize;
-                sink.instructions(3);
-                if caps.get(a, sink) <= 0 {
-                    continue;
-                }
-                let v = heads.get(a, sink) as usize;
-                let nd = du + costs.get(a, sink);
-                if nd < dist.get(v, sink) {
-                    dist.set(v, nd, sink);
-                    pred.set(v, a as u32, sink);
-                    sink.instructions(2);
-                    if !in_queue[v] {
-                        in_queue[v] = true;
-                        queue.push_back(v as u32);
+        while remaining > 0 && !sink.done() {
+            // Bellman–Ford label correction (SPFA) from the source.
+            for v in 0..n {
+                dist.set_silent(v, i64::MAX);
+                pred.set_silent(v, u32::MAX);
+            }
+            dist.set(source, 0, sink);
+            let mut queue = std::collections::VecDeque::from([source as u32]);
+            let mut in_queue = vec![false; n];
+            in_queue[source] = true;
+            while let Some(u) = queue.pop_front() {
+                let u = u as usize;
+                in_queue[u] = false;
+                let du = dist.get(u, sink);
+                let start = adj_off.get(u, sink) as usize;
+                let end = adj_off.get(u + 1, sink) as usize;
+                for e in start..end {
+                    let a = adj_arc.get(e, sink) as usize;
+                    sink.instructions(3);
+                    if caps.get(a, sink) <= 0 {
+                        continue;
+                    }
+                    let v = heads.get(a, sink) as usize;
+                    let nd = du + costs.get(a, sink);
+                    if nd < dist.get(v, sink) {
+                        dist.set(v, nd, sink);
+                        pred.set(v, a as u32, sink);
+                        sink.instructions(2);
+                        if !in_queue[v] {
+                            in_queue[v] = true;
+                            queue.push_back(v as u32);
+                        }
                     }
                 }
+                if sink.done() {
+                    break;
+                }
             }
-            if sink.done() {
-                break;
+            if dist.get_silent(target) == i64::MAX {
+                break; // no augmenting path
             }
+            // Walk the predecessor path: bottleneck, then augment.
+            let mut bottleneck = remaining;
+            let mut v = target;
+            while v != source {
+                let a = pred.get(v, sink) as usize;
+                bottleneck = bottleneck.min(caps.get(a, sink));
+                v = heads.get_silent(a ^ 1) as usize; // tail of a = head of its pair
+                sink.instructions(3);
+            }
+            let mut v = target;
+            while v != source {
+                let a = pred.get(v, sink) as usize;
+                caps.set(a, caps.get(a, sink) - bottleneck, sink);
+                caps.set(a ^ 1, caps.get(a ^ 1, sink) + bottleneck, sink);
+                total_cost += bottleneck * costs.get_silent(a);
+                v = heads.get_silent(a ^ 1) as usize;
+                sink.instructions(4);
+            }
+            total_flow += bottleneck;
+            remaining -= bottleneck;
         }
-        if dist.get_silent(target) == i64::MAX {
-            break; // no augmenting path
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
         }
-        // Walk the predecessor path: bottleneck, then augment.
-        let mut bottleneck = remaining;
-        let mut v = target;
-        while v != source {
-            let a = pred.get(v, sink) as usize;
-            bottleneck = bottleneck.min(caps.get(a, sink));
-            v = heads.get_silent(a ^ 1) as usize; // tail of a = head of its pair
-            sink.instructions(3);
-        }
-        let mut v = target;
-        while v != source {
-            let a = pred.get(v, sink) as usize;
-            caps.set(a, caps.get(a, sink) - bottleneck, sink);
-            caps.set(a ^ 1, caps.get(a ^ 1, sink) + bottleneck, sink);
-            total_cost += bottleneck * costs.get_silent(a);
-            v = heads.get_silent(a ^ 1) as usize;
-            sink.instructions(4);
-        }
-        total_flow += bottleneck;
-        remaining -= bottleneck;
-    }
-    FlowResult {
-        flow: total_flow,
-        cost: total_cost,
-    }
     }
 }
 
@@ -237,9 +237,24 @@ mod tests {
         let net = Network {
             nodes: 3,
             arcs: vec![
-                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
-                Arc { from: 0, to: 1, capacity: 1, cost: 2 },
-                Arc { from: 1, to: 2, capacity: 1, cost: 3 },
+                Arc {
+                    from: 0,
+                    to: 2,
+                    capacity: 1,
+                    cost: 10,
+                },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                    cost: 2,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    capacity: 1,
+                    cost: 3,
+                },
             ],
             supply: 1,
         };
@@ -255,9 +270,24 @@ mod tests {
         let net = Network {
             nodes: 3,
             arcs: vec![
-                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
-                Arc { from: 0, to: 1, capacity: 1, cost: 2 },
-                Arc { from: 1, to: 2, capacity: 1, cost: 3 },
+                Arc {
+                    from: 0,
+                    to: 2,
+                    capacity: 1,
+                    cost: 10,
+                },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                    cost: 2,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    capacity: 1,
+                    cost: 3,
+                },
             ],
             supply: 2,
         };
@@ -279,11 +309,36 @@ mod tests {
         let net = Network {
             nodes: 4,
             arcs: vec![
-                Arc { from: 0, to: 1, capacity: 1, cost: 1 },
-                Arc { from: 0, to: 2, capacity: 1, cost: 10 },
-                Arc { from: 1, to: 3, capacity: 1, cost: 10 },
-                Arc { from: 2, to: 3, capacity: 1, cost: 1 },
-                Arc { from: 1, to: 2, capacity: 1, cost: 1 },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                    cost: 1,
+                },
+                Arc {
+                    from: 0,
+                    to: 2,
+                    capacity: 1,
+                    cost: 10,
+                },
+                Arc {
+                    from: 1,
+                    to: 3,
+                    capacity: 1,
+                    cost: 10,
+                },
+                Arc {
+                    from: 2,
+                    to: 3,
+                    capacity: 1,
+                    cost: 1,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    capacity: 1,
+                    cost: 1,
+                },
             ],
             supply: 2,
         };

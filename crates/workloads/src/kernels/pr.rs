@@ -105,8 +105,12 @@ mod tests {
     fn ranks_sum_to_one_and_favor_hubs() {
         let mut s = space();
         // Star: vertex 0 is the hub.
-        let g = CsrGraph::build(&mut s, 5, [(0u64, 1u64), (0, 2), (0, 3), (0, 4)].into_iter())
-            .unwrap();
+        let g = CsrGraph::build(
+            &mut s,
+            5,
+            [(0u64, 1u64), (0, 2), (0, 3), (0, 4)].into_iter(),
+        )
+        .unwrap();
         let ranks = run_pr(&mut s, &g, 30);
         assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         for leaf in 1..5 {
@@ -118,8 +122,12 @@ mod tests {
     fn symmetric_graph_gives_uniform_ranks() {
         let mut s = space();
         // A 4-cycle: all vertices equivalent.
-        let g = CsrGraph::build(&mut s, 4, [(0u64, 1u64), (1, 2), (2, 3), (3, 0)].into_iter())
-            .unwrap();
+        let g = CsrGraph::build(
+            &mut s,
+            4,
+            [(0u64, 1u64), (1, 2), (2, 3), (3, 0)].into_iter(),
+        )
+        .unwrap();
         let ranks = run_pr(&mut s, &g, 40);
         for r in &ranks {
             assert!((r - 0.25).abs() < 1e-6, "rank {r}");

@@ -132,8 +132,12 @@ mod tests {
     fn triangle_free_graph_counts_zero() {
         let mut s = space();
         // A star is triangle-free.
-        let g = CsrGraph::build(&mut s, 5, [(0u64, 1u64), (0, 2), (0, 3), (0, 4)].into_iter())
-            .unwrap();
+        let g = CsrGraph::build(
+            &mut s,
+            5,
+            [(0u64, 1u64), (0, 2), (0, 3), (0, 4)].into_iter(),
+        )
+        .unwrap();
         let mut sink = CountingSink::new();
         assert_eq!(triangle_count(&g, &mut sink), 0);
     }

@@ -19,8 +19,8 @@
 //! popular but live on pages shared with cold vertices).
 
 use super::Region;
-use crate::workload::Workload;
 use crate::meta;
+use crate::workload::Workload;
 use atscale_gen::zipf::Zipf;
 use atscale_mmu::{AccessSink, WorkloadProfile};
 use atscale_vm::{AddressSpace, VmError};
@@ -264,9 +264,14 @@ impl Workload for GraphModel {
         // Build phase: fault in the whole instance.
         arrays.offsets.touch_all(space);
         arrays.edges.touch_all(space);
-        for r in [&arrays.vdata, &arrays.vdata2, &arrays.bitmap, &arrays.frontier]
-            .into_iter()
-            .flatten()
+        for r in [
+            &arrays.vdata,
+            &arrays.vdata2,
+            &arrays.bitmap,
+            &arrays.frontier,
+        ]
+        .into_iter()
+        .flatten()
         {
             r.touch_all(space);
         }
@@ -411,9 +416,7 @@ impl GraphModel {
                         // Newly discovered: CAS parent + enqueue.
                         sink.store(parent);
                         let arrays = self.arrays.as_mut().expect("setup ran");
-                        sink.store(
-                            arrays.frontier.as_mut().expect("bfs has frontier").seq(8),
-                        );
+                        sink.store(arrays.frontier.as_mut().expect("bfs has frontier").seq(8));
                         sink.instructions(2);
                     }
                 } else {
@@ -502,7 +505,11 @@ mod tests {
         ] {
             for gen in [GraphGen::Urand, GraphGen::Kron] {
                 let sink = run_model(kernel, gen);
-                assert!(sink.loads > 1000, "{kernel:?}/{gen:?}: {} loads", sink.loads);
+                assert!(
+                    sink.loads > 1000,
+                    "{kernel:?}/{gen:?}: {} loads",
+                    sink.loads
+                );
                 assert!(
                     sink.total_instructions() >= 20_000,
                     "{kernel:?}/{gen:?} stopped early"

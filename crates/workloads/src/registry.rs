@@ -96,7 +96,13 @@ impl WorkloadId {
     /// All 13 combinations the paper studies.
     pub fn all() -> Vec<WorkloadId> {
         let mut ids = Vec::with_capacity(13);
-        for program in [Program::Bc, Program::Bfs, Program::Cc, Program::Pr, Program::Tc] {
+        for program in [
+            Program::Bc,
+            Program::Bfs,
+            Program::Cc,
+            Program::Pr,
+            Program::Tc,
+        ] {
             for generator in [Generator::Urand, Generator::Kron] {
                 ids.push(WorkloadId { program, generator });
             }
@@ -128,7 +134,9 @@ impl WorkloadId {
     /// assert!(WorkloadId::parse("mcf-kron").is_none());
     /// ```
     pub fn parse(label: &str) -> Option<WorkloadId> {
-        WorkloadId::all().into_iter().find(|id| id.to_string() == label)
+        WorkloadId::all()
+            .into_iter()
+            .find(|id| id.to_string() == label)
     }
 
     /// Builds the paper-scale model of this workload at the given nominal
@@ -192,7 +200,7 @@ mod tests {
     fn there_are_exactly_thirteen_workloads() {
         let all = WorkloadId::all();
         assert_eq!(all.len(), 13);
-        let labels: Vec<String> = all.iter().map(|id| id.to_string()).collect();
+        let labels: Vec<String> = all.iter().map(ToString::to_string).collect();
         for expected in [
             "bc-urand",
             "bc-kron",

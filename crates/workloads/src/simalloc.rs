@@ -42,12 +42,7 @@ impl<T: Copy> SimArray<T> {
     /// # Errors
     ///
     /// Propagates allocation failure from the address space.
-    pub fn new(
-        space: &mut AddressSpace,
-        name: &str,
-        len: usize,
-        fill: T,
-    ) -> Result<Self, VmError> {
+    pub fn new(space: &mut AddressSpace, name: &str, len: usize, fill: T) -> Result<Self, VmError> {
         Self::from_vec(space, name, vec![fill; len])
     }
 
@@ -57,7 +52,7 @@ impl<T: Copy> SimArray<T> {
     ///
     /// Propagates allocation failure from the address space.
     pub fn from_vec(space: &mut AddressSpace, name: &str, data: Vec<T>) -> Result<Self, VmError> {
-        let bytes = (data.len().max(1) * std::mem::size_of::<T>()) as u64;
+        let bytes = (data.len().max(1) * size_of::<T>()) as u64;
         let seg = space.alloc_heap(name, bytes)?;
         Ok(SimArray {
             base: seg.base(),
@@ -79,7 +74,7 @@ impl<T: Copy> SimArray<T> {
     #[inline]
     pub fn va(&self, i: usize) -> VirtAddr {
         debug_assert!(i < self.data.len());
-        self.base.add((i * std::mem::size_of::<T>()) as u64)
+        self.base.add((i * size_of::<T>()) as u64)
     }
 
     /// Reads element `i`, emitting the load to `sink`.

@@ -1,0 +1,122 @@
+//! Offline API-compatible subset of `crossbeam`, providing
+//! `crossbeam::thread::scope` on top of `std::thread::scope` (stable since
+//! Rust 1.63, so the external dependency is no longer load-bearing).
+//!
+//! Closures passed to [`thread::Scope::spawn`] are collected while the
+//! scope body runs, then executed together on real OS threads in rounds:
+//! tasks spawned *by* running tasks (nested spawns) land in the next round.
+//! The scope returns `Err` if any task panicked, mirroring crossbeam.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Mutex;
+
+    type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'env> {
+        tasks: Mutex<Vec<Task<'env>>>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Schedules `f` to run on its own thread within the scope.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            self.tasks
+                .lock()
+                .expect("scope task queue poisoned")
+                .push(Box::new(move |scope| {
+                    f(scope);
+                }));
+        }
+
+        fn drain(&self) -> Vec<Task<'env>> {
+            std::mem::take(&mut *self.tasks.lock().expect("scope task queue poisoned"))
+        }
+    }
+
+    /// Runs `f` with a [`Scope`], then executes every spawned task on its
+    /// own OS thread, joining them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload of the scope body or of any
+    /// spawned thread, like crossbeam's `scope`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let collector = Scope {
+                tasks: Mutex::new(Vec::new()),
+            };
+            let result = f(&collector);
+            loop {
+                let round = collector.drain();
+                if round.is_empty() {
+                    break;
+                }
+                std::thread::scope(|s| {
+                    for task in round {
+                        s.spawn(|| task(&collector));
+                    }
+                });
+            }
+            result
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn workers_share_borrowed_state() {
+            let next = AtomicUsize::new(0);
+            let results: super::Mutex<Vec<usize>> = super::Mutex::new(Vec::new());
+            super::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= 100 {
+                            break;
+                        }
+                        results.lock().unwrap().push(i);
+                    });
+                }
+            })
+            .unwrap();
+            let mut done = results.into_inner().unwrap();
+            done.sort_unstable();
+            assert_eq!(done, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("worker died"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawns_run() {
+            let hit = AtomicUsize::new(0);
+            super::scope(|scope| {
+                scope.spawn(|inner| {
+                    inner.spawn(|_| {
+                        hit.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hit.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! subset.
+//!
+//! The container that builds this workspace has no access to crates.io, so
+//! `syn`/`quote` are unavailable; this macro walks the raw
+//! [`proc_macro::TokenTree`] stream instead and emits generated impls by
+//! formatting Rust source and re-parsing it. Supported shapes — which cover
+//! every derived type in the workspace, enforced by `atscale-audit` — are:
+//!
+//! * structs with named fields (serialized as string-keyed maps),
+//! * tuple structs (newtypes are transparent, larger ones are sequences),
+//! * unit structs (serialized as `null`),
+//! * enums whose variants are unit or tuple variants (externally tagged).
+//!
+//! Generics, struct variants and `#[serde(...)]` attributes are rejected
+//! with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes of type this derive understands.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match dir {
+                Direction::Serialize => gen_serialize(&item),
+                Direction::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive generated syntactically invalid code")
+        }
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive subset: generic type `{name}` is unsupported"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream(), &name)?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        }
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Collects the field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the `,` that terminates it (or at
+/// the end of the stream). Tracks `<`/`>` nesting so commas inside generic
+/// arguments (`HashMap<K, V>`) do not split the field list.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts comma-separated fields of a tuple-struct or tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Collects `(variant_name, payload_arity)` pairs; arity 0 is a unit
+/// variant. Struct variants are rejected.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_fields(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive subset: struct variant `{enum_name}::{name}` is unsupported"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional explicit discriminant (`= expr`) and the
+        // trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{elems}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(ref __f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let elems: String = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Seq(::std::vec![{elems}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match *self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__entries, {f:?})?,"))
+                .collect();
+            format!(
+                "let __entries = v.as_map()?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::element(__items, {i})?,"))
+                .collect();
+            format!(
+                "let __items = v.as_seq()?;\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"expected null for unit struct, found {{other:?}}\"))),\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                        )
+                    } else {
+                        let elems: String = (0..*arity)
+                            .map(|i| format!("::serde::element(__items, {i})?,"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{ let __items = __inner.as_seq()?;\n\
+                             ::std::result::Result::Ok({name}::{v}({elems})) }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"expected enum value, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
