@@ -18,6 +18,11 @@
 //! 3. **Lint wiring** ([`audit_lint_wiring`]) — the `[workspace.lints]`
 //!    policy exists, every member crate opts in, and every crate root
 //!    carries `#![forbid(unsafe_code)]`.
+//! 4. **Telemetry coverage** ([`audit_telemetry_coverage`]) — the interval
+//!    sampler keeps every counter field representable in its sample stream
+//!    (PMU events via `Counters::events()`, ground-truth fields via
+//!    explicit pushes, rates via the `RATE_NAMES` const) and the MMU
+//!    engine keeps the sampler's entry points wired into its hot paths.
 //!
 //! The audit scans comment-stripped source text with a small brace matcher
 //! (see [`source`]) rather than a full parser: the offline build vendors no
@@ -32,10 +37,12 @@ pub mod counters;
 pub mod invariants;
 pub mod lints;
 pub mod source;
+pub mod telemetry;
 
 pub use counters::audit_counter_coverage;
 pub use invariants::audit_invariant_annotations;
 pub use lints::audit_lint_wiring;
+pub use telemetry::audit_telemetry_coverage;
 
 use std::fmt;
 use std::io;
@@ -210,6 +217,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Audit> {
         audit_counter_coverage(ws),
         audit_invariant_annotations(ws),
         audit_lint_wiring(ws),
+        audit_telemetry_coverage(ws),
     ]
 }
 

@@ -1,0 +1,235 @@
+//! Rule 4 — telemetry coverage.
+//!
+//! The interval sampler (`crates/mmu/src/telemetry.rs`) must keep the whole
+//! counter file representable in its [`Sample`] stream, and the engine must
+//! keep the sampler wired into its hot paths. Concretely:
+//!
+//! * `counter_sample` builds its cumulative counter list from
+//!   `Counters::events()`, so every PMU event reaches the stream by
+//!   construction — removing that call silently drops all of them;
+//! * every simulator ground-truth field (`truth_*`) is pushed explicitly
+//!   (truth fields are deliberately absent from `events()`, so the sampler
+//!   is their only route into telemetry);
+//! * the derived-rate list is emitted through the `RATE_NAMES` const, so
+//!   names and values cannot drift apart;
+//! * the engine still calls the sampler's cadence entry points
+//!   (`sample_due`/`take_sample`), final reconciliation
+//!   (`take_final_sample`), and warm-up restart (`reset`).
+//!
+//! Like the other rules this is a field-name scan over comment-stripped
+//! source, not a type-resolved analysis; see [`crate::source`].
+
+use crate::counters::{counter_fields, COUNTERS_PATH};
+use crate::source::{block_after, has_ident, reads_field};
+use crate::{Audit, Workspace};
+
+/// Path (workspace-relative suffix) of the interval sampler under audit.
+pub const TELEMETRY_PATH: &str = "crates/mmu/src/telemetry.rs";
+/// Path (workspace-relative suffix) of the engine whose wiring is audited.
+pub const ENGINE_PATH: &str = "crates/mmu/src/engine.rs";
+const RULE: &str = "telemetry-coverage";
+
+/// Sampler methods the engine must invoke for the series to exist at all.
+const ENGINE_HOOKS: [&str; 4] = ["sample_due", "take_sample", "take_final_sample", "reset"];
+
+/// Runs the telemetry-coverage rule over the workspace.
+pub fn audit_telemetry_coverage(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    let Some(file) = ws.file(TELEMETRY_PATH) else {
+        audit.fail(
+            TELEMETRY_PATH,
+            format!("{TELEMETRY_PATH} not found in workspace"),
+        );
+        return audit;
+    };
+    check_counter_sample(&mut audit, ws, &file.stripped);
+    check_engine_wiring(&mut audit, ws);
+    audit
+}
+
+/// `counter_sample` keeps every counter field representable: PMU events via
+/// `Counters::events()`, ground-truth fields via explicit pushes, rates via
+/// the `RATE_NAMES` const.
+fn check_counter_sample(audit: &mut Audit, ws: &Workspace, src: &str) {
+    let Some(body) = block_after(src, "pub fn counter_sample") else {
+        audit.fail(TELEMETRY_PATH, "`pub fn counter_sample` not found");
+        return;
+    };
+
+    audit.check();
+    if !reads_field(body, "events") {
+        audit.fail(
+            TELEMETRY_PATH,
+            "`counter_sample` no longer reads `Counters::events()` — every PMU \
+             event must reach the sample stream through the events export",
+        );
+    }
+
+    let truth_fields: Vec<String> = ws
+        .file(COUNTERS_PATH)
+        .map(|f| counter_fields(&f.stripped))
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|f| f.starts_with("truth_"))
+        .collect();
+    if truth_fields.is_empty() {
+        audit.fail(
+            TELEMETRY_PATH,
+            format!("no `truth_*` fields found via {COUNTERS_PATH} — cannot audit ground-truth sampling"),
+        );
+    }
+    for field in &truth_fields {
+        audit.check();
+        if !has_ident(body, field) {
+            audit.fail(
+                TELEMETRY_PATH,
+                format!(
+                    "ground-truth field `{field}` is not emitted by `counter_sample` — \
+                     truth fields are absent from `events()`, so the sampler is their \
+                     only route into the telemetry stream"
+                ),
+            );
+        }
+    }
+
+    audit.check();
+    if !has_ident(src, "RATE_NAMES") {
+        audit.fail(
+            TELEMETRY_PATH,
+            "`RATE_NAMES` const not found — derived-rate names must be declared once",
+        );
+    }
+    audit.check();
+    if !has_ident(body, "RATE_NAMES") {
+        audit.fail(
+            TELEMETRY_PATH,
+            "`counter_sample` does not emit rates through `RATE_NAMES` — naming \
+             rates inline lets the published name list and the emitted values drift",
+        );
+    }
+}
+
+/// The engine keeps the sampler's entry points wired into its hot paths.
+fn check_engine_wiring(audit: &mut Audit, ws: &Workspace) {
+    let Some(engine) = ws.file(ENGINE_PATH) else {
+        audit.fail(ENGINE_PATH, format!("{ENGINE_PATH} not found in workspace"));
+        return;
+    };
+    for hook in ENGINE_HOOKS {
+        audit.check();
+        if !engine.stripped.contains(&format!("telemetry.{hook}")) {
+            audit.fail(
+                ENGINE_PATH,
+                format!(
+                    "the engine never calls `telemetry.{hook}(..)` — the interval \
+                     sampler is unwired and sampled series would silently vanish"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    /// A minimal counter file: one PMU event, one ground-truth field.
+    const COUNTERS: &str = "
+        pub struct Counters {
+            pub cycles: u64,
+            pub truth_retired_walks: u64,
+        }
+    ";
+
+    /// A minimal sampler that satisfies every telemetry check.
+    const TELEMETRY: &str = "
+        pub const RATE_NAMES: [&str; 1] = [\"cpi\"];
+        pub fn counter_sample(cur: &Counters, prev: &Counters) -> Sample {
+            let mut counters = cur.events();
+            counters.push((\"truth.retired_walks\", cur.truth_retired_walks));
+            let rates = RATE_NAMES.iter().zip([1.0]).collect();
+            Sample { counters, rates }
+        }
+    ";
+
+    /// A minimal engine that invokes every sampler hook.
+    const ENGINE: &str = "
+        fn step(&mut self) {
+            if self.telemetry.sample_due(self.counters.inst_retired) {
+                self.telemetry.take_sample(&c, &pte);
+            }
+        }
+        fn finish(&mut self) { self.telemetry.take_final_sample(&c, &pte); }
+        fn reset_measurement(&mut self) { self.telemetry.reset(); }
+    ";
+
+    fn ws(telemetry: &str, engine: &str) -> Workspace {
+        workspace_from(&[
+            (COUNTERS_PATH, COUNTERS),
+            (TELEMETRY_PATH, telemetry),
+            (ENGINE_PATH, engine),
+        ])
+    }
+
+    #[test]
+    fn wired_sampler_passes() {
+        let audit = audit_telemetry_coverage(&ws(TELEMETRY, ENGINE));
+        assert_eq!(audit.violations, Vec::new());
+        assert!(audit.checked > 0);
+    }
+
+    #[test]
+    fn missing_telemetry_module_fails() {
+        let ws = workspace_from(&[(COUNTERS_PATH, COUNTERS)]);
+        let audit = audit_telemetry_coverage(&ws);
+        assert!(!audit.violations.is_empty());
+    }
+
+    #[test]
+    fn dropping_the_events_call_is_flagged() {
+        let doctored = TELEMETRY.replace("cur.events()", "Vec::new()");
+        let audit = audit_telemetry_coverage(&ws(&doctored, ENGINE));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("events()")));
+    }
+
+    #[test]
+    fn unsampled_truth_field_is_flagged() {
+        let doctored = TELEMETRY.replace(
+            "counters.push((\"truth.retired_walks\", cur.truth_retired_walks));",
+            "",
+        );
+        let audit = audit_telemetry_coverage(&ws(&doctored, ENGINE));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("truth_retired_walks")
+                && v.message.contains("counter_sample")));
+    }
+
+    #[test]
+    fn inline_rate_names_are_flagged() {
+        let doctored = TELEMETRY.replace(
+            "let rates = RATE_NAMES.iter().zip([1.0]).collect();",
+            "let rates = vec![(\"cpi\", 1.0)];",
+        );
+        let audit = audit_telemetry_coverage(&ws(&doctored, ENGINE));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("RATE_NAMES")));
+    }
+
+    #[test]
+    fn unwired_engine_hook_is_flagged() {
+        let doctored = ENGINE.replace("self.telemetry.take_final_sample(&c, &pte);", "");
+        let audit = audit_telemetry_coverage(&ws(TELEMETRY, &doctored));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("take_final_sample")));
+    }
+}

@@ -7,6 +7,7 @@
 //! the real `counters.rs` in memory and asserts each coverage leg trips.
 
 use atscale_audit::counters::COUNTERS_PATH;
+use atscale_audit::telemetry::{ENGINE_PATH, TELEMETRY_PATH};
 use atscale_audit::{run_all, SourceFile, Workspace};
 use std::path::Path;
 
@@ -99,10 +100,7 @@ fn dropping_the_ground_truth_checks_is_caught() {
     // The doctored source only has to fool the text scan, not compile.
     let violations = violations_after(|src| {
         src.replace("== self.truth_aborted_walks", "== 0")
-            .replace(
-                ", self.truth_aborted_walks, \"aborted ground truth\"",
-                ", 0, \"aborted\"",
-            )
+            .replace("o.aborted, self.truth_aborted_walks,", "o.aborted, 0,")
             .replace("+ self.truth_aborted_walks", "")
             .replace("self.truth_aborted_walks\n        );", "0\n        );")
     });
@@ -136,6 +134,50 @@ fn removing_the_lint_opt_in_is_caught() {
             .iter()
             .any(|v| v.contains("crates/mmu/Cargo.toml") && v.contains("[lints]")),
         "missing lint-wiring violation in {violations:?}"
+    );
+}
+
+/// Doctors the real file at `path` with `edit` and returns all violations.
+fn violations_after_editing(path: &str, edit: impl Fn(&str) -> String) -> Vec<String> {
+    let mut ws = real_workspace();
+    let file = ws
+        .files
+        .iter_mut()
+        .find(|f| f.path.ends_with(path))
+        .unwrap_or_else(|| panic!("{path} present"));
+    *file = SourceFile::new(file.path.clone(), edit(&file.text));
+    run_all(&ws)
+        .into_iter()
+        .flat_map(|a| a.violations)
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[test]
+fn dropping_a_truth_field_from_the_sampler_is_caught() {
+    // Sever `truth_aborted_walks` from the sample stream: truth fields are
+    // not in events(), so counter_sample is their only telemetry route.
+    let violations = violations_after_editing(TELEMETRY_PATH, |src| {
+        src.replace("cur.truth_aborted_walks", "0")
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("truth_aborted_walks") && v.contains("counter_sample")),
+        "missing telemetry-coverage violation in {violations:?}"
+    );
+}
+
+#[test]
+fn unwiring_the_final_sample_from_the_engine_is_caught() {
+    let violations = violations_after_editing(ENGINE_PATH, |src| {
+        src.replace("self.telemetry.take_final_sample", "noop")
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("take_final_sample") && v.contains("unwired")),
+        "missing engine-wiring violation in {violations:?}"
     );
 }
 

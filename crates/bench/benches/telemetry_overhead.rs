@@ -1,0 +1,61 @@
+//! Criterion guard for the telemetry overhead budget: engine throughput
+//! with telemetry disabled, sampling-only, and a full recorder sink must
+//! stay within a few percent of each other (DESIGN.md budgets <2% on the
+//! quick profile for the disabled→enabled step).
+
+use atscale::telemetry::TelemetrySink;
+use atscale::{execute_run, execute_run_with_telemetry, RunSpec};
+use atscale_mmu::{MachineConfig, TelemetryHandle};
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        workload: WorkloadId::parse("cc-urand").expect("known workload"),
+        nominal_footprint: 64 << 20,
+        page_size: PageSize::Size4K,
+        seed: 1,
+        warmup_instr: 0,
+        budget_instr: 200_000,
+    }
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead_200k");
+    group.sample_size(10);
+    let config = MachineConfig::haswell();
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("disabled"),
+        &config,
+        |b, cfg| {
+            b.iter(|| black_box(execute_run(&spec(), cfg)));
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sampling_only"),
+        &config,
+        |b, cfg| {
+            let handle = TelemetryHandle::sampling_only(10_000);
+            b.iter(|| black_box(execute_run_with_telemetry(&spec(), cfg, Some(&handle))));
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("full_sink"),
+        &config,
+        |b, cfg| {
+            let sink = Arc::new(TelemetrySink::new());
+            let handle = TelemetryHandle::new(sink, 10_000);
+            b.iter(|| black_box(execute_run_with_telemetry(&spec(), cfg, Some(&handle))));
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(telemetry, bench_telemetry_overhead);
+criterion_main!(telemetry);

@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("ablate_mmu_cache");
     let id = WorkloadId::parse("cc-urand").expect("known workload");
     println!("Ablation: paging-structure caches on/off for {id}");
 

@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("ablate_speculation");
     let id = WorkloadId::parse("bc-urand").expect("known workload");
     println!("Ablation: speculation on/off for {id}");
 

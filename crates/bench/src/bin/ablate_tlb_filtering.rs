@@ -14,6 +14,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("ablate_tlb_filtering");
     // pr-kron at a small footprint: the Zipf-hot vertex set straddles the
     // TLB reach, so TLB capacity materially changes what the paging
     // structure caches get to see.

@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("ablate_walk_cache_levels");
     let fp = opts.sweep.footprints()[opts.sweep.points / 2];
     println!(
         "Ablation: PSC levels (All / PdeOnly / None) at {}",

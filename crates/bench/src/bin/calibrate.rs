@@ -5,12 +5,21 @@
 //! workload, so sweep budgets can be chosen sensibly.
 
 use atscale::{Harness, SweepConfig};
+use atscale_bench::HarnessOptions;
 use atscale_workloads::WorkloadId;
 use std::time::Instant;
 
 fn main() {
-    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "cc-urand".into());
-    let harness = Harness::new().with_threads(3);
+    let (opts, positionals) = HarnessOptions::from_args_with_positionals();
+    let _telemetry = opts.telemetry("calibrate");
+    let workload_name = positionals
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "cc-urand".into());
+    let harness = Harness::new()
+        .with_threads(opts.threads.unwrap_or(3))
+        .with_installed_telemetry(opts.effective_sample_interval())
+        .with_progress(opts.progress);
     let sweep = SweepConfig {
         min_footprint: 256 << 20,
         max_footprint: 16 << 30,

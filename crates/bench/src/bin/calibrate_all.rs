@@ -3,10 +3,15 @@
 //! paper's reported magnitudes. Development tool, not a paper figure.
 
 use atscale::{Decomposition, Harness, SweepConfig};
+use atscale_bench::HarnessOptions;
 use atscale_workloads::WorkloadId;
 
 fn main() {
-    let harness = Harness::new();
+    let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("calibrate_all");
+    let harness = Harness::new()
+        .with_installed_telemetry(opts.effective_sample_interval())
+        .with_progress(opts.progress);
     let sweep = SweepConfig {
         min_footprint: 256 << 20,
         max_footprint: 16 << 30,

@@ -12,6 +12,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("extension_1gb_pages");
     let harness = opts.harness();
     let id = WorkloadId::parse("cc-urand").expect("known workload");
     println!("Extension: 1GB vs 2MB crossover for {id}");

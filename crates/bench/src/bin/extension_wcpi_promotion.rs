@@ -15,7 +15,8 @@
 //! ation, compaction — not modelled here) for nothing.
 
 use atscale::report::{fmt, Table};
-use atscale::{Harness, RunSpec, SweepConfig};
+use atscale::RunSpec;
+use atscale_bench::HarnessOptions;
 use atscale_vm::PageSize;
 use atscale_workloads::WorkloadId;
 
@@ -26,8 +27,10 @@ const WCPI_THRESHOLD: f64 = 0.5;
 const SAMPLE_FRACTION: u64 = 10;
 
 fn main() {
-    let harness = Harness::new().with_default_store();
-    let sweep = SweepConfig::quick();
+    let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("extension_wcpi_promotion");
+    let harness = opts.harness();
+    let sweep = opts.sweep;
     let footprint = sweep.footprints()[sweep.points / 2];
     println!(
         "Extension: WCPI-guided 2MB promotion (threshold {WCPI_THRESHOLD}, sample = 1/{SAMPLE_FRACTION} of budget)\n\

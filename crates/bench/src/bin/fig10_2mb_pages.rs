@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig10_2mb_pages");
     let harness = opts.harness();
     let id = WorkloadId::parse("bc-urand").expect("known workload");
     println!("Figure 10: {id} with 2MB superpages (vs 4KB)");

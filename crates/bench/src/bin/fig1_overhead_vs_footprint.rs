@@ -14,6 +14,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig1_overhead_vs_footprint");
     let harness = opts.harness();
     let workloads = WorkloadId::all();
     println!(

@@ -15,6 +15,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig2_cc_urand");
     let harness = opts.harness();
     let id = WorkloadId::parse("cc-urand").expect("known workload");
     println!("Figure 2: relative AT overhead vs footprint for {id}");

@@ -20,6 +20,7 @@ const EXCEPTIONS: [&str; 4] = [
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig3_exceptions");
     let harness = opts.harness();
     let workloads: Vec<WorkloadId> = EXCEPTIONS
         .iter()

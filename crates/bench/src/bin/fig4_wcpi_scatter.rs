@@ -12,6 +12,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig4_wcpi_scatter");
     let harness = opts.harness();
     let workloads = WorkloadId::all();
     println!("Figure 4: relative AT overhead vs WCPI (all workloads)");

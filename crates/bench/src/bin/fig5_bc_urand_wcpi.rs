@@ -12,6 +12,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig5_bc_urand_wcpi");
     let harness = opts.harness();
     let id = WorkloadId::parse("bc-urand").expect("known workload");
     println!("Figure 5: AT overhead vs WCPI for {id}, labelled by footprint");

@@ -20,6 +20,7 @@ const SUBJECTS: [&str; 4] = ["bfs-urand", "mcf-rand", "pr-kron", "tc-kron"];
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig6_component_breakdown");
     let harness = opts.harness();
     let workloads: Vec<WorkloadId> = SUBJECTS
         .iter()

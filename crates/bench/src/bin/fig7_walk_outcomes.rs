@@ -15,6 +15,7 @@ const SUBJECTS: [&str; 3] = ["bc-urand", "streamcluster-rand", "mcf-rand"];
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig7_walk_outcomes");
     let harness = opts.harness();
     let workloads: Vec<WorkloadId> = SUBJECTS
         .iter()

@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig8_pte_location");
     let harness = opts.harness();
     let id = WorkloadId::parse("pr-kron").expect("known workload");
     println!("Figure 8: PTE access-location distribution vs footprint for {id}");

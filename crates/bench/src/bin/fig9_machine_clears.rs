@@ -12,6 +12,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("fig9_machine_clears");
     let harness = opts.harness();
     let id = WorkloadId::parse("bc-kron").expect("known workload");
     println!("Figure 9: non-correct-path walk fraction vs machine clears for {id}");

@@ -2,6 +2,7 @@
 //! harness binaries. Thanks to the shared run cache, the sweep is simulated
 //! once and every artefact afterwards renders from cached runs.
 
+use atscale_bench::HarnessOptions;
 use std::process::Command;
 
 const TARGETS: [&str; 20] = [
@@ -28,6 +29,10 @@ const TARGETS: [&str; 20] = [
 ];
 
 fn main() {
+    // Validate flags up front (each child re-parses and handles its own
+    // telemetry scope); the span times the whole regeneration.
+    let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("make_all");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("target dir").to_path_buf();

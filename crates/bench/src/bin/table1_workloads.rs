@@ -3,10 +3,13 @@
 //! (Table III). Purely descriptive; runs no simulation.
 
 use atscale::report::Table;
+use atscale_bench::HarnessOptions;
 use atscale_mmu::MachineConfig;
 use atscale_workloads::WorkloadId;
 
 fn main() {
+    let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("table1_workloads");
     println!("Table I/II: workloads and input generators");
     let mut t1 = Table::new(&["workload", "suite", "program", "generator"]);
     for id in WorkloadId::all() {

@@ -14,6 +14,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("table4_regression");
     let harness = opts.harness();
     let workloads = WorkloadId::all();
     println!("Table IV: overhead = b0 + b1*log10(M_KB) per workload");

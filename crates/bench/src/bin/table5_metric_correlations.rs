@@ -14,6 +14,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("table5_metric_correlations");
     let harness = opts.harness();
     let workloads = WorkloadId::all();
     println!("Table V: metric vs relative AT overhead correlations (inter-workload)");

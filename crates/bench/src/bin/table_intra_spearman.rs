@@ -13,6 +13,7 @@ use atscale_workloads::WorkloadId;
 
 fn main() {
     let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("table_intra_spearman");
     let harness = opts.harness();
     let workloads = WorkloadId::all();
     println!("Intra-workload Spearman rank between WCPI and relative AT overhead");

@@ -1,12 +1,15 @@
 //! The sweep harness: parallel, cached execution of footprint sweeps.
 
 use crate::{OverheadPoint, RunRecord, RunSpec, RunStore};
-use atscale_mmu::MachineConfig;
+use atscale_mmu::{MachineConfig, TelemetryHandle};
+use atscale_telemetry::{span, LatencyMetric, Progress, Recorder};
 use atscale_vm::PageSize;
 use atscale_workloads::WorkloadId;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Footprint-sweep parameters.
 ///
@@ -116,6 +119,8 @@ pub struct Harness {
     config: MachineConfig,
     store: Option<RunStore>,
     threads: usize,
+    telemetry: Option<TelemetryHandle>,
+    progress: bool,
 }
 
 impl Harness {
@@ -129,6 +134,8 @@ impl Harness {
             config: MachineConfig::haswell(),
             store: None,
             threads,
+            telemetry: None,
+            progress: false,
         }
     }
 
@@ -157,6 +164,37 @@ impl Harness {
         self
     }
 
+    /// Attaches telemetry: every run records walk/TLB-fill/wall-clock
+    /// latencies into the handle's recorder, interval-samples the counter
+    /// file at the handle's cadence, and replays sampled series through the
+    /// recorder (cache hits included, so consumers see a uniform stream).
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Harness {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches the process-global [`atscale_telemetry::installed`] sink,
+    /// if any, sampling every `sample_interval` retired instructions.
+    /// With no sink installed, a non-zero interval still samples (series
+    /// land in [`RunRecord`]s); zero leaves the harness untouched.
+    pub fn with_installed_telemetry(self, sample_interval: u64) -> Harness {
+        match atscale_telemetry::installed() {
+            Some(sink) => self.with_telemetry(TelemetryHandle::new(sink, sample_interval)),
+            None if sample_interval > 0 => {
+                self.with_telemetry(TelemetryHandle::sampling_only(sample_interval))
+            }
+            None => self,
+        }
+    }
+
+    /// Enables the stderr progress fallback: with no recorder attached,
+    /// [`Harness::run_many`] prints a one-line [`Progress`] event per
+    /// finished run (with a recorder, progress always flows through it).
+    pub fn with_progress(mut self, progress: bool) -> Harness {
+        self.progress = progress;
+        self
+    }
+
     /// The machine configuration in use.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -164,16 +202,62 @@ impl Harness {
 
     /// Runs one spec, consulting the cache first.
     pub fn run(&self, spec: &RunSpec) -> RunRecord {
-        if let Some(store) = &self.store {
-            let key = RunStore::key(spec, &self.config);
-            if let Some(record) = store.load(&key) {
-                return record;
+        self.run_timed(spec).0
+    }
+
+    /// The attached recorder, if the telemetry handle carries one.
+    fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.telemetry.as_ref().and_then(TelemetryHandle::recorder)
+    }
+
+    fn sampling_requested(&self) -> bool {
+        self.telemetry
+            .as_ref()
+            .is_some_and(|h| h.sample_interval() > 0)
+    }
+
+    /// Runs one spec under a `run` span, records its wall-clock, and
+    /// replays the record's sampled series into the recorder. Returns the
+    /// record and whether it was served from the cache.
+    fn run_timed(&self, spec: &RunSpec) -> (RunRecord, bool) {
+        let _phase = span!("run");
+        let start = Instant::now();
+        let (record, cached) = self.obtain(spec);
+        if let Some(recorder) = self.recorder() {
+            let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            recorder.latency(LatencyMetric::RunWallNanos, wall);
+            let label = spec.label();
+            for sample in &record.result.samples {
+                recorder.sample(&label, sample);
             }
-            let record = crate::execute_run(spec, &self.config);
-            let _ = store.save(&key, &record); // cache write failure is non-fatal
-            record
-        } else {
-            crate::execute_run(spec, &self.config)
+        }
+        (record, cached)
+    }
+
+    fn obtain(&self, spec: &RunSpec) -> (RunRecord, bool) {
+        let Some(store) = &self.store else {
+            let record =
+                crate::execute_run_with_telemetry(spec, &self.config, self.telemetry.as_ref());
+            return (record, false);
+        };
+        let key = RunStore::key(spec, &self.config);
+        if let Some(record) = store.load(&key) {
+            // A cached record without a sampled series cannot satisfy a
+            // sampling harness: fall through, re-run, and overwrite.
+            if !self.sampling_requested() || !record.result.samples.is_empty() {
+                return (record, true);
+            }
+        }
+        let record = crate::execute_run_with_telemetry(spec, &self.config, self.telemetry.as_ref());
+        let _ = store.save(&key, &record); // cache write failure is non-fatal
+        (record, false)
+    }
+
+    fn emit_progress(&self, event: &Progress) {
+        match self.recorder() {
+            Some(recorder) => recorder.progress(event),
+            None if self.progress => eprintln!("{}", event.render()),
+            None => {}
         }
     }
 
@@ -184,6 +268,7 @@ impl Harness {
             return Vec::new();
         }
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
         let workers = self.threads.min(specs.len());
         crossbeam::thread::scope(|scope| {
@@ -193,7 +278,15 @@ impl Harness {
                     if i >= specs.len() {
                         break;
                     }
-                    let record = self.run(&specs[i]);
+                    let start = Instant::now();
+                    let (record, cached) = self.run_timed(&specs[i]);
+                    self.emit_progress(&Progress {
+                        completed: done.fetch_add(1, Ordering::Relaxed) + 1,
+                        total: specs.len(),
+                        label: specs[i].label(),
+                        wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        cached,
+                    });
                     results.lock()[i] = Some(record);
                 });
             }
@@ -234,6 +327,7 @@ impl Harness {
         workloads: &[WorkloadId],
         sweep: &SweepConfig,
     ) -> Vec<Vec<OverheadPoint>> {
+        let _phase = span!("sweep");
         let footprints = sweep.footprints();
         let mut specs = Vec::new();
         for &w in workloads {
@@ -314,6 +408,68 @@ mod tests {
         let fresh = harness.run(&spec);
         let cached = harness.run(&spec);
         assert_eq!(fresh.result.counters, cached.result.counters);
+    }
+
+    #[test]
+    fn telemetry_flows_through_the_harness() {
+        use atscale_telemetry::TelemetrySink;
+
+        let sink = Arc::new(TelemetrySink::new());
+        let harness = Harness::new()
+            .with_threads(2)
+            .with_telemetry(TelemetryHandle::new(sink.clone(), 10_000));
+        let sweep = SweepConfig::test();
+        let w = WorkloadId::parse("cc-urand").unwrap();
+        let specs: Vec<RunSpec> = sweep
+            .footprints()
+            .into_iter()
+            .map(|fp| sweep.spec(w, fp))
+            .collect();
+        let records = harness.run_many(&specs);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| !r.result.samples.is_empty()));
+        // One progress event and one wall-clock observation per run, and
+        // every run's sampled series replayed into the sink.
+        assert_eq!(sink.progress_count(), 3);
+        assert_eq!(sink.histogram(LatencyMetric::RunWallNanos).count(), 3);
+        assert!(sink.sample_count() >= 3);
+        assert!(sink.histogram(LatencyMetric::WalkCycles).count() > 0);
+        assert!(sink.histogram(LatencyMetric::TlbFillCycles).count() > 0);
+    }
+
+    #[test]
+    fn sampled_series_are_deterministic() {
+        let sweep = SweepConfig::test();
+        let spec = sweep.spec(WorkloadId::parse("pr-urand").unwrap(), 32 << 20);
+        let harness = Harness::new().with_telemetry(TelemetryHandle::sampling_only(5_000));
+        let a = harness.run(&spec);
+        let b = harness.run(&spec);
+        assert!(!a.result.samples.is_empty());
+        assert_eq!(a.result.samples, b.result.samples, "same seed, same series");
+    }
+
+    #[test]
+    fn sampling_harness_refreshes_sample_less_cache_entries() {
+        let dir = std::env::temp_dir().join(format!("atscale-tel-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = SweepConfig::test().spec(WorkloadId::parse("cc-urand").unwrap(), 16 << 20);
+
+        let plain = Harness::new().with_store(RunStore::open(&dir).unwrap());
+        let first = plain.run(&spec);
+        assert!(first.result.samples.is_empty(), "no telemetry, no series");
+
+        let sampling = Harness::new()
+            .with_store(RunStore::open(&dir).unwrap())
+            .with_telemetry(TelemetryHandle::sampling_only(5_000));
+        let refreshed = sampling.run(&spec);
+        assert!(!refreshed.result.samples.is_empty(), "cache entry re-run");
+        assert_eq!(first.result.counters, refreshed.result.counters);
+
+        // The refreshed record replaced the cache entry, so even a plain
+        // harness now sees the sampled series.
+        let again = plain.run(&spec);
+        assert!(!again.result.samples.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use decomposition::Decomposition;
 pub use experiment::{Harness, SweepConfig};
 pub use metrics::PressureMetric;
 pub use overhead::OverheadPoint;
-pub use run::{execute_run, RunRecord, RunSpec};
+pub use run::{execute_run, execute_run_with_telemetry, RunRecord, RunSpec};
 pub use scaling::{fit_overhead_scaling, ScalingFit};
 pub use store::RunStore;
 
@@ -65,5 +65,6 @@ pub use atscale_cache as cache;
 pub use atscale_gen as gen;
 pub use atscale_mmu as mmu;
 pub use atscale_stats as stats;
+pub use atscale_telemetry as telemetry;
 pub use atscale_vm as vm;
 pub use atscale_workloads as workloads;

@@ -1,6 +1,7 @@
 //! One measured run: workload × footprint × page size.
 
-use atscale_mmu::{Machine, MachineConfig, RunResult};
+use atscale_mmu::{Machine, MachineConfig, RunResult, TelemetryHandle};
+use atscale_telemetry::span;
 use atscale_vm::{BackingPolicy, PageSize};
 use atscale_workloads::WorkloadId;
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,18 @@ impl RunSpec {
     pub fn with_page_size(mut self, page_size: PageSize) -> Self {
         self.page_size = page_size;
         self
+    }
+
+    /// Short human label for progress lines and telemetry events, e.g.
+    /// `cc-urand 256MB 4K`.
+    pub fn label(&self) -> String {
+        let mb = self.nominal_footprint >> 20;
+        let page = match self.page_size {
+            PageSize::Size4K => "4K",
+            PageSize::Size2M => "2M",
+            PageSize::Size1G => "1G",
+        };
+        format!("{} {mb}MB {page}", self.workload)
     }
 }
 
@@ -69,17 +82,43 @@ impl RunRecord {
 /// Panics if the workload's setup cannot allocate (the 16 TiB simulated
 /// heap would have to be exhausted).
 pub fn execute_run(spec: &RunSpec, config: &MachineConfig) -> RunRecord {
+    execute_run_with_telemetry(spec, config, None)
+}
+
+/// [`execute_run`] with telemetry attached: the machine records walk and
+/// TLB-fill latencies into `handle`'s recorder and interval-samples the
+/// counter file at the handle's cadence; the setup and drive phases are
+/// wrapped in `setup`/`drive` spans (nested under the caller's span, if
+/// any).
+///
+/// # Panics
+///
+/// Panics as [`execute_run`] does.
+pub fn execute_run_with_telemetry(
+    spec: &RunSpec,
+    config: &MachineConfig,
+    telemetry: Option<&TelemetryHandle>,
+) -> RunRecord {
     let mut workload = spec.workload.build_model(spec.nominal_footprint, spec.seed);
     let mut machine = Machine::new(
         *config,
         BackingPolicy::uniform(spec.page_size),
         workload.profile(),
     );
-    workload
-        .setup(machine.space_mut())
-        .expect("workload setup allocates within the simulated heap");
+    if let Some(handle) = telemetry {
+        machine.set_telemetry(handle.clone());
+    }
+    {
+        let _phase = span!("setup");
+        workload
+            .setup(machine.space_mut())
+            .expect("workload setup allocates within the simulated heap");
+    }
     machine.set_limits(spec.warmup_instr, spec.budget_instr);
-    workload.run(&mut machine);
+    {
+        let _phase = span!("drive");
+        workload.run(&mut machine);
+    }
     let result = machine.finish();
     result.counters.assert_consistent();
     RunRecord {

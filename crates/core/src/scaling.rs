@@ -79,6 +79,7 @@ mod tests {
                 psc_lookups: 0,
                 page_size: PageSize::Size4K,
                 mean_pte_latency: 0.0,
+                samples: Vec::new(),
             };
             result.space.data_bytes = data_bytes;
             RunRecord { spec, result }

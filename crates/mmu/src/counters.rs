@@ -232,18 +232,47 @@ impl Counters {
     /// Panics if any invariant is violated.
     pub fn assert_consistent(&self) {
         let o = self.walk_outcomes();
-        assert!(o.retired <= o.completed, "retired > completed");
-        assert!(o.completed <= o.initiated, "completed > initiated");
-        assert_eq!(o.retired, self.truth_retired_walks, "retired ground truth");
+        assert!(
+            o.retired <= o.completed,
+            "retired walks (mem_uops_retired.stlb_miss_*: {}) exceed completed walks \
+             (dtlb_*_misses.walk_completed: {})",
+            o.retired,
+            o.completed
+        );
+        assert!(
+            o.completed <= o.initiated,
+            "completed walks (dtlb_*_misses.walk_completed: {}) exceed initiated walks \
+             (dtlb_*_misses.miss_causes_a_walk: {})",
+            o.completed,
+            o.initiated
+        );
+        assert_eq!(
+            o.retired, self.truth_retired_walks,
+            "Table VI retired walks (mem_uops_retired.stlb_miss_*: {}) diverge from retired \
+             ground truth (truth.retired_walks: {})",
+            o.retired, self.truth_retired_walks
+        );
         assert_eq!(
             o.wrong_path, self.truth_wrong_path_walks,
-            "wrong-path ground truth"
+            "Table VI wrong-path walks (completed - retired: {}) diverge from wrong-path \
+             ground truth (truth.wrong_path_walks: {})",
+            o.wrong_path, self.truth_wrong_path_walks
         );
-        assert_eq!(o.aborted, self.truth_aborted_walks, "aborted ground truth");
+        assert_eq!(
+            o.aborted, self.truth_aborted_walks,
+            "Table VI aborted walks (initiated - completed: {}) diverge from aborted \
+             ground truth (truth.aborted_walks: {})",
+            o.aborted, self.truth_aborted_walks
+        );
         assert_eq!(
             o.initiated,
             self.truth_retired_walks + self.truth_wrong_path_walks + self.truth_aborted_walks,
-            "outcome partition"
+            "walk outcome partition: initiated walks (dtlb_*_misses.miss_causes_a_walk: {}) \
+             != retired {} + wrong-path {} + aborted {} ground truth",
+            o.initiated,
+            self.truth_retired_walks,
+            self.truth_wrong_path_walks,
+            self.truth_aborted_walks
         );
     }
 }

@@ -27,11 +27,13 @@
 //! charging it here would pollute the 4 KB-vs-2 MB comparison with a
 //! fault-count artefact instead of a translation effect.
 
+use crate::telemetry::{MachineTelemetry, TelemetryHandle};
 use crate::{
     AccessOp, AccessSink, Counters, MachineConfig, PageTableWalker, PagingStructureCaches,
     SpecEvent, SpeculationModel, TlbHierarchy, TlbHit, TlbStats, WorkloadProfile,
 };
 use atscale_cache::{AccessKind, CacheHierarchy, HierarchyStats, PteLocationDistribution};
+use atscale_telemetry::{LatencyMetric, Sample};
 use atscale_vm::{
     invariant, AddressSpace, BackingPolicy, CheckInvariants, PageSize, ProbeResult, SpaceStats,
     VirtAddr,
@@ -61,6 +63,10 @@ pub struct RunResult {
     pub page_size: PageSize,
     /// Mean PTE fetch latency in cycles (Eq. 1 "walk cycles / PTW access").
     pub mean_pte_latency: f64,
+    /// Interval-sampled counter series (empty unless the machine had a
+    /// [`TelemetryHandle`] with a non-zero sample interval). The final
+    /// sample's cumulative counters reconcile exactly with `counters`.
+    pub samples: Vec<Sample>,
 }
 
 impl RunResult {
@@ -110,6 +116,7 @@ pub struct Machine {
     warmup_instrs: u64,
     budget_instrs: u64,
     warmed: bool,
+    telemetry: MachineTelemetry,
 }
 
 impl Machine {
@@ -142,6 +149,7 @@ impl Machine {
             warmup_instrs: 0,
             budget_instrs: 0,
             warmed: true,
+            telemetry: MachineTelemetry::default(),
         }
     }
 
@@ -177,10 +185,20 @@ impl Machine {
         &self.space
     }
 
-    /// Snapshot of the counters so far (cycles synced).
+    /// Attaches telemetry: a latency recorder and/or an interval-sampling
+    /// cadence. Must be called before the workload runs; the sampler starts
+    /// counting from the current measurement position.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry.install(handle);
+    }
+
+    /// Snapshot of the counters so far (cycles and minor faults synced, the
+    /// same way [`Machine::finish`] syncs them — so interval samples taken
+    /// from this snapshot reconcile with end-of-run totals).
     pub fn counters(&self) -> Counters {
         let mut c = self.counters;
         c.cycles = self.cycles_f as u64;
+        c.minor_faults = self.space.stats().minor_faults;
         c
     }
 
@@ -194,7 +212,7 @@ impl Machine {
     /// In debug builds this runs the full invariant sweep — counter
     /// identities, cross-structure couplings, and the structural scans of
     /// every cache and TLB array — before the result is extracted.
-    pub fn finish(self) -> RunResult {
+    pub fn finish(mut self) -> RunResult {
         if cfg!(debug_assertions) {
             self.check_invariants();
         }
@@ -202,6 +220,9 @@ impl Machine {
         counters.cycles = self.cycles_f as u64;
         counters.minor_faults = self.space.stats().minor_faults;
         let hierarchy = *self.caches.stats();
+        // Final sample from the fully-synced counter file, so the last
+        // entry of the series reconciles exactly with `counters`.
+        self.telemetry.take_final_sample(&counters, &hierarchy.pte);
         let mean_pte_latency = hierarchy.mean_pte_latency(&self.config.hierarchy.latency);
         RunResult {
             counters,
@@ -212,6 +233,7 @@ impl Machine {
             psc_lookups: self.psc.lookups(),
             page_size: self.space.policy().requested(),
             mean_pte_latency,
+            samples: std::mem::take(&mut self.telemetry).into_samples(),
         }
     }
 
@@ -223,6 +245,11 @@ impl Machine {
         }
         if let Some(event) = self.spec.advance(n) {
             self.run_wrong_path(event);
+        }
+        if self.warmed && self.telemetry.sample_due(self.counters.inst_retired) {
+            let snapshot = self.counters();
+            let pte = self.caches.stats().pte;
+            self.telemetry.take_sample(&snapshot, &pte);
         }
         if self.total_retired >= self.next_pressure_update {
             self.next_pressure_update = self.total_retired + PRESSURE_WINDOW;
@@ -293,9 +320,19 @@ impl Machine {
         );
     }
 
+    /// Records one latency observation, suppressed during warm-up so the
+    /// histograms cover the same window as the counter file.
+    #[inline]
+    fn record_latency(&self, metric: LatencyMetric, value: u64) {
+        if self.warmed {
+            self.telemetry.latency(metric, value);
+        }
+    }
+
     fn reset_measurement(&mut self) {
         self.counters = Counters::new();
         self.last_checked = Counters::new();
+        self.telemetry.reset();
         self.cycles_f = 0.0;
         self.stall_window = 0.0;
         self.walk_stall_window = 0.0;
@@ -344,6 +381,7 @@ impl Machine {
             };
             self.counters.walk_duration_cycles += walk.cycles;
             self.counters.pt_accesses += walk.accesses as u64;
+            self.record_latency(LatencyMetric::WalkCycles, walk.cycles);
             elapsed += walk.cycles;
             invariant!(
                 walk.cycles >= self.config.walker.setup_cycles as u64,
@@ -370,6 +408,7 @@ impl CheckInvariants for Machine {
         self.psc.check_invariants();
         self.caches.check_invariants();
         self.space.check_invariants();
+        self.telemetry.check_invariants();
     }
 }
 
@@ -400,6 +439,7 @@ impl AccessSink for Machine {
                     AccessOp::Store => self.counters.stlb_hit_stores += 1,
                 }
                 translation_cycles = self.tlbs.l2_hit_penalty() as u64;
+                self.record_latency(LatencyMetric::TlbFillCycles, translation_cycles);
                 let exposed = self.tlbs.l2_hit_penalty() as f64 / self.profile.mlp;
                 self.cycles_f += exposed;
                 self.stall_window += exposed;
@@ -428,6 +468,8 @@ impl AccessSink for Machine {
                 );
                 self.counters.walk_duration_cycles += walk.cycles;
                 self.counters.pt_accesses += walk.accesses as u64;
+                self.record_latency(LatencyMetric::WalkCycles, walk.cycles);
+                self.record_latency(LatencyMetric::TlbFillCycles, walk.cycles);
                 self.tlbs.fill(va, touch.page_size);
                 translation_cycles = walk.cycles;
                 let exposure = match op {
@@ -641,6 +683,52 @@ mod tests {
     fn out_of_segment_access_panics() {
         let mut m = machine(PageSize::Size4K);
         m.load(VirtAddr::new(0x1234));
+    }
+
+    #[test]
+    fn runs_without_telemetry_carry_no_samples() {
+        let mut m = machine(PageSize::Size4K);
+        let seg = m.space_mut().alloc_heap("a", 1 << 20).unwrap();
+        m.load(seg.base());
+        assert!(m.finish().samples.is_empty());
+    }
+
+    #[test]
+    fn interval_samples_reconcile_with_final_counters() {
+        let mut m = machine(PageSize::Size4K);
+        m.set_telemetry(TelemetryHandle::sampling_only(1000));
+        let seg = m.space_mut().alloc_heap("a", 64 << 20).unwrap();
+        random_workload(&mut m, &seg, 20_000, 41);
+        let r = m.finish();
+        // 20k loads + 40k bulk instructions at a 1k cadence.
+        assert!(r.samples.len() >= 20, "{} samples", r.samples.len());
+        for pair in r.samples.windows(2) {
+            assert!(pair[0].instr < pair[1].instr, "samples must advance");
+        }
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.instr, r.counters.inst_retired);
+        assert_eq!(last.cycles, r.counters.cycles);
+        for (name, value) in r.counters.events() {
+            assert_eq!(last.counter(name), Some(value), "final sample vs {name}");
+        }
+        assert_eq!(
+            last.counter("truth.retired_walks"),
+            Some(r.counters.truth_retired_walks)
+        );
+    }
+
+    #[test]
+    fn warmup_restarts_the_sampler() {
+        let mut m = machine(PageSize::Size4K);
+        m.set_telemetry(TelemetryHandle::sampling_only(500));
+        m.set_limits(20_000, 0);
+        let seg = m.space_mut().alloc_heap("a", 8 << 20).unwrap();
+        random_workload(&mut m, &seg, 15_000, 43);
+        let r = m.finish();
+        // Samples cover only the measured region, never warm-up totals.
+        assert!(!r.samples.is_empty());
+        assert!(r.samples.iter().all(|s| s.instr <= r.counters.inst_retired));
+        assert_eq!(r.samples.last().unwrap().instr, r.counters.inst_retired);
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod counters;
 mod engine;
 mod mmu_cache;
 mod spec;
+mod telemetry;
 mod tlb;
 mod trace;
 mod walker;
@@ -67,6 +68,7 @@ pub use counters::{Counters, WalkOutcomes};
 pub use engine::{Machine, RunResult};
 pub use mmu_cache::{PagingStructureCaches, PscLookup};
 pub use spec::{SpecEvent, SpeculationModel, WrongPathPlan};
+pub use telemetry::{counter_sample, TelemetryHandle, RATE_NAMES};
 pub use tlb::{TlbArray, TlbHierarchy, TlbHit, TlbStats};
 pub use trace::{RecordingSink, Trace, TraceEvent};
 pub use walker::{PageTableWalker, WalkResult};

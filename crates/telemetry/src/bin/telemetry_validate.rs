@@ -1,0 +1,51 @@
+//! CLI JSONL schema validator: `telemetry_validate <stream.jsonl>...`.
+//!
+//! Exits non-zero on the first schema violation, so CI can gate the
+//! telemetry smoke job on the emitted stream staying well-formed.
+
+#![forbid(unsafe_code)]
+
+use atscale_telemetry::schema::validate_stream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: telemetry_validate <stream.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_stream(&text) {
+            Ok(summary) => {
+                let counts: Vec<String> = summary
+                    .by_type
+                    .iter()
+                    .map(|(t, n)| format!("{t}={n}"))
+                    .collect();
+                println!(
+                    "{path}: OK ({} events: {})",
+                    summary.lines,
+                    counts.join(" ")
+                );
+            }
+            Err((line, msg)) => {
+                eprintln!("{path}:{line}: schema violation: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,327 @@
+//! Log-scale latency histograms with a fixed, merge-able bucket layout.
+//!
+//! The layout is HDR-style: below [`SUBBUCKETS`] every value has its own
+//! bucket; above it, each power-of-two octave is split into [`SUBBUCKETS`]
+//! linear sub-buckets, bounding the relative quantile error at
+//! `1 / SUBBUCKETS` (12.5%). Because the layout is *fixed* — a pure
+//! function of the value, independent of what was recorded — histograms
+//! from different threads or runs merge by bucket-wise addition, exactly
+//! like `perf`'s latency profiles concatenate.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per octave; also the direct-mapped range below it.
+pub const SUBBUCKETS: u64 = 8;
+
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = 3;
+
+/// Number of buckets needed to cover all of `u64`: values below
+/// `2 * SUBBUCKETS` are direct-mapped (16 buckets), then 60 octaves of 8.
+pub const BUCKETS: usize = 496;
+
+/// A fixed-layout logarithmic histogram of `u64` samples (cycles, nanos).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value. Total function: every `u64` has a bucket.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb.saturating_sub(SUB_BITS);
+    (u64::from(shift) * SUBBUCKETS + (v >> shift)) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    let i = index as u64;
+    if i < 2 * SUBBUCKETS {
+        return (i, i);
+    }
+    let shift = i / SUBBUCKETS - 1;
+    let sub = i % SUBBUCKETS + SUBBUCKETS;
+    let lo = sub << shift;
+    // Width is 2^shift; adding it to the last bucket's lo would overflow,
+    // so derive hi additively.
+    (lo, lo + ((1u64 << shift) - 1))
+}
+
+/// One non-empty bucket of a histogram snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Smallest value mapping to this bucket.
+    pub lo: u64,
+    /// Largest value mapping to this bucket.
+    pub hi: u64,
+    /// Samples recorded in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A serializable sparse snapshot of a [`LogHistogram`] (non-empty buckets
+/// only), the form embedded in JSONL `hist` events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets in ascending value order.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (so the true value is never
+    /// under-reported by more than the bucket's 12.5% relative width).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets in ascending value order.
+    pub fn nonzero_buckets(&self) -> Vec<HistBucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                HistBucket { lo, hi, count: c }
+            })
+            .collect()
+    }
+
+    /// A sparse serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            buckets: self.nonzero_buckets(),
+        }
+    }
+
+    /// Rebuilds a histogram from a snapshot. Counts land on each bucket's
+    /// lower bound, which maps back to the same bucket (layout is fixed),
+    /// so record → snapshot → restore preserves every bucket count.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for b in &snap.buckets {
+            h.counts[bucket_of(b.lo)] += b.count;
+            h.count += b.count;
+        }
+        h.sum = snap.sum;
+        h.min = if snap.count == 0 { u64::MAX } else { snap.min };
+        h.max = snap.max;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..2 * SUBBUCKETS {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        for &v in &[0, 1, 7, 8, 15, 16, 17, 100, 1023, 1024, 1 << 20, u64::MAX] {
+            let i = bucket_of(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {i} [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "gap before bucket {i}");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1, "u64::MAX reached before the last bucket");
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("layout never reached u64::MAX");
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((500..=575).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in [3u64, 90, 4096, 77777, 12] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1u64, 1 << 30, 255] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 5, 129, 70000] {
+            h.record_n(v, 3);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let restored = LogHistogram::from_snapshot(&back);
+        assert_eq!(restored.count(), h.count());
+        assert_eq!(restored.nonzero_buckets(), h.nonzero_buckets());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! JSONL schema validation for the telemetry event stream.
+//!
+//! The stream is newline-delimited JSON objects, each carrying a `type`
+//! discriminator. The schema is versioned by the leading `meta` event
+//! ([`crate::SCHEMA_VERSION`]); [`validate_stream`] enforces both the
+//! per-event shapes and the stream-level protocol (meta first, exactly one
+//! trailing `summary`). CI runs this validator over a real `fig1` sample
+//! stream, and the golden-schema test pins the exact key sets so schema
+//! drift is an explicit, reviewed change.
+
+use crate::{LatencyMetric, SCHEMA_VERSION};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Rates every `sample` event must carry — the interval series the paper
+/// reproduction is observed through.
+pub const REQUIRED_RATES: [&str; 3] = ["wcpi", "stlb_mpki", "aborted_frac"];
+
+/// Counters every `sample` event must carry (cumulative values).
+pub const REQUIRED_COUNTERS: [&str; 2] = ["inst_retired.any", "dtlb_misses.walk_duration"];
+
+fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn need<'a>(map: &'a [(String, Value)], key: &str, event: &str) -> Result<&'a Value, String> {
+    field(map, key).ok_or_else(|| format!("{event} event missing required key `{key}`"))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(format!(
+            "{what} must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn as_str<'a>(v: &'a Value, what: &str) -> Result<&'a str, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("{what} must be a string, got {other:?}")),
+    }
+}
+
+fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        // Non-finite floats serialize as null in JSON.
+        Value::Null => Ok(f64::NAN),
+        other => Err(format!("{what} must be a number, got {other:?}")),
+    }
+}
+
+/// Validates a `[[name, value], ...]` pair list, returning the names.
+fn pair_names(v: &Value, what: &str, numeric: bool) -> Result<Vec<String>, String> {
+    let items = v
+        .as_seq()
+        .map_err(|_| format!("{what} must be an array of [name, value] pairs"))?;
+    let mut names = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_seq()
+            .map_err(|_| format!("{what} entries must be [name, value] pairs"))?;
+        if pair.len() != 2 {
+            return Err(format!("{what} entries must have exactly 2 elements"));
+        }
+        let name = as_str(&pair[0], &format!("{what} entry name"))?;
+        if numeric {
+            as_f64(&pair[1], &format!("{what} `{name}` value"))?;
+        } else {
+            as_u64(&pair[1], &format!("{what} `{name}` value"))?;
+        }
+        names.push(name.to_string());
+    }
+    Ok(names)
+}
+
+fn validate_sample(map: &[(String, Value)]) -> Result<(), String> {
+    as_str(need(map, "run", "sample")?, "sample.run")?;
+    as_u64(need(map, "instr", "sample")?, "sample.instr")?;
+    as_u64(need(map, "cycles", "sample")?, "sample.cycles")?;
+    let counters = pair_names(need(map, "counters", "sample")?, "sample.counters", false)?;
+    for required in REQUIRED_COUNTERS {
+        if !counters.iter().any(|n| n == required) {
+            return Err(format!("sample.counters missing required `{required}`"));
+        }
+    }
+    let rates = pair_names(need(map, "rates", "sample")?, "sample.rates", true)?;
+    for required in REQUIRED_RATES {
+        if !rates.iter().any(|n| n == required) {
+            return Err(format!("sample.rates missing required `{required}`"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_hist(map: &[(String, Value)]) -> Result<(), String> {
+    let metric = as_str(need(map, "metric", "hist")?, "hist.metric")?;
+    if LatencyMetric::parse(metric).is_none() {
+        return Err(format!(
+            "hist.metric `{metric}` is not a known LatencyMetric"
+        ));
+    }
+    as_str(need(map, "unit", "hist")?, "hist.unit")?;
+    let count = as_u64(need(map, "count", "hist")?, "hist.count")?;
+    as_u64(need(map, "sum", "hist")?, "hist.sum")?;
+    as_u64(need(map, "min", "hist")?, "hist.min")?;
+    as_u64(need(map, "max", "hist")?, "hist.max")?;
+    let buckets = need(map, "buckets", "hist")?
+        .as_seq()
+        .map_err(|_| "hist.buckets must be an array".to_string())?;
+    let mut total = 0u64;
+    for b in buckets {
+        let entries = b
+            .as_map()
+            .map_err(|_| "hist bucket must be an object".to_string())?;
+        let lo = as_u64(need(entries, "lo", "hist bucket")?, "bucket.lo")?;
+        let hi = as_u64(need(entries, "hi", "hist bucket")?, "bucket.hi")?;
+        if lo > hi {
+            return Err(format!("hist bucket has lo {lo} > hi {hi}"));
+        }
+        total += as_u64(need(entries, "count", "hist bucket")?, "bucket.count")?;
+    }
+    if total != count {
+        return Err(format!(
+            "hist bucket counts sum to {total} but count says {count}"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_span(map: &[(String, Value)]) -> Result<(), String> {
+    as_str(need(map, "path", "span")?, "span.path")?;
+    as_u64(need(map, "count", "span")?, "span.count")?;
+    as_u64(need(map, "total_ns", "span")?, "span.total_ns")?;
+    as_u64(need(map, "max_ns", "span")?, "span.max_ns")?;
+    as_u64(need(map, "threads", "span")?, "span.threads")?;
+    Ok(())
+}
+
+fn validate_progress(map: &[(String, Value)]) -> Result<(), String> {
+    as_u64(need(map, "completed", "progress")?, "progress.completed")?;
+    as_u64(need(map, "total", "progress")?, "progress.total")?;
+    as_str(need(map, "label", "progress")?, "progress.label")?;
+    as_u64(need(map, "wall_ms", "progress")?, "progress.wall_ms")?;
+    Ok(())
+}
+
+fn validate_meta(map: &[(String, Value)]) -> Result<(), String> {
+    let schema = as_u64(need(map, "schema", "meta")?, "meta.schema")?;
+    if schema != SCHEMA_VERSION {
+        return Err(format!(
+            "meta.schema {schema} does not match supported version {SCHEMA_VERSION}"
+        ));
+    }
+    as_str(need(map, "stream", "meta")?, "meta.stream")?;
+    Ok(())
+}
+
+fn validate_summary(map: &[(String, Value)]) -> Result<(), String> {
+    as_u64(need(map, "samples", "summary")?, "summary.samples")?;
+    as_u64(need(map, "progress", "summary")?, "summary.progress")?;
+    as_u64(need(map, "spans", "summary")?, "summary.spans")?;
+    Ok(())
+}
+
+/// Validates one JSONL line, returning the event type on success.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first schema violation.
+pub fn validate_line(line: &str) -> Result<String, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("line is not valid JSON: {e:?}"))?;
+    let map = value
+        .as_map()
+        .map_err(|_| "event must be a JSON object".to_string())?;
+    let event_type = as_str(need(map, "type", "event")?, "event.type")?.to_string();
+    match event_type.as_str() {
+        "meta" => validate_meta(map)?,
+        "sample" => validate_sample(map)?,
+        "hist" => validate_hist(map)?,
+        "span" => validate_span(map)?,
+        "progress" => validate_progress(map)?,
+        "summary" => validate_summary(map)?,
+        other => return Err(format!("unknown event type `{other}`")),
+    }
+    Ok(event_type)
+}
+
+/// Per-type event counts of a validated stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Non-empty lines validated.
+    pub lines: usize,
+    /// Events per `type` discriminator.
+    pub by_type: BTreeMap<String, usize>,
+}
+
+/// Validates a whole JSONL stream: every line must pass [`validate_line`],
+/// the first event must be `meta`, and the last must be `summary`.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` of the first violation (line
+/// numbers are 1-based; protocol-level violations report line 0).
+pub fn validate_stream(text: &str) -> Result<StreamSummary, (usize, String)> {
+    let mut summary = StreamSummary::default();
+    let mut last_type = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event_type = validate_line(line).map_err(|e| (i + 1, e))?;
+        if summary.lines == 0 && event_type != "meta" {
+            return Err((
+                i + 1,
+                format!("stream must open with a meta event, got `{event_type}`"),
+            ));
+        }
+        summary.lines += 1;
+        *summary.by_type.entry(event_type.clone()).or_default() += 1;
+        last_type = event_type;
+    }
+    if summary.lines == 0 {
+        return Err((0, "stream contains no events".to_string()));
+    }
+    if last_type != "summary" {
+        return Err((
+            0,
+            format!("stream must end with a summary event, got `{last_type}`"),
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_line_validates() {
+        let line = r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#;
+        assert_eq!(validate_line(line).unwrap(), "meta");
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let line = r#"{"type":"meta","schema":99,"stream":"atscale-telemetry"}"#;
+        assert!(validate_line(line).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn sample_requires_the_headline_rates() {
+        let line = r#"{"type":"sample","run":"r","instr":10,"cycles":20,
+            "counters":[["inst_retired.any",10],["dtlb_misses.walk_duration",4]],
+            "rates":[["wcpi",0.4],["stlb_mpki",1.0]]}"#
+            .replace('\n', " ");
+        let err = validate_line(&line).unwrap_err();
+        assert!(err.contains("aborted_frac"), "got: {err}");
+    }
+
+    #[test]
+    fn hist_bucket_counts_must_reconcile() {
+        let line = r#"{"type":"hist","metric":"walk_cycles","unit":"cycles","count":3,
+            "sum":10,"min":1,"max":5,"buckets":[{"lo":1,"hi":1,"count":1}]}"#
+            .replace('\n', " ");
+        let err = validate_line(&line).unwrap_err();
+        assert!(err.contains("sum to 1"), "got: {err}");
+    }
+
+    #[test]
+    fn stream_protocol_is_enforced() {
+        let good = concat!(
+            r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#,
+            "\n",
+            r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#,
+            "\n"
+        );
+        let s = validate_stream(good).unwrap();
+        assert_eq!(s.lines, 2);
+        assert_eq!(s.by_type.get("meta"), Some(&1));
+
+        let no_meta = r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#;
+        assert!(validate_stream(no_meta).is_err());
+
+        let no_summary = r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#;
+        assert!(validate_stream(no_summary).is_err());
+
+        assert!(validate_stream("").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Phase-scoped span tracing with a process-global registry.
+//!
+//! A [`span`] times a phase of harness execution ("sweep", "run",
+//! "warmup", "generator-setup", …). Spans nest: a span opened while another
+//! is active on the same thread records under the parent's path
+//! (`"sweep/run"`), so the summary table shows *where inside* a sweep the
+//! wall-clock went. Aggregation is per-path across all threads — each
+//! worker accumulates locally-scoped guards into the shared registry on
+//! drop — and the registry additionally counts how many distinct threads
+//! contributed to each path.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    threads: HashSet<ThreadId>,
+}
+
+static REGISTRY: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for one span path, as exported by
+/// [`span_records`] and the JSONL `span` event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Slash-joined nesting path, e.g. `"sweep/run"`.
+    pub path: String,
+    /// Times a guard with this path was dropped.
+    pub count: u64,
+    /// Total nanoseconds across all guards (includes nested child time).
+    pub total_ns: u64,
+    /// Longest single guard in nanoseconds.
+    pub max_ns: u64,
+    /// Distinct threads that recorded this path.
+    pub threads: u64,
+}
+
+/// An active span; records elapsed wall-clock into the global registry on
+/// drop. Obtain via [`span`] or the [`span!`](crate::span!) macro.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name`, nested under the calling thread's innermost
+/// active span.
+pub fn span(name: &str) -> SpanGuard {
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop innermost-first; if a guard outlives its
+            // parent (moved out of scope order) fall back to removal by path.
+            if stack.last() == Some(&self.path) {
+                stack.pop();
+            } else if let Some(i) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(i);
+            }
+        });
+        let mut registry = REGISTRY.lock();
+        let stats = registry.entry(self.path.clone()).or_default();
+        stats.count += 1;
+        stats.total_ns += elapsed;
+        stats.max_ns = stats.max_ns.max(elapsed);
+        stats.threads.insert(std::thread::current().id());
+    }
+}
+
+/// Opens a span; expands to [`span`].
+///
+/// ```
+/// let _guard = atscale_telemetry::span!("sweep");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Snapshot of every recorded span path, sorted by path.
+pub fn span_records() -> Vec<SpanRecord> {
+    REGISTRY
+        .lock()
+        .iter()
+        .map(|(path, s)| SpanRecord {
+            path: path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            max_ns: s.max_ns,
+            threads: s.threads.len() as u64,
+        })
+        .collect()
+}
+
+/// Clears the registry (tests and repeated in-process harness runs).
+pub fn reset_spans() {
+    REGISTRY.lock().clear();
+}
+
+/// Renders the per-phase timing table: one row per span path with count,
+/// total/mean/max milliseconds, and the share of the total root time.
+pub fn render_spans() -> String {
+    let records = span_records();
+    if records.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let root_total: u64 = records
+        .iter()
+        .filter(|r| !r.path.contains('/'))
+        .map(|r| r.total_ns)
+        .sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>12} {:>10} {:>10} {:>7} {:>6}\n",
+        "phase", "count", "total ms", "mean ms", "max ms", "threads", "%root"
+    ));
+    for r in &records {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let share = if root_total == 0 {
+            0.0
+        } else {
+            100.0 * r.total_ns as f64 / root_total as f64
+        };
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12.2} {:>10.3} {:>10.2} {:>7} {:>6.1}\n",
+            r.path,
+            r.count,
+            ms(r.total_ns),
+            ms(r.total_ns) / r.count.max(1) as f64,
+            ms(r.max_ns),
+            r.threads,
+            share
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the process-global registry, so they run in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn spans_nest_aggregate_and_reset() {
+        reset_spans();
+        {
+            let _outer = span("outer-test");
+            {
+                let _inner = span!("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _again = span("inner");
+        }
+        let records = span_records();
+        let paths: Vec<&str> = records.iter().map(|r| r.path.as_str()).collect();
+        assert!(paths.contains(&"outer-test"));
+        assert!(paths.contains(&"outer-test/inner"));
+        let inner = records
+            .iter()
+            .find(|r| r.path == "outer-test/inner")
+            .unwrap();
+        assert_eq!(inner.count, 2);
+        assert!(inner.total_ns >= 1_000_000, "sleep was timed");
+        assert_eq!(inner.threads, 1);
+
+        let outer = records.iter().find(|r| r.path == "outer-test").unwrap();
+        assert!(outer.total_ns >= inner.total_ns, "parent includes child");
+
+        let table = render_spans();
+        assert!(table.contains("outer-test/inner"));
+        assert!(table.contains("%root"));
+
+        // Worker threads land on the same path, tallied separately.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _g = span("outer-test");
+                });
+            }
+        });
+        let outer_after = span_records()
+            .into_iter()
+            .find(|r| r.path == "outer-test")
+            .unwrap();
+        assert_eq!(outer_after.count, 3);
+        assert_eq!(outer_after.threads, 3);
+
+        reset_spans();
+        assert!(span_records().is_empty());
+        assert_eq!(render_spans(), "no spans recorded\n");
+    }
+}

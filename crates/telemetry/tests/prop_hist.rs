@@ -1,0 +1,145 @@
+//! Property tests for the fixed-layout log-scale histogram: bucket
+//! boundaries partition `u64`, quantile error stays within the layout's
+//! 12.5% bound, and record/merge/snapshot are all equivalent routes to the
+//! same bucket counts.
+
+use atscale_telemetry::{bucket_bounds, HistogramSnapshot, LogHistogram, BUCKETS, SUBBUCKETS};
+use proptest::prelude::*;
+
+/// The bucket a value lands in, observed through the public API.
+fn containing_bucket(v: u64) -> (u64, u64) {
+    let mut h = LogHistogram::new();
+    h.record(v);
+    let buckets = h.nonzero_buckets();
+    assert_eq!(buckets.len(), 1);
+    (buckets[0].lo, buckets[0].hi)
+}
+
+proptest! {
+    /// Every `u64` lands inside the bounds of exactly one bucket, and that
+    /// bucket's relative width respects the `1 / SUBBUCKETS` error bound.
+    #[test]
+    fn any_value_lands_in_a_tight_bucket(v in 0u64..=u64::MAX) {
+        let (lo, hi) = containing_bucket(v);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}]");
+        // Direct-mapped range is exact; octave buckets are `lo/8` wide.
+        if lo < 2 * SUBBUCKETS {
+            prop_assert_eq!(lo, hi);
+        } else {
+            prop_assert!(hi - lo <= lo / SUBBUCKETS, "bucket [{lo},{hi}] too wide");
+        }
+    }
+
+    /// Bucket bounds tile `u64` without gaps or overlaps: sampling any
+    /// index pair preserves ordering, and each bucket maps back to itself.
+    #[test]
+    fn bucket_bounds_are_ordered_and_self_consistent(
+        i in 0usize..BUCKETS,
+        j in 0usize..BUCKETS,
+    ) {
+        let (lo_i, hi_i) = bucket_bounds(i);
+        prop_assert!(lo_i <= hi_i);
+        // Both endpoints land back in bucket `i`.
+        prop_assert_eq!(containing_bucket(lo_i), (lo_i, hi_i));
+        prop_assert_eq!(containing_bucket(hi_i), (lo_i, hi_i));
+        if i < j {
+            let (lo_j, _) = bucket_bounds(j);
+            prop_assert!(hi_i < lo_j, "buckets {i} and {j} overlap");
+        }
+    }
+
+    /// Count, sum, min, max, and the p100 quantile reflect the recorded
+    /// values exactly (the summary stats are not bucket-quantised).
+    #[test]
+    fn summary_stats_are_exact(values in prop::collection::vec(0u64..(1 << 48), 1..200)) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Quantiles never under-report and over-report by at most the bucket
+    /// width: `sorted[rank] <= quantile(q) <= sorted[rank] * (1 + 1/8)`.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in prop::collection::vec(1u64..(1 << 40), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len()) - 1;
+        let exact = sorted[rank];
+        let got = h.quantile(q);
+        prop_assert!(got >= exact, "quantile({q}) = {got} under-reports {exact}");
+        let bound = exact + exact / SUBBUCKETS;
+        prop_assert!(got <= bound, "quantile({q}) = {got} exceeds {exact} by >12.5%");
+    }
+
+    /// Splitting a stream across two histograms and merging equals
+    /// recording everything into one.
+    #[test]
+    fn merge_is_equivalent_to_recording_into_one(
+        values in prop::collection::vec(0u64..=u64::MAX, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for &v in left {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    /// Snapshot → JSON → restore preserves every bucket count and all
+    /// bucket-derived statistics (the layout is fixed, so counts re-landing
+    /// on each bucket's lower bound reproduce the original counts).
+    #[test]
+    fn snapshot_roundtrip_preserves_quantiles(
+        values in prop::collection::vec(0u64..(1 << 52), 0..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h.snapshot()).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = LogHistogram::from_snapshot(&back);
+        prop_assert_eq!(restored.count(), h.count());
+        prop_assert_eq!(restored.min(), h.min());
+        prop_assert_eq!(restored.max(), h.max());
+        prop_assert_eq!(restored.nonzero_buckets(), h.nonzero_buckets());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(restored.quantile(q), h.quantile(q));
+        }
+    }
+
+    /// `record_n` is shorthand for repeated `record`.
+    #[test]
+    fn record_n_matches_repeated_record(v in 0u64..=u64::MAX, n in 0u64..50) {
+        let mut bulk = LogHistogram::new();
+        bulk.record_n(v, n);
+        let mut one_by_one = LogHistogram::new();
+        for _ in 0..n {
+            one_by_one.record(v);
+        }
+        prop_assert_eq!(bulk, one_by_one);
+    }
+}
