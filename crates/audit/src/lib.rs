@@ -23,6 +23,11 @@
 //!    (PMU events via `Counters::events()`, ground-truth fields via
 //!    explicit pushes, rates via the `RATE_NAMES` const) and the MMU
 //!    engine keeps the sampler's entry points wired into its hot paths.
+//! 5. **Protocol round-trips** ([`audit_protocol_roundtrip`]) — every
+//!    `Request`/`Reply` frame variant of the serving protocol
+//!    (`crates/serve`) appears in the round-trip test suite, so a frame
+//!    that serializes but cannot deserialize (a cross-process protocol
+//!    break invisible to type checking) fails CI.
 //!
 //! The audit scans comment-stripped source text with a small brace matcher
 //! (see [`source`]) rather than a full parser: the offline build vendors no
@@ -36,12 +41,14 @@
 pub mod counters;
 pub mod invariants;
 pub mod lints;
+pub mod protocol;
 pub mod source;
 pub mod telemetry;
 
 pub use counters::audit_counter_coverage;
 pub use invariants::audit_invariant_annotations;
 pub use lints::audit_lint_wiring;
+pub use protocol::audit_protocol_roundtrip;
 pub use telemetry::audit_telemetry_coverage;
 
 use std::fmt;
@@ -218,6 +225,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Audit> {
         audit_invariant_annotations(ws),
         audit_lint_wiring(ws),
         audit_telemetry_coverage(ws),
+        audit_protocol_roundtrip(ws),
     ]
 }
 

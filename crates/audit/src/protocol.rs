@@ -1,0 +1,160 @@
+//! Rule 5 — protocol round-trip coverage.
+//!
+//! Every wire-frame variant of the serving protocol (`Request` and `Reply`
+//! in `crates/serve/src/protocol.rs`) must appear in the round-trip test
+//! suite (`crates/serve/tests/protocol_roundtrip.rs`). The daemon and
+//! client live in separate processes, so a variant that serializes but
+//! does not deserialize (or vice versa) is a protocol break that type
+//! checking cannot see; requiring a round-trip test per variant makes
+//! adding an untested frame a CI failure.
+//!
+//! Like the other rules this is a name scan over comment-stripped source,
+//! not a type-resolved analysis; see [`crate::source`].
+
+use crate::source::block_after;
+use crate::{Audit, Workspace};
+
+/// Path (workspace-relative suffix) of the protocol definition under audit.
+pub const PROTOCOL_PATH: &str = "crates/serve/src/protocol.rs";
+/// Path (workspace-relative suffix) of the round-trip test suite.
+pub const ROUNDTRIP_TEST_PATH: &str = "crates/serve/tests/protocol_roundtrip.rs";
+const RULE: &str = "protocol-roundtrip";
+
+/// The wire enums whose variants need round-trip coverage.
+const FRAME_ENUMS: [&str; 2] = ["Request", "Reply"];
+
+/// Extracts the variant names of an enum body (comment-stripped source):
+/// the leading identifier of every `Name,` / `Name(Payload),` line,
+/// skipping attributes.
+fn variant_names(body: &str) -> Vec<String> {
+    body.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let name: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            // Variants are CamelCase idents directly followed by `,` or a
+            // payload; anything else on the line is not a variant header.
+            let rest = &line[name.len()..];
+            let is_variant = !name.is_empty()
+                && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && (rest.starts_with(',') || rest.starts_with('('));
+            is_variant.then_some(name)
+        })
+        .collect()
+}
+
+/// Runs the protocol-roundtrip rule over the workspace.
+pub fn audit_protocol_roundtrip(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    let Some(protocol) = ws.file(PROTOCOL_PATH) else {
+        audit.fail(
+            PROTOCOL_PATH,
+            format!("{PROTOCOL_PATH} not found in workspace"),
+        );
+        return audit;
+    };
+    let Some(tests) = ws.file(ROUNDTRIP_TEST_PATH) else {
+        audit.fail(
+            ROUNDTRIP_TEST_PATH,
+            format!(
+                "{ROUNDTRIP_TEST_PATH} not found — every protocol frame needs a round-trip test"
+            ),
+        );
+        return audit;
+    };
+    for enum_name in FRAME_ENUMS {
+        let Some(body) = block_after(&protocol.stripped, &format!("pub enum {enum_name}")) else {
+            audit.fail(PROTOCOL_PATH, format!("`pub enum {enum_name}` not found"));
+            continue;
+        };
+        let variants = variant_names(body);
+        audit.check();
+        if variants.is_empty() {
+            audit.fail(
+                PROTOCOL_PATH,
+                format!("no variants parsed from `pub enum {enum_name}`"),
+            );
+            continue;
+        }
+        for variant in variants {
+            audit.check();
+            let qualified = format!("{enum_name}::{variant}");
+            if !tests.stripped.contains(&qualified) {
+                audit.fail(
+                    PROTOCOL_PATH,
+                    format!(
+                        "protocol frame `{qualified}` has no round-trip coverage — \
+                         construct and round-trip it in {ROUNDTRIP_TEST_PATH}"
+                    ),
+                );
+            }
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    const PROTOCOL_SRC: &str = "
+pub enum Request {
+    Hello(Hello),
+    Shutdown,
+}
+pub enum Reply {
+    Welcome(Welcome),
+    ShuttingDown,
+}
+";
+
+    #[test]
+    fn variant_names_parse_unit_and_newtype_variants() {
+        let body = block_after(PROTOCOL_SRC, "pub enum Request").unwrap();
+        assert_eq!(variant_names(body), ["Hello", "Shutdown"]);
+    }
+
+    #[test]
+    fn covered_variants_pass() {
+        let ws = workspace_from(&[
+            (PROTOCOL_PATH, PROTOCOL_SRC),
+            (
+                ROUNDTRIP_TEST_PATH,
+                "fn t() { r(Request::Hello(h)); r(Request::Shutdown); \
+                 r(Reply::Welcome(w)); r(Reply::ShuttingDown); }",
+            ),
+        ]);
+        let audit = audit_protocol_roundtrip(&ws);
+        assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+        assert!(audit.checked >= 4);
+    }
+
+    #[test]
+    fn uncovered_variant_fails() {
+        let ws = workspace_from(&[
+            (PROTOCOL_PATH, PROTOCOL_SRC),
+            (
+                ROUNDTRIP_TEST_PATH,
+                "fn t() { r(Request::Hello(h)); r(Request::Shutdown); \
+                 r(Reply::Welcome(w)); }",
+            ),
+        ]);
+        let audit = audit_protocol_roundtrip(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("Reply::ShuttingDown"));
+    }
+
+    #[test]
+    fn missing_test_file_fails() {
+        let ws = workspace_from(&[(PROTOCOL_PATH, PROTOCOL_SRC)]);
+        let audit = audit_protocol_roundtrip(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("round-trip test"));
+    }
+}

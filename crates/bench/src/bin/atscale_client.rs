@@ -1,0 +1,286 @@
+//! `atscale-client` — command-line client for the `atscale-serve` daemon.
+//!
+//! ```text
+//! atscale-client [--connect unix:/tmp/atscale.sock | --connect HOST:PORT] COMMAND
+//!
+//! commands:
+//!   ping                  handshake; print the server banner
+//!   sweep                 run the fig1-style footprint sweep through the
+//!                         daemon (records identical to the in-process
+//!                         harness) and print the overhead table
+//!   cache-stats           run-cache occupancy
+//!   server-stats          scheduler counters
+//!   shutdown              ask the daemon to drain and exit
+//!
+//! sweep options:
+//!   --test | --quick | --full      sweep profile (default --quick)
+//!   --workloads a,b,c              subset of workloads (default: all 13)
+//!   --no-cache                     force fresh executions
+//!   --deadline-ms N                per-request deadline
+//!   --sample-interval N            stream interval samples every N instrs
+//!   --jsonl PATH                   write streamed telemetry as JSONL
+//!                                  (validated by `telemetry_validate`)
+//!   --csv PATH                     write the overhead series as CSV
+//!   --progress                     one stderr line per resolved spec
+//! ```
+
+use atscale::report::{fmt, human_bytes, Table};
+use atscale::telemetry::TelemetrySink;
+use atscale::{OverheadPoint, RunSpec, SweepConfig};
+use atscale_serve::protocol::Reply;
+use atscale_serve::{Client, SubmitOptions};
+use atscale_telemetry::Recorder;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    connect: String,
+    command: String,
+    sweep: SweepConfig,
+    workloads: Vec<WorkloadId>,
+    no_cache: bool,
+    deadline_ms: Option<u64>,
+    sample_interval: u64,
+    jsonl: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    progress: bool,
+}
+
+const USAGE: &str = "usage: atscale-client [--connect TARGET] \
+                     (ping|sweep|cache-stats|server-stats|shutdown) [sweep options]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        connect: "unix:/tmp/atscale.sock".to_string(),
+        command: String::new(),
+        sweep: SweepConfig::quick(),
+        workloads: WorkloadId::all().to_vec(),
+        no_cache: false,
+        deadline_ms: None,
+        sample_interval: 0,
+        jsonl: None,
+        csv: None,
+        progress: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => {
+                opts.connect = iter.next().ok_or("--connect needs a target")?.clone();
+            }
+            "--test" => opts.sweep = SweepConfig::test(),
+            "--quick" => opts.sweep = SweepConfig::quick(),
+            "--full" => opts.sweep = SweepConfig::full(),
+            "--workloads" => {
+                let list = iter.next().ok_or("--workloads needs a list")?;
+                opts.workloads = list
+                    .split(',')
+                    .map(|name| {
+                        WorkloadId::parse(name).ok_or_else(|| format!("unknown workload {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms needs a number")?,
+                );
+            }
+            "--sample-interval" => {
+                opts.sample_interval = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--sample-interval needs a number")?;
+            }
+            "--jsonl" => {
+                opts.jsonl = Some(PathBuf::from(iter.next().ok_or("--jsonl needs a path")?));
+            }
+            "--csv" => {
+                opts.csv = Some(PathBuf::from(iter.next().ok_or("--csv needs a path")?));
+            }
+            "--progress" => opts.progress = true,
+            command if !command.starts_with("--") && opts.command.is_empty() => {
+                opts.command = command.to_string();
+            }
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    if opts.command.is_empty() {
+        return Err(format!("no command given\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// The fig1 spec set: every workload at every sweep footprint, at all three
+/// page sizes — byte-for-byte the specs `Harness::sweep_many` runs.
+fn sweep_specs(workloads: &[WorkloadId], sweep: &SweepConfig) -> Vec<RunSpec> {
+    let footprints = sweep.footprints();
+    let mut specs = Vec::new();
+    for &w in workloads {
+        for &fp in &footprints {
+            let base = sweep.spec(w, fp);
+            specs.push(base);
+            specs.push(base.with_page_size(PageSize::Size2M));
+            specs.push(base.with_page_size(PageSize::Size1G));
+        }
+    }
+    specs
+}
+
+fn run_sweep(client: &mut Client, opts: &Options) -> Result<(), String> {
+    let specs = sweep_specs(&opts.workloads, &opts.sweep);
+    println!(
+        "sweep: {} workloads x {} points x 3 page sizes = {} specs via {}",
+        opts.workloads.len(),
+        opts.sweep.points,
+        specs.len(),
+        opts.connect
+    );
+    let sink = match &opts.jsonl {
+        Some(path) => Some(
+            TelemetrySink::new()
+                .with_jsonl(path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let submit = SubmitOptions {
+        deadline_ms: opts.deadline_ms,
+        no_cache: opts.no_cache,
+        sample_interval: opts.sample_interval,
+    };
+    let progress = opts.progress;
+    let records = client
+        .run_many_with(&specs, submit, |reply| match reply {
+            Reply::Sample(s) => {
+                if let Some(sink) = &sink {
+                    sink.sample(&s.run, &s.sample);
+                }
+            }
+            Reply::Progress(p) => {
+                if let Some(sink) = &sink {
+                    sink.progress(&p.progress);
+                }
+                if progress {
+                    eprintln!("{}", p.progress.render());
+                }
+            }
+            _ => {}
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(sink) = &sink {
+        if let Some(path) = sink.finish() {
+            eprintln!("[atscale-client] telemetry stream: {}", path.display());
+        }
+    }
+
+    // Reassemble records (spec order) into fig1's per-workload points.
+    let mut records = records.into_iter();
+    let points_per_workload = opts.sweep.points;
+    let mut table = Table::new(&["workload", "footprint", "footprint_kb", "rel_overhead"]);
+    let mut all_points: Vec<OverheadPoint> = Vec::new();
+    for id in &opts.workloads {
+        for _ in 0..points_per_workload {
+            let point = OverheadPoint {
+                run_4k: records.next().expect("record per spec"),
+                run_2m: records.next().expect("record per spec"),
+                run_1g: records.next().expect("record per spec"),
+            };
+            table.row_owned(vec![
+                id.to_string(),
+                human_bytes(point.run_4k.spec.nominal_footprint),
+                fmt(point.footprint_kb(), 0),
+                fmt(point.relative_overhead(), 4),
+            ]);
+            all_points.push(point);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(csv) = &opts.csv {
+        table
+            .write_csv(csv)
+            .map_err(|e| format!("cannot write {}: {e}", csv.display()))?;
+        println!("wrote {}", csv.display());
+    }
+    let xs: Vec<f64> = all_points
+        .iter()
+        .map(|p| p.footprint_kb().log10())
+        .collect();
+    let ys: Vec<f64> = all_points
+        .iter()
+        .map(OverheadPoint::relative_overhead)
+        .collect();
+    if let Ok(r) = atscale_stats::pearson(&xs, &ys) {
+        println!("inter-workload Pearson(log10 footprint, overhead) = {r:.3}");
+    }
+    Ok(())
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let mut client = Client::connect(&opts.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    let welcome = client.hello().map_err(|e| e.to_string())?;
+    match opts.command.as_str() {
+        "ping" => {
+            println!(
+                "{} (protocol {}, {} workers) at {}",
+                welcome.server, welcome.protocol, welcome.workers, opts.connect
+            );
+            Ok(())
+        }
+        "sweep" => run_sweep(&mut client, opts),
+        "cache-stats" => {
+            let stats = client.cache_stats().map_err(|e| e.to_string())?;
+            println!(
+                "run cache: {} entries, {} bytes, {} tmp droppings",
+                stats.entries, stats.bytes, stats.tmp_files
+            );
+            Ok(())
+        }
+        "server-stats" => {
+            let s = client.server_stats().map_err(|e| e.to_string())?;
+            println!(
+                "executions {} | cache hits {} | dedup hits {} | overloaded {} | \
+                 expired {} | queued {} | running {} | completed {} | draining {}",
+                s.executions,
+                s.cache_hits,
+                s.dedup_hits,
+                s.overloaded,
+                s.expired,
+                s.queued,
+                s.running,
+                s.completed,
+                s.draining
+            );
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown; it will drain and exit");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("atscale-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("atscale-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `make_all`, but with the sweep warmed **through the serving daemon**:
+//! spawns a sibling `atscale-serve` on a private Unix socket, submits the
+//! full fig1 spec set as one batch (exercising admission, single-flight
+//! dedup, and the streamed protocol end to end), shuts the daemon down
+//! gracefully, then regenerates every figure/table from the now-warm
+//! shared run cache exactly as `make_all` does.
+
+use atscale::{RunSpec, SweepConfig};
+use atscale_bench::HarnessOptions;
+use atscale_serve::{Client, SubmitOptions};
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use std::process::Command;
+use std::time::Duration;
+
+const TARGETS: [&str; 20] = [
+    "table1_workloads",
+    "fig1_overhead_vs_footprint",
+    "fig2_cc_urand",
+    "table4_regression",
+    "fig3_exceptions",
+    "table5_metric_correlations",
+    "fig4_wcpi_scatter",
+    "fig5_bc_urand_wcpi",
+    "table_intra_spearman",
+    "fig6_component_breakdown",
+    "fig7_walk_outcomes",
+    "fig8_pte_location",
+    "fig9_machine_clears",
+    "fig10_2mb_pages",
+    "ablate_mmu_cache",
+    "ablate_tlb_filtering",
+    "ablate_walk_cache_levels",
+    "ablate_speculation",
+    "extension_wcpi_promotion",
+    "extension_1gb_pages",
+];
+
+fn sweep_specs(sweep: &SweepConfig) -> Vec<RunSpec> {
+    let footprints = sweep.footprints();
+    let mut specs = Vec::new();
+    for &w in &WorkloadId::all() {
+        for &fp in &footprints {
+            let base = sweep.spec(w, fp);
+            specs.push(base);
+            specs.push(base.with_page_size(PageSize::Size2M));
+            specs.push(base.with_page_size(PageSize::Size1G));
+        }
+    }
+    specs
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let _telemetry = opts.telemetry("make_all_serve");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("target dir").to_path_buf();
+
+    // Phase 1: warm the shared run cache through the daemon.
+    let socket = std::env::temp_dir().join(format!("atscale-make-all-{}.sock", std::process::id()));
+    let mut daemon = Command::new(bin_dir.join("atscale-serve"))
+        .arg("--socket")
+        .arg(&socket)
+        .spawn()
+        .expect("launch atscale-serve");
+    let target = format!("unix:{}", socket.display());
+    let mut client = loop {
+        match Client::connect(&target) {
+            Ok(client) => break client,
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let welcome = client.hello().expect("handshake");
+    println!("warming cache via {} ({})", welcome.server, target);
+    let specs = sweep_specs(&opts.sweep);
+    let records = client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("sweep batch");
+    println!("daemon resolved {} specs", records.len());
+    client.shutdown().expect("graceful shutdown");
+    let status = daemon.wait().expect("daemon exit status");
+    assert!(status.success(), "daemon exited non-zero");
+
+    // Phase 2: every figure/table renders from the warmed cache.
+    for bench_target in TARGETS {
+        println!("\n=== {bench_target} ===");
+        let status = Command::new(bin_dir.join(bench_target))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bench_target}: {e}"));
+        assert!(status.success(), "{bench_target} failed");
+    }
+    println!("\nall figures and tables regenerated through the serving daemon");
+}

@@ -202,7 +202,14 @@ impl Harness {
 
     /// Runs one spec, consulting the cache first.
     pub fn run(&self, spec: &RunSpec) -> RunRecord {
-        self.run_timed(spec).0
+        self.run_detailed(spec).0
+    }
+
+    /// Like [`Harness::run`], but also reports whether the record was
+    /// served from the cache — the serving daemon forwards this to clients
+    /// and counts fresh executions for its single-flight accounting.
+    pub fn run_detailed(&self, spec: &RunSpec) -> (RunRecord, bool) {
+        self.run_timed(spec)
     }
 
     /// The attached recorder, if the telemetry handle carries one.

@@ -57,7 +57,7 @@ pub use metrics::PressureMetric;
 pub use overhead::OverheadPoint;
 pub use run::{execute_run, execute_run_with_telemetry, RunRecord, RunSpec};
 pub use scaling::{fit_overhead_scaling, ScalingFit};
-pub use store::RunStore;
+pub use store::{RunStore, StoreStats};
 
 // The full stack, re-exported so examples and the bench harness can depend
 // on `atscale` alone.

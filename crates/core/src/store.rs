@@ -9,8 +9,29 @@
 use crate::{RunRecord, RunSpec};
 use atscale_gen::splitmix64;
 use atscale_mmu::MachineConfig;
+use serde::{Deserialize, Serialize};
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic per-process counter distinguishing concurrent temp files for
+/// the same key (see [`RunStore::save`]).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Size and occupancy of a [`RunStore`] directory, for operators sizing
+/// the cache (exposed over the wire as the serving daemon's `cache_stats`
+/// reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of cached `.json` run records.
+    pub entries: u64,
+    /// Total bytes across those records.
+    pub bytes: u64,
+    /// Leftover temp files (`*.tmp`) from interrupted saves; a healthy
+    /// store holds none.
+    pub tmp_files: u64,
+}
 
 /// A directory of cached run records.
 #[derive(Debug, Clone)]
@@ -64,13 +85,52 @@ impl RunStore {
 
     /// Saves a record under `key`.
     ///
+    /// The record is written to a temp file unique to this process *and*
+    /// this save (pid + a monotonic counter — a fixed `.{key}.tmp` name
+    /// would let two processes, or two server workers racing on the same
+    /// key, clobber each other's half-written file), fsynced, then
+    /// atomically renamed into place.
+    ///
     /// # Errors
     ///
     /// Returns the I/O error if the file cannot be written.
     pub fn save(&self, key: &str, record: &RunRecord) -> std::io::Result<()> {
-        let tmp = self.dir.join(format!(".{key}.tmp"));
-        fs::write(&tmp, serde_json::to_vec(record).expect("records serialize"))?;
-        fs::rename(&tmp, self.path_of(key))
+        let tmp = self.dir.join(format!(
+            ".{key}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&serde_json::to_vec(record).expect("records serialize"))?;
+            file.sync_all()?;
+            fs::rename(&tmp, self.path_of(key))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp); // never leave droppings behind
+        }
+        result
+    }
+
+    /// Entry count, total bytes, and temp-file droppings of the store —
+    /// what an operator needs to size `results/runs` without shelling in.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            match path.extension() {
+                Some(x) if x == "json" => {
+                    stats.entries += 1;
+                    stats.bytes += entry.metadata().map_or(0, |m| m.len());
+                }
+                Some(x) if x == "tmp" => stats.tmp_files += 1,
+                _ => {}
+            }
+        }
+        stats
     }
 
     /// Number of cached records.
@@ -152,5 +212,41 @@ mod tests {
         let key = "deadbeefdeadbeef";
         fs::write(store.dir.join(format!("{key}.json")), b"not json").unwrap();
         assert!(store.load(key).is_none());
+    }
+
+    #[test]
+    fn stats_report_entries_bytes_and_droppings() {
+        let store = temp_store("stats");
+        assert_eq!(store.stats(), StoreStats::default());
+        let config = MachineConfig::haswell();
+        let record = crate::execute_run(&spec(), &config);
+        store.save("a", &record).unwrap();
+        store.save("b", &record).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.tmp_files, 0, "save leaves no temp files");
+        fs::write(store.dir.join(".stale.tmp"), b"crashed save").unwrap();
+        assert_eq!(store.stats().tmp_files, 1);
+    }
+
+    #[test]
+    fn concurrent_saves_of_one_key_never_collide() {
+        let store = temp_store("race");
+        let config = MachineConfig::haswell();
+        let record = crate::execute_run(&spec(), &config);
+        let key = RunStore::key(&spec(), &config);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        store.save(&key, &record).unwrap();
+                    }
+                });
+            }
+        });
+        let loaded = store.load(&key).expect("entry survives the stampede");
+        assert_eq!(loaded.result.counters, record.result.counters);
+        assert_eq!(store.stats().tmp_files, 0, "no .tmp droppings");
     }
 }

@@ -1,0 +1,133 @@
+//! `atscale-serve` — the experiment-serving daemon.
+//!
+//! ```text
+//! atscale-serve --socket /tmp/atscale.sock [--tcp 127.0.0.1:7719]
+//!               [--workers N] [--queue N] [--store DIR | --no-store]
+//! ```
+//!
+//! Binds the requested endpoints, serves until a client sends a
+//! `Shutdown` frame, drains in-flight work, and exits 0. Cache-first by
+//! default: runs are answered from (and written back to) the run store,
+//! so repeated figure regenerations cost one simulation each.
+
+use atscale::RunStore;
+use atscale_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    store_dir: Option<PathBuf>,
+    no_store: bool,
+}
+
+const USAGE: &str = "usage: atscale-serve [--socket PATH] [--tcp ADDR] \
+                     [--workers N] [--queue N] [--store DIR | --no-store]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        socket: None,
+        tcp: None,
+        workers: None,
+        queue: None,
+        store_dir: None,
+        no_store: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => {
+                opts.socket = Some(PathBuf::from(iter.next().ok_or("--socket needs a path")?));
+            }
+            "--tcp" => {
+                opts.tcp = Some(iter.next().ok_or("--tcp needs an address")?.clone());
+            }
+            "--workers" => {
+                opts.workers = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--workers needs a number")?,
+                );
+            }
+            "--queue" => {
+                opts.queue = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--queue needs a number")?,
+                );
+            }
+            "--store" => {
+                opts.store_dir = Some(PathBuf::from(iter.next().ok_or("--store needs a dir")?));
+            }
+            "--no-store" => opts.no_store = true,
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    if opts.socket.is_none() && opts.tcp.is_none() {
+        return Err(format!("no endpoint given\n{USAGE}"));
+    }
+    if opts.no_store && opts.store_dir.is_some() {
+        return Err("--store and --no-store are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("atscale-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = if opts.no_store {
+        None
+    } else {
+        let opened = match &opts.store_dir {
+            Some(dir) => RunStore::open(dir),
+            None => RunStore::default_location(),
+        };
+        match opened {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("atscale-serve: cannot open run store: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut config = ServeConfig {
+        store,
+        ..ServeConfig::default()
+    };
+    if let Some(workers) = opts.workers {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = opts.queue {
+        config.queue_capacity = queue;
+    }
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let server = match Server::start(config, opts.tcp.as_deref(), opts.socket.as_deref()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("atscale-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("atscale-serve: listening on tcp {addr}");
+    }
+    if let Some(path) = &opts.socket {
+        println!("atscale-serve: listening on unix {}", path.display());
+    }
+    println!(
+        "atscale-serve: {workers} workers, queue capacity {queue}; send a Shutdown frame to stop"
+    );
+    server.join();
+    println!("atscale-serve: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,305 @@
+//! The blocking client: connect, submit, stream the reply frames.
+//!
+//! One [`Client`] is one connection. Requests are written as JSON lines;
+//! submissions stream back `Accepted` → (`Sample` | `Progress` | `Record`
+//! | `Deadline`)* → `BatchDone`, which [`Client::run_many`] folds back
+//! into the harness's `run_many` contract: records in spec order.
+
+use crate::protocol::{
+    self, Hello, Overloaded, Reply, Request, ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
+};
+use atscale::{RunRecord, RunSpec, StoreStats};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped mid-stream.
+    Io(std::io::Error),
+    /// The server sent something outside the protocol.
+    Protocol(String),
+    /// The submission was rejected by admission control — back off and
+    /// retry, the server is explicitly telling you it is full.
+    Overloaded(Overloaded),
+    /// The server reported a request error (draining, bad batch, …).
+    Server(String),
+    /// Some specs resolved past the request deadline; their batch indices
+    /// are listed.
+    Expired(Vec<u64>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Overloaded(o) => write!(
+                f,
+                "server overloaded ({}/{} jobs queued)",
+                o.queued, o.capacity
+            ),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Expired(idx) => write!(f, "{} spec(s) missed the deadline", idx.len()),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Deadline in milliseconds from admission (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Bypass the server's run cache.
+    pub no_cache: bool,
+    /// Interval-sampling cadence (0 = no sample stream).
+    pub sample_interval: u64,
+}
+
+/// A blocking connection to an `atscale-serve` daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to `target`: `unix:<path>` for a Unix socket, anything
+    /// else as a TCP `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the connection cannot be established.
+    pub fn connect(target: &str) -> std::io::Result<Client> {
+        match target.strip_prefix("unix:") {
+            Some(path) => Self::connect_unix(Path::new(path)),
+            None => Self::connect_tcp(target),
+        }
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the connection cannot be established.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are small and latency-bound; Nagle would add ~40 ms per
+        // round-trip.
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self::from_halves(Box::new(read_half), Box::new(stream)))
+    }
+
+    /// Connects over a Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the connection cannot be established (or
+    /// always, on non-Unix platforms).
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        #[cfg(unix)]
+        {
+            let stream = UnixStream::connect(path)?;
+            let read_half = stream.try_clone()?;
+            Ok(Self::from_halves(Box::new(read_half), Box::new(stream)))
+        }
+        #[cfg(not(unix))]
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("unix sockets unavailable: {}", path.display()),
+            ))
+        }
+    }
+
+    fn from_halves(read: Box<dyn Read + Send>, write: Box<dyn Write + Send>) -> Client {
+        Client {
+            reader: BufReader::new(read),
+            writer: write,
+            next_id: 1,
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = protocol::encode(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection".to_string(),
+                ));
+            }
+            if !line.trim().is_empty() {
+                return protocol::decode(line.trim()).map_err(ClientError::Protocol);
+            }
+        }
+    }
+
+    /// Performs the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, protocol mismatch, or an unexpected reply.
+    pub fn hello(&mut self) -> Result<Welcome, ClientError> {
+        self.send(&Request::Hello(Hello {
+            protocol: PROTOCOL_VERSION,
+        }))?;
+        match self.read_reply()? {
+            Reply::Welcome(w) => Ok(w),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a batch and blocks until every spec resolves, returning
+    /// records in spec order — `Harness::run_many` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Fails on rejection ([`ClientError::Overloaded`] /
+    /// [`ClientError::Server`]), connection loss, or missed deadlines.
+    pub fn run_many(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        self.run_many_with(specs, opts, |_| {})
+    }
+
+    /// [`Client::run_many`] with a frame observer: every streamed reply
+    /// (samples, progress, records) passes through `on_event` before the
+    /// records are reassembled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_many`].
+    pub fn run_many_with(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+        mut on_event: impl FnMut(&Reply),
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Submit(Submit {
+            id,
+            specs: specs.to_vec(),
+            deadline_ms: opts.deadline_ms,
+            no_cache: opts.no_cache,
+            sample_interval: opts.sample_interval,
+        }))?;
+        let mut slots: Vec<Option<RunRecord>> = vec![None; specs.len()];
+        let mut expired: Vec<u64> = Vec::new();
+        loop {
+            let reply = self.read_reply()?;
+            on_event(&reply);
+            match reply {
+                Reply::Accepted(a) if a.id == id => {}
+                Reply::Overloaded(o) if o.id == id => return Err(ClientError::Overloaded(o)),
+                Reply::Error(e) if e.id == id => return Err(ClientError::Server(e.message)),
+                Reply::Record(r) if r.id == id => {
+                    let index = usize::try_from(r.index)
+                        .map_err(|_| ClientError::Protocol("index overflow".to_string()))?;
+                    let slot = slots.get_mut(index).ok_or_else(|| {
+                        ClientError::Protocol(format!("record index {index} out of range"))
+                    })?;
+                    *slot = Some(r.record);
+                }
+                Reply::Deadline(d) if d.id == id => expired.push(d.index),
+                Reply::BatchDone(b) if b.id == id => break,
+                Reply::Sample(_) | Reply::Progress(_) => {}
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-batch: {other:?}"
+                    )))
+                }
+            }
+        }
+        if !expired.is_empty() {
+            expired.sort_unstable();
+            return Err(ClientError::Expired(expired));
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.ok_or_else(|| ClientError::Protocol("batch done with missing record".to_string()))
+            })
+            .collect()
+    }
+
+    /// Fetches the server's run-cache occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected reply.
+    pub fn cache_stats(&mut self) -> Result<StoreStats, ClientError> {
+        self.send(&Request::CacheStats)?;
+        match self.read_reply()? {
+            Reply::CacheStats(s) => Ok(s),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected CacheStats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the scheduler's counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected reply.
+    pub fn server_stats(&mut self) -> Result<ServerStatsReply, ClientError> {
+        self.send(&Request::ServerStats)?;
+        match self.read_reply()? {
+            Reply::ServerStats(s) => Ok(s),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ServerStats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests graceful shutdown; the server acknowledges, drains, and
+    /// exits.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.read_reply()? {
+            Reply::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `atscale-serve`: a long-lived experiment-serving daemon over the
+//! `atscale` harness.
+//!
+//! The daemon accepts [`RunSpec`](atscale::RunSpec) batches over
+//! newline-delimited JSON (TCP and/or a Unix socket), schedules them with
+//! single-flight deduplication and bounded admission, answers cache-first
+//! from a [`RunStore`](atscale::RunStore), and streams per-job telemetry
+//! (progress, interval samples) plus final records back to every
+//! subscribed client. Shutdown is graceful: in-flight work drains, every
+//! accepted batch is answered.
+//!
+//! Layering:
+//!
+//! - [`protocol`] — the wire frames (requests, replies, JSON-lines codec);
+//! - [`scheduler`] — single-flight dedup, admission control, deadlines,
+//!   drain;
+//! - [`server`] — sockets, connection threads, lifecycle;
+//! - [`client`] — the blocking client used by `atscale-client` and tests.
+//!
+//! Everything runs on std threads; there is no async runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError, SubmitOptions};
+pub use protocol::{Reply, Request, PROTOCOL_VERSION};
+pub use scheduler::{ReplySink, Scheduler, ServeConfig, ServeStats};
+pub use server::{Server, ServerHandle};

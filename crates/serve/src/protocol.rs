@@ -1,0 +1,285 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one JSON object (or bare string for unit requests) on one
+//! line. Requests flow client → server, replies flow back; a connection
+//! carries any number of requests, and replies to a submission are
+//! *streamed* — progress, interval samples, then one record per spec as
+//! each completes, closed by a batch-done frame. Frames for concurrent
+//! requests on one connection are correlated by the client-chosen request
+//! `id`.
+//!
+//! The enums serialize externally tagged (`{"Submit": {...}}`), matching
+//! the vendored serde derive; every variant must round-trip, which the
+//! `protocol-roundtrip` audit rule enforces by requiring each variant to
+//! appear in `tests/protocol_roundtrip.rs`.
+
+use atscale::{RunRecord, RunSpec, StoreStats};
+use atscale_telemetry::{Progress, Sample};
+use serde::{Deserialize, Serialize};
+
+/// Protocol revision carried in the hello/welcome handshake. Bump on any
+/// frame-shape change.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Client → server handshake: announces the client's protocol revision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// The client's [`PROTOCOL_VERSION`].
+    pub protocol: u64,
+}
+
+/// Client → server: submit a batch of runs ([`atscale::Harness::run_many`]
+/// semantics over the wire — records stream back as they finish, labelled
+/// with their spec index, so the client can reassemble input order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submit {
+    /// Client-chosen correlation id echoed on every reply frame.
+    pub id: u64,
+    /// The specs to run; a single run is a batch of one.
+    pub specs: Vec<RunSpec>,
+    /// Per-request deadline, milliseconds from admission. Runs completing
+    /// after it yield [`DeadlineExceeded`] frames instead of records.
+    pub deadline_ms: Option<u64>,
+    /// Bypass the run cache (forces fresh execution; the record is still
+    /// written back to the store unless the server runs cache-less).
+    pub no_cache: bool,
+    /// Interval-sampling cadence in retired instructions (0 = no sample
+    /// stream). Sampled series stream back as [`SampleEvent`] frames.
+    pub sample_interval: u64,
+}
+
+/// All client → server frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake; the server answers with [`Reply::Welcome`].
+    Hello(Hello),
+    /// Batch submission; answered by `Accepted` or `Overloaded`, then a
+    /// reply stream closed by `BatchDone`.
+    Submit(Submit),
+    /// Run-cache occupancy; answered by [`Reply::CacheStats`].
+    CacheStats,
+    /// Scheduler counters; answered by [`Reply::ServerStats`].
+    ServerStats,
+    /// Graceful shutdown: drain in-flight jobs, reject new submissions,
+    /// exit 0. Answered by [`Reply::ShuttingDown`].
+    Shutdown,
+}
+
+/// Server → client handshake answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Welcome {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol: u64,
+    /// Server identity string (name/version).
+    pub server: String,
+    /// Number of worker threads executing runs.
+    pub workers: u64,
+}
+
+/// A submission passed admission control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accepted {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Specs in the batch.
+    pub total: u64,
+    /// Fresh jobs this submission enqueued.
+    pub enqueued: u64,
+    /// Specs coalesced onto already-queued/running identical jobs
+    /// (single-flight dedup) or duplicated within the batch itself.
+    pub deduped: u64,
+}
+
+/// A submission was rejected because the admission queue is full. The
+/// whole batch is rejected atomically — nothing was enqueued.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Overloaded {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Jobs currently queued (excludes running jobs).
+    pub queued: u64,
+    /// The admission queue's capacity.
+    pub capacity: u64,
+}
+
+/// One spec of a batch finished; `record` carries the full measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordDone {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Index of this spec in the submitted batch (records stream in
+    /// completion order; reassemble by index).
+    pub index: u64,
+    /// `true` if served from the on-disk run cache.
+    pub cached: bool,
+    /// `true` if this subscription coalesced onto a job another request
+    /// (or another spec of this batch) put in flight.
+    pub deduped: bool,
+    /// The completed run.
+    pub record: RunRecord,
+}
+
+/// A spec's result arrived after the request's deadline; the record is
+/// withheld (it still lands in the cache for future requests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineExceeded {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Index of the expired spec in the submitted batch.
+    pub index: u64,
+    /// Human label of the expired spec.
+    pub label: String,
+}
+
+/// Every spec of a batch has been resolved (record or deadline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchDone {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Records delivered.
+    pub delivered: u64,
+    /// Specs that missed their deadline.
+    pub expired: u64,
+}
+
+/// A streamed sweep-progress event (one per resolved spec, mirroring the
+/// harness's `run_many` progress stream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// The progress payload (PR 2 telemetry schema).
+    pub progress: Progress,
+}
+
+/// A streamed interval sample from a running job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleEvent {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Label of the run the sample belongs to.
+    pub run: String,
+    /// The sample payload (PR 2 telemetry schema).
+    pub sample: Sample,
+}
+
+/// Scheduler/serving counters, for operators and the single-flight tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStatsReply {
+    /// Fresh harness executions (cache hits and dedup subscriptions
+    /// excluded) — the single-flight proof counter.
+    pub executions: u64,
+    /// Runs answered from the on-disk cache.
+    pub cache_hits: u64,
+    /// Specs coalesced onto in-flight identical jobs.
+    pub dedup_hits: u64,
+    /// Submissions rejected by admission control.
+    pub overloaded: u64,
+    /// Specs resolved past their deadline.
+    pub expired: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs fully resolved since startup.
+    pub completed: u64,
+    /// `true` once a shutdown has been requested.
+    pub draining: bool,
+}
+
+/// A request failed server-side (bad frame, unknown workload, …). The
+/// connection stays open.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Correlation id, when the failing request carried one (0 otherwise).
+    pub id: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// All server → client frames.
+// `Record` dominates the size because `RunRecord` carries full counter
+// state; boxing it is not an option (the vendored serde derive has no
+// `Box<T>` impl), and reply frames are transient stack values.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Reply {
+    /// Handshake answer.
+    Welcome(Welcome),
+    /// Submission admitted.
+    Accepted(Accepted),
+    /// Submission rejected: queue full. Explicit, never a hang.
+    Overloaded(Overloaded),
+    /// One spec resolved with a record.
+    Record(RecordDone),
+    /// One spec resolved past its deadline.
+    Deadline(DeadlineExceeded),
+    /// Batch fully resolved.
+    BatchDone(BatchDone),
+    /// Streamed progress.
+    Progress(ProgressEvent),
+    /// Streamed interval sample.
+    Sample(SampleEvent),
+    /// Run-cache occupancy ([`atscale::RunStore::stats`] over the wire).
+    CacheStats(StoreStats),
+    /// Scheduler counters.
+    ServerStats(ServerStatsReply),
+    /// Request failed; connection stays usable.
+    Error(ErrorReply),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+}
+
+/// Encodes one frame as a JSON line (no trailing newline).
+pub fn encode<T: Serialize>(frame: &T) -> String {
+    serde_json::to_string(frame).expect("protocol frames serialize")
+}
+
+/// Decodes one JSON line into a frame.
+///
+/// # Errors
+///
+/// Returns a human-readable description when the line is not valid JSON or
+/// not a known frame.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| format!("bad frame {line:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_single_lines() {
+        let frame = Request::Submit(Submit {
+            id: 7,
+            specs: Vec::new(),
+            deadline_ms: Some(250),
+            no_cache: true,
+            sample_interval: 10_000,
+        });
+        let line = encode(&frame);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode::<Request>(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn unit_requests_decode_from_bare_strings() {
+        assert_eq!(
+            decode::<Request>("\"Shutdown\"").unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            decode::<Request>(&encode(&Request::CacheStats)).unwrap(),
+            Request::CacheStats
+        );
+    }
+
+    #[test]
+    fn junk_lines_are_rejected_with_context() {
+        let err = decode::<Request>("{not json").unwrap_err();
+        assert!(err.contains("bad frame"));
+        let err = decode::<Request>("{\"Nope\":1}").unwrap_err();
+        assert!(err.contains("Nope") || err.contains("variant"), "{err}");
+    }
+}

@@ -1,0 +1,570 @@
+//! The serving scheduler: single-flight deduplication, bounded admission,
+//! deadlines, and drain-on-shutdown over the `atscale` harness.
+//!
+//! One [`Job`] is one unique `(spec, cache-mode)` unit of simulation work.
+//! Submissions subscribe batches of specs to jobs: a spec whose job is
+//! already queued *or running* coalesces onto it (single-flight — N
+//! concurrent identical requests cost one execution, every subscriber
+//! receives the same record). Fresh jobs pass admission control: a full
+//! queue rejects the whole batch with an explicit overloaded reply, never
+//! a hang or silent drop. Workers drain the queue; per-request deadlines
+//! are enforced at pop time (a job every subscriber has abandoned is
+//! skipped) and again at delivery.
+
+use crate::protocol::{
+    Accepted, BatchDone, DeadlineExceeded, Overloaded, ProgressEvent, RecordDone, Reply,
+    SampleEvent, ServerStatsReply, Submit,
+};
+use atscale::{Harness, RunRecord, RunSpec, RunStore};
+use atscale_mmu::{MachineConfig, TelemetryHandle};
+use atscale_telemetry::{FanoutRecorder, LatencyMetric, Progress, Recorder, Sample};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where replies for one connection go. The server implements this over a
+/// socket writer; tests implement it over an in-memory collector.
+pub trait ReplySink: Send + Sync {
+    /// Delivers one frame to the client (errors are the sink's problem —
+    /// a dead connection swallows its frames).
+    fn send(&self, reply: &Reply);
+}
+
+/// Serving-daemon configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// The machine every run simulates.
+    pub machine: MachineConfig,
+    /// The run cache; `None` serves cache-less (every run executes).
+    pub store: Option<RunStore>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-queue capacity in unique jobs (running jobs have left the
+    /// queue; dedup subscriptions consume no capacity).
+    pub queue_capacity: usize,
+    /// Start with workers paused (maintenance/test hook: admission works,
+    /// execution waits for [`Scheduler::resume`]).
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            machine: MachineConfig::haswell(),
+            store: None,
+            workers: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZero::get)
+                .min(4),
+            queue_capacity: 256,
+            start_paused: false,
+        }
+    }
+}
+
+/// Monotonic serving counters (see [`ServerStatsReply`] for semantics).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    executions: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    overloaded: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh harness executions so far — the single-flight proof counter.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::SeqCst)
+    }
+}
+
+/// Delivery accounting for one [`Submit`]: counts resolved specs and
+/// closes the stream with a `BatchDone` frame.
+pub(crate) struct Batch {
+    sink: Arc<dyn ReplySink>,
+    id: u64,
+    total: usize,
+    delivered: AtomicUsize,
+    expired: AtomicUsize,
+    resolved: AtomicUsize,
+    /// Set once the `Accepted` frame has been written. Workers delivering
+    /// this batch's frames wait on it, so a cache-hit resolving faster
+    /// than the admission path cannot reorder `Record` before `Accepted`
+    /// on the connection.
+    ready: Mutex<bool>,
+    ready_cv: Condvar,
+}
+
+impl Batch {
+    fn new(sink: Arc<dyn ReplySink>, id: u64, total: usize) -> Batch {
+        Batch {
+            sink,
+            id,
+            total,
+            delivered: AtomicUsize::new(0),
+            expired: AtomicUsize::new(0),
+            resolved: AtomicUsize::new(0),
+            ready: Mutex::new(false),
+            ready_cv: Condvar::new(),
+        }
+    }
+
+    fn mark_ready(&self) {
+        *self.ready.lock().expect("batch lock") = true;
+        self.ready_cv.notify_all();
+    }
+
+    fn wait_ready(&self) {
+        let mut ready = self.ready.lock().expect("batch lock");
+        while !*ready {
+            ready = self.ready_cv.wait(ready).expect("batch lock");
+        }
+    }
+
+    /// Streams the frames resolving spec `index`, then `BatchDone` once
+    /// every spec of the batch is resolved. Returns `true` if the spec was
+    /// resolved as deadline-expired rather than with a record.
+    fn resolve(&self, sub: &Subscriber, outcome: &JobOutcome) -> bool {
+        self.wait_ready();
+        let now = Instant::now();
+        // A skipped job (no record) only ever has expired subscribers:
+        // the worker removes it from the dedup map under the scheduler
+        // lock before anyone else can join.
+        let expired = outcome.record.is_none() || sub.deadline.is_some_and(|d| now > d);
+        if expired {
+            self.expired.fetch_add(1, Ordering::SeqCst);
+            self.sink.send(&Reply::Deadline(DeadlineExceeded {
+                id: self.id,
+                index: sub.index,
+                label: outcome.label.clone(),
+            }));
+        } else {
+            self.delivered.fetch_add(1, Ordering::SeqCst);
+            self.sink.send(&Reply::Record(RecordDone {
+                id: self.id,
+                index: sub.index,
+                cached: outcome.cached,
+                deduped: sub.deduped,
+                record: outcome.record.as_ref().expect("checked above").clone(),
+            }));
+        }
+        let resolved = self.resolved.fetch_add(1, Ordering::SeqCst) + 1;
+        self.sink.send(&Reply::Progress(ProgressEvent {
+            id: self.id,
+            progress: Progress {
+                completed: resolved,
+                total: self.total,
+                label: outcome.label.clone(),
+                wall_ms: outcome.wall_ms,
+                cached: outcome.cached,
+            },
+        }));
+        if resolved == self.total {
+            self.sink.send(&Reply::BatchDone(BatchDone {
+                id: self.id,
+                delivered: self.delivered.load(Ordering::SeqCst) as u64,
+                expired: self.expired.load(Ordering::SeqCst) as u64,
+            }));
+        }
+        expired
+    }
+}
+
+/// One batch spec's subscription to a job.
+struct Subscriber {
+    batch: Arc<Batch>,
+    /// Spec index within the batch.
+    index: u64,
+    deadline: Option<Instant>,
+    /// Whether this subscription coalesced onto a pre-existing job.
+    deduped: bool,
+}
+
+/// Forwards one subscriber's share of a running job's telemetry as
+/// protocol frames ([`SampleEvent`]s).
+struct SubscriberRecorder {
+    sink: Arc<dyn ReplySink>,
+    id: u64,
+}
+
+impl Recorder for SubscriberRecorder {
+    fn sample(&self, run: &str, sample: &Sample) {
+        self.sink.send(&Reply::Sample(SampleEvent {
+            id: self.id,
+            run: run.to_string(),
+            sample: sample.clone(),
+        }));
+    }
+
+    fn latency(&self, _metric: LatencyMetric, _value: u64) {}
+
+    fn progress(&self, _event: &Progress) {}
+}
+
+/// One unique unit of simulation work and everyone waiting on it.
+struct Job {
+    spec: RunSpec,
+    no_cache: bool,
+    subscribers: Vec<Subscriber>,
+    /// Live telemetry router: subscribers requesting samples attach here,
+    /// including while the job is already running (they see the stream
+    /// from their attach point onward).
+    fanout: Arc<FanoutRecorder>,
+    /// Widest sampling cadence requested by any subscriber (0 = none).
+    /// Fixed once execution starts.
+    sample_interval: u64,
+}
+
+/// What resolving a job yields for its subscribers.
+struct JobOutcome {
+    record: Option<RunRecord>,
+    label: String,
+    cached: bool,
+    wall_ms: u64,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: VecDeque<String>,
+    jobs: HashMap<String, Job>,
+    running: usize,
+    paused: bool,
+    draining: bool,
+}
+
+/// The single-flight scheduler shared by every connection and worker.
+pub struct Scheduler {
+    config: ServeConfig,
+    state: Mutex<SchedState>,
+    work: Condvar,
+    idle: Condvar,
+    stats: ServeStats,
+}
+
+/// Outcome of admitting one submission.
+enum Admission {
+    Accepted(Accepted, Arc<Batch>),
+    Overloaded(Overloaded),
+    Draining,
+}
+
+impl Scheduler {
+    /// A scheduler with the given configuration (workers are spawned by
+    /// the server, not here).
+    pub fn new(config: ServeConfig) -> Scheduler {
+        let paused = config.start_paused;
+        Scheduler {
+            config,
+            state: Mutex::new(SchedState {
+                paused,
+                ..SchedState::default()
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The scheduler's monotonic counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Dedup key for one spec under this server's machine config: the run
+    /// cache key, partitioned by cache mode (a `no_cache` submission must
+    /// not coalesce onto — or be answered by — a cache-permitted job).
+    fn job_key(&self, spec: &RunSpec, no_cache: bool) -> String {
+        let base = RunStore::key(spec, &self.config.machine);
+        if no_cache {
+            format!("{base}!fresh")
+        } else {
+            base
+        }
+    }
+
+    /// Admits one submission atomically: either every spec is subscribed
+    /// (new job or single-flight coalesce) or — when the fresh jobs needed
+    /// would overflow the queue — nothing is and the whole batch is
+    /// rejected. Replies (`Accepted`/`Overloaded`/`Error`) are sent on
+    /// `sink`; the record stream follows asynchronously.
+    pub fn submit(&self, req: &Submit, sink: Arc<dyn ReplySink>) {
+        match self.admit(req, Arc::clone(&sink)) {
+            Admission::Accepted(a, batch) => {
+                sink.send(&Reply::Accepted(a));
+                // Only now may workers deliver this batch's record frames
+                // (they wait on the gate), keeping per-connection order.
+                batch.mark_ready();
+            }
+            Admission::Overloaded(o) => {
+                self.stats.overloaded.fetch_add(1, Ordering::SeqCst);
+                sink.send(&Reply::Overloaded(o));
+            }
+            Admission::Draining => sink.send(&Reply::Error(crate::protocol::ErrorReply {
+                id: req.id,
+                message: "server is draining; submission rejected".to_string(),
+            })),
+        }
+    }
+
+    fn admit(&self, req: &Submit, sink: Arc<dyn ReplySink>) -> Admission {
+        let deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut state = self.state.lock().expect("scheduler lock");
+        if state.draining {
+            return Admission::Draining;
+        }
+        // First pass: how many *fresh* jobs would this batch enqueue?
+        let mut fresh = 0usize;
+        let mut batch_keys: Vec<String> = Vec::with_capacity(req.specs.len());
+        for spec in &req.specs {
+            let key = self.job_key(spec, req.no_cache);
+            if !state.jobs.contains_key(&key) && !batch_keys.contains(&key) {
+                fresh += 1;
+            }
+            batch_keys.push(key);
+        }
+        if state.queue.len() + fresh > self.config.queue_capacity {
+            return Admission::Overloaded(Overloaded {
+                id: req.id,
+                queued: state.queue.len() as u64,
+                capacity: self.config.queue_capacity as u64,
+            });
+        }
+        // Second pass: subscribe every spec.
+        let batch = Arc::new(Batch::new(Arc::clone(&sink), req.id, req.specs.len()));
+        let mut enqueued = 0u64;
+        let mut deduped = 0u64;
+        for (index, (spec, key)) in req.specs.iter().zip(batch_keys).enumerate() {
+            let existed = state.jobs.contains_key(&key);
+            let job = state.jobs.entry(key.clone()).or_insert_with(|| Job {
+                spec: *spec,
+                no_cache: req.no_cache,
+                subscribers: Vec::new(),
+                fanout: Arc::new(FanoutRecorder::new()),
+                sample_interval: 0,
+            });
+            job.subscribers.push(Subscriber {
+                batch: Arc::clone(&batch),
+                index: index as u64,
+                deadline,
+                deduped: existed,
+            });
+            if req.sample_interval > 0 {
+                job.sample_interval = job.sample_interval.max(req.sample_interval);
+                job.fanout.attach(Arc::new(SubscriberRecorder {
+                    sink: Arc::clone(&sink),
+                    id: req.id,
+                }));
+            }
+            if existed {
+                deduped += 1;
+                self.stats.dedup_hits.fetch_add(1, Ordering::SeqCst);
+            } else {
+                enqueued += 1;
+                state.queue.push_back(key);
+            }
+        }
+        drop(state);
+        self.work.notify_all();
+        Admission::Accepted(
+            Accepted {
+                id: req.id,
+                total: req.specs.len() as u64,
+                enqueued,
+                deduped,
+            },
+            batch,
+        )
+    }
+
+    /// One worker thread's loop: pop, execute, deliver — until drained.
+    pub fn worker_loop(&self) {
+        loop {
+            let mut state = self.state.lock().expect("scheduler lock");
+            let key = loop {
+                if !state.paused {
+                    if let Some(key) = state.queue.pop_front() {
+                        break key;
+                    }
+                    if state.draining {
+                        return;
+                    }
+                }
+                state = self.work.wait(state).expect("scheduler lock");
+            };
+            // A job counts as `running` from pop until its replies are
+            // delivered, so `wait_drained` cannot return while the final
+            // frames of a drain are still being written.
+            state.running += 1;
+            let now = Instant::now();
+            let all_expired = state.jobs[&key]
+                .subscribers
+                .iter()
+                .all(|s| s.deadline.is_some_and(|d| now > d));
+            let outcome;
+            let job;
+            if all_expired {
+                // Every waiter has abandoned the job: shed it without
+                // executing (the other half of admission control). Remove
+                // it under the lock so nobody coalesces onto a job that
+                // will never produce a record.
+                job = state.jobs.remove(&key).expect("queued job exists");
+                drop(state);
+                outcome = JobOutcome {
+                    record: None,
+                    label: job.spec.label(),
+                    cached: false,
+                    wall_ms: 0,
+                };
+            } else {
+                // Snapshot what execution needs; the job stays in the map
+                // so single-flight covers running jobs too.
+                let queued = state.jobs.get(&key).expect("queued job exists");
+                let spec = queued.spec;
+                let no_cache = queued.no_cache;
+                let fanout = Arc::clone(&queued.fanout);
+                let sample_interval = queued.sample_interval;
+                drop(state);
+
+                let start = Instant::now();
+                let (record, cached) = self.execute(&spec, no_cache, &fanout, sample_interval);
+                if cached {
+                    self.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.stats.executions.fetch_add(1, Ordering::SeqCst);
+                }
+                outcome = JobOutcome {
+                    label: record.spec.label(),
+                    record: Some(record),
+                    cached,
+                    wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                };
+                job = self
+                    .state
+                    .lock()
+                    .expect("scheduler lock")
+                    .jobs
+                    .remove(&key)
+                    .expect("running job exists");
+            }
+            for sub in &job.subscribers {
+                if sub.batch.resolve(sub, &outcome) {
+                    self.stats.expired.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            self.stats.completed.fetch_add(1, Ordering::SeqCst);
+            let mut state = self.state.lock().expect("scheduler lock");
+            state.running -= 1;
+            let drained = state.queue.is_empty() && state.running == 0;
+            drop(state);
+            if drained {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Executes one job: cache-first through the harness, or fresh with a
+    /// write-back when the submission bypassed the cache.
+    fn execute(
+        &self,
+        spec: &RunSpec,
+        no_cache: bool,
+        fanout: &Arc<FanoutRecorder>,
+        sample_interval: u64,
+    ) -> (RunRecord, bool) {
+        let telemetry = (fanout.target_count() > 0 || sample_interval > 0).then(|| {
+            TelemetryHandle::new(Arc::clone(fanout) as Arc<dyn Recorder>, sample_interval)
+        });
+        if no_cache {
+            let record =
+                atscale::execute_run_with_telemetry(spec, &self.config.machine, telemetry.as_ref());
+            if let Some(store) = &self.config.store {
+                let _ = store.save(&RunStore::key(spec, &self.config.machine), &record);
+            }
+            return (record, false);
+        }
+        let mut harness = Harness::new().with_config(self.config.machine);
+        if let Some(store) = &self.config.store {
+            harness = harness.with_store(store.clone());
+        }
+        if let Some(handle) = telemetry {
+            harness = harness.with_telemetry(handle);
+        }
+        harness.run_detailed(spec)
+    }
+
+    /// Begins draining: new submissions are rejected, queued and running
+    /// jobs complete and deliver. Idempotent.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("scheduler lock");
+        state.draining = true;
+        // A paused scheduler must still finish its backlog to drain.
+        state.paused = false;
+        drop(state);
+        self.work.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no job is running. Call after
+    /// [`Scheduler::drain`] for graceful shutdown.
+    pub fn wait_drained(&self) {
+        let mut state = self.state.lock().expect("scheduler lock");
+        while !state.queue.is_empty() || state.running > 0 {
+            state = self.idle.wait(state).expect("scheduler lock");
+        }
+    }
+
+    /// Pauses workers after their current job (maintenance/test hook:
+    /// admission and dedup keep working, execution stalls).
+    pub fn pause(&self) {
+        self.state.lock().expect("scheduler lock").paused = true;
+    }
+
+    /// Resumes paused workers.
+    pub fn resume(&self) {
+        let mut state = self.state.lock().expect("scheduler lock");
+        state.paused = false;
+        drop(state);
+        self.work.notify_all();
+    }
+
+    /// The run cache, if this server has one.
+    pub fn store(&self) -> Option<&RunStore> {
+        self.config.store.as_ref()
+    }
+
+    /// Worker-thread count the server should spawn.
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// Counter snapshot for the `server_stats` reply.
+    pub fn stats_reply(&self) -> ServerStatsReply {
+        let state = self.state.lock().expect("scheduler lock");
+        ServerStatsReply {
+            executions: self.stats.executions.load(Ordering::SeqCst),
+            cache_hits: self.stats.cache_hits.load(Ordering::SeqCst),
+            dedup_hits: self.stats.dedup_hits.load(Ordering::SeqCst),
+            overloaded: self.stats.overloaded.load(Ordering::SeqCst),
+            expired: self.stats.expired.load(Ordering::SeqCst),
+            queued: state.queue.len() as u64,
+            running: state.running as u64,
+            completed: self.stats.completed.load(Ordering::SeqCst),
+            draining: state.draining,
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("scheduler lock");
+        f.debug_struct("Scheduler")
+            .field("queued", &state.queue.len())
+            .field("running", &state.running)
+            .field("draining", &state.draining)
+            .finish_non_exhaustive()
+    }
+}

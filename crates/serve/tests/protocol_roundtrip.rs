@@ -1,0 +1,213 @@
+//! Every protocol frame variant must survive encode → decode unchanged.
+//!
+//! The `protocol-roundtrip` audit rule statically requires every
+//! `Request::*` and `Reply::*` variant to appear in this file: adding a
+//! frame without a round-trip test fails `atscale-audit`.
+
+use atscale::{RunSpec, StoreStats};
+use atscale_mmu::MachineConfig;
+use atscale_serve::protocol::{
+    decode, encode, Accepted, BatchDone, DeadlineExceeded, ErrorReply, Hello, Overloaded,
+    ProgressEvent, RecordDone, Reply, Request, SampleEvent, ServerStatsReply, Submit, Welcome,
+    PROTOCOL_VERSION,
+};
+use atscale_telemetry::{Progress, Sample};
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        workload: WorkloadId::parse("cc-urand").unwrap(),
+        nominal_footprint: 16 << 20,
+        page_size: PageSize::Size4K,
+        seed: 7,
+        warmup_instr: 1_000,
+        budget_instr: 20_000,
+    }
+}
+
+/// Round-trips a frame whose payload implements `PartialEq`.
+fn roundtrip_eq<T>(frame: &T)
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let line = encode(frame);
+    assert!(!line.contains('\n'), "frames are single lines: {line}");
+    let back: T = decode(&line).expect("decodes");
+    assert_eq!(&back, frame, "{line}");
+}
+
+/// Round-trips a frame without `PartialEq` (carries a `RunRecord`) by
+/// comparing re-encoded bytes.
+fn roundtrip_bytes<T>(frame: &T)
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let line = encode(frame);
+    let back: T = decode(&line).expect("decodes");
+    assert_eq!(encode(&back), line);
+}
+
+#[test]
+fn request_hello_roundtrips() {
+    roundtrip_eq(&Request::Hello(Hello {
+        protocol: PROTOCOL_VERSION,
+    }));
+}
+
+#[test]
+fn request_submit_roundtrips() {
+    roundtrip_eq(&Request::Submit(Submit {
+        id: 3,
+        specs: vec![spec()],
+        deadline_ms: Some(1500),
+        no_cache: true,
+        sample_interval: 100_000,
+    }));
+    // `Option` must round-trip in its `None` shape too.
+    roundtrip_eq(&Request::Submit(Submit {
+        id: 4,
+        specs: Vec::new(),
+        deadline_ms: None,
+        no_cache: false,
+        sample_interval: 0,
+    }));
+}
+
+#[test]
+fn request_cache_stats_roundtrips() {
+    roundtrip_eq(&Request::CacheStats);
+}
+
+#[test]
+fn request_server_stats_roundtrips() {
+    roundtrip_eq(&Request::ServerStats);
+}
+
+#[test]
+fn request_shutdown_roundtrips() {
+    roundtrip_eq(&Request::Shutdown);
+}
+
+#[test]
+fn reply_welcome_roundtrips() {
+    roundtrip_bytes(&Reply::Welcome(Welcome {
+        protocol: PROTOCOL_VERSION,
+        server: "atscale-serve/test".to_string(),
+        workers: 4,
+    }));
+}
+
+#[test]
+fn reply_accepted_roundtrips() {
+    roundtrip_bytes(&Reply::Accepted(Accepted {
+        id: 9,
+        total: 12,
+        enqueued: 5,
+        deduped: 7,
+    }));
+}
+
+#[test]
+fn reply_overloaded_roundtrips() {
+    roundtrip_bytes(&Reply::Overloaded(Overloaded {
+        id: 9,
+        queued: 256,
+        capacity: 256,
+    }));
+}
+
+#[test]
+fn reply_record_roundtrips() {
+    let record = atscale::execute_run(&spec(), &MachineConfig::haswell());
+    roundtrip_bytes(&Reply::Record(RecordDone {
+        id: 2,
+        index: 1,
+        cached: true,
+        deduped: false,
+        record,
+    }));
+}
+
+#[test]
+fn reply_deadline_roundtrips() {
+    roundtrip_bytes(&Reply::Deadline(DeadlineExceeded {
+        id: 2,
+        index: 4,
+        label: "cc-urand 16MB 4K".to_string(),
+    }));
+}
+
+#[test]
+fn reply_batch_done_roundtrips() {
+    roundtrip_bytes(&Reply::BatchDone(BatchDone {
+        id: 2,
+        delivered: 10,
+        expired: 2,
+    }));
+}
+
+#[test]
+fn reply_progress_roundtrips() {
+    roundtrip_bytes(&Reply::Progress(ProgressEvent {
+        id: 6,
+        progress: Progress {
+            completed: 3,
+            total: 9,
+            label: "bfs-urand 64MB 2M".to_string(),
+            wall_ms: 41,
+            cached: false,
+        },
+    }));
+}
+
+#[test]
+fn reply_sample_roundtrips() {
+    roundtrip_bytes(&Reply::Sample(SampleEvent {
+        id: 6,
+        run: "cc-urand 16MB 4K".to_string(),
+        sample: Sample {
+            instr: 50_000,
+            cycles: 220_000,
+            counters: vec![("inst_retired.any".to_string(), 50_000)],
+            rates: vec![("wcpi".to_string(), 0.125)],
+        },
+    }));
+}
+
+#[test]
+fn reply_cache_stats_roundtrips() {
+    roundtrip_bytes(&Reply::CacheStats(StoreStats {
+        entries: 11,
+        bytes: 48_123,
+        tmp_files: 0,
+    }));
+}
+
+#[test]
+fn reply_server_stats_roundtrips() {
+    roundtrip_bytes(&Reply::ServerStats(ServerStatsReply {
+        executions: 100,
+        cache_hits: 40,
+        dedup_hits: 63,
+        overloaded: 2,
+        expired: 1,
+        queued: 5,
+        running: 4,
+        completed: 140,
+        draining: true,
+    }));
+}
+
+#[test]
+fn reply_error_roundtrips() {
+    roundtrip_bytes(&Reply::Error(ErrorReply {
+        id: 0,
+        message: "bad frame".to_string(),
+    }));
+}
+
+#[test]
+fn reply_shutting_down_roundtrips() {
+    roundtrip_bytes(&Reply::ShuttingDown);
+}

@@ -1,0 +1,261 @@
+//! End-to-end daemon tests over real sockets: fig1-sweep parity with the
+//! in-process harness, explicit overload replies, deadline expiry, cache
+//! stats over the wire, and drain-on-shutdown.
+
+use atscale::{Harness, RunSpec, RunStore, SweepConfig};
+use atscale_mmu::MachineConfig;
+use atscale_serve::{Client, ClientError, ServeConfig, Server, SubmitOptions};
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use std::time::Duration;
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, RunStore) {
+    let dir = std::env::temp_dir().join(format!("atscale-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), RunStore::open(dir).unwrap())
+}
+
+fn start_server(config: ServeConfig) -> (Server, String) {
+    let server = Server::start(config, Some("127.0.0.1:0"), None).expect("bind");
+    let addr = server.tcp_addr().expect("tcp endpoint").to_string();
+    (server, addr)
+}
+
+fn tiny_spec(seed: u64) -> RunSpec {
+    RunSpec {
+        workload: WorkloadId::parse("cc-urand").unwrap(),
+        nominal_footprint: 16 << 20,
+        page_size: PageSize::Size4K,
+        seed,
+        warmup_instr: 1_000,
+        budget_instr: 20_000,
+    }
+}
+
+/// The fig1 sweep submitted through the daemon must reproduce the direct
+/// in-process harness bit for bit.
+#[test]
+fn fig1_sweep_through_the_daemon_matches_the_harness_bit_for_bit() {
+    let (dir, store) = temp_store("parity");
+    let (server, addr) = start_server(ServeConfig {
+        store: Some(store),
+        workers: 4,
+        ..ServeConfig::default()
+    });
+
+    // The fig1 spec set (one workload, test profile): every footprint at
+    // all three page sizes, exactly as `Harness::sweep_many` builds it.
+    let sweep = SweepConfig::test();
+    let workload = WorkloadId::parse("cc-urand").unwrap();
+    let mut specs = Vec::new();
+    for fp in sweep.footprints() {
+        let base = sweep.spec(workload, fp);
+        specs.push(base);
+        specs.push(base.with_page_size(PageSize::Size2M));
+        specs.push(base.with_page_size(PageSize::Size1G));
+    }
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.hello().expect("handshake");
+    let served = client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("served sweep");
+
+    let direct = Harness::new()
+        .with_config(MachineConfig::haswell())
+        .run_many(&specs);
+
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(
+            serde_json::to_vec(s).unwrap(),
+            serde_json::to_vec(d).unwrap(),
+            "daemon record diverges from direct harness for {}",
+            d.spec.label()
+        );
+    }
+
+    // Satellite: cache occupancy over the wire reflects the sweep.
+    let stats = client.cache_stats().expect("cache stats");
+    assert_eq!(stats.entries, specs.len() as u64);
+    assert_eq!(stats.tmp_files, 0);
+    assert!(stats.bytes > 0);
+
+    // Second submission is answered from the cache: no new executions.
+    let before = client.server_stats().expect("stats").executions;
+    let again = client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("cached sweep");
+    let after = client.server_stats().expect("stats");
+    assert_eq!(after.executions, before, "cache-first: no re-execution");
+    assert_eq!(after.cache_hits, specs.len() as u64);
+    for (s, d) in again.iter().zip(&direct) {
+        assert_eq!(
+            serde_json::to_vec(s).unwrap(),
+            serde_json::to_vec(d).unwrap()
+        );
+    }
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A full queue rejects the whole batch with a structured reply — never a
+/// hang, never a silent drop — and the server stays usable.
+#[test]
+fn full_queue_rejects_with_explicit_overloaded_reply() {
+    let (server, addr) = start_server(ServeConfig {
+        store: None,
+        workers: 1,
+        queue_capacity: 1,
+        start_paused: true,
+        ..ServeConfig::default()
+    });
+    let scheduler = server.handle().scheduler().clone();
+
+    // Fill the queue: one spec sits queued behind paused workers.
+    let blocked = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.run_many(&[tiny_spec(1)], SubmitOptions::default())
+        }
+    });
+    while scheduler.stats_reply().queued == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A two-spec batch cannot fit: rejected atomically, nothing enqueued.
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .run_many(&[tiny_spec(2), tiny_spec(3)], SubmitOptions::default())
+        .expect_err("queue is full");
+    match err {
+        ClientError::Overloaded(o) => {
+            assert_eq!(o.queued, 1);
+            assert_eq!(o.capacity, 1);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    let stats = scheduler.stats_reply();
+    assert_eq!(stats.queued, 1, "rejected batch enqueued nothing");
+    assert_eq!(stats.overloaded, 1);
+
+    // An identical spec still coalesces — dedup consumes no capacity.
+    let coalesced = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.run_many(&[tiny_spec(1)], SubmitOptions::default())
+        }
+    });
+    while scheduler.stats_reply().dedup_hits == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    scheduler.resume();
+    let first = blocked.join().unwrap().expect("blocked batch completes");
+    let second = coalesced
+        .join()
+        .unwrap()
+        .expect("coalesced batch completes");
+    assert_eq!(
+        serde_json::to_vec(&first[0]).unwrap(),
+        serde_json::to_vec(&second[0]).unwrap()
+    );
+    assert_eq!(scheduler.stats().executions(), 1);
+
+    server.shutdown_and_join();
+}
+
+/// Specs resolving past their deadline yield `Deadline` frames (surfaced
+/// as `ClientError::Expired`), and the expiry is counted.
+#[test]
+fn missed_deadlines_yield_deadline_frames() {
+    let (server, addr) = start_server(ServeConfig {
+        store: None,
+        workers: 1,
+        start_paused: true,
+        ..ServeConfig::default()
+    });
+    let scheduler = server.handle().scheduler().clone();
+
+    let submitted = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.run_many(
+                &[tiny_spec(10), tiny_spec(11)],
+                SubmitOptions {
+                    deadline_ms: Some(0),
+                    ..SubmitOptions::default()
+                },
+            )
+        }
+    });
+    while scheduler.stats_reply().queued < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The deadline (admission + 0 ms) has passed before workers resume.
+    std::thread::sleep(Duration::from_millis(10));
+    scheduler.resume();
+
+    match submitted.join().unwrap() {
+        Err(ClientError::Expired(indices)) => assert_eq!(indices, vec![0, 1]),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert_eq!(scheduler.stats_reply().expired, 2);
+    assert_eq!(
+        scheduler.stats().executions(),
+        0,
+        "fully-abandoned jobs are shed without executing"
+    );
+
+    server.shutdown_and_join();
+}
+
+/// Graceful shutdown drains: batches admitted before the shutdown frame
+/// still deliver every record, then the server exits.
+#[test]
+fn shutdown_drains_admitted_work_before_exiting() {
+    let (server, addr) = start_server(ServeConfig {
+        store: None,
+        workers: 2,
+        start_paused: true,
+        ..ServeConfig::default()
+    });
+    let scheduler = server.handle().scheduler().clone();
+
+    let pending = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.run_many(
+                &[tiny_spec(20), tiny_spec(21), tiny_spec(22)],
+                SubmitOptions::default(),
+            )
+        }
+    });
+    while scheduler.stats_reply().queued < 3 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shutdown while the whole batch is still queued; drain un-pauses.
+    let mut control = Client::connect(&addr).expect("connect");
+    control.shutdown().expect("acknowledged");
+
+    let records = pending.join().unwrap().expect("admitted batch drains");
+    assert_eq!(records.len(), 3);
+
+    // New submissions after the drain began are rejected explicitly.
+    let mut late = Client::connect(&addr).ok();
+    if let Some(late) = late.as_mut() {
+        match late.run_many(&[tiny_spec(23)], SubmitOptions::default()) {
+            Err(ClientError::Server(msg)) => assert!(msg.contains("draining"), "{msg}"),
+            Err(ClientError::Io(_) | ClientError::Protocol(_)) => {} // listener already gone
+            other => panic!("expected draining rejection, got {other:?}"),
+        }
+    }
+
+    server.join();
+}

@@ -1,0 +1,133 @@
+//! A [`Recorder`] that broadcasts every event to a dynamic set of targets.
+//!
+//! The serving daemon routes one job's telemetry to every connection
+//! subscribed to it — and single-flight deduplication means subscribers
+//! can join *while the job is already running*, so the target list must be
+//! mutable behind the shared recorder. [`FanoutRecorder`] is that router:
+//! instrumentation sites hold it as one `Arc<dyn Recorder>`, and targets
+//! are attached/detached concurrently.
+
+use crate::{LatencyMetric, Progress, Recorder, Sample};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Broadcasts every [`Recorder`] event to all currently attached targets.
+///
+/// Events observed before a target attaches are *not* replayed — a late
+/// subscriber sees the stream from its attach point onward (the serving
+/// layer documents this as the late-subscriber rule).
+#[derive(Default)]
+pub struct FanoutRecorder {
+    targets: Mutex<Vec<Arc<dyn Recorder>>>,
+}
+
+impl std::fmt::Debug for FanoutRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutRecorder")
+            .field("targets", &self.targets.lock().len())
+            .finish()
+    }
+}
+
+impl FanoutRecorder {
+    /// An empty fan-out (events are dropped until a target attaches).
+    pub fn new() -> FanoutRecorder {
+        FanoutRecorder::default()
+    }
+
+    /// Attaches a target; it receives every event from this point on.
+    pub fn attach(&self, target: Arc<dyn Recorder>) {
+        self.targets.lock().push(target);
+    }
+
+    /// Number of currently attached targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.lock().len()
+    }
+
+    /// Snapshot of the current targets, so dispatch happens outside the
+    /// list lock (a slow target must not block attachment).
+    fn snapshot(&self) -> Vec<Arc<dyn Recorder>> {
+        self.targets.lock().clone()
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn sample(&self, run: &str, sample: &Sample) {
+        for t in self.snapshot() {
+            t.sample(run, sample);
+        }
+    }
+
+    fn latency(&self, metric: LatencyMetric, value: u64) {
+        for t in self.snapshot() {
+            t.latency(metric, value);
+        }
+    }
+
+    fn progress(&self, event: &Progress) {
+        for t in self.snapshot() {
+            t.progress(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    fn sample() -> Sample {
+        Sample {
+            instr: 10,
+            cycles: 25,
+            counters: vec![("inst_retired.any".into(), 10)],
+            rates: vec![("wcpi".into(), 1.5)],
+        }
+    }
+
+    #[test]
+    fn events_reach_every_attached_target() {
+        let fanout = FanoutRecorder::new();
+        let a = Arc::new(TelemetrySink::new());
+        let b = Arc::new(TelemetrySink::new());
+        fanout.sample("early", &sample()); // no targets: dropped
+        fanout.attach(a.clone());
+        fanout.sample("mid", &sample());
+        fanout.attach(b.clone());
+        fanout.latency(LatencyMetric::WalkCycles, 40);
+        fanout.progress(&Progress {
+            completed: 1,
+            total: 1,
+            label: "r".into(),
+            wall_ms: 2,
+            cached: false,
+        });
+        assert_eq!(fanout.target_count(), 2);
+        assert_eq!(a.sample_count(), 1, "early event dropped, mid delivered");
+        assert_eq!(b.sample_count(), 0, "late subscriber misses prior events");
+        assert_eq!(a.histogram(LatencyMetric::WalkCycles).count(), 1);
+        assert_eq!(b.histogram(LatencyMetric::WalkCycles).count(), 1);
+        assert_eq!(a.progress_count(), 1);
+        assert_eq!(b.progress_count(), 1);
+    }
+
+    #[test]
+    fn attach_during_dispatch_is_safe() {
+        let fanout = Arc::new(FanoutRecorder::new());
+        let sink = Arc::new(TelemetrySink::new());
+        std::thread::scope(|scope| {
+            let f = Arc::clone(&fanout);
+            let s = Arc::clone(&sink);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    f.attach(s.clone());
+                }
+            });
+            for _ in 0..100 {
+                fanout.sample("r", &sample());
+            }
+        });
+        assert_eq!(fanout.target_count(), 100);
+    }
+}
