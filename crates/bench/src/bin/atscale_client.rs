@@ -141,6 +141,15 @@ fn run_sweep(client: &mut Client, opts: &Options) -> Result<(), String> {
         specs.len(),
         opts.connect
     );
+    if let Some(capacity) = client.server_capacity() {
+        if specs.len() as u64 > capacity {
+            eprintln!(
+                "[atscale-client] {} specs exceed the server's admission \
+                 capacity of {capacity}; submitting in chunks",
+                specs.len()
+            );
+        }
+    }
     let sink = match &opts.jsonl {
         Some(path) => Some(
             TelemetrySink::new()
@@ -155,8 +164,11 @@ fn run_sweep(client: &mut Client, opts: &Options) -> Result<(), String> {
         sample_interval: opts.sample_interval,
     };
     let progress = opts.progress;
+    // Chunked so sweeps larger than the admission queue (the default
+    // 13-workload sweep is hundreds of specs) are split and retried
+    // instead of rejected Overloaded outright.
     let records = client
-        .run_many_with(&specs, submit, |reply| match reply {
+        .run_chunked_with(&specs, submit, |reply| match reply {
             Reply::Sample(s) => {
                 if let Some(sink) = &sink {
                     sink.sample(&s.run, &s.sample);

@@ -57,11 +57,16 @@ fn main() {
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("target dir").to_path_buf();
 
-    // Phase 1: warm the shared run cache through the daemon.
+    // Phase 1: warm the shared run cache through the daemon. Size its
+    // admission queue to the sweep so the whole batch fits (admission is
+    // whole-batch-atomic; an undersized queue would reject it Overloaded).
+    let specs = sweep_specs(&opts.sweep);
     let socket = std::env::temp_dir().join(format!("atscale-make-all-{}.sock", std::process::id()));
     let mut daemon = Command::new(bin_dir.join("atscale-serve"))
         .arg("--socket")
         .arg(&socket)
+        .arg("--queue")
+        .arg(specs.len().to_string())
         .spawn()
         .expect("launch atscale-serve");
     let target = format!("unix:{}", socket.display());
@@ -73,9 +78,10 @@ fn main() {
     };
     let welcome = client.hello().expect("handshake");
     println!("warming cache via {} ({})", welcome.server, target);
-    let specs = sweep_specs(&opts.sweep);
+    // Chunked submission: belt and braces on top of the sized queue, and
+    // it retries politely if the daemon is busy.
     let records = client
-        .run_many(&specs, SubmitOptions::default())
+        .run_chunked(&specs, SubmitOptions::default())
         .expect("sweep batch");
     println!("daemon resolved {} specs", records.len());
     client.shutdown().expect("graceful shutdown");

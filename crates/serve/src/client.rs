@@ -14,6 +14,17 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+/// Chunk size for [`Client::run_chunked`] when the server's capacity is
+/// unknown (handshake skipped).
+const FALLBACK_CHUNK: usize = 128;
+/// First backoff after an `Overloaded` rejection; doubles per retry.
+const BACKOFF_START: Duration = Duration::from_millis(50);
+/// Backoff ceiling between `Overloaded` retries.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Consecutive `Overloaded` rejections of one chunk before giving up.
+const MAX_OVERLOAD_RETRIES: u32 = 64;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -70,12 +81,17 @@ pub struct Client {
     reader: BufReader<Box<dyn Read + Send>>,
     writer: Box<dyn Write + Send>,
     next_id: u64,
+    /// The server's admission-queue capacity, learned from the `Welcome`
+    /// handshake (0 until [`Client::hello`] has run). Sizes
+    /// [`Client::run_chunked`] batches.
+    server_capacity: u64,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("next_id", &self.next_id)
+            .field("server_capacity", &self.server_capacity)
             .finish_non_exhaustive()
     }
 }
@@ -135,6 +151,7 @@ impl Client {
             reader: BufReader::new(read),
             writer: write,
             next_id: 1,
+            server_capacity: 0,
         }
     }
 
@@ -171,12 +188,21 @@ impl Client {
             protocol: PROTOCOL_VERSION,
         }))?;
         match self.read_reply()? {
-            Reply::Welcome(w) => Ok(w),
+            Reply::Welcome(w) => {
+                self.server_capacity = w.queue_capacity;
+                Ok(w)
+            }
             Reply::Error(e) => Err(ClientError::Server(e.message)),
             other => Err(ClientError::Protocol(format!(
                 "expected Welcome, got {other:?}"
             ))),
         }
+    }
+
+    /// The server's advertised admission-queue capacity (`None` before
+    /// [`Client::hello`]).
+    pub fn server_capacity(&self) -> Option<u64> {
+        (self.server_capacity > 0).then_some(self.server_capacity)
     }
 
     /// Submits a batch and blocks until every spec resolves, returning
@@ -253,6 +279,84 @@ impl Client {
                 s.ok_or_else(|| ClientError::Protocol("batch done with missing record".to_string()))
             })
             .collect()
+    }
+
+    /// [`Client::run_many`] for batches of any size: splits `specs` into
+    /// chunks the server's admission queue can hold (sized from the
+    /// `Welcome` handshake) and backs off and retries a chunk when the
+    /// server answers `Overloaded`, per that reply's contract. Records
+    /// come back in spec order, exactly as `run_many`.
+    ///
+    /// Call [`Client::hello`] first so the chunk size matches the server;
+    /// without it a conservative fallback is used. A `deadline_ms` applies
+    /// per chunk, from that chunk's admission.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_many`], except `Overloaded` is only surfaced after
+    /// the retry budget is exhausted (the server stayed full for minutes).
+    pub fn run_chunked(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        self.run_chunked_with(specs, opts, |_| {})
+    }
+
+    /// [`Client::run_chunked`] with a frame observer, as
+    /// [`Client::run_many_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_chunked`].
+    pub fn run_chunked_with(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+        mut on_event: impl FnMut(&Reply),
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        let chunk = self.chunk_size();
+        let mut records = Vec::with_capacity(specs.len());
+        let mut offset = 0u64;
+        for chunk_specs in specs.chunks(chunk) {
+            let mut backoff = BACKOFF_START;
+            let mut rejections = 0u32;
+            loop {
+                match self.run_many_with(chunk_specs, opts, &mut on_event) {
+                    Ok(mut chunk_records) => {
+                        records.append(&mut chunk_records);
+                        break;
+                    }
+                    Err(ClientError::Overloaded(o)) => {
+                        rejections += 1;
+                        if rejections >= MAX_OVERLOAD_RETRIES {
+                            return Err(ClientError::Overloaded(o));
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_MAX);
+                    }
+                    // Rebase chunk-local spec indices onto the full batch.
+                    Err(ClientError::Expired(indices)) => {
+                        return Err(ClientError::Expired(
+                            indices.into_iter().map(|i| i + offset).collect(),
+                        ));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            offset += chunk_specs.len() as u64;
+        }
+        Ok(records)
+    }
+
+    /// How many specs [`Client::run_chunked`] submits per batch: half the
+    /// advertised queue capacity, leaving admission headroom for jobs
+    /// already queued and for other clients.
+    fn chunk_size(&self) -> usize {
+        match usize::try_from(self.server_capacity) {
+            Ok(0) | Err(_) => FALLBACK_CHUNK,
+            Ok(capacity) => (capacity / 2).max(1),
+        }
     }
 
     /// Fetches the server's run-cache occupancy.

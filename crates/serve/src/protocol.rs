@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// Protocol revision carried in the hello/welcome handshake. Bump on any
 /// frame-shape change.
-pub const PROTOCOL_VERSION: u64 = 1;
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +74,11 @@ pub struct Welcome {
     pub server: String,
     /// Number of worker threads executing runs.
     pub workers: u64,
+    /// Admission-queue capacity in unique jobs. Batches whose fresh-job
+    /// count would overflow it are rejected `Overloaded`, so clients
+    /// submitting more specs than this must chunk
+    /// ([`crate::Client::run_chunked`] does).
+    pub queue_capacity: u64,
 }
 
 /// A submission passed admission control.

@@ -57,7 +57,10 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism()
                 .map_or(2, std::num::NonZero::get)
                 .min(4),
-            queue_capacity: 256,
+            // Sized above the largest one-shot batch a stock client sends:
+            // the full fig1 sweep is 13 workloads x 9 footprints x 3 page
+            // sizes = 351 unique jobs.
+            queue_capacity: 1024,
             start_paused: false,
         }
     }
@@ -209,12 +212,16 @@ struct Job {
     spec: RunSpec,
     no_cache: bool,
     subscribers: Vec<Subscriber>,
-    /// Live telemetry router: subscribers requesting samples attach here,
-    /// including while the job is already running (they see the stream
-    /// from their attach point onward).
+    /// Live telemetry router: subscribers requesting samples attach here.
+    /// Attaching while the job is still queued takes full effect; attaching
+    /// after execution started only yields samples if the job began with
+    /// sampling enabled (the worker decides once, at start, whether to
+    /// build a telemetry handle — a late attach to a no-telemetry job sees
+    /// nothing, it cannot retroactively enable sampling).
     fanout: Arc<FanoutRecorder>,
     /// Widest sampling cadence requested by any subscriber (0 = none).
-    /// Fixed once execution starts.
+    /// Snapshotted when a worker pops the job; updates after that point
+    /// (late coalescers) are ignored for the already-running execution.
     sample_interval: u64,
 }
 
@@ -539,6 +546,12 @@ impl Scheduler {
     /// Worker-thread count the server should spawn.
     pub fn workers(&self) -> usize {
         self.config.workers.max(1)
+    }
+
+    /// Admission-queue capacity, advertised to clients in the handshake so
+    /// they can chunk oversized batches instead of getting `Overloaded`.
+    pub fn queue_capacity(&self) -> usize {
+        self.config.queue_capacity
     }
 
     /// Counter snapshot for the `server_stats` reply.

@@ -26,12 +26,20 @@ use std::time::Duration;
 /// How often idle listeners poll the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// Per-frame socket write timeout. Workers deliver replies while holding
+/// the connection's writer mutex, so a stalled client (full TCP buffer
+/// that never errors) would otherwise block a scheduler worker — and,
+/// transitively, drain/shutdown — forever. A write that cannot complete
+/// within this bound marks the connection dead instead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// One connection's write half: serializes frames from the reader thread
 /// and every scheduler worker onto the socket.
 struct ConnWriter {
     stream: Mutex<Box<dyn Write + Send>>,
-    /// Set on the first write error; later frames are dropped silently
-    /// (the client is gone — its subscriptions just evaporate).
+    /// Set on the first write error — including a [`WRITE_TIMEOUT`] expiry
+    /// on a stalled socket; later frames are dropped silently (the client
+    /// is gone — its subscriptions just evaporate).
     dead: AtomicBool,
 }
 
@@ -135,8 +143,19 @@ impl Server {
         let mut unix_path = None;
         #[cfg(unix)]
         if let Some(path) = unix {
-            // A previous daemon's socket file would make bind fail.
-            let _ = std::fs::remove_file(path);
+            // A stale socket file from a crashed daemon would make bind
+            // fail — but only unlink it after probing that nothing is
+            // listening, so starting a second daemon on a live endpoint
+            // fails loudly instead of silently stealing it.
+            if path.exists() {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("a live daemon already serves {}", path.display()),
+                    ));
+                }
+                let _ = std::fs::remove_file(path);
+            }
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             unix_path = Some(path.to_path_buf());
@@ -214,6 +233,8 @@ fn spawn_tcp_conn(stream: TcpStream, handle: ServerHandle) {
     let _ = stream.set_nonblocking(false);
     // Reply streams are many small frames; never batch them behind Nagle.
     let _ = stream.set_nodelay(true);
+    // A stalled reader must not block workers (see WRITE_TIMEOUT).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -245,6 +266,8 @@ fn accept_unix(listener: &UnixListener, handle: &ServerHandle) {
 #[cfg(unix)]
 fn spawn_unix_conn(stream: UnixStream, handle: ServerHandle) {
     let _ = stream.set_nonblocking(false);
+    // A stalled reader must not block workers (see WRITE_TIMEOUT).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -294,6 +317,7 @@ fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHa
                     protocol: PROTOCOL_VERSION,
                     server: format!("atscale-serve/{}", env!("CARGO_PKG_VERSION")),
                     workers: handle.scheduler.workers() as u64,
+                    queue_capacity: handle.scheduler.queue_capacity() as u64,
                 }));
             } else {
                 writer.send(&Reply::Error(ErrorReply {

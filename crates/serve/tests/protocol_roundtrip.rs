@@ -95,6 +95,7 @@ fn reply_welcome_roundtrips() {
         protocol: PROTOCOL_VERSION,
         server: "atscale-serve/test".to_string(),
         workers: 4,
+        queue_capacity: 1024,
     }));
 }
 

@@ -168,6 +168,92 @@ fn full_queue_rejects_with_explicit_overloaded_reply() {
     server.shutdown_and_join();
 }
 
+/// A batch larger than the whole admission queue can never be admitted in
+/// one piece — `run_chunked` must split it (sized from the advertised
+/// capacity in `Welcome`) and still return every record in spec order.
+#[test]
+fn run_chunked_resolves_batches_larger_than_the_queue() {
+    let (server, addr) = start_server(ServeConfig {
+        store: None,
+        workers: 2,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    });
+    let scheduler = server.handle().scheduler().clone();
+
+    let specs: Vec<RunSpec> = (0..10u64).map(tiny_spec).collect();
+    let mut client = Client::connect(&addr).expect("connect");
+    let welcome = client.hello().expect("handshake");
+    assert_eq!(welcome.queue_capacity, 4);
+
+    // One batch is impossible by construction…
+    let err = client
+        .run_many(&specs, SubmitOptions::default())
+        .expect_err("10 fresh jobs cannot fit a 4-slot queue");
+    assert!(matches!(err, ClientError::Overloaded(_)), "{err}");
+
+    // …but the chunked path resolves all of it, in order.
+    let records = client
+        .run_chunked(&specs, SubmitOptions::default())
+        .expect("chunked batch resolves");
+    assert_eq!(records.len(), specs.len());
+    for (record, spec) in records.iter().zip(&specs) {
+        assert_eq!(record.spec.seed, spec.seed, "records are in spec order");
+    }
+    assert_eq!(scheduler.stats().executions(), specs.len() as u64);
+
+    server.shutdown_and_join();
+}
+
+/// Binding a Unix socket a live daemon is serving must fail loudly
+/// instead of silently stealing the endpoint; a genuinely stale socket
+/// file is reclaimed.
+#[cfg(unix)]
+#[test]
+fn unix_bind_refuses_a_live_daemon_and_reclaims_a_stale_socket() {
+    let path = std::env::temp_dir().join(format!("atscale-e2e-steal-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let first = Server::start(
+        ServeConfig {
+            store: None,
+            ..ServeConfig::default()
+        },
+        None,
+        Some(&path),
+    )
+    .expect("first daemon binds");
+
+    let stolen = Server::start(
+        ServeConfig {
+            store: None,
+            ..ServeConfig::default()
+        },
+        None,
+        Some(&path),
+    );
+    match stolen {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "{e}"),
+        Ok(_) => panic!("second daemon stole a live socket"),
+    }
+    first.shutdown_and_join();
+
+    // Shutdown unlinked the socket; simulate a crash leaving a stale file
+    // behind and check the next daemon reclaims it.
+    std::fs::write(&path, b"").expect("plant stale file");
+    let reclaimed = Server::start(
+        ServeConfig {
+            store: None,
+            ..ServeConfig::default()
+        },
+        None,
+        Some(&path),
+    )
+    .expect("stale socket file is reclaimed");
+    reclaimed.shutdown_and_join();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Specs resolving past their deadline yield `Deadline` frames (surfaced
 /// as `ClientError::Expired`), and the expiry is counted.
 #[test]
