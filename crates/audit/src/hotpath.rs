@@ -1,0 +1,283 @@
+//! Rule 6 — hot-path allocation freedom.
+//!
+//! The PR-4 throughput work rests on the per-access pipeline never touching
+//! the allocator: one `format!` in a TLB lookup or a `Vec::new` per walk
+//! melts the instr/s the perf gate defends. rustc cannot express "this
+//! module is allocation-free", so this rule scans the hot-path modules —
+//! the MMU engine, the TLB arrays, the page-table walker, and the
+//! set-associative cache array — for allocating or formatting calls.
+//!
+//! Three regions are exempt, each for a stated reason:
+//!
+//! * **panic/assert macro arguments** — a failed invariant is an error path
+//!   that never executes on a healthy run; its message may format freely;
+//! * **`#[cold]` functions** — the attribute is the author's explicit
+//!   declaration that the function is off the hot path, and it makes the
+//!   claim visible to both the optimiser and this audit;
+//! * **constructors (`fn new`)** — arrays are allocated once per run at
+//!   machine build time; the audited property is per-*access* allocation
+//!   freedom, not zero allocation ever.
+//!
+//! Everything else that matches a forbidden pattern fails the audit.
+
+use crate::source::{matching_brace, matching_paren, non_test_region};
+use crate::{Audit, Workspace};
+
+const RULE: &str = "hot-path-allocation";
+
+/// Modules on the per-access path. A missing file fails the audit so a
+/// rename cannot silently drop coverage.
+const HOT_MODULES: [&str; 4] = [
+    "crates/mmu/src/engine.rs",
+    "crates/mmu/src/tlb.rs",
+    "crates/mmu/src/walker.rs",
+    "crates/cache/src/set_assoc.rs",
+];
+
+/// Call patterns that allocate or format.
+const FORBIDDEN: [&str; 8] = [
+    "format!",
+    "String::from",
+    ".to_string()",
+    ".to_owned()",
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+];
+
+/// Macros whose arguments are error-path message formatting.
+const PANIC_MACROS: [&str; 10] = [
+    "panic!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "debug_assert!",
+    "debug_assert_eq!",
+    "debug_assert_ne!",
+    "unreachable!",
+    "invariant!",
+    "unimplemented!",
+];
+
+/// Runs the hot-path allocation rule over the workspace.
+pub fn audit_hot_path_allocation(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    for module in HOT_MODULES {
+        audit.check();
+        let Some(file) = ws.file(module) else {
+            audit.fail(
+                module,
+                "hot-path module not found — if it moved, update the audit's module list",
+            );
+            continue;
+        };
+        let scope = blank_exempt_regions(non_test_region(&file.stripped));
+        for pattern in FORBIDDEN {
+            audit.check();
+            for at in scope.match_indices(pattern).map(|(at, _)| at) {
+                let line = scope[..at].lines().count();
+                audit.fail(
+                    &file.path,
+                    format!(
+                        "`{pattern}` on the hot path (line {line}) — allocation and \
+                         formatting belong in `#[cold]` helpers, constructors, or \
+                         panic messages"
+                    ),
+                );
+            }
+        }
+    }
+    audit
+}
+
+/// Returns `src` with the three exempt region kinds blanked to spaces
+/// (newlines kept, so byte offsets and line numbers survive).
+fn blank_exempt_regions(src: &str) -> String {
+    let mut text = src.to_string();
+    blank_macro_arguments(&mut text);
+    blank_fn_bodies_after(&mut text, "#[cold]");
+    blank_fn_bodies_after(&mut text, "fn new");
+    text
+}
+
+/// Blanks the parenthesised arguments of every panic-family macro call.
+fn blank_macro_arguments(text: &mut String) {
+    for mac in PANIC_MACROS {
+        let mut from = 0usize;
+        while let Some(at) = text[from..].find(mac).map(|o| from + o) {
+            let after = at + mac.len();
+            let Some(open) = text[after..]
+                .find(|c: char| !c.is_whitespace())
+                .map(|o| after + o)
+                .filter(|&o| text.as_bytes()[o] == b'(')
+            else {
+                from = after;
+                continue;
+            };
+            let Some(end) = matching_paren(text, open) else {
+                from = after;
+                continue;
+            };
+            blank_range(text, open + 1, end - 1);
+            from = end;
+        }
+    }
+}
+
+/// Blanks the `{ ... }` body of every function introduced by `needle`
+/// (`#[cold]` attribute or a constructor's `fn new`).
+fn blank_fn_bodies_after(text: &mut String, needle: &str) {
+    let mut from = 0usize;
+    while let Some(at) = text[from..].find(needle).map(|o| from + o) {
+        let Some(open) = text[at..].find('{').map(|o| at + o) else {
+            return;
+        };
+        let Some(end) = matching_brace(text, open) else {
+            return;
+        };
+        blank_range(text, open + 1, end - 1);
+        from = end;
+    }
+}
+
+/// Overwrites `[start, end)` with spaces, preserving newlines.
+fn blank_range(text: &mut String, start: usize, end: usize) {
+    let blanked: String = text[start..end]
+        .chars()
+        .map(|c| if c == '\n' { '\n' } else { ' ' })
+        .collect();
+    text.replace_range(start..end, &blanked);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    /// A minimal clean hot-path module set.
+    fn clean_files() -> Vec<(&'static str, &'static str)> {
+        vec![
+            (
+                "crates/mmu/src/engine.rs",
+                "impl Machine {\n    pub fn access(&mut self) { self.counters.inst += 1; }\n}\n",
+            ),
+            (
+                "crates/mmu/src/tlb.rs",
+                "impl TlbArray {\n    pub fn new(n: usize) -> Self {\n        TlbArray { tags: vec![0; n] }\n    }\n}\n",
+            ),
+            ("crates/mmu/src/walker.rs", "pub fn walk() {}\n"),
+            ("crates/cache/src/set_assoc.rs", "pub fn access() {}\n"),
+        ]
+    }
+
+    #[test]
+    fn clean_modules_pass() {
+        let ws = workspace_from(&clean_files());
+        let audit = audit_hot_path_allocation(&ws);
+        assert_eq!(audit.violations, Vec::new());
+        assert!(audit.checked > 4);
+    }
+
+    #[test]
+    fn allocation_in_access_path_is_flagged() {
+        let mut files = clean_files();
+        files[0] = (
+            "crates/mmu/src/engine.rs",
+            "impl Machine {\n    pub fn access(&mut self) { let s = format!(\"{}\", 1); }\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("format!") && v.file.contains("engine.rs")));
+    }
+
+    #[test]
+    fn constructor_allocation_is_exempt() {
+        // `clean_files` already allocates inside `fn new`; make sure that is
+        // the exemption carrying it, not an accident of pattern order.
+        let files = vec![
+            (
+                "crates/mmu/src/engine.rs",
+                "pub fn new() -> V { Vec::with_capacity(8) }\n",
+            ),
+            ("crates/mmu/src/tlb.rs", ""),
+            ("crates/mmu/src/walker.rs", ""),
+            ("crates/cache/src/set_assoc.rs", ""),
+        ];
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn cold_function_allocation_is_exempt() {
+        let mut files = clean_files();
+        files[2] = (
+            "crates/mmu/src/walker.rs",
+            "#[cold]\nfn slow_report() -> String { format!(\"{}\", 1) }\npub fn walk() {}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn panic_message_formatting_is_exempt() {
+        let mut files = clean_files();
+        files[3] = (
+            "crates/cache/src/set_assoc.rs",
+            "pub fn access(x: u64) {\n    assert!(x > 0, \"bad {}\", format!(\"{x}\"));\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn allocation_outside_the_panic_args_is_still_flagged() {
+        let mut files = clean_files();
+        files[3] = (
+            "crates/cache/src/set_assoc.rs",
+            "pub fn access(x: u64) {\n    assert!(x > 0, \"bad\");\n    let v = Vec::new();\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("Vec::new")));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let mut files = clean_files();
+        files[1] = (
+            "crates/mmu/src/tlb.rs",
+            "pub fn lookup() {}\n#[cfg(test)]\nmod tests {\n    fn h() { let v = vec![1]; }\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn missing_module_is_flagged() {
+        let mut files = clean_files();
+        files.remove(2);
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.file.contains("walker.rs") && v.message.contains("not found")));
+    }
+
+    #[test]
+    fn real_workspace_hot_modules_are_clean() {
+        // The self-audit the rule exists for: the actual workspace sources.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let ws = Workspace::load(&root).expect("load workspace");
+        let audit = audit_hot_path_allocation(&ws);
+        assert_eq!(audit.violations, Vec::new());
+    }
+}

@@ -28,6 +28,11 @@
 //!    (`crates/serve`) appears in the round-trip test suite, so a frame
 //!    that serializes but cannot deserialize (a cross-process protocol
 //!    break invisible to type checking) fails CI.
+//! 6. **Hot-path allocation freedom** ([`audit_hot_path_allocation`]) — the
+//!    per-access modules (MMU engine, TLB arrays, walker, set-associative
+//!    cache) contain no allocating or formatting calls outside `#[cold]`
+//!    functions, constructors, and panic messages, so the throughput the
+//!    perf gate defends cannot be eroded by a stray `format!`.
 //!
 //! The audit scans comment-stripped source text with a small brace matcher
 //! (see [`source`]) rather than a full parser: the offline build vendors no
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod hotpath;
 pub mod invariants;
 pub mod lints;
 pub mod protocol;
@@ -46,6 +52,7 @@ pub mod source;
 pub mod telemetry;
 
 pub use counters::audit_counter_coverage;
+pub use hotpath::audit_hot_path_allocation;
 pub use invariants::audit_invariant_annotations;
 pub use lints::audit_lint_wiring;
 pub use protocol::audit_protocol_roundtrip;
@@ -226,6 +233,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Audit> {
         audit_lint_wiring(ws),
         audit_telemetry_coverage(ws),
         audit_protocol_roundtrip(ws),
+        audit_hot_path_allocation(ws),
     ]
 }
 

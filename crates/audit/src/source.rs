@@ -160,6 +160,38 @@ pub fn matching_brace(src: &str, open: usize) -> Option<usize> {
     None
 }
 
+/// Given the index of an opening `(`, returns the index one past its
+/// matching `)`, skipping parens inside string and char literals — the
+/// span of a macro invocation's arguments, for rules that must exclude
+/// panic-message formatting from a scan.
+pub fn matching_paren(src: &str, open: usize) -> Option<usize> {
+    let b = src.as_bytes();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'(' => {
+                depth += 1;
+                i += 1;
+            }
+            b')' => {
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            b'"' => i = skip_string(b, i),
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                i = skip_raw_string(b, i);
+            }
+            b'\'' => i = skip_char_or_lifetime(b, i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// The `{ ... }` body (braces excluded) of the block that follows the first
 /// occurrence of `needle`, e.g. `block_after(src, "pub fn events")`.
 pub fn block_after<'a>(src: &'a str, needle: &str) -> Option<&'a str> {

@@ -20,13 +20,20 @@ fn bench_tlb(c: &mut Criterion) {
         .map(|_| VirtAddr::new(rng.gen_range(0..1u64 << 30) & !0xfff))
         .collect();
     for &va in &addrs {
-        tlb.fill(va, PageSize::Size4K);
+        tlb.fill(va, PageSize::Size4K, va.as_u64() >> 12);
     }
     let mut i = 0;
     c.bench_function("tlb_lookup", |b| {
         b.iter(|| {
             i = (i + 1) % addrs.len();
             black_box(tlb.lookup(addrs[i]))
+        });
+    });
+    let mut j = 0;
+    c.bench_function("tlb_lookup_frame", |b| {
+        b.iter(|| {
+            j = (j + 1) % addrs.len();
+            black_box(tlb.lookup_frame(addrs[j]))
         });
     });
 }

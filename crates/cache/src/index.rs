@@ -1,0 +1,135 @@
+//! Strength-reduced set indexing.
+//!
+//! Every set-associative structure in the simulator maps a key to a set via
+//! `key % sets`. A hardware divide sits on the per-access hot path of every
+//! TLB array, paging-structure cache and cache level — up to five of them
+//! per simulated access. This module precomputes the division away:
+//!
+//! * power-of-two set counts become a mask (`key & (sets - 1)`);
+//! * other counts (the Haswell L3 has 24576 sets = 2¹³·3) use the 64-bit
+//!   Lemire fastmod: with `M = ⌊2¹²⁸ / d⌋ + 1`, `n % d` equals the high
+//!   64 bits of `(M·n mod 2¹²⁸) · d` — two multiplies, no divide.
+//!
+//! Both paths compute *exactly* `key % sets`, so swapping the indexer in is
+//! bit-for-bit neutral: the same keys land in the same sets.
+
+/// A precomputed `key % sets` evaluator.
+///
+/// # Example
+///
+/// ```
+/// use atscale_cache::SetIndexer;
+///
+/// let pow2 = SetIndexer::new(64);
+/// assert_eq!(pow2.index(1000), (1000 % 64) as usize);
+/// let l3 = SetIndexer::new(24576); // not a power of two
+/// assert_eq!(l3.index(u64::MAX), (u64::MAX % 24576) as usize);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SetIndexer {
+    sets: u64,
+    /// `sets - 1`; consulted only when `pow2` is set.
+    mask: u64,
+    /// `⌊2¹²⁸ / sets⌋ + 1`; consulted only when `pow2` is clear.
+    magic: u128,
+    pow2: bool,
+}
+
+impl SetIndexer {
+    /// Precomputes the indexer for a set count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: u64) -> Self {
+        assert!(sets > 0, "a set-associative structure needs at least 1 set");
+        let pow2 = sets.is_power_of_two();
+        let magic = if pow2 {
+            0
+        } else {
+            // sets >= 3 here (1 and 2 are powers of two), so no overflow.
+            u128::MAX / u128::from(sets) + 1
+        };
+        SetIndexer {
+            sets,
+            mask: sets - 1,
+            magic,
+            pow2,
+        }
+    }
+
+    /// The set count this indexer was built for.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Computes `key % sets` without dividing.
+    #[inline]
+    pub fn index(&self, key: u64) -> usize {
+        if self.pow2 {
+            (key & self.mask) as usize
+        } else {
+            let low = self.magic.wrapping_mul(u128::from(key));
+            mulhi_u128_u64(low, self.sets) as usize
+        }
+    }
+}
+
+/// High 64 bits of a 128×64-bit product.
+#[inline]
+fn mulhi_u128_u64(a: u128, b: u64) -> u64 {
+    let b = u128::from(b);
+    let lo = (a as u64) as u128;
+    let hi = a >> 64;
+    // hi·b ≤ (2⁶⁴−1)² and the carry term is < 2⁶⁴, so the sum fits in u128.
+    let carry = (lo * b) >> 64;
+    ((hi * b + carry) >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_modulo_for_small_cases() {
+        for sets in [1u64, 2, 3, 5, 7, 8, 24, 64, 513, 24576] {
+            let ix = SetIndexer::new(sets);
+            for key in [0u64, 1, 2, sets - 1, sets, sets + 1, 1 << 40, u64::MAX] {
+                assert_eq!(ix.index(key), (key % sets) as usize, "{key} % {sets}");
+            }
+        }
+    }
+
+    #[test]
+    fn haswell_l3_sets_take_the_fastmod_path() {
+        let ix = SetIndexer::new(24576);
+        assert_eq!(ix.sets(), 24576);
+        // Block indices past 2³² (≈600 GB footprints) must stay exact.
+        for key in [1u64 << 33, (1 << 45) + 12345, u64::MAX - 1] {
+            assert_eq!(ix.index(key), (key % 24576) as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 set")]
+    fn zero_sets_rejected() {
+        SetIndexer::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn index_equals_modulo(key in 0u64..=u64::MAX, sets in 1u64..=1 << 48) {
+            let ix = SetIndexer::new(sets);
+            prop_assert_eq!(ix.index(key), (key % sets) as usize);
+        }
+
+        #[test]
+        fn index_equals_modulo_for_non_pow2(key in 0u64..=u64::MAX, raw in 1u64..=1 << 30) {
+            // Bias towards non-powers-of-two by offsetting.
+            let sets = raw * 3;
+            let ix = SetIndexer::new(sets);
+            prop_assert_eq!(ix.index(key), (key % sets) as usize);
+        }
+    }
+}

@@ -32,10 +32,12 @@
 
 mod config;
 mod hierarchy;
+mod index;
 mod set_assoc;
 mod stats;
 
 pub use config::{CacheConfig, HierarchyConfig, LatencyConfig};
 pub use hierarchy::{AccessKind, CacheHierarchy, CacheResponse, HitLevel};
+pub use index::SetIndexer;
 pub use set_assoc::SetAssocCache;
 pub use stats::{HierarchyStats, LevelCounts, PteLocationDistribution};

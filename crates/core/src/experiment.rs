@@ -276,7 +276,11 @@ impl Harness {
         }
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; specs.len()]);
+        // One slot per spec: each worker writes only the slot it owns, so
+        // result publication never contends on a shared lock (the spec index
+        // from `next` hands out exclusive ownership of slot `i`).
+        let results: Vec<Mutex<Option<RunRecord>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(specs.len());
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
@@ -294,15 +298,14 @@ impl Harness {
                         wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
                         cached,
                     });
-                    results.lock()[i] = Some(record);
+                    *results[i].lock() = Some(record);
                 });
             }
         })
         .expect("worker threads do not panic");
         results
-            .into_inner()
             .into_iter()
-            .map(|r| r.expect("all specs were executed"))
+            .map(|slot| slot.into_inner().expect("all specs were executed"))
             .collect()
     }
 

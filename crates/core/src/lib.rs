@@ -55,7 +55,7 @@ pub use decomposition::Decomposition;
 pub use experiment::{Harness, SweepConfig};
 pub use metrics::PressureMetric;
 pub use overhead::OverheadPoint;
-pub use run::{execute_run, execute_run_with_telemetry, RunRecord, RunSpec};
+pub use run::{execute_run, execute_run_reference, execute_run_with_telemetry, RunRecord, RunSpec};
 pub use scaling::{fit_overhead_scaling, ScalingFit};
 pub use store::{RunStore, StoreStats};
 

@@ -117,8 +117,44 @@ pub fn execute_run_with_telemetry(
     machine.set_limits(spec.warmup_instr, spec.budget_instr);
     {
         let _phase = span!("drive");
+        // Kernels see `&mut dyn AccessSink`, but batching kernels pay one
+        // virtual dispatch per *chunk*: `event_batch`'s body is instantiated
+        // per implementing type, so inside the machine's instance every
+        // per-event call is a direct (inlined) `Machine::access`. Wrapping
+        // the machine in a `BatchSink` here was benchmarked and lost — for
+        // per-item kernels it converts each virtual call into a buffer push
+        // plus a deferred drain of the same event, strictly more work.
         workload.run(&mut machine);
     }
+    let result = machine.finish();
+    result.counters.assert_consistent();
+    RunRecord {
+        spec: *spec,
+        result,
+    }
+}
+
+/// [`execute_run`] on the force-slow reference pipeline: no access batching,
+/// no TLB frame payloads, no translation memo — the engine as it was before
+/// the hot-path restructuring. Exists so tests can prove the optimised path
+/// produces byte-identical records; there is no reason to use it otherwise.
+///
+/// # Panics
+///
+/// Panics as [`execute_run`] does.
+pub fn execute_run_reference(spec: &RunSpec, config: &MachineConfig) -> RunRecord {
+    let mut workload = spec.workload.build_model(spec.nominal_footprint, spec.seed);
+    let mut machine = Machine::new(
+        *config,
+        BackingPolicy::uniform(spec.page_size),
+        workload.profile(),
+    );
+    machine.set_reference_mode(true);
+    workload
+        .setup(machine.space_mut())
+        .expect("workload setup allocates within the simulated heap");
+    machine.set_limits(spec.warmup_instr, spec.budget_instr);
+    workload.run(&mut machine);
     let result = machine.finish();
     result.counters.assert_consistent();
     RunRecord {

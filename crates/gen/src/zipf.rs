@@ -1,6 +1,7 @@
 //! Zipfian sampling for skewed key distributions.
 
 use rand::Rng;
+use std::sync::Mutex;
 
 /// A Zipf(θ) sampler over `0..n` using the Gray et al. "Quickly Generating
 /// Billion-Record Synthetic Databases" method (the same construction YCSB
@@ -86,14 +87,59 @@ impl Zipf {
     }
 }
 
+/// Memo of previously computed `(n, theta) → ζ` values.
+///
+/// The exact sum below costs up to 10⁷ `powf` calls, and sweep drivers
+/// construct many [`Zipf`] samplers over the *same* domain (the five
+/// Kronecker workloads share `(n_vertices, θ)` at each footprint, and every
+/// footprint recurs across page-size configurations). A ζ value is a single
+/// `f64`, so caching it returns bit-identical results while skipping the
+/// whole summation. Keyed by `theta.to_bits()` — exact bit equality, no
+/// epsilon games. Bounded FIFO so pathological callers cannot grow it.
+static ZETA_MEMO: Mutex<Vec<(u64, u64, f64)>> = Mutex::new(Vec::new());
+
+const ZETA_MEMO_CAP: usize = 64;
+
 /// Truncated zeta: Σ_{i=1..n} 1/i^θ. Exact for small `n`, Euler–Maclaurin
 /// approximated above 10⁷ terms so construction stays O(1)-ish for the
 /// paper's billion-key domains.
+///
+/// Results are memoised process-wide: repeated calls with the same `(n, θ)`
+/// return the cached `f64`, which is by construction bit-identical to a
+/// fresh summation.
 pub fn zeta(n: u64, theta: f64) -> f64 {
+    // Tiny sums are cheaper than the lock.
+    if n <= 64 {
+        return zeta_direct(n, theta);
+    }
+    let theta_bits = theta.to_bits();
+    if let Some(&(_, _, value)) = ZETA_MEMO
+        .lock()
+        .expect("zeta memo lock poisoned")
+        .iter()
+        .find(|&&(kn, kt, _)| kn == n && kt == theta_bits)
+    {
+        return value;
+    }
+    let value = zeta_direct(n, theta);
+    let mut memo = ZETA_MEMO.lock().expect("zeta memo lock poisoned");
+    if !memo.iter().any(|&(kn, kt, _)| kn == n && kt == theta_bits) {
+        if memo.len() >= ZETA_MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push((n, theta_bits, value));
+    }
+    value
+}
+
+/// The uncached summation behind [`zeta`].
+fn zeta_direct(n: u64, theta: f64) -> f64 {
     const EXACT_LIMIT: u64 = 10_000_000;
     if n <= EXACT_LIMIT {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
+        // The head below the limit is itself memoised (every oversized
+        // domain with the same θ shares it).
         let head = zeta(EXACT_LIMIT, theta);
         // ∫ x^-θ dx from EXACT_LIMIT to n, plus endpoint correction.
         let a = EXACT_LIMIT as f64;
@@ -169,5 +215,22 @@ mod tests {
     #[should_panic(expected = "theta must be in")]
     fn invalid_theta_rejected() {
         Zipf::new(10, 1.5);
+    }
+
+    #[test]
+    fn memoised_zeta_is_bit_identical_to_direct_summation() {
+        // Call twice (second call is served from the memo) and against the
+        // uncached summation; all three must agree to the last bit.
+        for &(n, theta) in &[(100_000u64, 0.99f64), (100_000, 0.6), (123_457, 0.99)] {
+            let first = zeta(n, theta);
+            let second = zeta(n, theta);
+            let direct = zeta_direct(n, theta);
+            assert_eq!(first.to_bits(), direct.to_bits(), "zeta({n}, {theta})");
+            assert_eq!(
+                second.to_bits(),
+                direct.to_bits(),
+                "memo hit for ({n}, {theta})"
+            );
+        }
     }
 }

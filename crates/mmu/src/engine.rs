@@ -35,8 +35,8 @@ use crate::{
 use atscale_cache::{AccessKind, CacheHierarchy, HierarchyStats, PteLocationDistribution};
 use atscale_telemetry::{LatencyMetric, Sample};
 use atscale_vm::{
-    invariant, AddressSpace, BackingPolicy, CheckInvariants, PageSize, ProbeResult, SpaceStats,
-    VirtAddr,
+    invariant, AddressSpace, BackingPolicy, CheckInvariants, PageSize, PhysAddr, ProbeResult,
+    SpaceStats, VirtAddr,
 };
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +116,9 @@ pub struct Machine {
     warmup_instrs: u64,
     budget_instrs: u64,
     warmed: bool,
+    /// When set, every access runs the pre-optimisation reference pipeline
+    /// (see [`Machine::set_reference_mode`]).
+    reference_mode: bool,
     telemetry: MachineTelemetry,
 }
 
@@ -149,8 +152,20 @@ impl Machine {
             warmup_instrs: 0,
             budget_instrs: 0,
             warmed: true,
+            reference_mode: false,
             telemetry: MachineTelemetry::default(),
         }
+    }
+
+    /// Switches the machine onto the force-slow reference pipeline: every
+    /// access consults the page table (bypassing the translation memo) and
+    /// ignores the frame payloads cached in the TLB arrays, exactly as the
+    /// engine behaved before the hot-path restructuring. The golden
+    /// equivalence test runs every workload through both pipelines and
+    /// asserts byte-identical `RunRecord`s; keep this path semantically
+    /// frozen.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
     }
 
     /// Sets the measurement window: `warmup` retired instructions are
@@ -370,7 +385,7 @@ impl Machine {
                         self.walker
                             .walk(va, &path, &mut self.psc, &mut self.caches, Some(budget));
                     if w.completed {
-                        self.tlbs.fill(va, path.page_size);
+                        self.tlbs.fill(va, path.page_size, path.frame_base.as_u64());
                     }
                     w
                 }
@@ -412,8 +427,103 @@ impl CheckInvariants for Machine {
     }
 }
 
-impl AccessSink for Machine {
-    fn access(&mut self, op: AccessOp, va: VirtAddr) {
+impl Machine {
+    /// The data-cache access every retired memory op performs after
+    /// translation, plus the load-dependent stall accounting. Identical for
+    /// every TLB outcome; `translation_cycles` is the translation-side
+    /// latency the access suffered first (feeds branch-resolution windows).
+    #[inline]
+    fn finish_data_access(
+        &mut self,
+        op: AccessOp,
+        va: VirtAddr,
+        translation_cycles: u64,
+        frame_base: PhysAddr,
+        page_size: PageSize,
+    ) {
+        let paddr = frame_base.add(va.page_offset(page_size));
+        let response = self.caches.access(paddr, AccessKind::Data);
+        if op == AccessOp::Load {
+            // A dependent branch waits for translation + data.
+            self.spec
+                .note_data_latency((translation_cycles + response.latency as u64) as f64);
+            let l1 = self.config.hierarchy.latency.l1;
+            if response.latency > l1 {
+                let exposed = (response.latency - l1) as f64 / self.profile.mlp;
+                self.cycles_f += exposed;
+                self.stall_window += exposed;
+            }
+        }
+    }
+
+    /// The L2-TLB-hit leg of the pipeline: retired-STLB-hit counters plus
+    /// the exposed part of the L2 penalty.
+    fn access_l2_hit(&mut self, op: AccessOp, va: VirtAddr, size: PageSize, frame: u64) {
+        match op {
+            AccessOp::Load => self.counters.stlb_hit_loads += 1,
+            AccessOp::Store => self.counters.stlb_hit_stores += 1,
+        }
+        let translation_cycles = self.tlbs.l2_hit_penalty() as u64;
+        self.record_latency(LatencyMetric::TlbFillCycles, translation_cycles);
+        let exposed = self.tlbs.l2_hit_penalty() as f64 / self.profile.mlp;
+        self.cycles_f += exposed;
+        self.stall_window += exposed;
+        self.finish_data_access(op, va, translation_cycles, PhysAddr::new(frame), size);
+    }
+
+    /// The full-miss leg: demand-touch the page, walk the table through the
+    /// caches, refill the TLBs (with the frame payload the fast path relies
+    /// on), and expose the walk stall.
+    fn access_miss(&mut self, op: AccessOp, va: VirtAddr) {
+        match op {
+            AccessOp::Load => {
+                self.counters.stlb_miss_loads += 1;
+                self.counters.walk_initiated_loads += 1;
+                self.counters.walk_completed_loads += 1;
+            }
+            AccessOp::Store => {
+                self.counters.stlb_miss_stores += 1;
+                self.counters.walk_initiated_stores += 1;
+                self.counters.walk_completed_stores += 1;
+            }
+        }
+        self.counters.truth_retired_walks += 1;
+        let touch = self
+            .space
+            .touch(va)
+            .unwrap_or_else(|err| panic!("workload accessed invalid memory: {err}"));
+        let walk = self
+            .walker
+            .walk(va, &touch.path, &mut self.psc, &mut self.caches, None);
+        invariant!(walk.completed, "retired walks always complete");
+        invariant!(
+            walk.accesses >= 1,
+            "a completed walk fetches at least the leaf PTE"
+        );
+        self.counters.walk_duration_cycles += walk.cycles;
+        self.counters.pt_accesses += walk.accesses as u64;
+        self.record_latency(LatencyMetric::WalkCycles, walk.cycles);
+        self.record_latency(LatencyMetric::TlbFillCycles, walk.cycles);
+        self.tlbs
+            .fill(va, touch.page_size, touch.path.frame_base.as_u64());
+        let exposure = match op {
+            AccessOp::Load => 1.0,
+            AccessOp::Store => self.profile.store_walk_exposure,
+        };
+        let exposed = walk.cycles as f64 * exposure / self.profile.mlp;
+        self.cycles_f += exposed;
+        self.walk_stall_window += exposed;
+        self.stall_window += exposed;
+        self.finish_data_access(op, va, walk.cycles, touch.path.frame_base, touch.page_size);
+    }
+
+    /// The pre-restructuring access pipeline, kept verbatim as the reference
+    /// implementation for the golden-equivalence test: it consults the page
+    /// table on *every* access (bypassing the translation memo via
+    /// [`AddressSpace::touch_uncached`]) and never reads the TLB frame
+    /// payloads. Do not "optimise" this function — its whole value is that
+    /// it stays the original, obviously-correct pipeline.
+    fn access_reference(&mut self, op: AccessOp, va: VirtAddr) {
         self.counters.inst_retired += 1;
         match op {
             AccessOp::Load => self.counters.loads_retired += 1,
@@ -424,7 +534,7 @@ impl AccessSink for Machine {
 
         let touch = self
             .space
-            .touch(va)
+            .touch_uncached(va)
             .unwrap_or_else(|err| panic!("workload accessed invalid memory: {err}"));
 
         // Translation-side latency this access suffers before its data can
@@ -470,7 +580,8 @@ impl AccessSink for Machine {
                 self.counters.pt_accesses += walk.accesses as u64;
                 self.record_latency(LatencyMetric::WalkCycles, walk.cycles);
                 self.record_latency(LatencyMetric::TlbFillCycles, walk.cycles);
-                self.tlbs.fill(va, touch.page_size);
+                self.tlbs
+                    .fill(va, touch.page_size, touch.path.frame_base.as_u64());
                 translation_cycles = walk.cycles;
                 let exposure = match op {
                     AccessOp::Load => 1.0,
@@ -483,19 +594,50 @@ impl AccessSink for Machine {
             }
         }
 
-        // The data access itself.
-        let paddr = touch.path.frame_base.add(va.page_offset(touch.page_size));
-        let response = self.caches.access(paddr, AccessKind::Data);
-        if op == AccessOp::Load {
-            // A dependent branch waits for translation + data.
-            self.spec
-                .note_data_latency((translation_cycles + response.latency as u64) as f64);
-            let l1 = self.config.hierarchy.latency.l1;
-            if response.latency > l1 {
-                let exposed = (response.latency - l1) as f64 / self.profile.mlp;
-                self.cycles_f += exposed;
-                self.stall_window += exposed;
+        self.finish_data_access(
+            op,
+            va,
+            translation_cycles,
+            touch.path.frame_base,
+            touch.page_size,
+        );
+        self.on_retired_instructions(1);
+    }
+}
+
+impl AccessSink for Machine {
+    /// The per-access pipeline, restructured around the TLB outcome.
+    ///
+    /// The dominant L1-hit case reads the frame base straight out of the
+    /// TLB entry and touches only the TLB array, the counter struct, the
+    /// cycle accumulator and the data cache — no page-table consultation at
+    /// all. This is bit-for-bit equivalent to the reference pipeline
+    /// because (a) a mapped translation is immutable, so the payload
+    /// installed at fill time is always current, (b) `AddressSpace::touch`
+    /// on a mapped page is a pure read with no observable effect, and (c)
+    /// every state mutation the two pipelines share happens in the same
+    /// order with the same f64 values. The golden test in `atscale-core`
+    /// enforces this equivalence over every workload.
+    #[inline]
+    fn access(&mut self, op: AccessOp, va: VirtAddr) {
+        if self.reference_mode {
+            self.access_reference(op, va);
+            return;
+        }
+        self.counters.inst_retired += 1;
+        match op {
+            AccessOp::Load => self.counters.loads_retired += 1,
+            AccessOp::Store => self.counters.stores_retired += 1,
+        }
+        self.cycles_f += self.profile.base_cpi;
+        self.spec.note_retired(va);
+
+        match self.tlbs.lookup_frame(va) {
+            (TlbHit::L1(size), frame) => {
+                self.finish_data_access(op, va, 0, PhysAddr::new(frame), size);
             }
+            (TlbHit::L2(size), frame) => self.access_l2_hit(op, va, size, frame),
+            (TlbHit::Miss, _) => self.access_miss(op, va),
         }
 
         self.on_retired_instructions(1);
@@ -509,6 +651,14 @@ impl AccessSink for Machine {
 
     fn done(&self) -> bool {
         self.budget_instrs != 0 && self.total_retired >= self.warmup_instrs + self.budget_instrs
+    }
+
+    /// Batching support: `true` once `pending` more retired instructions
+    /// would exhaust the budget — the position a buffering adaptor's caller
+    /// has emitted, not the position this machine has consumed.
+    fn done_after(&self, pending: u64) -> bool {
+        self.budget_instrs != 0
+            && self.total_retired + pending >= self.warmup_instrs + self.budget_instrs
     }
 }
 

@@ -60,7 +60,7 @@ mod tlb;
 mod trace;
 mod walker;
 
-pub use access::{AccessOp, AccessSink, CountingSink, WorkloadProfile};
+pub use access::{AccessOp, AccessSink, BatchSink, CountingSink, SinkEvent, WorkloadProfile};
 pub use config::{
     MachineConfig, MmuCacheConfig, PscLevels, SpecConfig, TlbConfig, TlbGeometry, WalkerConfig,
 };

@@ -1,12 +1,21 @@
 //! Translation lookaside buffers.
 
 use crate::{TlbConfig, TlbGeometry};
+use atscale_cache::SetIndexer;
 use atscale_vm::{invariant, CheckInvariants, PageSize, VirtAddr};
 use serde::{Deserialize, Serialize};
 
 const INVALID: u64 = u64::MAX;
 
 /// A single LRU set-associative TLB array keyed by virtual page number.
+///
+/// Each entry carries a 64-bit payload alongside its tag — the frame base of
+/// the translation — so a TLB hit can produce the physical address without
+/// consulting the page table. Recency is a per-way monotone stamp (hit =
+/// one store) rather than a move-to-front rotate; the evicted victim — the
+/// minimum stamp, with never-filled ways at stamp 0 — is identical to the
+/// rotate scheme's last-slot victim. Set selection goes through a
+/// precomputed [`SetIndexer`] instead of a hardware divide.
 ///
 /// # Example
 ///
@@ -21,19 +30,43 @@ const INVALID: u64 = u64::MAX;
 #[derive(Debug, Clone)]
 pub struct TlbArray {
     tags: Vec<u64>,
-    sets: u64,
+    /// Frame-base payload per way (0 for payload-free users like the
+    /// paging-structure caches).
+    frames: Vec<u64>,
+    /// Per-way recency stamps; larger = more recent, 0 = never touched.
+    stamps: Vec<u64>,
+    indexer: SetIndexer,
     ways: usize,
+    clock: u64,
     geometry: TlbGeometry,
+    /// `false` until the first fill (and again after a flush). A never-filled
+    /// array holds only invalid tags, so a lookup can return `None` without
+    /// scanning — which matters because the hierarchy probes every page-size
+    /// array on every access, and a uniform-4K run never fills two of them.
+    filled: bool,
 }
 
 impl TlbArray {
     /// Creates an empty array.
     pub fn new(geometry: TlbGeometry) -> Self {
+        let sets = u64::from(geometry.sets());
+        let ways = geometry.ways as usize;
+        debug_assert!(ways >= 1, "a TLB array needs at least one way");
+        debug_assert_eq!(
+            geometry.entries as u64,
+            sets * ways as u64,
+            "geometry entries must equal sets x ways"
+        );
+        let entries = geometry.entries as usize;
         TlbArray {
-            tags: vec![INVALID; geometry.entries as usize],
-            sets: geometry.sets() as u64,
-            ways: geometry.ways as usize,
+            tags: vec![INVALID; entries],
+            frames: vec![0; entries],
+            stamps: vec![0; entries],
+            indexer: SetIndexer::new(sets),
+            ways,
+            clock: 0,
             geometry,
+            filled: false,
         }
     }
 
@@ -42,47 +75,89 @@ impl TlbArray {
         self.geometry
     }
 
+    /// Index range of the set holding `key`.
+    #[inline]
+    fn set_slice(&self, key: u64) -> std::ops::Range<usize> {
+        let base = self.indexer.index(key) * self.ways;
+        base..base + self.ways
+    }
+
     /// Looks up a key, updating recency on hit. Does **not** fill on miss
     /// (TLBs are filled by completed walks, not lookups).
     #[inline]
     pub fn lookup(&mut self, key: u64) -> bool {
-        let set = (key % self.sets) as usize;
-        let base = set * self.ways;
-        let ways = &mut self.tags[base..base + self.ways];
-        match ways.iter().position(|&t| t == key) {
-            Some(0) => true,
-            Some(pos) => {
-                ways[..=pos].rotate_right(1);
-                true
-            }
-            None => false,
-        }
+        self.lookup_frame(key).is_some()
     }
 
-    /// Inserts a key, evicting the LRU entry of its set if necessary.
+    /// Like [`lookup`](Self::lookup), but returns the stored frame-base
+    /// payload on hit.
+    #[inline]
+    pub fn lookup_frame(&mut self, key: u64) -> Option<u64> {
+        if !self.filled {
+            return None;
+        }
+        // Set-local slices: one bounds check per set rather than per way;
+        // this runs once per simulated access per array.
+        let set = self.set_slice(key);
+        let tags = &self.tags[set.clone()];
+        if let Some(pos) = tags.iter().position(|&t| t == key) {
+            self.clock += 1;
+            self.stamps[set.start + pos] = self.clock;
+            return Some(self.frames[set.start + pos]);
+        }
+        None
+    }
+
+    /// Inserts a key with a zero payload, evicting the LRU entry of its set
+    /// if necessary.
     #[inline]
     pub fn fill(&mut self, key: u64) {
-        let set = (key % self.sets) as usize;
-        let base = set * self.ways;
-        let ways = &mut self.tags[base..base + self.ways];
-        if let Some(pos) = ways.iter().position(|&t| t == key) {
-            ways[..=pos].rotate_right(1);
-        } else {
-            ways.rotate_right(1);
-            ways[0] = key;
+        self.fill_frame(key, 0);
+    }
+
+    /// Inserts a key carrying a frame-base payload, evicting the LRU entry
+    /// of its set if necessary. Refilling a resident key refreshes its
+    /// recency (and payload) instead of duplicating it.
+    #[inline]
+    pub fn fill_frame(&mut self, key: u64, frame: u64) {
+        self.filled = true;
+        let set = self.set_slice(key);
+        self.clock += 1;
+        let tags = &mut self.tags[set.clone()];
+        let stamps = &mut self.stamps[set.clone()];
+        if let Some(pos) = tags.iter().position(|&t| t == key) {
+            stamps[pos] = self.clock;
+            self.frames[set.start + pos] = frame;
+            return;
         }
+        // Evict the LRU way: minimum stamp, first index on ties (invalid
+        // ways keep stamp 0, so empty slots are consumed before evictions —
+        // the same victim the rotate-based representation chose).
+        let mut victim = 0;
+        let mut oldest = stamps[0];
+        for (i, &stamp) in stamps.iter().enumerate().skip(1) {
+            if stamp < oldest {
+                oldest = stamp;
+                victim = i;
+            }
+        }
+        tags[victim] = key;
+        self.frames[set.start + victim] = frame;
+        stamps[victim] = self.clock;
     }
 
     /// Checks for presence without touching recency.
     pub fn probe(&self, key: u64) -> bool {
-        let set = (key % self.sets) as usize;
-        let base = set * self.ways;
-        self.tags[base..base + self.ways].contains(&key)
+        self.tags[self.set_slice(key)].contains(&key)
     }
 
     /// Invalidates all entries.
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
+        self.frames.fill(0);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.filled = false;
     }
 }
 
@@ -94,6 +169,15 @@ impl CheckInvariants for TlbArray {
             self.tags.len(),
             self.geometry.entries
         );
+        invariant!(
+            self.frames.len() == self.tags.len() && self.stamps.len() == self.tags.len(),
+            "frame/stamp arrays diverge from the tag array"
+        );
+        invariant!(
+            self.filled || self.tags.iter().all(|&t| t == INVALID),
+            "array marked never-filled but holds valid tags"
+        );
+        let sets = self.indexer.sets();
         for (set, ways) in self.tags.chunks(self.ways).enumerate() {
             for (i, &tag) in ways.iter().enumerate() {
                 if tag == INVALID {
@@ -104,9 +188,13 @@ impl CheckInvariants for TlbArray {
                     "duplicate key {tag:#x} in TLB set {set}"
                 );
                 invariant!(
-                    (tag % self.sets) as usize == set,
+                    (tag % sets) as usize == set,
                     "key {tag:#x} stored in set {set}, indexes to {}",
-                    tag % self.sets
+                    tag % sets
+                );
+                invariant!(
+                    self.stamps[set * self.ways + i] <= self.clock,
+                    "stamp of key {tag:#x} is ahead of the clock"
                 );
             }
         }
@@ -199,32 +287,41 @@ impl TlbHierarchy {
     /// Hardware probes each size class in parallel because the page size of
     /// a virtual address is unknown before translation; we do the same.
     pub fn lookup(&mut self, va: VirtAddr) -> TlbHit {
+        self.lookup_frame(va).0
+    }
+
+    /// Like [`lookup`](Self::lookup), but also returns the frame base
+    /// stored with the hit entry (0 on miss), letting the caller form the
+    /// physical address without re-walking the page table.
+    #[inline]
+    pub fn lookup_frame(&mut self, va: VirtAddr) -> (TlbHit, u64) {
         for size in PageSize::ALL {
-            if self.l1_for(size).lookup(va.vpn(size)) {
+            if let Some(frame) = self.l1_for(size).lookup_frame(va.vpn(size)) {
                 self.stats.l1_hits += 1;
-                return TlbHit::L1(size);
+                return (TlbHit::L1(size), frame);
             }
         }
         for size in [PageSize::Size4K, PageSize::Size2M] {
-            if self.l2.lookup(Self::l2_key(va, size)) {
+            if let Some(frame) = self.l2.lookup_frame(Self::l2_key(va, size)) {
                 self.stats.l2_hits += 1;
                 // Promote into the matching L1, as hardware refills do.
-                self.l1_for(size).fill(va.vpn(size));
-                return TlbHit::L2(size);
+                self.l1_for(size).fill_frame(va.vpn(size), frame);
+                return (TlbHit::L2(size), frame);
             }
         }
         self.stats.misses += 1;
-        TlbHit::Miss
+        (TlbHit::Miss, 0)
     }
 
-    /// Installs a completed translation of the given page size.
+    /// Installs a completed translation of the given page size, recording
+    /// the frame base so later hits can translate without a walk.
     ///
     /// Fills the matching L1 array, and the shared L2 for 4 KB/2 MB pages
     /// (the L2 does not hold 1 GB entries on this machine).
-    pub fn fill(&mut self, va: VirtAddr, size: PageSize) {
-        self.l1_for(size).fill(va.vpn(size));
+    pub fn fill(&mut self, va: VirtAddr, size: PageSize, frame_base: u64) {
+        self.l1_for(size).fill_frame(va.vpn(size), frame_base);
         if size != PageSize::Size1G {
-            self.l2.fill(Self::l2_key(va, size));
+            self.l2.fill_frame(Self::l2_key(va, size), frame_base);
         }
         // Mostly-inclusive fill: after installation the entry must be
         // resident in its L1 array, and (for sizes the L2 holds) in the L2.
@@ -296,7 +393,7 @@ mod tests {
         let mut tlb = hierarchy();
         let va = VirtAddr::new(0x1234_5000);
         assert_eq!(tlb.lookup(va), TlbHit::Miss);
-        tlb.fill(va, PageSize::Size4K);
+        tlb.fill(va, PageSize::Size4K, 0x9000);
         assert_eq!(tlb.lookup(va), TlbHit::L1(PageSize::Size4K));
         // Same page, different offset.
         assert_eq!(
@@ -308,15 +405,28 @@ mod tests {
     }
 
     #[test]
+    fn hits_return_the_installed_frame_base() {
+        let mut tlb = hierarchy();
+        let va = VirtAddr::new(0x1234_5000);
+        tlb.fill(va, PageSize::Size4K, 0xabc0_0000);
+        assert_eq!(
+            tlb.lookup_frame(va),
+            (TlbHit::L1(PageSize::Size4K), 0xabc0_0000)
+        );
+    }
+
+    #[test]
     fn l1_eviction_falls_back_to_l2() {
         let mut tlb = hierarchy();
         // tiny_test: L1-4K has 8 entries (2-way × 4 sets); L2 has 32.
         // Fill 16 pages: early ones are evicted from L1 but still in L2.
         for i in 0..16u64 {
-            tlb.fill(VirtAddr::new(i << 12), PageSize::Size4K);
+            tlb.fill(VirtAddr::new(i << 12), PageSize::Size4K, i << 12);
         }
-        let hit = tlb.lookup(VirtAddr::new(0));
+        let (hit, frame) = tlb.lookup_frame(VirtAddr::new(0));
         assert_eq!(hit, TlbHit::L2(PageSize::Size4K));
+        // The L2 entry still carries the frame installed at fill time.
+        assert_eq!(frame, 0);
         // The L2 hit promoted the entry back into L1.
         assert_eq!(tlb.lookup(VirtAddr::new(0)), TlbHit::L1(PageSize::Size4K));
     }
@@ -324,7 +434,7 @@ mod tests {
     #[test]
     fn superpage_reach_exceeds_4k_reach() {
         let mut tlb = hierarchy();
-        tlb.fill(VirtAddr::new(0), PageSize::Size2M);
+        tlb.fill(VirtAddr::new(0), PageSize::Size2M, 0);
         // Anywhere within the 2 MB page hits.
         assert_eq!(
             tlb.lookup(VirtAddr::new((1 << 21) - 1)),
@@ -338,7 +448,7 @@ mod tests {
         // tiny_test: L1-1G has 2 entries. Fill 3 → the first is evicted and,
         // because the L2 holds no 1 GB entries, it misses entirely.
         for i in 0..3u64 {
-            tlb.fill(VirtAddr::new(i << 30), PageSize::Size1G);
+            tlb.fill(VirtAddr::new(i << 30), PageSize::Size1G, 0);
         }
         assert_eq!(tlb.lookup(VirtAddr::new(0)), TlbHit::Miss);
         assert_eq!(
@@ -353,7 +463,7 @@ mod tests {
         // A 4 KB page whose VPN numerically equals a 2 MB page's VPN.
         let va_4k = VirtAddr::new(7 << 12);
         let va_2m = VirtAddr::new(7 << 21);
-        tlb.fill(va_4k, PageSize::Size4K);
+        tlb.fill(va_4k, PageSize::Size4K, 0);
         assert_eq!(tlb.lookup(va_2m), TlbHit::Miss);
     }
 
@@ -362,7 +472,7 @@ mod tests {
         let mut tlb = hierarchy();
         let va = VirtAddr::new(0x8000);
         tlb.lookup(va); // miss
-        tlb.fill(va, PageSize::Size4K);
+        tlb.fill(va, PageSize::Size4K, 0);
         tlb.lookup(va); // L1 hit
         let stats = tlb.stats();
         assert_eq!(stats.misses, 1);
@@ -377,7 +487,7 @@ mod tests {
     fn flush_invalidates_all_levels() {
         let mut tlb = hierarchy();
         let va = VirtAddr::new(0x4000);
-        tlb.fill(va, PageSize::Size4K);
+        tlb.fill(va, PageSize::Size4K, 0);
         tlb.flush();
         assert_eq!(tlb.lookup(va), TlbHit::Miss);
     }
@@ -403,5 +513,74 @@ mod tests {
         tlb.fill(4); // evicts 2
         assert!(tlb.probe(0));
         assert!(!tlb.probe(2));
+    }
+
+    /// Reference move-to-front array (the previous representation) to prove
+    /// the stamp-based array hits and evicts identically.
+    struct RotateArray {
+        tags: Vec<u64>,
+        sets: u64,
+        ways: usize,
+    }
+
+    impl RotateArray {
+        fn new(sets: u64, ways: usize) -> Self {
+            RotateArray {
+                tags: vec![INVALID; sets as usize * ways],
+                sets,
+                ways,
+            }
+        }
+
+        fn set(&mut self, key: u64) -> &mut [u64] {
+            let base = (key % self.sets) as usize * self.ways;
+            &mut self.tags[base..base + self.ways]
+        }
+
+        fn lookup(&mut self, key: u64) -> bool {
+            let ways = self.set(key);
+            match ways.iter().position(|&t| t == key) {
+                Some(pos) => {
+                    ways[..=pos].rotate_right(1);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn fill(&mut self, key: u64) {
+            let ways = self.set(key);
+            if let Some(pos) = ways.iter().position(|&t| t == key) {
+                ways[..=pos].rotate_right(1);
+            } else {
+                ways.rotate_right(1);
+                ways[0] = key;
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_lru_matches_rotate_lru_exactly() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut model = RotateArray::new(4, 4);
+        let mut tlb = TlbArray::new(TlbGeometry::new(16, 4));
+        let mut rng = SmallRng::seed_from_u64(0xdead);
+        for _ in 0..50_000 {
+            let key: u64 = rng.gen_range(0u64..64);
+            if rng.gen_bool(0.5) {
+                assert_eq!(tlb.lookup(key), model.lookup(key), "lookup({key})");
+            } else {
+                model.fill(key);
+                tlb.fill(key);
+            }
+        }
+        for key in 0..64u64 {
+            assert_eq!(
+                tlb.probe(key),
+                model.set(key).contains(&key),
+                "probe({key})"
+            );
+        }
     }
 }

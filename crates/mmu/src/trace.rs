@@ -219,6 +219,10 @@ impl AccessSink for RecordingSink<'_> {
     fn done(&self) -> bool {
         self.inner.done()
     }
+
+    fn done_after(&self, pending: u64) -> bool {
+        self.inner.done_after(pending)
+    }
 }
 
 #[cfg(test)]

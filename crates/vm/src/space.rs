@@ -88,7 +88,38 @@ pub struct AddressSpace {
     frames: FrameAllocator,
     minor_faults: u64,
     fallback_faults: u64,
+    /// Direct-mapped translation memo: slot `(va >> 12) % MEMO_SLOTS` caches
+    /// the full walk path keyed by the 4 KiB-page number. Mappings are
+    /// immutable once created (this space never unmaps), so a memo entry can
+    /// never go stale; a conflicting page number simply overwrites the slot.
+    memo: Vec<Option<(u64, WalkPath)>>,
+    /// Probes observed in the current adaptive-memo window.
+    memo_probes: u32,
+    /// Hits observed in the current adaptive-memo window.
+    memo_hits: u32,
+    /// Whether [`touch`](Self::touch) still consults the memo. The memo pays
+    /// for itself only while the touched working set fits its reach: a hit
+    /// saves a radix walk, but a miss costs a probe plus an entry write.
+    /// Once a full window's hit rate drops below [`MEMO_KEEP_HITS`] /
+    /// [`MEMO_WINDOW`], the memo switches itself off for the rest of the
+    /// space's life. The decision is a pure function of the touch sequence,
+    /// so runs stay deterministic, and the memo never affects results either
+    /// way — only how they are computed.
+    memo_enabled: bool,
 }
+
+/// Translation-memo slots. Power of two so the slot index is a mask; sized
+/// to cover a 32 MiB resident set of 4 KiB pages without conflict misses.
+const MEMO_SLOTS: usize = 8192;
+
+/// Touches per adaptive-memo observation window.
+const MEMO_WINDOW: u32 = 1 << 16;
+
+/// Hits a window must produce for the memo to stay enabled (25% — below
+/// that, probe-and-write overhead on the misses outweighs the walks the
+/// hits save; measured on the 256 MB+ footprints of the quick sweep, where
+/// the memo's 32 MiB reach covers almost nothing of the working set).
+const MEMO_KEEP_HITS: u32 = MEMO_WINDOW / 4;
 
 impl AddressSpace {
     /// Creates an empty address space with the given backing policy.
@@ -103,6 +134,10 @@ impl AddressSpace {
             frames,
             minor_faults: 0,
             fallback_faults: 0,
+            memo: vec![None; MEMO_SLOTS],
+            memo_probes: 0,
+            memo_hits: 0,
+            memo_enabled: true,
         }
     }
 
@@ -130,11 +165,55 @@ impl AddressSpace {
     /// Ensures the page containing `va` is mapped (demand paging) and
     /// returns its walk path.
     ///
+    /// Warm translations are answered from a direct-mapped memo instead of
+    /// re-walking the radix tree; because a walk of a mapped page is a pure
+    /// read and mappings are immutable, the memoised answer is always
+    /// exactly what the walk would return. The memo is *adaptive*: once an
+    /// observation window shows its hit rate has collapsed (a working set
+    /// far beyond the memo's 32 MiB reach), it switches itself off and
+    /// `touch` degenerates to the direct walk — paying a probe and an entry
+    /// write per touch is a measured net loss on large-footprint sweeps.
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::Unmapped`] if `va` is outside every segment —
     /// the simulated equivalent of a segmentation fault.
+    #[inline]
     pub fn touch(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
+        if !self.memo_enabled {
+            return self.touch_uncached(va);
+        }
+        if self.memo_probes >= MEMO_WINDOW {
+            self.memo_enabled = self.memo_hits >= MEMO_KEEP_HITS;
+            self.memo_probes = 0;
+            self.memo_hits = 0;
+            if !self.memo_enabled {
+                return self.touch_uncached(va);
+            }
+        }
+        self.memo_probes += 1;
+        let page = va.as_u64() >> 12;
+        let slot = (page as usize) & (MEMO_SLOTS - 1);
+        if let Some((key, path)) = self.memo[slot] {
+            if key == page {
+                self.memo_hits += 1;
+                return Ok(TouchOutcome {
+                    path,
+                    page_size: path.page_size,
+                    minor_fault: false,
+                });
+            }
+        }
+        let outcome = self.touch_uncached(va)?;
+        self.memo[slot] = Some((page, outcome.path));
+        Ok(outcome)
+    }
+
+    /// [`touch`](Self::touch) without the translation memo: always consults
+    /// the page table directly. This is the reference implementation the
+    /// memoised path must agree with; the simulator's force-slow reference
+    /// mode uses it verbatim.
+    pub fn touch_uncached(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
         if let Some(path) = self.table.walk(va) {
             return Ok(TouchOutcome {
                 path,
@@ -145,20 +224,25 @@ impl AddressSpace {
         let seg = self.segment_containing(va).ok_or(VmError::Unmapped(va))?;
         let resolved = self.policy.resolve(seg, va);
         let frame = self.frames.alloc_page(resolved.size);
-        self.table.map(
+        // `map_with_path` hands back the walk path it just built, which is
+        // identical to what a fresh `walk(va)` would produce (the path of a
+        // page depends only on radix indices the whole page shares) — so the
+        // confirmation re-walk is skipped.
+        let (_created, path) = self.table.map_with_path(
             va.page_base(resolved.size),
             resolved.size,
             frame,
             &mut self.frames,
         );
+        debug_assert_eq!(
+            Some(path),
+            self.table.walk(va),
+            "map_with_path must return exactly what walk({va}) sees"
+        );
         self.minor_faults += 1;
         if resolved.fell_back {
             self.fallback_faults += 1;
         }
-        let path = self
-            .table
-            .walk(va)
-            .expect("page was just mapped; walk cannot fail");
         Ok(TouchOutcome {
             path,
             page_size: resolved.size,
@@ -262,6 +346,25 @@ impl CheckInvariants for AddressSpace {
                 pair[1].name()
             );
         }
+        for entry in self.memo.iter().flatten() {
+            let (page, path) = *entry;
+            crate::invariant!(
+                self.table.walk(VirtAddr::new(page << 12)) == Some(path),
+                "translation memo disagrees with the page table for page {page:#x}"
+            );
+        }
+        crate::invariant!(
+            self.memo_probes <= MEMO_WINDOW,
+            "memo window overran: {} probes in a {}-probe window",
+            self.memo_probes,
+            MEMO_WINDOW
+        );
+        crate::invariant!(
+            self.memo_hits <= self.memo_probes,
+            "memo hits ({}) exceed probes ({}) in the current window",
+            self.memo_hits,
+            self.memo_probes
+        );
     }
 }
 
@@ -345,6 +448,98 @@ mod tests {
             stats.data_bytes + stats.table_bytes
         );
         assert_eq!(stats.virtual_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn memoised_touch_agrees_with_uncached_touch() {
+        let mut memo = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let mut plain = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg_m = memo.alloc_heap("a", 64 << 20).unwrap();
+        let seg_p = plain.alloc_heap("a", 64 << 20).unwrap();
+        assert_eq!(seg_m.base(), seg_p.base());
+        // A stride that wraps the 8192-slot memo several times, revisiting
+        // pages so hits, misses and conflict evictions all occur.
+        for round in 0..3u64 {
+            for i in 0..20_000u64 {
+                let va = seg_m.base().add(((i * 37 + round) % (64 << 8)) * 4096 / 16);
+                let a = memo.touch(va).unwrap();
+                let b = plain.touch_uncached(va).unwrap();
+                assert_eq!(a.path, b.path);
+                assert_eq!(a.page_size, b.page_size);
+                assert_eq!(a.minor_fault, b.minor_fault);
+            }
+        }
+        assert_eq!(memo.stats(), plain.stats());
+        memo.check_invariants();
+    }
+
+    #[test]
+    fn memo_disables_itself_on_streaming_touches_and_stays_correct() {
+        let mut adaptive = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let mut plain = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg_a = adaptive.alloc_heap("a", 1 << 30).unwrap();
+        let seg_p = plain.alloc_heap("a", 1 << 30).unwrap();
+        assert_eq!(seg_a.base(), seg_p.base());
+        // A sequential first-touch sweep (every touch a new page) never hits
+        // the memo; after one full observation window it must switch off.
+        let pages = (MEMO_WINDOW as u64) + 1000;
+        for i in 0..pages {
+            let a = adaptive.touch(seg_a.base().add(i * 4096)).unwrap();
+            let b = plain.touch_uncached(seg_p.base().add(i * 4096)).unwrap();
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.minor_fault, b.minor_fault);
+        }
+        assert!(
+            !adaptive.memo_enabled,
+            "a zero-hit window must disable the memo"
+        );
+        // Disabled ≠ wrong: re-touches still agree with the direct walk.
+        for i in (0..pages).step_by(511) {
+            let a = adaptive.touch(seg_a.base().add(i * 4096)).unwrap();
+            let b = plain.touch_uncached(seg_p.base().add(i * 4096)).unwrap();
+            assert_eq!(a.path, b.path);
+            assert!(!a.minor_fault);
+        }
+        assert_eq!(adaptive.stats(), plain.stats());
+        adaptive.check_invariants();
+    }
+
+    #[test]
+    fn memo_stays_enabled_on_a_resident_working_set() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 16 << 20).unwrap();
+        // 4096 resident pages, touched round-robin for several windows: hit
+        // rate approaches 100%, so the memo must stay on.
+        let pages = 4096u64;
+        let rounds = 3 * (MEMO_WINDOW as u64) / pages;
+        for round in 0..rounds {
+            for i in 0..pages {
+                let t = space.touch(seg.base().add(i * 4096)).unwrap();
+                assert_eq!(t.minor_fault, round == 0);
+            }
+        }
+        assert!(
+            space.memo_enabled,
+            "a hot working set must keep the memo on"
+        );
+        space.check_invariants();
+    }
+
+    #[test]
+    fn memo_conflicts_overwrite_and_stay_correct() {
+        let mut space = AddressSpace::new(BackingPolicy::uniform(PageSize::Size4K));
+        let seg = space.alloc_heap("a", 256 << 20).unwrap();
+        // Two pages 8192 * 4096 bytes apart share a memo slot.
+        let a = seg.base();
+        let b = seg.base().add(8192 * 4096);
+        let first = space.touch(a).unwrap();
+        let second = space.touch(b).unwrap();
+        assert_ne!(first.path.frame_base, second.path.frame_base);
+        // Re-touching `a` must re-walk (slot now holds `b`) and still agree.
+        let again = space.touch(a).unwrap();
+        assert!(!again.minor_fault);
+        assert_eq!(again.path, first.path);
+        space.check_invariants();
     }
 
     #[test]

@@ -118,26 +118,14 @@ impl PageTableStats {
     }
 }
 
-struct Node {
-    entries: Box<[u64; ENTRIES]>,
-    paddr: PhysAddr,
-}
-
-impl Node {
-    fn new(paddr: PhysAddr) -> Self {
-        Node {
-            entries: Box::new([0u64; ENTRIES]),
-            paddr,
-        }
-    }
-
-    #[inline]
-    fn entry_paddr(&self, idx: usize) -> PhysAddr {
-        self.paddr.add(idx as u64 * PTE_SIZE)
-    }
-}
-
 /// A sparse 4-level radix page table.
+///
+/// Nodes live in one flat arena: node `i` owns entries
+/// `[i * 512, (i + 1) * 512)` of a single `Vec<u64>`, with its simulated
+/// physical base in a parallel `node_paddrs` vector. Walks are therefore a
+/// chain of direct index computations over two contiguous allocations —
+/// no per-node pointer chase, no per-node boxed array — which matters
+/// because the walker runs on every TLB miss of every simulated access.
 ///
 /// # Example
 ///
@@ -154,20 +142,49 @@ impl Node {
 /// assert_eq!(path.frame_base, frame);
 /// ```
 pub struct PageTable {
-    nodes: Vec<Node>,
+    /// `node_count * ENTRIES` packed entries; node `i` owns
+    /// `entries[i * ENTRIES..(i + 1) * ENTRIES]`.
+    entries: Vec<u64>,
+    /// Simulated physical base address of each node's 4 KiB frame.
+    node_paddrs: Vec<u64>,
     stats: PageTableStats,
+    /// Virtual address of the most recent `map`, anchoring the chain memo.
+    chain_va: u64,
+    /// Interior-node chain of the most recent `map`: `chain_nodes[l - 1]` is
+    /// the arena index of the node whose entries are indexed at level `l`.
+    /// Valid for levels `chain_depth..=PT_LEVELS`; interior entries are
+    /// never rewritten (map only fills absent slots), so a remembered chain
+    /// can never go stale — a later `map` sharing a virtual-address prefix
+    /// re-enters the tree at the deepest shared node instead of the root.
+    /// Demand faulting touches pages in address order, so consecutive maps
+    /// usually share everything down to the PT node.
+    chain_nodes: [usize; PT_LEVELS as usize],
+    /// Deepest level for which `chain_nodes` is valid; 0 = no map yet.
+    chain_depth: u8,
 }
 
 impl PageTable {
     /// Creates an empty table with just the root (PML4) node.
     pub fn new(frames: &mut FrameAllocator) -> Self {
-        let root = Node::new(frames.alloc_table_node());
+        let root_paddr = frames.alloc_table_node();
         let mut stats = PageTableStats::default();
         stats.nodes_by_level[PT_LEVELS as usize - 1] = 1;
         PageTable {
-            nodes: vec![root],
+            entries: vec![0u64; ENTRIES],
+            node_paddrs: vec![root_paddr.as_u64()],
             stats,
+            chain_va: 0,
+            chain_nodes: [0; PT_LEVELS as usize],
+            chain_depth: 0,
         }
+    }
+
+    /// Appends a fresh (all-zero) node to the arena, returning its index.
+    fn push_node(&mut self, paddr: PhysAddr) -> usize {
+        let idx = self.node_paddrs.len();
+        self.entries.resize(self.entries.len() + ENTRIES, 0);
+        self.node_paddrs.push(paddr.as_u64());
+        idx
     }
 
     /// Maps the page of size `size` containing `va` to the physical page at
@@ -187,6 +204,22 @@ impl PageTable {
         frame_base: PhysAddr,
         frames: &mut FrameAllocator,
     ) -> u8 {
+        self.map_with_path(va, size, frame_base, frames).0
+    }
+
+    /// [`map`](Self::map), additionally returning the walk path of the page
+    /// just mapped — byte-for-byte what [`walk`](Self::walk) would return
+    /// for any address inside the page, since the path depends only on the
+    /// radix indices at levels ≥ the leaf level, which every address in the
+    /// page shares. Demand-paging callers use this to skip the confirmation
+    /// re-walk after a fault.
+    pub fn map_with_path(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+        frame_base: PhysAddr,
+        frames: &mut FrameAllocator,
+    ) -> (u8, WalkPath) {
         assert!(
             frame_base.is_aligned(size.bytes()),
             "frame {frame_base} not aligned to {size}"
@@ -195,15 +228,53 @@ impl PageTable {
         let mut created = 0u8;
         let mut node_idx = 0usize;
         let mut level = PT_LEVELS;
+        if self.chain_depth > 0 {
+            // Re-enter at the deepest remembered node whose position the new
+            // address shares: a match of all radix indices above level `l`
+            // is a match of the bits from `12 + 9l` up.
+            let mut l = self.chain_depth.max(leaf_level);
+            while l < PT_LEVELS {
+                let shift = 12 + 9 * u32::from(l);
+                if va.as_u64() >> shift == self.chain_va >> shift {
+                    node_idx = self.chain_nodes[usize::from(l) - 1];
+                    level = l;
+                    break;
+                }
+                l += 1;
+            }
+        }
+        let mut steps = [WalkStep {
+            level: 0,
+            entry_paddr: PhysAddr::new(0),
+        }; PT_LEVELS as usize];
+        let mut n = 0usize;
+        // Steps for levels the chain let us skip: the nodes are known, only
+        // the traversal was avoided.
+        let mut skipped = PT_LEVELS;
+        while skipped > level {
+            let node = self.chain_nodes[usize::from(skipped) - 1];
+            let idx = va.pt_index(skipped);
+            steps[n] = WalkStep {
+                level: skipped,
+                entry_paddr: PhysAddr::new(self.node_paddrs[node]).add(idx as u64 * PTE_SIZE),
+            };
+            n += 1;
+            skipped -= 1;
+        }
         while level > leaf_level {
             let idx = va.pt_index(level);
-            let entry = self.nodes[node_idx].entries[idx];
+            steps[n] = WalkStep {
+                level,
+                entry_paddr: PhysAddr::new(self.node_paddrs[node_idx]).add(idx as u64 * PTE_SIZE),
+            };
+            n += 1;
+            self.chain_nodes[usize::from(level) - 1] = node_idx;
+            let entry = self.entries[node_idx * ENTRIES + idx];
             if entry & PRESENT == 0 {
                 let child_paddr = frames.alloc_table_node();
-                let child_arena = self.nodes.len();
-                self.nodes.push(Node::new(child_paddr));
+                let child_arena = self.push_node(child_paddr);
                 self.stats.nodes_by_level[level as usize - 2] += 1;
-                self.nodes[node_idx].entries[idx] =
+                self.entries[node_idx * ENTRIES + idx] =
                     PRESENT | ((child_arena as u64) << PAYLOAD_SHIFT);
                 node_idx = child_arena;
                 created += 1;
@@ -218,7 +289,13 @@ impl PageTable {
             level -= 1;
         }
         let idx = va.pt_index(leaf_level);
-        let slot = &mut self.nodes[node_idx].entries[idx];
+        steps[n] = WalkStep {
+            level: leaf_level,
+            entry_paddr: PhysAddr::new(self.node_paddrs[node_idx]).add(idx as u64 * PTE_SIZE),
+        };
+        n += 1;
+        self.chain_nodes[usize::from(leaf_level) - 1] = node_idx;
+        let slot = &mut self.entries[node_idx * ENTRIES + idx];
         assert_eq!(*slot & PRESENT, 0, "page at {va} ({size}) already mapped");
         let ps_bit = if leaf_level > 1 { PS } else { 0 };
         *slot = PRESENT | ps_bit | ((frame_base.as_u64() >> PAYLOAD_SHIFT) << PAYLOAD_SHIFT);
@@ -227,7 +304,17 @@ impl PageTable {
             PageSize::Size2M => 1,
             PageSize::Size1G => 2,
         }] += 1;
-        created
+        self.chain_va = va.as_u64();
+        self.chain_depth = leaf_level;
+        (
+            created,
+            WalkPath {
+                steps,
+                len: n as u8,
+                page_size: size,
+                frame_base,
+            },
+        )
     }
 
     /// Walks the tree for `va` like hardware would, reporting either the
@@ -246,15 +333,44 @@ impl PageTable {
         let mut node_idx = 0usize;
         let mut level = PT_LEVELS;
         let mut n = 0usize;
+        // Re-enter through the chain memo when the address shares a prefix
+        // with the last-mapped page (the common case while demand paging
+        // faults pages in address order). The *reported* steps are identical
+        // to a root-first traversal — the skipped levels' entries are filled
+        // in from the remembered nodes, only their re-reads are avoided; a
+        // remembered node can never go stale because interior entries are
+        // write-once.
+        if self.chain_depth > 0 {
+            let mut l = self.chain_depth;
+            while l < PT_LEVELS {
+                let shift = 12 + 9 * u32::from(l);
+                if va.as_u64() >> shift == self.chain_va >> shift {
+                    node_idx = self.chain_nodes[usize::from(l) - 1];
+                    level = l;
+                    break;
+                }
+                l += 1;
+            }
+            let mut skipped = PT_LEVELS;
+            while skipped > level {
+                let node = self.chain_nodes[usize::from(skipped) - 1];
+                let idx = va.pt_index(skipped);
+                steps[n] = WalkStep {
+                    level: skipped,
+                    entry_paddr: PhysAddr::new(self.node_paddrs[node]).add(idx as u64 * PTE_SIZE),
+                };
+                n += 1;
+                skipped -= 1;
+            }
+        }
         loop {
-            let node = &self.nodes[node_idx];
             let idx = va.pt_index(level);
             steps[n] = WalkStep {
                 level,
-                entry_paddr: node.entry_paddr(idx),
+                entry_paddr: PhysAddr::new(self.node_paddrs[node_idx]).add(idx as u64 * PTE_SIZE),
             };
             n += 1;
-            let entry = node.entries[idx];
+            let entry = self.entries[node_idx * ENTRIES + idx];
             if entry & PRESENT == 0 {
                 return ProbeResult::NotPresent {
                     fetched: PartialWalk {
@@ -305,23 +421,47 @@ impl PageTable {
 impl crate::CheckInvariants for PageTable {
     fn check_invariants(&self) {
         crate::invariant!(
-            self.stats.total_nodes() == self.nodes.len() as u64,
+            self.stats.total_nodes() == self.node_paddrs.len() as u64,
             "page-table stats claim {} nodes but the arena holds {}",
             self.stats.total_nodes(),
-            self.nodes.len()
+            self.node_paddrs.len()
+        );
+        crate::invariant!(
+            self.entries.len() == self.node_paddrs.len() * ENTRIES,
+            "entry arena ({}) out of step with node count ({})",
+            self.entries.len(),
+            self.node_paddrs.len()
         );
         crate::invariant!(
             self.stats.nodes_by_level[PT_LEVELS as usize - 1] == 1,
             "a 4-level table has exactly one root node, stats claim {}",
             self.stats.nodes_by_level[PT_LEVELS as usize - 1]
         );
+        if self.chain_depth > 0 {
+            // The chain memo must agree with a fresh walk of the anchor.
+            let path = self
+                .walk(VirtAddr::new(self.chain_va))
+                .expect("chain memo anchors a mapped page");
+            crate::invariant!(
+                path.leaf().level == self.chain_depth,
+                "chain depth {} disagrees with the anchor's leaf level {}",
+                self.chain_depth,
+                path.leaf().level
+            );
+            for l in self.chain_depth..=PT_LEVELS {
+                crate::invariant!(
+                    self.chain_nodes[usize::from(l) - 1] < self.node_paddrs.len(),
+                    "chain node at level {l} points outside the arena"
+                );
+            }
+        }
     }
 }
 
 impl std::fmt::Debug for PageTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageTable")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.node_paddrs.len())
             .field("stats", &self.stats)
             .finish()
     }
@@ -506,6 +646,32 @@ mod tests {
             ProbeResult::Mapped(path) => assert_eq!(Some(path), table.walk(va)),
             ProbeResult::NotPresent { .. } => panic!("expected mapped"),
         }
+    }
+
+    #[test]
+    fn map_with_path_matches_a_fresh_walk() {
+        use crate::CheckInvariants;
+        let (mut frames, mut table) = setup();
+        // Sequential pages (chain memo hits), a far jump (chain miss), a
+        // return near the start (partial-prefix re-entry), and superpages.
+        let mut plan: Vec<(u64, PageSize)> = (0..600u64)
+            .map(|i| (0x1000_0000 + i * 0x1000, PageSize::Size4K))
+            .collect();
+        plan.push((0x7f00_0000_0000, PageSize::Size4K));
+        plan.push((0x1000_0000 + 600 * 0x1000, PageSize::Size4K));
+        plan.push((0x40_0000_0000, PageSize::Size1G));
+        plan.push((0x5000_0000_0000 + (2 << 20), PageSize::Size2M));
+        plan.push((0x5000_0000_0000, PageSize::Size2M));
+        for (va, size) in plan {
+            let va = VirtAddr::new(va);
+            let f = frames.alloc_page(size);
+            let (_, path) = table.map_with_path(va, size, f, &mut frames);
+            assert_eq!(Some(path), table.walk(va), "path for {va} ({size})");
+            // Any other address inside the page shares the identical path.
+            let inner = VirtAddr::new(va.as_u64() + size.bytes() - 1);
+            assert_eq!(Some(path), table.walk(inner));
+        }
+        table.check_invariants();
     }
 
     #[test]

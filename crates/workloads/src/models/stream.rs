@@ -13,7 +13,7 @@ use super::Region;
 use crate::meta;
 use crate::workload::Workload;
 use atscale_gen::splitmix64;
-use atscale_mmu::{AccessSink, WorkloadProfile};
+use atscale_mmu::{AccessOp, AccessSink, SinkEvent, WorkloadProfile};
 use atscale_vm::{AddressSpace, VmError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -110,15 +110,20 @@ impl StreamclusterModel {
     /// One point's gain evaluation: stream its coordinates, compare against
     /// a couple of centres, occasionally reassign.
     fn step_point(&mut self, sink: &mut dyn AccessSink) {
-        // 128 dims × 4 B = 512 B per point; loads at 32 B granularity.
-        for _ in 0..16 {
+        // 128 dims × 4 B = 512 B per point; loads at 32 B granularity. The
+        // coordinate scan has no data-dependent control flow, so the whole
+        // point is emitted through one batched call rather than 32 virtual
+        // dispatches; event order matches the per-call form exactly.
+        let mut events = [SinkEvent::Instructions(0); 32];
+        for i in 0..16 {
             let va = {
                 let layout = self.layout.as_mut().expect("setup ran");
                 layout.points.seq(32)
             };
-            sink.load(va);
-            sink.instructions(3); // dense FP distance math
+            events[2 * i] = SinkEvent::Access(AccessOp::Load, va);
+            events[2 * i + 1] = SinkEvent::Instructions(3); // dense FP distance math
         }
+        sink.event_batch(&events);
         let (c1, c2) = {
             let layout = self.layout.as_ref().expect("setup ran");
             let rng = &mut self.rng;
