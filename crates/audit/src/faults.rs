@@ -1,0 +1,177 @@
+//! Rule 7 — fault-site coverage.
+//!
+//! Every variant of `atscale_faults::FaultSite` must be (a) **wired**:
+//! referenced as an injection site somewhere in the library sources of
+//! the crates the fault layer instruments (`crates/core/src`,
+//! `crates/serve/src`), and (b) **exercised**: referenced by the chaos
+//! test suite (`crates/serve/tests/chaos.rs`). A fault site that nothing
+//! injects is dead chaos surface; a site no chaos test arms is recovery
+//! machinery whose failure mode ships untested. Both fail CI here.
+//!
+//! Like the other rules this is a name scan over comment-stripped source,
+//! not a type-resolved analysis; see [`crate::source`].
+
+use crate::protocol::variant_names;
+use crate::source::block_after;
+use crate::{Audit, Workspace};
+
+/// Path (workspace-relative suffix) of the fault-site catalogue.
+pub const FAULTS_PATH: &str = "crates/faults/src/lib.rs";
+/// Path (workspace-relative suffix) of the chaos test suite.
+pub const CHAOS_TEST_PATH: &str = "crates/serve/tests/chaos.rs";
+const RULE: &str = "fault-site-coverage";
+
+/// Library source prefixes where injection sites may legitimately live.
+const WIRED_PREFIXES: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
+
+/// Runs the fault-site-coverage rule over the workspace.
+pub fn audit_fault_site_coverage(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    let Some(faults) = ws.file(FAULTS_PATH) else {
+        audit.fail(FAULTS_PATH, format!("{FAULTS_PATH} not found in workspace"));
+        return audit;
+    };
+    let Some(chaos) = ws.file(CHAOS_TEST_PATH) else {
+        audit.fail(
+            CHAOS_TEST_PATH,
+            format!("{CHAOS_TEST_PATH} not found — every fault site needs a chaos test"),
+        );
+        return audit;
+    };
+    let Some(body) = block_after(&faults.stripped, "pub enum FaultSite") else {
+        audit.fail(FAULTS_PATH, "`pub enum FaultSite` not found");
+        return audit;
+    };
+    let sites = variant_names(body);
+    audit.check();
+    if sites.is_empty() {
+        audit.fail(FAULTS_PATH, "no variants parsed from `pub enum FaultSite`");
+        return audit;
+    }
+    for site in sites {
+        let qualified = format!("FaultSite::{site}");
+        audit.check();
+        let wired = ws.rust_sources().any(|f| {
+            WIRED_PREFIXES.iter().any(|p| f.path.starts_with(p)) && f.stripped.contains(&qualified)
+        });
+        if !wired {
+            audit.fail(
+                FAULTS_PATH,
+                format!(
+                    "fault site `{qualified}` is not wired into any injection point — \
+                     reference it from library code under {WIRED_PREFIXES:?} or remove it"
+                ),
+            );
+        }
+        audit.check();
+        if !chaos.stripped.contains(&qualified) {
+            audit.fail(
+                FAULTS_PATH,
+                format!(
+                    "fault site `{qualified}` is not exercised by the chaos suite — \
+                     arm it in a scenario in {CHAOS_TEST_PATH}"
+                ),
+            );
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    const FAULTS_SRC: &str = "
+pub enum FaultSite {
+    StoreWrite,
+    WorkerPanic,
+}
+";
+
+    #[test]
+    fn wired_and_exercised_sites_pass() {
+        let ws = workspace_from(&[
+            (FAULTS_PATH, FAULTS_SRC),
+            (
+                "crates/core/src/store.rs",
+                "fn save() { plan.check(FaultSite::StoreWrite); }",
+            ),
+            (
+                "crates/serve/src/scheduler.rs",
+                "fn execute() { self.fault(FaultSite::WorkerPanic); }",
+            ),
+            (
+                CHAOS_TEST_PATH,
+                "fn a() { arm(FaultSite::StoreWrite); } fn b() { arm(FaultSite::WorkerPanic); }",
+            ),
+        ]);
+        let audit = audit_fault_site_coverage(&ws);
+        assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+        assert!(audit.checked >= 4);
+    }
+
+    #[test]
+    fn unwired_site_fails() {
+        let ws = workspace_from(&[
+            (FAULTS_PATH, FAULTS_SRC),
+            (
+                "crates/core/src/store.rs",
+                "fn save() { plan.check(FaultSite::StoreWrite); }",
+            ),
+            (
+                CHAOS_TEST_PATH,
+                "fn a() { arm(FaultSite::StoreWrite); } fn b() { arm(FaultSite::WorkerPanic); }",
+            ),
+        ]);
+        let audit = audit_fault_site_coverage(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("WorkerPanic"));
+        assert!(audit.violations[0].message.contains("not wired"));
+    }
+
+    #[test]
+    fn unexercised_site_fails() {
+        let ws = workspace_from(&[
+            (FAULTS_PATH, FAULTS_SRC),
+            (
+                "crates/core/src/store.rs",
+                "fn save() { plan.check(FaultSite::StoreWrite); }",
+            ),
+            (
+                "crates/serve/src/scheduler.rs",
+                "fn execute() { self.fault(FaultSite::WorkerPanic); }",
+            ),
+            (CHAOS_TEST_PATH, "fn a() { arm(FaultSite::StoreWrite); }"),
+        ]);
+        let audit = audit_fault_site_coverage(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("WorkerPanic"));
+        assert!(audit.violations[0].message.contains("chaos"));
+    }
+
+    #[test]
+    fn test_references_do_not_count_as_wiring() {
+        // A site referenced only by tests (not library sources) is dead
+        // chaos surface and must fail the wired check.
+        let ws = workspace_from(&[
+            (FAULTS_PATH, "\npub enum FaultSite {\n    StoreWrite,\n}\n"),
+            (
+                "crates/serve/tests/other.rs",
+                "fn t() { arm(FaultSite::StoreWrite); }",
+            ),
+            (CHAOS_TEST_PATH, "fn a() { arm(FaultSite::StoreWrite); }"),
+        ]);
+        let audit = audit_fault_site_coverage(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("not wired"));
+    }
+
+    #[test]
+    fn missing_chaos_suite_fails() {
+        let ws = workspace_from(&[(FAULTS_PATH, FAULTS_SRC)]);
+        let audit = audit_fault_site_coverage(&ws);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(audit.violations[0].message.contains("chaos test"));
+    }
+}

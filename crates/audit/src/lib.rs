@@ -1,7 +1,7 @@
 //! # atscale-audit — workspace static-analysis pass
 //!
 //! A self-contained consistency checker for the atscale workspace, run in
-//! CI as `cargo run -p atscale-audit`. It enforces three rules that rustc
+//! CI as `cargo run -p atscale-audit`. It enforces seven rules that rustc
 //! and clippy cannot express:
 //!
 //! 1. **Counter coverage** ([`audit_counter_coverage`]) — every PMU-event
@@ -33,6 +33,11 @@
 //!    cache) contain no allocating or formatting calls outside `#[cold]`
 //!    functions, constructors, and panic messages, so the throughput the
 //!    perf gate defends cannot be eroded by a stray `format!`.
+//! 7. **Fault-site coverage** ([`audit_fault_site_coverage`]) — every
+//!    `atscale_faults::FaultSite` variant is wired into an injection point
+//!    in the instrumented library crates AND exercised by the chaos test
+//!    suite, so the deterministic fault layer can neither grow dead sites
+//!    nor ship recovery paths no chaos scenario arms.
 //!
 //! The audit scans comment-stripped source text with a small brace matcher
 //! (see [`source`]) rather than a full parser: the offline build vendors no
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod faults;
 pub mod hotpath;
 pub mod invariants;
 pub mod lints;
@@ -52,6 +58,7 @@ pub mod source;
 pub mod telemetry;
 
 pub use counters::audit_counter_coverage;
+pub use faults::audit_fault_site_coverage;
 pub use hotpath::audit_hot_path_allocation;
 pub use invariants::audit_invariant_annotations;
 pub use lints::audit_lint_wiring;
@@ -234,6 +241,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Audit> {
         audit_telemetry_coverage(ws),
         audit_protocol_roundtrip(ws),
         audit_hot_path_allocation(ws),
+        audit_fault_site_coverage(ws),
     ]
 }
 

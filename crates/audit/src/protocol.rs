@@ -25,8 +25,8 @@ const FRAME_ENUMS: [&str; 2] = ["Request", "Reply"];
 
 /// Extracts the variant names of an enum body (comment-stripped source):
 /// the leading identifier of every `Name,` / `Name(Payload),` line,
-/// skipping attributes.
-fn variant_names(body: &str) -> Vec<String> {
+/// skipping attributes. Shared with the fault-site-coverage rule.
+pub(crate) fn variant_names(body: &str) -> Vec<String> {
     body.lines()
         .filter_map(|line| {
             let line = line.trim();

@@ -249,8 +249,8 @@ fn run(opts: &Options) -> Result<(), String> {
         "cache-stats" => {
             let stats = client.cache_stats().map_err(|e| e.to_string())?;
             println!(
-                "run cache: {} entries, {} bytes, {} tmp droppings",
-                stats.entries, stats.bytes, stats.tmp_files
+                "run cache: {} entries, {} bytes, {} tmp droppings, {} quarantined",
+                stats.entries, stats.bytes, stats.tmp_files, stats.corrupt_files
             );
             Ok(())
         }
@@ -258,12 +258,13 @@ fn run(opts: &Options) -> Result<(), String> {
             let s = client.server_stats().map_err(|e| e.to_string())?;
             println!(
                 "executions {} | cache hits {} | dedup hits {} | overloaded {} | \
-                 expired {} | queued {} | running {} | completed {} | draining {}",
+                 expired {} | failed {} | queued {} | running {} | completed {} | draining {}",
                 s.executions,
                 s.cache_hits,
                 s.dedup_hits,
                 s.overloaded,
                 s.expired,
+                s.failed,
                 s.queued,
                 s.running,
                 s.completed,

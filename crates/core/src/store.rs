@@ -14,6 +14,8 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "faults")]
+use std::sync::Arc;
 
 /// Monotonic per-process counter distinguishing concurrent temp files for
 /// the same key (see [`RunStore::save`]).
@@ -31,25 +33,47 @@ pub struct StoreStats {
     /// Leftover temp files (`*.tmp`) from interrupted saves; a healthy
     /// store holds none.
     pub tmp_files: u64,
+    /// Corrupt records quarantined as `*.corrupt` sidecars by
+    /// [`RunStore::load`]; each one was detected, set aside for forensics,
+    /// and transparently recomputed.
+    pub corrupt_files: u64,
 }
 
 /// A directory of cached run records.
 #[derive(Debug, Clone)]
 pub struct RunStore {
     dir: PathBuf,
+    #[cfg(feature = "faults")]
+    faults: Option<Arc<atscale_faults::FaultPlan>>,
 }
 
 impl RunStore {
-    /// Opens (creating if needed) a store at `dir`.
+    /// Opens (creating if needed) a store at `dir`, then garbage-collects
+    /// temp files orphaned by crashed processes (see
+    /// [`RunStore::gc_stale_tmp`]).
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<RunStore> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(RunStore {
+        let store = RunStore {
             dir: dir.as_ref().to_path_buf(),
-        })
+            #[cfg(feature = "faults")]
+            faults: None,
+        };
+        store.gc_stale_tmp();
+        Ok(store)
+    }
+
+    /// Attaches a fault-injection plan: subsequent saves route through the
+    /// plan's `StoreWrite`/`StoreRename`/`StoreTorn` sites. Test-only
+    /// machinery — exists solely behind the `faults` feature.
+    #[cfg(feature = "faults")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<atscale_faults::FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The default store location, `results/runs` under the workspace,
@@ -76,11 +100,26 @@ impl RunStore {
         format!("{:016x}", splitmix64(h))
     }
 
-    /// Loads a cached record, if present and readable.
+    /// Loads a cached record, if present and intact.
+    ///
+    /// A record that fails validation (empty, truncated, or otherwise
+    /// unparseable — e.g. a torn write that a crash raced past `fsync`)
+    /// is **quarantined**: renamed to a `{key}.json.corrupt` sidecar so
+    /// the evidence survives for forensics, while this call reports a
+    /// cache miss and the caller transparently recomputes. Corruption is
+    /// never an error and never a panic, only a miss.
     pub fn load(&self, key: &str) -> Option<RunRecord> {
         let path = self.path_of(key);
-        let bytes = fs::read(path).ok()?;
-        serde_json::from_slice(&bytes).ok()
+        let bytes = fs::read(&path).ok()?;
+        if !bytes.is_empty() {
+            if let Ok(record) = serde_json::from_slice(&bytes) {
+                return Some(record);
+            }
+        }
+        let mut quarantine = path.clone().into_os_string();
+        quarantine.push(".corrupt");
+        let _ = fs::rename(&path, &quarantine);
+        None
     }
 
     /// Saves a record under `key`.
@@ -95,6 +134,17 @@ impl RunStore {
     ///
     /// Returns the I/O error if the file cannot be written.
     pub fn save(&self, key: &str, record: &RunRecord) -> std::io::Result<()> {
+        #[allow(unused_mut)]
+        let mut payload = serde_json::to_vec(record).expect("records serialize");
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.faults {
+            if let Some(rule) = plan.check(atscale_faults::FaultSite::StoreTorn) {
+                // A torn write that survives the rename: keep a strict
+                // prefix of the payload so a corrupt record lands on disk.
+                let keep = ((payload.len() as f64) * rule.torn_keep) as usize;
+                payload.truncate(keep.min(payload.len().saturating_sub(1)));
+            }
+        }
         let tmp = self.dir.join(format!(
             ".{key}.{}.{}.tmp",
             std::process::id(),
@@ -102,14 +152,58 @@ impl RunStore {
         ));
         let result = (|| {
             let mut file = fs::File::create(&tmp)?;
-            file.write_all(&serde_json::to_vec(record).expect("records serialize"))?;
+            #[cfg(feature = "faults")]
+            if let Some(plan) = &self.faults {
+                if plan.check(atscale_faults::FaultSite::StoreWrite).is_some() {
+                    return Err(atscale_faults::injected_io_error(
+                        atscale_faults::FaultSite::StoreWrite,
+                    ));
+                }
+            }
+            file.write_all(&payload)?;
             file.sync_all()?;
+            #[cfg(feature = "faults")]
+            if let Some(plan) = &self.faults {
+                if plan.check(atscale_faults::FaultSite::StoreRename).is_some() {
+                    return Err(atscale_faults::injected_io_error(
+                        atscale_faults::FaultSite::StoreRename,
+                    ));
+                }
+            }
             fs::rename(&tmp, self.path_of(key))
         })();
         if result.is_err() {
             let _ = fs::remove_file(&tmp); // never leave droppings behind
         }
         result
+    }
+
+    /// Removes `*.tmp` droppings left behind by processes that crashed
+    /// between write and rename, returning how many were removed.
+    ///
+    /// Runs automatically on [`RunStore::open`]. A temp file is removed
+    /// only when its embedded owner pid (`.{key}.{pid}.{seq}.tmp`) is
+    /// provably not alive: files owned by this process or by a pid with a
+    /// live `/proc` entry are kept (an in-flight save from a concurrent
+    /// process must not be yanked out from under its rename), and when no
+    /// `/proc` filesystem exists liveness is unknowable, so everything
+    /// parseable is conservatively kept. Unparseable `*.tmp` names have
+    /// no owner to consult and are removed.
+    pub fn gc_stale_tmp(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "tmp")
+                && !tmp_owner_alive(&path)
+                && fs::remove_file(&path).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Entry count, total bytes, and temp-file droppings of the store —
@@ -127,6 +221,7 @@ impl RunStore {
                     stats.bytes += entry.metadata().map_or(0, |m| m.len());
                 }
                 Some(x) if x == "tmp" => stats.tmp_files += 1,
+                Some(x) if x == "corrupt" => stats.corrupt_files += 1,
                 _ => {}
             }
         }
@@ -151,6 +246,28 @@ impl RunStore {
     fn path_of(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
+}
+
+/// Whether the process that owns a `.{key}.{pid}.{seq}.tmp` file is still
+/// alive (see [`RunStore::gc_stale_tmp`] for the removal policy).
+fn tmp_owner_alive(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let mut parts = name.trim_start_matches('.').split('.');
+    let _key = parts.next();
+    let Some(pid) = parts.next().and_then(|p| p.parse::<u32>().ok()) else {
+        return false; // no owner encoded in the name: nothing to wait for
+    };
+    if pid == std::process::id() {
+        return true;
+    }
+    if fs::metadata(format!("/proc/{pid}")).is_ok() {
+        return true;
+    }
+    // Without procfs, liveness is unknowable — keep the file rather than
+    // risk yanking an in-flight save.
+    !Path::new("/proc").exists()
 }
 
 #[cfg(test)]
@@ -212,6 +329,67 @@ mod tests {
         let key = "deadbeefdeadbeef";
         fs::write(store.dir.join(format!("{key}.json")), b"not json").unwrap();
         assert!(store.load(key).is_none());
+    }
+
+    #[test]
+    fn corrupt_records_are_quarantined_and_recomputable() {
+        let store = temp_store("quarantine");
+        let config = MachineConfig::haswell();
+        let record = crate::execute_run(&spec(), &config);
+        let key = RunStore::key(&spec(), &config);
+        store.save(&key, &record).unwrap();
+        let pristine = serde_json::to_vec(&store.load(&key).unwrap()).unwrap();
+
+        // Tear the on-disk record, then: load is a miss, the evidence
+        // moves to a `.corrupt` sidecar, and a re-save round-trips
+        // byte-identically.
+        let path = store.dir.join(format!("{key}.json"));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.load(&key).is_none(), "torn record is a miss");
+        assert!(
+            store.dir.join(format!("{key}.json.corrupt")).exists(),
+            "evidence quarantined"
+        );
+        assert_eq!(store.stats().corrupt_files, 1);
+        assert_eq!(store.stats().entries, 0);
+
+        store.save(&key, &record).unwrap();
+        let recomputed = serde_json::to_vec(&store.load(&key).unwrap()).unwrap();
+        assert_eq!(recomputed, pristine, "recomputed record is byte-identical");
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn empty_records_are_quarantined() {
+        let store = temp_store("empty");
+        let key = "feedfacefeedface";
+        fs::write(store.dir.join(format!("{key}.json")), b"").unwrap();
+        assert!(store.load(key).is_none());
+        assert_eq!(store.stats().corrupt_files, 1);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_gced_on_open_with_pid_liveness() {
+        let dir =
+            std::env::temp_dir().join(format!("atscale-store-test-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // An orphan from a pid that cannot be alive (u32::MAX is above
+        // any real pid_max), one from this live process, and a dropping
+        // with no parseable owner at all.
+        let dead = dir.join(format!(".abc123.{}.0.tmp", u32::MAX));
+        let live = dir.join(format!(".abc123.{}.1.tmp", std::process::id()));
+        let junk = dir.join(".unparseable.tmp");
+        for p in [&dead, &live, &junk] {
+            fs::write(p, b"half-written").unwrap();
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert!(!dead.exists(), "dead-pid orphan removed");
+        assert!(!junk.exists(), "ownerless dropping removed");
+        assert!(live.exists(), "live-pid tmp kept (in-flight save)");
+        assert_eq!(store.stats().tmp_files, 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

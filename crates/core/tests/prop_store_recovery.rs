@@ -1,0 +1,125 @@
+//! Property tests for `RunStore` corruption recovery: arbitrary on-disk
+//! damage (truncation at any offset, any single bit flip) must never
+//! panic a load, must quarantine anything unparseable into a `.corrupt`
+//! sidecar, and must leave the store able to recompute and round-trip
+//! the record byte-identically.
+
+use atscale::{RunRecord, RunSpec, RunStore};
+use atscale_mmu::MachineConfig;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One real record (and its canonical bytes), computed once: the damage
+/// is the variable under test, not the simulation.
+fn baseline() -> &'static (RunRecord, Vec<u8>) {
+    static BASELINE: OnceLock<(RunRecord, Vec<u8>)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let spec = RunSpec {
+            workload: WorkloadId::parse("cc-urand").unwrap(),
+            nominal_footprint: 16 << 20,
+            page_size: PageSize::Size4K,
+            seed: 11,
+            warmup_instr: 1_000,
+            budget_instr: 20_000,
+        };
+        let record = atscale::execute_run(&spec, &MachineConfig::haswell());
+        let bytes = serde_json::to_vec(&record).expect("records serialize");
+        (record, bytes)
+    })
+}
+
+/// A fresh store in a unique scratch directory, plus the paths the
+/// properties poke at.
+fn scratch_store() -> (std::path::PathBuf, RunStore) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "atscale-prop-store-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunStore::open(&dir).expect("open store");
+    (dir, store)
+}
+
+const KEY: &str = "cafef00d";
+
+proptest! {
+    /// Truncating the cached file to any strict prefix (including empty)
+    /// is detected on load: the load reports a miss instead of panicking,
+    /// the corpse moves to a `.corrupt` sidecar, and a recompute + save
+    /// round-trips the record byte-identically.
+    #[test]
+    fn truncation_at_any_offset_quarantines_and_recomputes(cut_frac in 0.0f64..1.0) {
+        let (record, canonical) = baseline();
+        let (dir, store) = scratch_store();
+        store.save(KEY, record).expect("initial save");
+
+        let path = dir.join(format!("{KEY}.json"));
+        let bytes = std::fs::read(&path).expect("saved file");
+        prop_assert_eq!(&bytes, canonical, "save wrote the canonical bytes");
+        // Strict prefix: cut < len, so the JSON document never closes.
+        let cut = (((bytes.len() as f64) * cut_frac) as usize).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).expect("tear the file");
+
+        prop_assert!(store.load(KEY).is_none(), "truncated record is a miss");
+        prop_assert!(!path.exists(), "the torn file was moved aside");
+        prop_assert!(
+            dir.join(format!("{KEY}.json.corrupt")).exists(),
+            "quarantine sidecar exists"
+        );
+        prop_assert_eq!(store.stats().corrupt_files, 1);
+
+        // Recompute-and-save restores byte-identical service.
+        store.save(KEY, record).expect("re-save");
+        let back = store.load(KEY).expect("recovered record loads");
+        prop_assert_eq!(&serde_json::to_vec(&back).expect("serializes"), canonical);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single bit anywhere in the cached file never panics a
+    /// load: the damage either still parses (a lucky flip inside a number
+    /// or string — served as-is, not quarantined) or is quarantined as a
+    /// miss. Either way the store stays serviceable and a re-save
+    /// round-trips byte-identically.
+    #[test]
+    fn any_single_bit_flip_is_survived(byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let (record, canonical) = baseline();
+        let (dir, store) = scratch_store();
+        store.save(KEY, record).expect("initial save");
+
+        let path = dir.join(format!("{KEY}.json"));
+        let mut bytes = std::fs::read(&path).expect("saved file");
+        let pos = (((bytes.len() as f64) * byte_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("flip a bit");
+
+        // The contract under test: no panic, and a coherent verdict.
+        match store.load(KEY) {
+            Some(damaged) => {
+                // Still-parseable damage is served verbatim; it must at
+                // least survive re-serialization.
+                serde_json::to_vec(&damaged).expect("parsed record re-serializes");
+                prop_assert!(path.exists());
+                prop_assert_eq!(store.stats().corrupt_files, 0);
+            }
+            None => {
+                prop_assert!(!path.exists(), "unparseable file was moved aside");
+                prop_assert!(
+                    dir.join(format!("{KEY}.json.corrupt")).exists(),
+                    "quarantine sidecar exists"
+                );
+            }
+        }
+
+        store.save(KEY, record).expect("re-save");
+        let back = store.load(KEY).expect("recovered record loads");
+        prop_assert_eq!(&serde_json::to_vec(&back).expect("serializes"), canonical);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

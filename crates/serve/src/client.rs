@@ -2,8 +2,17 @@
 //!
 //! One [`Client`] is one connection. Requests are written as JSON lines;
 //! submissions stream back `Accepted` → (`Sample` | `Progress` | `Record`
-//! | `Deadline`)* → `BatchDone`, which [`Client::run_many`] folds back
-//! into the harness's `run_many` contract: records in spec order.
+//! | `Deadline` | `Failed`)* → `BatchDone`, which [`Client::run_many`]
+//! folds back into the harness's `run_many` contract: records in spec
+//! order.
+//!
+//! Transient failures are handled by a unified [`RetryPolicy`]: capped
+//! exponential backoff with deterministic jitter, retrying **only**
+//! idempotent rejections (`Overloaded` — the batch was rejected
+//! atomically, nothing was enqueued, so resubmission cannot
+//! double-execute). Everything else — connection loss, protocol breaks,
+//! server errors, failed jobs — surfaces immediately as an explicit
+//! error, never a silent retry and never a hang.
 
 use crate::protocol::{
     self, Hello, Overloaded, Reply, Request, ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
@@ -14,17 +23,80 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Chunk size for [`Client::run_chunked`] when the server's capacity is
 /// unknown (handshake skipped).
 const FALLBACK_CHUNK: usize = 128;
-/// First backoff after an `Overloaded` rejection; doubles per retry.
-const BACKOFF_START: Duration = Duration::from_millis(50);
-/// Backoff ceiling between `Overloaded` retries.
-const BACKOFF_MAX: Duration = Duration::from_secs(2);
-/// Consecutive `Overloaded` rejections of one chunk before giving up.
-const MAX_OVERLOAD_RETRIES: u32 = 64;
+
+/// How [`Client::run_chunked`] retries transient rejections: capped
+/// exponential backoff with deterministic jitter derived from
+/// `jitter_seed` (the chaos suite seeds it from the fault plan, so a
+/// replayed seed reproduces the exact retry cadence), bounded by an
+/// attempt budget and an optional overall deadline.
+///
+/// Only idempotent rejections are ever retried: an `Overloaded` reply
+/// means the whole batch was rejected atomically, so resubmitting cannot
+/// double-execute anything. Failures that may have had effects (I/O loss
+/// mid-stream, failed jobs) are surfaced, not retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per chunk (first try included) before the last
+    /// rejection is surfaced.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (each backoff lands in
+    /// `[cap/2, cap)` of its exponential step).
+    pub jitter_seed: u64,
+    /// Overall wall-clock budget across all chunks and retries of one
+    /// `run_chunked` call; `None` = bounded by `max_attempts` alone.
+    pub overall_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 64,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x5eed_0000_5eed_0000,
+            overall_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `attempt` (0-based): exponential
+    /// from `base_backoff`, capped at `max_backoff`, jittered
+    /// deterministically into `[cap/2, cap)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.min(16);
+        let cap = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let nanos = u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX);
+        if nanos < 2 {
+            return cap;
+        }
+        let z =
+            splitmix64(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_nanos(nanos / 2 + ((nanos / 2) as f64 * unit) as u64)
+    }
+}
+
+/// `splitmix64`, kept local so the retry jitter needs no dependency on
+/// the generators crate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -41,6 +113,10 @@ pub enum ClientError {
     /// Some specs resolved past the request deadline; their batch indices
     /// are listed.
     Expired(Vec<u64>),
+    /// Some specs' jobs failed server-side (contained worker panics);
+    /// `(batch index, panic message)` per failed spec. Resubmitting is
+    /// safe and will re-execute.
+    Failed(Vec<(u64, String)>),
 }
 
 impl std::fmt::Display for ClientError {
@@ -55,6 +131,12 @@ impl std::fmt::Display for ClientError {
             ),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Expired(idx) => write!(f, "{} spec(s) missed the deadline", idx.len()),
+            ClientError::Failed(jobs) => write!(
+                f,
+                "{} spec(s) failed server-side (first: {})",
+                jobs.len(),
+                jobs.first().map_or("", |(_, m)| m.as_str())
+            ),
         }
     }
 }
@@ -76,6 +158,15 @@ pub struct SubmitOptions {
     pub sample_interval: u64,
 }
 
+/// Handle onto the underlying socket for deadline control (the boxed
+/// reader/writer halves cannot reach `set_read_timeout` through the trait
+/// object).
+enum TimeoutControl {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
 /// A blocking connection to an `atscale-serve` daemon.
 pub struct Client {
     reader: BufReader<Box<dyn Read + Send>>,
@@ -85,6 +176,14 @@ pub struct Client {
     /// handshake (0 until [`Client::hello`] has run). Sizes
     /// [`Client::run_chunked`] batches.
     server_capacity: u64,
+    /// Retry policy for [`Client::run_chunked`].
+    retry: RetryPolicy,
+    /// Socket handle for [`Client::set_read_timeout`].
+    control: Option<TimeoutControl>,
+    /// Fault plan driving the `ClientWrite`/`ClientRead`/`ClientStall`
+    /// sites (chaos machinery).
+    #[cfg(feature = "faults")]
+    faults: Option<std::sync::Arc<atscale_faults::FaultPlan>>,
 }
 
 impl std::fmt::Debug for Client {
@@ -121,7 +220,10 @@ impl Client {
         // round-trip.
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
-        Ok(Self::from_halves(Box::new(read_half), Box::new(stream)))
+        let control = TimeoutControl::Tcp(stream.try_clone()?);
+        let mut client = Self::from_halves(Box::new(read_half), Box::new(stream));
+        client.control = Some(control);
+        Ok(client)
     }
 
     /// Connects over a Unix socket.
@@ -135,7 +237,10 @@ impl Client {
         {
             let stream = UnixStream::connect(path)?;
             let read_half = stream.try_clone()?;
-            Ok(Self::from_halves(Box::new(read_half), Box::new(stream)))
+            let control = TimeoutControl::Unix(stream.try_clone()?);
+            let mut client = Self::from_halves(Box::new(read_half), Box::new(stream));
+            client.control = Some(control);
+            Ok(client)
         }
         #[cfg(not(unix))]
         {
@@ -152,10 +257,65 @@ impl Client {
             writer: write,
             next_id: 1,
             server_capacity: 0,
+            retry: RetryPolicy::default(),
+            control: None,
+            #[cfg(feature = "faults")]
+            faults: None,
+        }
+    }
+
+    /// Replaces the retry policy [`Client::run_chunked`] uses.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Client {
+        self.retry = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Attaches a fault-injection plan: subsequent socket traffic routes
+    /// through the plan's `ClientWrite`/`ClientRead`/`ClientStall` sites.
+    /// Chaos-test machinery.
+    #[cfg(feature = "faults")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<atscale_faults::FaultPlan>) -> Client {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Bounds how long any single reply read may block. With a timeout
+    /// set, a stalled or dead-but-connected server surfaces as an
+    /// explicit [`ClientError::Io`] instead of hanging the call forever.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `Unsupported` on a connection without a socket handle
+    /// (in-memory test transports), or with the socket's error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match &self.control {
+            Some(TimeoutControl::Tcp(stream)) => stream.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Some(TimeoutControl::Unix(stream)) => stream.set_read_timeout(timeout),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no socket handle for this transport",
+            )),
         }
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.faults {
+            use atscale_faults::FaultSite;
+            if plan.check(FaultSite::ClientWrite).is_some() {
+                return Err(ClientError::Io(atscale_faults::injected_io_error(
+                    FaultSite::ClientWrite,
+                )));
+            }
+        }
         let mut line = protocol::encode(request);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
@@ -164,6 +324,18 @@ impl Client {
     }
 
     fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.faults {
+            use atscale_faults::FaultSite;
+            if let Some(rule) = plan.check(FaultSite::ClientStall) {
+                std::thread::sleep(Duration::from_millis(rule.stall_ms));
+            }
+            if plan.check(FaultSite::ClientRead).is_some() {
+                return Err(ClientError::Io(atscale_faults::injected_io_error(
+                    FaultSite::ClientRead,
+                )));
+            }
+        }
         let mut line = String::new();
         loop {
             line.clear();
@@ -244,6 +416,7 @@ impl Client {
         }))?;
         let mut slots: Vec<Option<RunRecord>> = vec![None; specs.len()];
         let mut expired: Vec<u64> = Vec::new();
+        let mut failed: Vec<(u64, String)> = Vec::new();
         loop {
             let reply = self.read_reply()?;
             on_event(&reply);
@@ -260,6 +433,10 @@ impl Client {
                     *slot = Some(r.record);
                 }
                 Reply::Deadline(d) if d.id == id => expired.push(d.index),
+                // Collected, not returned: the stream must drain to
+                // `BatchDone` so the connection stays clean for the next
+                // request.
+                Reply::Failed(fail) if fail.id == id => failed.push((fail.index, fail.message)),
                 Reply::BatchDone(b) if b.id == id => break,
                 Reply::Sample(_) | Reply::Progress(_) => {}
                 other => {
@@ -268,6 +445,10 @@ impl Client {
                     )))
                 }
             }
+        }
+        if !failed.is_empty() {
+            failed.sort_unstable_by_key(|(index, _)| *index);
+            return Err(ClientError::Failed(failed));
         }
         if !expired.is_empty() {
             expired.sort_unstable();
@@ -283,9 +464,11 @@ impl Client {
 
     /// [`Client::run_many`] for batches of any size: splits `specs` into
     /// chunks the server's admission queue can hold (sized from the
-    /// `Welcome` handshake) and backs off and retries a chunk when the
-    /// server answers `Overloaded`, per that reply's contract. Records
-    /// come back in spec order, exactly as `run_many`.
+    /// `Welcome` handshake) and retries a chunk under the client's
+    /// [`RetryPolicy`] when the server answers `Overloaded` — the one
+    /// rejection that is provably idempotent to resubmit (the batch was
+    /// rejected atomically, nothing enqueued). Records come back in spec
+    /// order, exactly as `run_many`.
     ///
     /// Call [`Client::hello`] first so the chunk size matches the server;
     /// without it a conservative fallback is used. A `deadline_ms` applies
@@ -294,7 +477,8 @@ impl Client {
     /// # Errors
     ///
     /// As [`Client::run_many`], except `Overloaded` is only surfaced after
-    /// the retry budget is exhausted (the server stayed full for minutes).
+    /// the policy's attempt budget or overall deadline is exhausted (the
+    /// server stayed full for the whole window).
     pub fn run_chunked(
         &mut self,
         specs: &[RunSpec],
@@ -316,29 +500,45 @@ impl Client {
         mut on_event: impl FnMut(&Reply),
     ) -> Result<Vec<RunRecord>, ClientError> {
         let chunk = self.chunk_size();
+        let policy = self.retry;
+        let started = Instant::now();
         let mut records = Vec::with_capacity(specs.len());
         let mut offset = 0u64;
         for chunk_specs in specs.chunks(chunk) {
-            let mut backoff = BACKOFF_START;
-            let mut rejections = 0u32;
+            let mut attempt = 0u32;
             loop {
                 match self.run_many_with(chunk_specs, opts, &mut on_event) {
                     Ok(mut chunk_records) => {
                         records.append(&mut chunk_records);
                         break;
                     }
+                    // The only retried failure: atomically-rejected
+                    // batches are idempotent to resubmit.
                     Err(ClientError::Overloaded(o)) => {
-                        rejections += 1;
-                        if rejections >= MAX_OVERLOAD_RETRIES {
+                        attempt += 1;
+                        let out_of_time = policy
+                            .overall_deadline
+                            .is_some_and(|budget| started.elapsed() >= budget);
+                        if attempt >= policy.max_attempts || out_of_time {
                             return Err(ClientError::Overloaded(o));
                         }
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_MAX);
+                        let mut pause = policy.backoff(attempt - 1);
+                        if let Some(budget) = policy.overall_deadline {
+                            pause = pause.min(budget.saturating_sub(started.elapsed()));
+                        }
+                        std::thread::sleep(pause);
                     }
                     // Rebase chunk-local spec indices onto the full batch.
                     Err(ClientError::Expired(indices)) => {
                         return Err(ClientError::Expired(
                             indices.into_iter().map(|i| i + offset).collect(),
+                        ));
+                    }
+                    Err(ClientError::Failed(jobs)) => {
+                        return Err(ClientError::Failed(
+                            jobs.into_iter()
+                                .map(|(i, message)| (i + offset, message))
+                                .collect(),
                         ));
                     }
                     Err(e) => return Err(e),
@@ -404,6 +604,55 @@ impl Client {
             other => Err(ClientError::Protocol(format!(
                 "expected ShuttingDown, got {other:?}"
             ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            jitter_seed: 0xfeed,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..24 {
+            let a = policy.backoff(attempt);
+            let b = policy.backoff(attempt);
+            assert_eq!(a, b, "same attempt, same pause");
+            let cap = policy
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(policy.max_backoff);
+            assert!(a < cap, "jitter stays under the exponential cap");
+            assert!(a >= cap / 2, "jitter keeps at least half the cap");
+        }
+        assert!(policy.backoff(30) <= policy.max_backoff);
+    }
+
+    #[test]
+    fn different_seeds_give_different_jitter() {
+        let a = RetryPolicy {
+            jitter_seed: 1,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            jitter_seed: 2,
+            ..RetryPolicy::default()
+        };
+        let differs = (0..8).any(|n| a.backoff(n) != b.backoff(n));
+        assert!(differs, "seeds decorrelate retry cadence");
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_until_the_ceiling() {
+        let policy = RetryPolicy::default();
+        // The jittered pause for attempt n+2 always exceeds attempt n's
+        // (a 4x cap beats any jitter down to 1/2), until the ceiling.
+        for n in 0..4 {
+            assert!(policy.backoff(n + 2) > policy.backoff(n));
         }
     }
 }

@@ -18,6 +18,14 @@
 //! - [`client`] — the blocking client used by `atscale-client` and tests.
 //!
 //! Everything runs on std threads; there is no async runtime.
+//!
+//! The stack is chaos-tested: with the non-default `faults` feature, a
+//! deterministic `atscale_faults::FaultPlan` can be threaded through the
+//! store, scheduler, server, and client (see `tests/chaos.rs` and
+//! DESIGN.md §13). Release builds compile every injection site out; the
+//! recovery machinery the faults forced into existence — the client's
+//! [`RetryPolicy`], store quarantine/GC, worker-panic containment with
+//! `Failed` frames — is always on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +35,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError, SubmitOptions};
+pub use client::{Client, ClientError, RetryPolicy, SubmitOptions};
 pub use protocol::{Reply, Request, PROTOCOL_VERSION};
 pub use scheduler::{ReplySink, Scheduler, ServeConfig, ServeStats};
 pub use server::{Server, ServerHandle};

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// Protocol revision carried in the hello/welcome handshake. Bump on any
 /// frame-shape change.
-pub const PROTOCOL_VERSION: u64 = 2;
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,7 +136,22 @@ pub struct DeadlineExceeded {
     pub label: String,
 }
 
-/// Every spec of a batch has been resolved (record or deadline).
+/// A spec's job failed server-side — its worker panicked mid-run and the
+/// panic was contained ([`crate::Scheduler`]'s `catch_unwind` layer). The
+/// spec gets no record; resubmitting is safe and will re-execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobFailed {
+    /// Correlation id of the [`Submit`].
+    pub id: u64,
+    /// Index of the failed spec in the submitted batch.
+    pub index: u64,
+    /// Human label of the failed spec.
+    pub label: String,
+    /// The contained panic's message.
+    pub message: String,
+}
+
+/// Every spec of a batch has been resolved (record, deadline, or failure).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchDone {
     /// Correlation id of the [`Submit`].
@@ -145,6 +160,8 @@ pub struct BatchDone {
     pub delivered: u64,
     /// Specs that missed their deadline.
     pub expired: u64,
+    /// Specs whose jobs failed (contained worker panics).
+    pub failed: u64,
 }
 
 /// A streamed sweep-progress event (one per resolved spec, mirroring the
@@ -182,6 +199,8 @@ pub struct ServerStatsReply {
     pub overloaded: u64,
     /// Specs resolved past their deadline.
     pub expired: u64,
+    /// Jobs that failed via contained worker panics.
+    pub failed: u64,
     /// Jobs currently queued.
     pub queued: u64,
     /// Jobs currently executing.
@@ -219,6 +238,8 @@ pub enum Reply {
     Record(RecordDone),
     /// One spec resolved past its deadline.
     Deadline(DeadlineExceeded),
+    /// One spec's job failed (contained worker panic); no record follows.
+    Failed(JobFailed),
     /// Batch fully resolved.
     BatchDone(BatchDone),
     /// Streamed progress.

@@ -12,10 +12,12 @@
 //! skipped) and again at delivery.
 
 use crate::protocol::{
-    Accepted, BatchDone, DeadlineExceeded, Overloaded, ProgressEvent, RecordDone, Reply,
+    Accepted, BatchDone, DeadlineExceeded, JobFailed, Overloaded, ProgressEvent, RecordDone, Reply,
     SampleEvent, ServerStatsReply, Submit,
 };
 use atscale::{Harness, RunRecord, RunSpec, RunStore};
+#[cfg(feature = "faults")]
+use atscale_faults::{FaultPlan, FaultRule, FaultSite};
 use atscale_mmu::{MachineConfig, TelemetryHandle};
 use atscale_telemetry::{FanoutRecorder, LatencyMetric, Progress, Recorder, Sample};
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +49,11 @@ pub struct ServeConfig {
     /// Start with workers paused (maintenance/test hook: admission works,
     /// execution waits for [`Scheduler::resume`]).
     pub start_paused: bool,
+    /// Fault-injection plan driving the scheduler/server sites
+    /// (`WorkerPanic`, `QueuePressure`, `DeadlineExpiry`, `ServerWrite`,
+    /// `ServerStall`). Chaos-test machinery; absent in release builds.
+    #[cfg(feature = "faults")]
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +69,8 @@ impl Default for ServeConfig {
             // sizes = 351 unique jobs.
             queue_capacity: 1024,
             start_paused: false,
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 }
@@ -74,6 +83,7 @@ pub struct ServeStats {
     dedup_hits: AtomicU64,
     overloaded: AtomicU64,
     expired: AtomicU64,
+    failed: AtomicU64,
     completed: AtomicU64,
 }
 
@@ -92,6 +102,7 @@ pub(crate) struct Batch {
     total: usize,
     delivered: AtomicUsize,
     expired: AtomicUsize,
+    failed: AtomicUsize,
     resolved: AtomicUsize,
     /// Set once the `Accepted` frame has been written. Workers delivering
     /// this batch's frames wait on it, so a cache-hit resolving faster
@@ -109,6 +120,7 @@ impl Batch {
             total,
             delivered: AtomicUsize::new(0),
             expired: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
             resolved: AtomicUsize::new(0),
             ready: Mutex::new(false),
             ready_cv: Condvar::new(),
@@ -128,16 +140,31 @@ impl Batch {
     }
 
     /// Streams the frames resolving spec `index`, then `BatchDone` once
-    /// every spec of the batch is resolved. Returns `true` if the spec was
-    /// resolved as deadline-expired rather than with a record.
-    fn resolve(&self, sub: &Subscriber, outcome: &JobOutcome) -> bool {
+    /// every spec of the batch is resolved. Returns how the spec was
+    /// resolved (record, deadline-expired, or failed).
+    fn resolve(&self, sub: &Subscriber, outcome: &JobOutcome) -> Resolution {
         self.wait_ready();
         let now = Instant::now();
-        // A skipped job (no record) only ever has expired subscribers:
-        // the worker removes it from the dedup map under the scheduler
-        // lock before anyone else can join.
-        let expired = outcome.record.is_none() || sub.deadline.is_some_and(|d| now > d);
-        if expired {
+        // A record-less outcome is either a contained worker panic
+        // (`error` carries the panic message) or a shed job, which only
+        // ever has expired subscribers: the worker removes it from the
+        // dedup map under the scheduler lock before anyone else can join.
+        let resolution = if outcome.error.is_some() {
+            Resolution::Failed
+        } else if outcome.record.is_none() || sub.deadline.is_some_and(|d| now > d) {
+            Resolution::Expired
+        } else {
+            Resolution::Delivered
+        };
+        if resolution == Resolution::Failed {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+            self.sink.send(&Reply::Failed(JobFailed {
+                id: self.id,
+                index: sub.index,
+                label: outcome.label.clone(),
+                message: outcome.error.clone().unwrap_or_default(),
+            }));
+        } else if resolution == Resolution::Expired {
             self.expired.fetch_add(1, Ordering::SeqCst);
             self.sink.send(&Reply::Deadline(DeadlineExceeded {
                 id: self.id,
@@ -170,10 +197,22 @@ impl Batch {
                 id: self.id,
                 delivered: self.delivered.load(Ordering::SeqCst) as u64,
                 expired: self.expired.load(Ordering::SeqCst) as u64,
+                failed: self.failed.load(Ordering::SeqCst) as u64,
             }));
         }
-        expired
+        resolution
     }
+}
+
+/// How one spec of a batch was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// A record was delivered.
+    Delivered,
+    /// The spec missed its deadline (or its job was shed).
+    Expired,
+    /// The spec's job failed via a contained worker panic.
+    Failed,
 }
 
 /// One batch spec's subscription to a job.
@@ -228,6 +267,10 @@ struct Job {
 /// What resolving a job yields for its subscribers.
 struct JobOutcome {
     record: Option<RunRecord>,
+    /// The contained panic message when the job's worker panicked;
+    /// `None` record + `None` error means the job was shed (all
+    /// subscribers expired).
+    error: Option<String>,
     label: String,
     cached: bool,
     wall_ms: u64,
@@ -324,6 +367,16 @@ impl Scheduler {
         if state.draining {
             return Admission::Draining;
         }
+        #[cfg(feature = "faults")]
+        if self.fault(FaultSite::QueuePressure).is_some() {
+            // Injected pressure: reject exactly as a full queue would —
+            // atomically, nothing enqueued, safe to retry.
+            return Admission::Overloaded(Overloaded {
+                id: req.id,
+                queued: state.queue.len() as u64,
+                capacity: self.config.queue_capacity as u64,
+            });
+        }
         // First pass: how many *fresh* jobs would this batch enqueue?
         let mut fresh = 0usize;
         let mut batch_keys: Vec<String> = Vec::with_capacity(req.specs.len());
@@ -412,6 +465,10 @@ impl Scheduler {
                 .subscribers
                 .iter()
                 .all(|s| s.deadline.is_some_and(|d| now > d));
+            // Injected expiry forces the shed path: every subscriber is
+            // treated as having abandoned the job.
+            #[cfg(feature = "faults")]
+            let all_expired = all_expired || self.fault(FaultSite::DeadlineExpiry).is_some();
             let outcome;
             let job;
             if all_expired {
@@ -423,6 +480,7 @@ impl Scheduler {
                 drop(state);
                 outcome = JobOutcome {
                     record: None,
+                    error: None,
                     label: job.spec.label(),
                     cached: false,
                     wall_ms: 0,
@@ -438,17 +496,38 @@ impl Scheduler {
                 drop(state);
 
                 let start = Instant::now();
-                let (record, cached) = self.execute(&spec, no_cache, &fanout, sample_interval);
-                if cached {
-                    self.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
-                } else {
-                    self.stats.executions.fetch_add(1, Ordering::SeqCst);
-                }
-                outcome = JobOutcome {
-                    label: record.spec.label(),
-                    record: Some(record),
-                    cached,
-                    wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                // Contain worker panics: a panicking job must fail *its
+                // subscribers* with an explicit `Failed` frame, not kill
+                // the worker thread and strand the single-flight entry
+                // (which would wedge every coalesced subscriber forever).
+                let execution = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute(&spec, no_cache, &fanout, sample_interval)
+                }));
+                outcome = match execution {
+                    Ok((record, cached)) => {
+                        if cached {
+                            self.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            self.stats.executions.fetch_add(1, Ordering::SeqCst);
+                        }
+                        JobOutcome {
+                            label: record.spec.label(),
+                            record: Some(record),
+                            error: None,
+                            cached,
+                            wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        }
+                    }
+                    Err(panic) => {
+                        self.stats.failed.fetch_add(1, Ordering::SeqCst);
+                        JobOutcome {
+                            record: None,
+                            error: Some(panic_message(panic.as_ref())),
+                            label: spec.label(),
+                            cached: false,
+                            wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        }
+                    }
                 };
                 job = self
                     .state
@@ -459,7 +538,7 @@ impl Scheduler {
                     .expect("running job exists");
             }
             for sub in &job.subscribers {
-                if sub.batch.resolve(sub, &outcome) {
+                if sub.batch.resolve(sub, &outcome) == Resolution::Expired {
                     self.stats.expired.fetch_add(1, Ordering::SeqCst);
                 }
             }
@@ -483,6 +562,10 @@ impl Scheduler {
         fanout: &Arc<FanoutRecorder>,
         sample_interval: u64,
     ) -> (RunRecord, bool) {
+        #[cfg(feature = "faults")]
+        if self.fault(FaultSite::WorkerPanic).is_some() {
+            panic!("injected fault: WorkerPanic mid-job");
+        }
         let telemetry = (fanout.target_count() > 0 || sample_interval > 0).then(|| {
             TelemetryHandle::new(Arc::clone(fanout) as Arc<dyn Recorder>, sample_interval)
         });
@@ -543,6 +626,22 @@ impl Scheduler {
         self.config.store.as_ref()
     }
 
+    /// The configured fault-injection plan, if any (chaos machinery; the
+    /// server hands it to connection writers for the socket sites).
+    #[cfg(feature = "faults")]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.faults.as_ref()
+    }
+
+    /// Records an arrival at `site` against the configured plan.
+    #[cfg(feature = "faults")]
+    fn fault(&self, site: FaultSite) -> Option<FaultRule> {
+        self.config
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.check(site))
+    }
+
     /// Worker-thread count the server should spawn.
     pub fn workers(&self) -> usize {
         self.config.workers.max(1)
@@ -563,11 +662,25 @@ impl Scheduler {
             dedup_hits: self.stats.dedup_hits.load(Ordering::SeqCst),
             overloaded: self.stats.overloaded.load(Ordering::SeqCst),
             expired: self.stats.expired.load(Ordering::SeqCst),
+            failed: self.stats.failed.load(Ordering::SeqCst),
             queued: state.queue.len() as u64,
             running: state.running as u64,
             completed: self.stats.completed.load(Ordering::SeqCst),
             draining: state.draining,
         }
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a string literal or a formatted message; anything else
+/// gets a generic label).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
     }
 }
 

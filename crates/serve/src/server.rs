@@ -41,13 +41,21 @@ struct ConnWriter {
     /// on a stalled socket; later frames are dropped silently (the client
     /// is gone — its subscriptions just evaporate).
     dead: AtomicBool,
+    /// Fault plan driving the `ServerWrite`/`ServerStall` sites (chaos
+    /// machinery; inherited from the scheduler's config).
+    #[cfg(feature = "faults")]
+    faults: Option<Arc<atscale_faults::FaultPlan>>,
 }
 
 impl ConnWriter {
-    fn new(stream: Box<dyn Write + Send>) -> ConnWriter {
+    fn new(stream: Box<dyn Write + Send>, handle: &ServerHandle) -> ConnWriter {
+        #[cfg(not(feature = "faults"))]
+        let _ = handle;
         ConnWriter {
             stream: Mutex::new(stream),
             dead: AtomicBool::new(false),
+            #[cfg(feature = "faults")]
+            faults: handle.scheduler.fault_plan().cloned(),
         }
     }
 }
@@ -56,6 +64,22 @@ impl ReplySink for ConnWriter {
     fn send(&self, reply: &Reply) {
         if self.dead.load(Ordering::Relaxed) {
             return;
+        }
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.faults {
+            use atscale_faults::FaultSite;
+            if let Some(rule) = plan.check(FaultSite::ServerStall) {
+                // A stalled peer: the frame arrives, but late — clients
+                // must survive via read timeouts, not hang.
+                std::thread::sleep(Duration::from_millis(rule.stall_ms));
+            }
+            if plan.check(FaultSite::ServerWrite).is_some() {
+                // A socket write error (EPIPE analogue): the connection
+                // is dead from the server's point of view; subsequent
+                // frames evaporate exactly as on a real broken pipe.
+                self.dead.store(true, Ordering::Relaxed);
+                return;
+            }
         }
         let mut line = protocol::encode(reply);
         line.push('\n');
@@ -241,7 +265,7 @@ fn spawn_tcp_conn(stream: TcpStream, handle: ServerHandle) {
     std::thread::spawn(move || {
         serve_connection(
             BufReader::new(Box::new(read_half) as Box<dyn std::io::Read + Send>),
-            Arc::new(ConnWriter::new(Box::new(stream))),
+            Arc::new(ConnWriter::new(Box::new(stream), &handle)),
             &handle,
         );
     });
@@ -274,7 +298,7 @@ fn spawn_unix_conn(stream: UnixStream, handle: ServerHandle) {
     std::thread::spawn(move || {
         serve_connection(
             BufReader::new(Box::new(read_half) as Box<dyn std::io::Read + Send>),
-            Arc::new(ConnWriter::new(Box::new(stream))),
+            Arc::new(ConnWriter::new(Box::new(stream), &handle)),
             &handle,
         );
     });

@@ -7,9 +7,9 @@
 use atscale::{RunSpec, StoreStats};
 use atscale_mmu::MachineConfig;
 use atscale_serve::protocol::{
-    decode, encode, Accepted, BatchDone, DeadlineExceeded, ErrorReply, Hello, Overloaded,
-    ProgressEvent, RecordDone, Reply, Request, SampleEvent, ServerStatsReply, Submit, Welcome,
-    PROTOCOL_VERSION,
+    decode, encode, Accepted, BatchDone, DeadlineExceeded, ErrorReply, Hello, JobFailed,
+    Overloaded, ProgressEvent, RecordDone, Reply, Request, SampleEvent, ServerStatsReply, Submit,
+    Welcome, PROTOCOL_VERSION,
 };
 use atscale_telemetry::{Progress, Sample};
 use atscale_vm::PageSize;
@@ -140,11 +140,22 @@ fn reply_deadline_roundtrips() {
 }
 
 #[test]
+fn reply_failed_roundtrips() {
+    roundtrip_bytes(&Reply::Failed(JobFailed {
+        id: 2,
+        index: 3,
+        label: "cc-urand 16MB 4K".to_string(),
+        message: "injected fault: WorkerPanic mid-job".to_string(),
+    }));
+}
+
+#[test]
 fn reply_batch_done_roundtrips() {
     roundtrip_bytes(&Reply::BatchDone(BatchDone {
         id: 2,
         delivered: 10,
         expired: 2,
+        failed: 1,
     }));
 }
 
@@ -182,6 +193,7 @@ fn reply_cache_stats_roundtrips() {
         entries: 11,
         bytes: 48_123,
         tmp_files: 0,
+        corrupt_files: 1,
     }));
 }
 
@@ -193,6 +205,7 @@ fn reply_server_stats_roundtrips() {
         dedup_hits: 63,
         overloaded: 2,
         expired: 1,
+        failed: 1,
         queued: 5,
         running: 4,
         completed: 140,

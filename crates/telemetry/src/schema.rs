@@ -142,6 +142,12 @@ fn validate_span(map: &[(String, Value)]) -> Result<(), String> {
     Ok(())
 }
 
+fn validate_fault(map: &[(String, Value)]) -> Result<(), String> {
+    as_str(need(map, "site", "fault")?, "fault.site")?;
+    as_u64(need(map, "hit", "fault")?, "fault.hit")?;
+    Ok(())
+}
+
 fn validate_progress(map: &[(String, Value)]) -> Result<(), String> {
     as_u64(need(map, "completed", "progress")?, "progress.completed")?;
     as_u64(need(map, "total", "progress")?, "progress.total")?;
@@ -185,6 +191,7 @@ pub fn validate_line(line: &str) -> Result<String, String> {
         "sample" => validate_sample(map)?,
         "hist" => validate_hist(map)?,
         "span" => validate_span(map)?,
+        "fault" => validate_fault(map)?,
         "progress" => validate_progress(map)?,
         "summary" => validate_summary(map)?,
         other => return Err(format!("unknown event type `{other}`")),
@@ -244,7 +251,7 @@ mod tests {
 
     #[test]
     fn meta_line_validates() {
-        let line = r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#;
+        let line = r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#;
         assert_eq!(validate_line(line).unwrap(), "meta");
     }
 
@@ -276,7 +283,7 @@ mod tests {
     #[test]
     fn stream_protocol_is_enforced() {
         let good = concat!(
-            r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#,
+            r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#,
             "\n",
             r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#,
             "\n"
@@ -288,7 +295,7 @@ mod tests {
         let no_meta = r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#;
         assert!(validate_stream(no_meta).is_err());
 
-        let no_summary = r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#;
+        let no_summary = r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#;
         assert!(validate_stream(no_summary).is_err());
 
         assert!(validate_stream("").is_err());

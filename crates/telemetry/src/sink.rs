@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 /// JSONL schema version emitted in the `meta` event and checked by the
 /// schema validator.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 — initial stream; 2 — added the `fault` event
+/// (deterministic fault-injection observations from chaos runs).
+pub const SCHEMA_VERSION: u64 = 2;
 
 struct JsonlWriter {
     path: PathBuf,
@@ -35,6 +38,7 @@ struct SinkState {
     hists: Vec<LogHistogram>,
     samples: Vec<(String, Sample)>,
     progress_events: u64,
+    fault_events: u64,
     jsonl: Option<JsonlWriter>,
     finished: bool,
 }
@@ -141,6 +145,27 @@ impl TelemetrySink {
     /// Number of progress events delivered so far.
     pub fn progress_count(&self) -> u64 {
         self.state.lock().progress_events
+    }
+
+    /// Records one injected-fault firing (from a chaos-test
+    /// `FaultPlan` observer): `site` is the fault-site name, `hit` the
+    /// site-local arrival ordinal that fired.
+    pub fn fault(&self, site: &str, hit: u64) {
+        let mut state = self.state.lock();
+        state.fault_events += 1;
+        let event = Value::Map(vec![
+            ("type".to_string(), Value::Str("fault".to_string())),
+            ("site".to_string(), Value::Str(site.to_string())),
+            ("hit".to_string(), Value::U64(hit)),
+        ]);
+        if let Some(writer) = state.jsonl.as_mut() {
+            writer.write_event(&event);
+        }
+    }
+
+    /// Number of fault events delivered so far.
+    pub fn fault_count(&self) -> u64 {
+        self.state.lock().fault_events
     }
 
     /// Finalizes the stream: emits `hist` events for every non-empty
@@ -312,6 +337,8 @@ mod tests {
         assert!(sink.histogram(LatencyMetric::RunWallNanos).is_empty());
         assert_eq!(sink.sample_count(), 1);
         assert_eq!(sink.progress_count(), 1);
+        sink.fault("StoreTorn", 0);
+        assert_eq!(sink.fault_count(), 1);
         let summary = sink.summary();
         assert!(summary.contains("walk_cycles"));
         assert!(summary.contains("1 interval samples from 1 runs"));
@@ -323,6 +350,7 @@ mod tests {
         let sink = TelemetrySink::new().with_jsonl(&path).unwrap();
         sink.sample("r", &sample());
         sink.latency(LatencyMetric::TlbFillCycles, 12);
+        sink.fault("WorkerPanic", 3);
         sink.progress(&Progress {
             completed: 1,
             total: 1,
@@ -336,6 +364,7 @@ mod tests {
         for needle in [
             "\"type\":\"meta\"",
             "\"type\":\"sample\"",
+            "\"type\":\"fault\"",
             "\"type\":\"hist\"",
             "\"type\":\"progress\"",
             "\"type\":\"summary\"",

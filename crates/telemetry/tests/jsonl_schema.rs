@@ -15,8 +15,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// The schema under pin: every event type and its exact key set.
 fn golden_keys() -> BTreeMap<&'static str, BTreeSet<&'static str>> {
-    let pairs: [(&str, &[&str]); 6] = [
+    let pairs: [(&str, &[&str]); 7] = [
         ("meta", &["type", "schema", "stream"]),
+        ("fault", &["type", "site", "hit"]),
         (
             "sample",
             &["type", "run", "instr", "cycles", "counters", "rates"],
@@ -79,6 +80,7 @@ fn generate_stream() -> String {
     );
     sink.latency(LatencyMetric::WalkCycles, 37);
     sink.latency(LatencyMetric::RunWallNanos, 5_000_000);
+    sink.fault("WorkerPanic", 2);
     sink.progress(&Progress {
         completed: 1,
         total: 1,
@@ -103,6 +105,7 @@ fn generated_stream_passes_the_shipped_validator() {
     assert_eq!(summary.by_type.get("sample"), Some(&1));
     assert_eq!(summary.by_type.get("hist"), Some(&2));
     assert_eq!(summary.by_type.get("span"), Some(&1));
+    assert_eq!(summary.by_type.get("fault"), Some(&1));
     assert_eq!(summary.by_type.get("progress"), Some(&1));
     assert_eq!(summary.by_type.get("summary"), Some(&1));
 }
