@@ -72,7 +72,10 @@ pub fn audit_hot_path_allocation(ws: &Workspace) -> Audit {
             );
             continue;
         };
-        let scope = blank_exempt_regions(non_test_region(&file.stripped));
+        // Scan the literal-blanked code view: a `format!` mentioned inside
+        // a string (or a doc comment) is text, not a call, and must not
+        // trip the rule.
+        let scope = blank_exempt_regions(non_test_region(&file.code));
         for pattern in FORBIDDEN {
             audit.check();
             for at in scope.match_indices(pattern).map(|(at, _)| at) {
@@ -252,6 +255,30 @@ mod tests {
         files[1] = (
             "crates/mmu/src/tlb.rs",
             "pub fn lookup() {}\n#[cfg(test)]\nmod tests {\n    fn h() { let v = vec![1]; }\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn forbidden_patterns_inside_string_literals_are_not_flagged() {
+        // Regression for the regex-scanner false-positive class: the old
+        // scanner matched patterns inside string literals.
+        let mut files = clean_files();
+        files[2] = (
+            "crates/mmu/src/walker.rs",
+            "pub fn walk() {\n    let msg = \"never call format! or Vec::new here\";\n    emit(msg);\n}\n",
+        );
+        let audit = audit_hot_path_allocation(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn forbidden_patterns_inside_doc_comments_are_not_flagged() {
+        let mut files = clean_files();
+        files[2] = (
+            "crates/mmu/src/walker.rs",
+            "/// Never use `format!` or `Box::new` on this path.\n// vec! is also banned.\npub fn walk() {}\n",
         );
         let audit = audit_hot_path_allocation(&workspace_from(&files));
         assert_eq!(audit.violations, Vec::new());

@@ -1,8 +1,10 @@
 //! # atscale-audit — workspace static-analysis pass
 //!
 //! A self-contained consistency checker for the atscale workspace, run in
-//! CI as `cargo run -p atscale-audit`. It enforces seven rules that rustc
-//! and clippy cannot express:
+//! CI as `cargo run -p atscale-audit`. It enforces eleven rules that rustc
+//! and clippy cannot express — seven text-scan rules plus four passes built
+//! on the `atscale-analyze` lexer/call-graph engine (see [`lex`], [`model`],
+//! [`graph`], [`passes`] and DESIGN.md §14):
 //!
 //! 1. **Counter coverage** ([`audit_counter_coverage`]) — every PMU-event
 //!    field of `atscale_mmu::Counters` is exported by `Counters::events`,
@@ -38,22 +40,47 @@
 //!    in the instrumented library crates AND exercised by the chaos test
 //!    suite, so the deterministic fault layer can neither grow dead sites
 //!    nor ship recovery paths no chaos scenario arms.
+//! 8. **Determinism taint** ([`passes::determinism_taint`]) — no
+//!    wall-clock, thread-identity, environment, entropy, or
+//!    `HashMap`/`HashSet` iteration in any function that can reach
+//!    `RunRecord` serialization (`RunStore::save`/`key`) or the telemetry
+//!    JSONL stream (`TelemetrySink::sample`).
+//! 9. **Lock discipline** ([`passes::lock_discipline`]) — the
+//!    lock-acquisition order graph must be acyclic, and locks held across
+//!    blocking I/O are flagged.
+//! 10. **Panic surface** ([`passes::panic_surface`]) — panic-capable sites
+//!     reachable from the server worker/connection threads must be
+//!     contained by the scheduler's `catch_unwind` boundary.
+//! 11. **Exemption audit** ([`passes::allow_exemptions`]) — every
+//!     `// analyze:allow(tag): why` carries a known tag and a
+//!     justification, and determinism allows match `ANALYZE_ALLOWLIST.md`
+//!     bidirectionally.
 //!
-//! The audit scans comment-stripped source text with a small brace matcher
-//! (see [`source`]) rather than a full parser: the offline build vendors no
-//! `syn`, and the shapes under audit — struct fields, impl headers, `pub
-//! fn` signatures — are kept canonical by rustfmt. The trade-off is
-//! documented per rule; scans are field-name based, not type-resolved.
+//! The seven text-scan rules work on comment-stripped source with a small
+//! brace matcher (see [`source`]) rather than a full parser: the offline
+//! build vendors no `syn`, and the shapes under audit — struct fields,
+//! impl headers, `pub fn` signatures — are kept canonical by rustfmt. The
+//! call-graph passes work on the lexed token stream and a name-resolved
+//! call graph; resolution over-approximates (the safe direction for taint
+//! and panic analysis), with the precision filters documented in
+//! [`graph`]. Every rule is pinned by the golden fixture corpus under
+//! `tests/fixtures/` — exact expected-findings snapshots, positive and
+//! negative per rule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counters;
 pub mod faults;
+pub mod graph;
 pub mod hotpath;
 pub mod invariants;
+pub mod lex;
 pub mod lints;
+pub mod model;
+pub mod passes;
 pub mod protocol;
+pub mod report;
 pub mod source;
 pub mod telemetry;
 
@@ -79,20 +106,28 @@ pub struct SourceFile {
     /// Comment-stripped contents for `.rs` files (identical to `text`
     /// otherwise).
     pub stripped: String,
+    /// Code-only view for `.rs` files: comments *and* the contents of
+    /// string/char literals blanked, so pattern scans cannot be tripped by
+    /// text inside messages (identical to `text` otherwise).
+    pub code: String,
 }
 
 impl SourceFile {
     /// Builds a file entry, stripping comments when the path is Rust source.
     pub fn new(path: String, text: String) -> Self {
-        let stripped = if path.ends_with(".rs") {
-            source::strip_comments(&text)
+        let (stripped, code) = if path.ends_with(".rs") {
+            (
+                source::strip_comments(&text),
+                source::strip_comments_and_literals(&text),
+            )
         } else {
-            text.clone()
+            (text.clone(), text.clone())
         };
         SourceFile {
             path,
             text,
             stripped,
+            code,
         }
     }
 }
@@ -116,6 +151,11 @@ impl Workspace {
             "Cargo.toml".to_string(),
             std::fs::read_to_string(&root_manifest)?,
         ));
+        // The determinism-exemption allowlist lives at the workspace root;
+        // absent is fine (the exemption audit then requires zero allows).
+        if let Ok(text) = std::fs::read_to_string(root.join("ANALYZE_ALLOWLIST.md")) {
+            files.push(SourceFile::new("ANALYZE_ALLOWLIST.md".to_string(), text));
+        }
         collect(root, &root.join("crates"), &mut files)?;
         files.sort_by(|a, b| a.path.cmp(&b.path));
         Ok(Workspace {
@@ -164,7 +204,10 @@ fn collect(root: &Path, dir: &Path, files: &mut Vec<SourceFile>) -> io::Result<(
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name != "target" && !name.starts_with('.') {
+            // `fixtures/` holds the golden corpus for the analysis passes —
+            // deliberately-violating sources that must not be audited as
+            // workspace code.
+            if name != "target" && name != "fixtures" && !name.starts_with('.') {
                 collect(root, &path, files)?;
             }
         } else if name.ends_with(".rs") || name == "Cargo.toml" {
@@ -232,9 +275,25 @@ impl Audit {
     }
 }
 
-/// Runs every rule and returns the per-rule outcomes.
-pub fn run_all(ws: &Workspace) -> Vec<Audit> {
-    vec![
+/// The outcome of a full analysis run: per-rule audits plus the report
+/// data behind `analysis_report.json`.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// Per-rule outcomes, legacy rules first, then the call-graph passes.
+    pub audits: Vec<Audit>,
+    /// Machine-readable report data.
+    pub report: report::Report,
+}
+
+/// Runs every rule — the seven legacy rules plus the four call-graph
+/// passes — and returns the audits together with the report data.
+pub fn run_full(ws: &Workspace) -> AnalysisOutcome {
+    let analysis = graph::Analysis::build(ws);
+    let (det_audit, determinism) = passes::determinism_taint(&analysis);
+    let (lock_audit, locks) = passes::lock_discipline(&analysis);
+    let (panic_audit, panics) = passes::panic_surface(&analysis);
+    let allow_audit = passes::allow_exemptions(ws, &analysis);
+    let audits = vec![
         audit_counter_coverage(ws),
         audit_invariant_annotations(ws),
         audit_lint_wiring(ws),
@@ -242,7 +301,24 @@ pub fn run_all(ws: &Workspace) -> Vec<Audit> {
         audit_protocol_roundtrip(ws),
         audit_hot_path_allocation(ws),
         audit_fault_site_coverage(ws),
-    ]
+        det_audit,
+        lock_audit,
+        panic_audit,
+        allow_audit,
+    ];
+    AnalysisOutcome {
+        audits,
+        report: report::Report {
+            determinism,
+            locks,
+            panics,
+        },
+    }
+}
+
+/// Runs every rule and returns the per-rule outcomes.
+pub fn run_all(ws: &Workspace) -> Vec<Audit> {
+    run_full(ws).audits
 }
 
 #[cfg(test)]

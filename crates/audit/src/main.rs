@@ -1,17 +1,36 @@
-//! CLI entry point: `cargo run -p atscale-audit [workspace-root]`.
+//! CLI entry point: `cargo run -p atscale-audit [workspace-root] [--report PATH]`.
 //!
-//! Exits non-zero when any rule reports a violation, so CI can gate on it.
+//! Exits non-zero when any rule reports a violation, so CI can gate on
+//! it. `--report PATH` additionally writes the machine-readable
+//! `analysis_report.json` (see [`atscale_audit::report`]).
 
 #![forbid(unsafe_code)]
 
-use atscale_audit::{run_all, Workspace};
+use atscale_audit::{run_full, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map_or_else(find_workspace_root, PathBuf::from);
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("atscale-audit: --report requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("atscale-audit: unexpected argument `{arg}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
     let ws = match Workspace::load(&root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -27,9 +46,9 @@ fn main() -> ExitCode {
         ws.files.len(),
         ws.root.display()
     );
-    let audits = run_all(&ws);
+    let outcome = run_full(&ws);
     let mut failed = false;
-    for audit in &audits {
+    for audit in &outcome.audits {
         println!(
             "  {:<22} {:>3} checks, {} violation{}",
             audit.rule,
@@ -39,10 +58,18 @@ fn main() -> ExitCode {
         );
         failed |= !audit.violations.is_empty();
     }
-    for audit in &audits {
+    for audit in &outcome.audits {
         for v in &audit.violations {
             eprintln!("{v}");
         }
+    }
+    if let Some(path) = report_path {
+        let json = outcome.report.to_json(&outcome.audits);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("atscale-audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("atscale-audit: report written to {}", path.display());
     }
     if failed {
         eprintln!("atscale-audit: FAILED");

@@ -1,0 +1,236 @@
+//! The machine-readable `analysis_report.json` artifact.
+//!
+//! The audit crate is dependency-free, so the JSON is hand-rolled: a
+//! small escaping writer over the pass outputs. Schema
+//! (`atscale-analyze/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "atscale-analyze/v1",
+//!   "rules": [{"rule": "...", "checked": 0, "violations": [{"file": "...", "message": "..."}]}],
+//!   "determinism": {
+//!     "sinks": ["RunStore::save", ...],
+//!     "tainted": ["Scheduler::worker_loop", ...],
+//!     "allows": [{"file": "...", "line": 0, "tag": "...", "justification": "..."}]
+//!   },
+//!   "locks": {
+//!     "declared": ["Scheduler.state", ...],
+//!     "edges": [{"from": "...", "to": "...", "file": "...", "line": 0}],
+//!     "cycles": [["A", "B", "A"]]
+//!   },
+//!   "panics": {
+//!     "roots": ["Scheduler::worker_loop", ...],
+//!     "contained": 0,
+//!     "sites": [{"fn": "...", "file": "...", "line": 0, "kind": "...", "allowed": true}]
+//!   }
+//! }
+//! ```
+//!
+//! Arrays are emitted in deterministic (sorted or source) order, so the
+//! artifact diffs cleanly between CI runs.
+
+use crate::passes::{DeterminismReport, LockReport, PanicReport};
+use crate::Audit;
+use std::fmt::Write as _;
+
+/// The assembled report data from one full analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Determinism-taint pass output.
+    pub determinism: DeterminismReport,
+    /// Lock-discipline pass output.
+    pub locks: LockReport,
+    /// Panic-surface pass output.
+    pub panics: PanicReport,
+}
+
+impl Report {
+    /// Renders the full JSON document, including per-rule outcomes.
+    pub fn to_json(&self, audits: &[Audit]) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"schema\": \"atscale-analyze/v1\",\n  \"rules\": [");
+        for (i, a) in audits.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"checked\": {}, \"violations\": [",
+                esc(a.rule),
+                a.checked
+            );
+            for (j, v) in a.violations.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\n      {{\"file\": {}, \"message\": {}}}",
+                    esc(&v.file),
+                    esc(&v.message)
+                );
+            }
+            if !a.violations.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n  ],\n  \"determinism\": {\n    \"sinks\": ");
+        str_array(&mut s, &self.determinism.sinks);
+        s.push_str(",\n    \"tainted\": ");
+        str_array(&mut s, &self.determinism.tainted);
+        s.push_str(",\n    \"allows\": [");
+        for (i, a) in self.determinism.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n      {{\"file\": {}, \"line\": {}, \"tag\": {}, \"justification\": {}}}",
+                esc(&a.file),
+                a.line,
+                esc(&a.tag),
+                esc(&a.justification)
+            );
+        }
+        if !self.determinism.allows.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  },\n  \"locks\": {\n    \"declared\": ");
+        str_array(&mut s, &self.locks.declared);
+        s.push_str(",\n    \"edges\": [");
+        for (i, e) in self.locks.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n      {{\"from\": {}, \"to\": {}, \"file\": {}, \"line\": {}}}",
+                esc(&e.from),
+                esc(&e.to),
+                esc(&e.file),
+                e.line
+            );
+        }
+        if !self.locks.edges.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("],\n    \"cycles\": [");
+        for (i, c) in self.locks.cycles.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            str_array(&mut s, c);
+        }
+        s.push_str("]\n  },\n  \"panics\": {\n    \"roots\": ");
+        str_array(&mut s, &self.panics.roots);
+        let _ = write!(
+            s,
+            ",\n    \"contained\": {},\n    \"sites\": [",
+            self.panics.contained
+        );
+        for (i, p) in self.panics.sites.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n      {{\"fn\": {}, \"file\": {}, \"line\": {}, \"kind\": {}, \"allowed\": {}}}",
+                esc(&p.function),
+                esc(&p.file),
+                p.line,
+                esc(&p.kind),
+                p.allowed
+            );
+        }
+        if !self.panics.sites.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  }\n}\n");
+        s
+    }
+}
+
+fn str_array(s: &mut String, items: &[String]) {
+    s.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&esc(item));
+    }
+    s.push(']');
+}
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+fn esc(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{AllowRecord, LockEdge, PanicSiteRecord};
+
+    #[test]
+    fn report_renders_valid_shape_and_escapes() {
+        let report = Report {
+            determinism: DeterminismReport {
+                sinks: vec!["RunStore::save".to_string()],
+                tainted: vec!["a".to_string(), "b\"quote".to_string()],
+                allows: vec![AllowRecord {
+                    file: "crates/x/src/lib.rs".to_string(),
+                    line: 3,
+                    tag: "determinism".to_string(),
+                    justification: "wall\tclock".to_string(),
+                }],
+            },
+            locks: LockReport {
+                declared: vec!["S.state".to_string()],
+                edges: vec![LockEdge {
+                    from: "S.state".to_string(),
+                    to: "static G".to_string(),
+                    file: "f.rs".to_string(),
+                    line: 9,
+                }],
+                cycles: vec![],
+            },
+            panics: PanicReport {
+                roots: vec!["worker_loop".to_string()],
+                sites: vec![PanicSiteRecord {
+                    function: "f".to_string(),
+                    file: "f.rs".to_string(),
+                    line: 1,
+                    kind: ".unwrap()".to_string(),
+                    allowed: false,
+                }],
+                contained: 7,
+            },
+        };
+        let audits = vec![Audit::new("determinism-taint")];
+        let json = report.to_json(&audits);
+        assert!(json.contains("\"schema\": \"atscale-analyze/v1\""));
+        assert!(json.contains("\"b\\\"quote\""));
+        assert!(json.contains("\"wall\\tclock\""));
+        assert!(json.contains("\"contained\": 7"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,62 +1,27 @@
 //! Comment-aware text utilities for source scanning.
 //!
-//! The audit deliberately avoids a full Rust parser — the offline build
-//! environment vendors no `syn` — and instead works on comment-stripped
-//! source text with a small brace matcher. That is precise enough for the
-//! shapes it audits (struct fields, impl headers, `pub fn` signatures),
-//! all of which rustfmt keeps canonical, and it keeps the audit itself
-//! dependency-free.
+//! Since the atscale-analyze rewrite these helpers sit on top of the real
+//! lexer in [`crate::lex`]: comment stripping is token-based (so raw
+//! strings, byte strings, and nested block comments are handled by one
+//! authority), while the brace/paren matchers and the field-reference
+//! scanners keep their original text-level shape — precise enough for the
+//! rustfmt-canonical constructs they audit, and dependency-free.
 
 use std::collections::BTreeSet;
 
 /// Replaces `//` line comments (including doc comments) and `/* */` block
 /// comments with spaces, preserving byte offsets, line structure, and the
-/// contents of string and char literals.
+/// contents of string and char literals. Token-based: the lexer decides
+/// what is a comment, so `//` inside a string or raw string never is.
 pub fn strip_comments(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = b.to_vec();
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'"' => i = skip_string(b, i),
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                i = skip_raw_string(b, i);
-            }
-            b'\'' => i = skip_char_or_lifetime(b, i),
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 0;
-                while i < b.len() {
-                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
-                        depth += 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        if b[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8(out).expect("blanking comment bytes preserves UTF-8")
+    crate::lex::blank_comments(src)
+}
+
+/// [`strip_comments`] plus blanked string/char-literal *contents*
+/// (delimiters kept): the view for scanning code patterns, where a
+/// `format!` mentioned inside a message string must not look like a call.
+pub fn strip_comments_and_literals(src: &str) -> String {
+    crate::lex::blank_comments_and_literals(src)
 }
 
 /// Advances past a `"..."` literal starting at `i`, honouring `\` escapes.

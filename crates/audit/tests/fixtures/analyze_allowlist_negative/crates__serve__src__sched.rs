@@ -1,0 +1,11 @@
+pub fn admit(&mut self) {
+    // analyze:allow(determinism): deadlines are wall-clock by definition; they gate delivery only
+    let t = std::time::Instant::now();
+    use_deadline(t);
+}
+
+pub fn send(&self) {
+    let stream = self.stream.lock();
+    // analyze:allow(lock-io): frame writes stay under the writer mutex so replies cannot interleave
+    stream.write_all(b"ok");
+}

@@ -1,0 +1,27 @@
+pub struct Counters {
+    pub cycles: u64,
+    pub bogus_event: u64,
+    pub truth_retired_walks: u64,
+}
+
+impl Counters {
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64
+    }
+    pub fn events(&self) -> Vec<(&'static str, u64)> {
+        vec![("cpu_clk_unhalted.thread", self.cycles)]
+    }
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.truth_retired_walks, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let c = Counters { cycles: 1, truth_retired_walks: 0, ..zeroed() };
+        assert!(c.cycles > 0);
+        assert_eq!(c.truth_retired_walks, 0);
+    }
+}

@@ -1,0 +1,30 @@
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Doc text may mention `Instant::now` without tripping the pass.
+    pub fn save(&self, record: &RunRecord) {
+        // analyze:allow(determinism): timing the save is log-only metadata; the payload bytes are already fixed when the clock is read
+        let started = Instant::now();
+        let digest = summarize(&record.tags);
+        let note = "SystemTime::now inside a string literal is text, not a call";
+        write_payload(&self.dir, digest, started, note);
+    }
+
+    pub fn key(spec: &RunSpec) -> String {
+        hash_spec(spec)
+    }
+}
+
+fn summarize(tags: &BTreeMap<String, u64>) -> u64 {
+    let mut digest = 0;
+    for value in tags.values() {
+        digest ^= value;
+    }
+    digest
+}

@@ -1,0 +1,37 @@
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub struct RunRecord {
+    pub tags: HashMap<String, u64>,
+}
+
+pub struct RunSpec {
+    pub params: HashMap<String, String>,
+}
+
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    pub fn save(&self, record: &RunRecord) {
+        let started = Instant::now();
+        let mut digest = 0;
+        for (key, value) in &record.tags {
+            digest ^= hash_pair(key, value);
+        }
+        write_payload(&self.dir, digest, started);
+    }
+
+    pub fn key(spec: &RunSpec) -> String {
+        let parts: Vec<String> = spec.params.keys().cloned().collect();
+        parts.join("-")
+    }
+}
+
+pub fn cache_path(spec: &RunSpec) -> String {
+    let salt = std::env::var("ATSCALE_SALT").unwrap_or_default();
+    let key = RunStore::key(spec);
+    join_path(salt, key)
+}

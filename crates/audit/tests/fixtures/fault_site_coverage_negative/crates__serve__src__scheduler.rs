@@ -1,0 +1,3 @@
+fn execute() {
+    self.fault(FaultSite::WorkerPanic);
+}

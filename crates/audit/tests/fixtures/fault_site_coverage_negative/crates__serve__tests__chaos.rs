@@ -1,0 +1,6 @@
+fn a() {
+    arm(FaultSite::StoreWrite);
+}
+fn b() {
+    arm(FaultSite::WorkerPanic);
+}

@@ -1,0 +1,3 @@
+fn save() {
+    plan.check(FaultSite::StoreWrite);
+}

@@ -1,0 +1,3 @@
+fn a() {
+    arm(FaultSite::StoreWrite);
+}

@@ -1,0 +1,10 @@
+pub fn access() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1];
+        assert_eq!(v.len(), 1);
+    }
+}

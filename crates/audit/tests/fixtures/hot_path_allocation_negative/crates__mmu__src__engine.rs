@@ -1,0 +1,7 @@
+impl Machine {
+    /// The hot path must never call `format!` or `Vec::new` per access.
+    pub fn access(&mut self) {
+        self.counters.inst += 1;
+        debug_assert!(self.counters.inst > 0, "bad {}", format!("{}", self.counters.inst));
+    }
+}

@@ -1,0 +1,8 @@
+impl TlbArray {
+    pub fn new(n: usize) -> Self {
+        TlbArray { tags: vec![0; n] }
+    }
+    pub fn lookup(&self, tag: u64) -> bool {
+        self.tags[0] == tag
+    }
+}

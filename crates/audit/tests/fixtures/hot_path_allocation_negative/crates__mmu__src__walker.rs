@@ -1,0 +1,9 @@
+#[cold]
+fn slow_report() -> String {
+    format!("walker stalled")
+}
+
+pub fn walk() {
+    let msg = "never call format! or Vec::new here";
+    emit(msg);
+}

@@ -1,0 +1,7 @@
+impl Machine {
+    pub fn access(&mut self) {
+        let label = format!("step {}", self.step);
+        self.counters.inst += 1;
+        emit(label);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn walk(levels: u64) -> Vec<u64> {
+    let mut touched = Vec::new();
+    for l in 0..levels {
+        touched.push(l);
+    }
+    touched
+}

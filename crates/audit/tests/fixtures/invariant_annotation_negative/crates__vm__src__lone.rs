@@ -1,0 +1,6 @@
+impl Lone {
+    pub fn bump(&mut self) {
+        self.n += 1;
+        invariant!(self.n > 0, "n must grow");
+    }
+}

@@ -1,0 +1,5 @@
+impl Rogue {
+    pub fn mutate(&mut self) {
+        self.state += 1
+    }
+}

@@ -1,0 +1,9 @@
+impl CheckInvariants for Machine {
+    fn check_invariants(&self) {}
+}
+
+impl Machine {
+    pub fn finish(&mut self) {
+        self.check_invariants()
+    }
+}

@@ -1,0 +1,52 @@
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+static ORDER_A: Mutex<u64> = Mutex::new(0);
+static ORDER_B: Mutex<u64> = Mutex::new(0);
+
+pub fn forward(n: u64) {
+    let a = ORDER_A.lock().unwrap();
+    let b = ORDER_B.lock().unwrap();
+    consume(n, *a, *b);
+    drop(b);
+    drop(a);
+}
+
+pub fn also_forward(n: u64) {
+    let a = ORDER_A.lock().unwrap();
+    consume(n, *a, 0);
+    drop(a);
+    let b = ORDER_B.lock().unwrap();
+    consume(n, 0, *b);
+    drop(b);
+}
+
+pub struct Writer {
+    stream: Mutex<Stream>,
+    gate: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Writer {
+    pub fn send(&self, frame: &[u8]) {
+        let payload = encode(frame);
+        let mut stream = self.stream.lock().unwrap();
+        // analyze:allow(lock-io): whole frames are serialized under the writer mutex by design; the hold is bounded by a write timeout
+        stream.write_all(&payload).unwrap();
+    }
+
+    pub fn release_buffered(&self, frame: &[u8]) {
+        let payload = {
+            let stream = self.stream.lock().unwrap();
+            stamp(&stream, frame)
+        };
+        emit(payload);
+    }
+
+    pub fn wait_open(&self) {
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.opened.wait(open).unwrap();
+        }
+    }
+}

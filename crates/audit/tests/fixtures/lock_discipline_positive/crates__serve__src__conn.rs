@@ -1,0 +1,32 @@
+use std::io::Write;
+use std::sync::Mutex;
+
+static ORDER_A: Mutex<u64> = Mutex::new(0);
+static ORDER_B: Mutex<u64> = Mutex::new(0);
+
+pub fn forward(n: u64) {
+    let a = ORDER_A.lock().unwrap();
+    let b = ORDER_B.lock().unwrap();
+    consume(n, *a, *b);
+    drop(b);
+    drop(a);
+}
+
+pub fn backward(n: u64) {
+    let b = ORDER_B.lock().unwrap();
+    let a = ORDER_A.lock().unwrap();
+    consume(n, *a, *b);
+    drop(a);
+    drop(b);
+}
+
+pub struct Writer {
+    stream: Mutex<Stream>,
+}
+
+impl Writer {
+    pub fn send(&self, frame: &[u8]) {
+        let mut stream = self.stream.lock().unwrap();
+        stream.write_all(frame).unwrap();
+    }
+}

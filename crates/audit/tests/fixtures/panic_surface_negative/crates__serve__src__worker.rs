@@ -1,0 +1,33 @@
+pub struct Scheduler {
+    queue: Queue,
+}
+
+impl Scheduler {
+    pub fn worker_loop(&self) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute()));
+        if outcome.is_err() {
+            report_failure();
+        }
+    }
+
+    fn execute(&self) {
+        let job = self.queue.pop_front().unwrap();
+        assert!(job > 0, "job ids start at 1");
+        deliver(job);
+    }
+}
+
+fn deliver(job: u64) {
+    let slots = vec![0u64; 8];
+    let slot = slots[job as usize];
+    publish(slot);
+}
+
+fn report_failure() {
+    // analyze:allow(panic): failure accounting asserts on an internal tally; a broken tally is unrecoverable state worth crashing on
+    assert!(tally_consistent(), "delivery tally out of sync");
+}
+
+fn tally_consistent() -> bool {
+    true
+}

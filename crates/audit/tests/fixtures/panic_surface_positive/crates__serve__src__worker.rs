@@ -1,0 +1,21 @@
+pub struct Scheduler {
+    queue: Queue,
+}
+
+impl Scheduler {
+    pub fn worker_loop(&self) {
+        let job = self.queue.pop_front().unwrap();
+        dispatch(job);
+    }
+}
+
+fn dispatch(job: u64) {
+    assert!(job > 0, "job ids start at 1");
+    deliver(job);
+}
+
+fn deliver(job: u64) {
+    let slots = vec![0u64; 4];
+    let slot = slots[job as usize];
+    publish(slot);
+}

@@ -1,0 +1,8 @@
+pub enum Request {
+    Hello(Hello),
+    Shutdown,
+}
+pub enum Reply {
+    Welcome(Welcome),
+    ShuttingDown,
+}

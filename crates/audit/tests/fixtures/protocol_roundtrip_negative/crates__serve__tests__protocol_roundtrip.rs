@@ -1,0 +1,6 @@
+fn t() {
+    r(Request::Hello(h));
+    r(Request::Shutdown);
+    r(Reply::Welcome(w));
+    r(Reply::ShuttingDown);
+}

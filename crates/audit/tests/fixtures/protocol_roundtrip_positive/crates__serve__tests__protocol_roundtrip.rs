@@ -1,0 +1,4 @@
+fn t() {
+    r(Request::Shutdown);
+    r(Reply::Welcome(w));
+}

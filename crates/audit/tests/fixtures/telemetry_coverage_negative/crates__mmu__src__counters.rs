@@ -1,0 +1,4 @@
+pub struct Counters {
+    pub cycles: u64,
+    pub truth_retired_walks: u64,
+}

@@ -1,0 +1,8 @@
+pub const RATE_NAMES: [&str; 1] = ["cpi"];
+
+pub fn counter_sample(cur: &Counters, prev: &Counters) -> Sample {
+    let mut counters = cur.events();
+    counters.push(("truth.retired_walks", cur.truth_retired_walks));
+    let rates = RATE_NAMES.iter().zip([1.0]).collect();
+    Sample { counters, rates }
+}

@@ -1,0 +1,8 @@
+fn step(&mut self) {
+    if self.telemetry.sample_due(self.counters.inst_retired) {
+        self.telemetry.take_sample(&c, &pte);
+    }
+}
+fn finish(&mut self) {
+    self.telemetry.take_final_sample(&c, &pte);
+}

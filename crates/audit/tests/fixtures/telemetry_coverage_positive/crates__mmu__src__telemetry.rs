@@ -1,0 +1,7 @@
+pub const RATE_NAMES: [&str; 1] = ["cpi"];
+
+pub fn counter_sample(cur: &Counters, prev: &Counters) -> Sample {
+    let counters = cur.events();
+    let rates = vec![("cpi", 1.0)];
+    Sample { counters, rates }
+}

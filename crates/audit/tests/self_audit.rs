@@ -8,7 +8,7 @@
 
 use atscale_audit::counters::COUNTERS_PATH;
 use atscale_audit::telemetry::{ENGINE_PATH, TELEMETRY_PATH};
-use atscale_audit::{run_all, SourceFile, Workspace};
+use atscale_audit::{run_all, run_full, SourceFile, Workspace};
 use std::path::Path;
 
 fn real_workspace() -> Workspace {
@@ -33,6 +33,51 @@ fn the_shipped_workspace_is_clean() {
         );
         assert!(audit.checked > 0, "rule `{}` ran no checks", audit.rule);
     }
+}
+
+#[test]
+fn the_analysis_passes_are_not_vacuous() {
+    // A clean audit is only meaningful if the passes actually found their
+    // anchors in the real tree: the determinism sinks resolved, functions
+    // are tainted by them, locks were discovered, and the panic roots
+    // exist with real catch_unwind containment behind them. If a rename
+    // silently broke an anchor, the passes would pass on an empty graph.
+    let outcome = run_full(&real_workspace());
+    let r = &outcome.report;
+    assert!(
+        r.determinism.sinks.len() >= 2,
+        "determinism sinks did not resolve: {:?}",
+        r.determinism.sinks
+    );
+    assert!(
+        r.determinism.tainted.len() >= 5,
+        "almost nothing reaches the determinism sinks: {:?}",
+        r.determinism.tainted
+    );
+    assert!(
+        !r.determinism.allows.is_empty(),
+        "the tree carries determinism allows; the pass saw none"
+    );
+    assert!(
+        r.locks.declared.iter().any(|l| l.contains("SchedState"))
+            || r.locks.declared.iter().any(|l| l.contains("Scheduler")),
+        "the scheduler state lock was not discovered: {:?}",
+        r.locks.declared
+    );
+    assert!(
+        !r.locks.edges.is_empty(),
+        "no lock-order edges found — nested acquisition exists in the tree"
+    );
+    assert!(r.locks.cycles.is_empty(), "cycles: {:?}", r.locks.cycles);
+    assert!(
+        !r.panics.roots.is_empty(),
+        "no panic roots resolved — the worker/connection entry points moved"
+    );
+    assert!(
+        r.panics.contained > 0,
+        "no panic site is contained by catch_unwind — the containment \
+         detection or the scheduler boundary broke"
+    );
 }
 
 /// Doctors the real counters.rs with `edit` and returns all violations.

@@ -228,6 +228,7 @@ impl Harness {
     /// record and whether it was served from the cache.
     fn run_timed(&self, spec: &RunSpec) -> (RunRecord, bool) {
         let _phase = span!("run");
+        // analyze:allow(determinism): run wall-clock feeds the latency histogram (operator telemetry), never the RunRecord or its key
         let start = Instant::now();
         let (record, cached) = self.obtain(spec);
         if let Some(recorder) = self.recorder() {
@@ -289,6 +290,7 @@ impl Harness {
                     if i >= specs.len() {
                         break;
                     }
+                    // analyze:allow(determinism): per-run wall-clock is progress metadata for operators, never part of a record
                     let start = Instant::now();
                     let (record, cached) = self.run_timed(&specs[i]);
                     self.emit_progress(&Progress {

@@ -147,6 +147,7 @@ impl RunStore {
         }
         let tmp = self.dir.join(format!(
             ".{key}.{}.{}.tmp",
+            // analyze:allow(determinism): the pid only uniquifies the tmp-file name for the atomic rename; the persisted payload and final path are pid-free
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));

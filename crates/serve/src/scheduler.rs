@@ -127,15 +127,28 @@ impl Batch {
         }
     }
 
+    /// The ready gate with poison recovery: the flag is a plain `bool`, so
+    /// a panic in some other holder cannot leave it half-updated — taking
+    /// the poisoned value is always sound, and it keeps a worker delivering
+    /// frames alive instead of cascading the panic through the batch.
+    fn ready_lock(&self) -> std::sync::MutexGuard<'_, bool> {
+        self.ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn mark_ready(&self) {
-        *self.ready.lock().expect("batch lock") = true;
+        *self.ready_lock() = true;
         self.ready_cv.notify_all();
     }
 
     fn wait_ready(&self) {
-        let mut ready = self.ready.lock().expect("batch lock");
+        let mut ready = self.ready_lock();
         while !*ready {
-            ready = self.ready_cv.wait(ready).expect("batch lock");
+            ready = self
+                .ready_cv
+                .wait(ready)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -323,6 +336,21 @@ impl Scheduler {
         &self.stats
     }
 
+    /// The scheduler state with explicit poison recovery.
+    ///
+    /// Every mutation of `SchedState` is transactional — queue push plus
+    /// job insert, or job removal plus counter update — and a worker panic
+    /// between the two halves is already prevented by the `catch_unwind`
+    /// boundary around job execution (the only code a worker runs that can
+    /// panic while *not* holding this lock). Recovering from poison is
+    /// therefore sound, and it keeps the server serving after a contained
+    /// panic instead of wedging every connection on a poisoned mutex.
+    fn locked(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Dedup key for one spec under this server's machine config: the run
     /// cache key, partitioned by cache mode (a `no_cache` submission must
     /// not coalesce onto — or be answered by — a cache-permitted job).
@@ -362,8 +390,9 @@ impl Scheduler {
     fn admit(&self, req: &Submit, sink: Arc<dyn ReplySink>) -> Admission {
         let deadline = req
             .deadline_ms
+            // analyze:allow(determinism): deadlines are wall-clock by definition; they gate delivery and never enter a RunRecord or its cache key
             .map(|ms| Instant::now() + Duration::from_millis(ms));
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = self.locked();
         if state.draining {
             return Admission::Draining;
         }
@@ -441,10 +470,26 @@ impl Scheduler {
         )
     }
 
+    /// Defensive bookkeeping for a popped key whose map entry is missing —
+    /// unreachable while the admission invariant holds (entry inserted
+    /// before the key is enqueued; removal only by the popping worker).
+    /// Undoes the `running` count and wakes drain waiters so
+    /// [`Scheduler::wait_drained`] cannot wedge on the lost job.
+    #[cold]
+    fn abandon_lost_job(&self) {
+        let mut state = self.locked();
+        state.running -= 1;
+        let drained = state.queue.is_empty() && state.running == 0;
+        drop(state);
+        if drained {
+            self.idle.notify_all();
+        }
+    }
+
     /// One worker thread's loop: pop, execute, deliver — until drained.
     pub fn worker_loop(&self) {
         loop {
-            let mut state = self.state.lock().expect("scheduler lock");
+            let mut state = self.locked();
             let key = loop {
                 if !state.paused {
                     if let Some(key) = state.queue.pop_front() {
@@ -454,17 +499,26 @@ impl Scheduler {
                         return;
                     }
                 }
-                state = self.work.wait(state).expect("scheduler lock");
+                state = self
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             };
             // A job counts as `running` from pop until its replies are
             // delivered, so `wait_drained` cannot return while the final
             // frames of a drain are still being written.
             state.running += 1;
+            // analyze:allow(determinism): deadline expiry check — wall-clock gates whether work is shed, never what a record contains
             let now = Instant::now();
-            let all_expired = state.jobs[&key]
-                .subscribers
-                .iter()
-                .all(|s| s.deadline.is_some_and(|d| now > d));
+            // `get` rather than indexing: a popped key always has a map
+            // entry (admission inserts before enqueueing), but if that
+            // invariant ever broke, a missing entry must not panic the
+            // worker outside its containment boundary — treat it as shed.
+            let all_expired = state.jobs.get(&key).is_none_or(|job| {
+                job.subscribers
+                    .iter()
+                    .all(|s| s.deadline.is_some_and(|d| now > d))
+            });
             // Injected expiry forces the shed path: every subscriber is
             // treated as having abandoned the job.
             #[cfg(feature = "faults")]
@@ -475,8 +529,15 @@ impl Scheduler {
                 // Every waiter has abandoned the job: shed it without
                 // executing (the other half of admission control). Remove
                 // it under the lock so nobody coalesces onto a job that
-                // will never produce a record.
-                job = state.jobs.remove(&key).expect("queued job exists");
+                // will never produce a record. A missing entry (possible
+                // only if the admission invariant broke) is skipped, not
+                // panicked on — workers must stay up.
+                let Some(shed) = state.jobs.remove(&key) else {
+                    drop(state);
+                    self.abandon_lost_job();
+                    continue;
+                };
+                job = shed;
                 drop(state);
                 outcome = JobOutcome {
                     record: None,
@@ -487,14 +548,21 @@ impl Scheduler {
                 };
             } else {
                 // Snapshot what execution needs; the job stays in the map
-                // so single-flight covers running jobs too.
-                let queued = state.jobs.get(&key).expect("queued job exists");
+                // so single-flight covers running jobs too. Presence is
+                // guaranteed by the admission invariant (insert before
+                // enqueue); if it ever broke, skip rather than panic.
+                let Some(queued) = state.jobs.get(&key) else {
+                    drop(state);
+                    self.abandon_lost_job();
+                    continue;
+                };
                 let spec = queued.spec;
                 let no_cache = queued.no_cache;
                 let fanout = Arc::clone(&queued.fanout);
                 let sample_interval = queued.sample_interval;
                 drop(state);
 
+                // analyze:allow(determinism): wall_ms is progress metadata on the reply stream, not part of the RunRecord or its key
                 let start = Instant::now();
                 // Contain worker panics: a panicking job must fail *its
                 // subscribers* with an explicit `Failed` frame, not kill
@@ -529,13 +597,16 @@ impl Scheduler {
                         }
                     }
                 };
-                job = self
-                    .state
-                    .lock()
-                    .expect("scheduler lock")
-                    .jobs
-                    .remove(&key)
-                    .expect("running job exists");
+                // Only the popping worker removes the key it popped, so
+                // the entry is still there; if that single-flight
+                // invariant ever broke, skip delivery rather than panic.
+                job = match self.locked().jobs.remove(&key) {
+                    Some(done) => done,
+                    None => {
+                        self.abandon_lost_job();
+                        continue;
+                    }
+                };
             }
             for sub in &job.subscribers {
                 if sub.batch.resolve(sub, &outcome) == Resolution::Expired {
@@ -543,7 +614,7 @@ impl Scheduler {
                 }
             }
             self.stats.completed.fetch_add(1, Ordering::SeqCst);
-            let mut state = self.state.lock().expect("scheduler lock");
+            let mut state = self.locked();
             state.running -= 1;
             let drained = state.queue.is_empty() && state.running == 0;
             drop(state);
@@ -590,7 +661,7 @@ impl Scheduler {
     /// Begins draining: new submissions are rejected, queued and running
     /// jobs complete and deliver. Idempotent.
     pub fn drain(&self) {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = self.locked();
         state.draining = true;
         // A paused scheduler must still finish its backlog to drain.
         state.paused = false;
@@ -601,21 +672,24 @@ impl Scheduler {
     /// Blocks until the queue is empty and no job is running. Call after
     /// [`Scheduler::drain`] for graceful shutdown.
     pub fn wait_drained(&self) {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = self.locked();
         while !state.queue.is_empty() || state.running > 0 {
-            state = self.idle.wait(state).expect("scheduler lock");
+            state = self
+                .idle
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Pauses workers after their current job (maintenance/test hook:
     /// admission and dedup keep working, execution stalls).
     pub fn pause(&self) {
-        self.state.lock().expect("scheduler lock").paused = true;
+        self.locked().paused = true;
     }
 
     /// Resumes paused workers.
     pub fn resume(&self) {
-        let mut state = self.state.lock().expect("scheduler lock");
+        let mut state = self.locked();
         state.paused = false;
         drop(state);
         self.work.notify_all();
@@ -655,7 +729,7 @@ impl Scheduler {
 
     /// Counter snapshot for the `server_stats` reply.
     pub fn stats_reply(&self) -> ServerStatsReply {
-        let state = self.state.lock().expect("scheduler lock");
+        let state = self.locked();
         ServerStatsReply {
             executions: self.stats.executions.load(Ordering::SeqCst),
             cache_hits: self.stats.cache_hits.load(Ordering::SeqCst),
@@ -686,7 +760,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.state.lock().expect("scheduler lock");
+        let state = self.locked();
         f.debug_struct("Scheduler")
             .field("queued", &state.queue.len())
             .field("running", &state.running)

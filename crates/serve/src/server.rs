@@ -83,7 +83,12 @@ impl ReplySink for ConnWriter {
         }
         let mut line = protocol::encode(reply);
         line.push('\n');
+        // Writing under the lock is the design: the mutex is what
+        // serializes whole frames from the reader thread and every worker
+        // onto the socket, and WRITE_TIMEOUT bounds how long a stalled
+        // peer can hold it.
         let mut stream = self.stream.lock();
+        // analyze:allow(lock-io): per-connection frame serialization requires writing under the writer mutex; WRITE_TIMEOUT bounds the hold
         let sent = stream
             .write_all(line.as_bytes())
             .and_then(|()| stream.flush());

@@ -159,6 +159,7 @@ impl TelemetrySink {
             ("hit".to_string(), Value::U64(hit)),
         ]);
         if let Some(writer) = state.jsonl.as_mut() {
+            // analyze:allow(lock-io): JSONL events are written under the state lock so the stream order is total; the writer is buffered
             writer.write_event(&event);
         }
     }
@@ -208,9 +209,12 @@ impl TelemetrySink {
         ]);
         if let Some(writer) = state.jsonl.as_mut() {
             for event in hist_events.iter().chain(&span_events) {
+                // analyze:allow(lock-io): finalization writes under the state lock so no sample can interleave into the hist/span/summary tail
                 writer.write_event(event);
             }
+            // analyze:allow(lock-io): the summary must be the last event before the flush; the lock guarantees that ordering
             writer.write_event(&summary);
+            // analyze:allow(lock-io): final flush of a finished stream — nothing else will take this lock for writing afterwards
             let _ = writer.file.flush();
         }
         path
@@ -267,6 +271,7 @@ impl Recorder for TelemetrySink {
             sample.to_value(),
         );
         if let Some(writer) = state.jsonl.as_mut() {
+            // analyze:allow(lock-io): samples stream under the state lock so concurrent runs cannot interleave half-ordered events; the writer is buffered
             writer.write_event(&event);
         }
         state.samples.push((run.to_string(), sample.clone()));
@@ -284,6 +289,7 @@ impl Recorder for TelemetrySink {
         state.progress_events += 1;
         let line = tagged("progress", Vec::new(), event.to_value());
         if let Some(writer) = state.jsonl.as_mut() {
+            // analyze:allow(lock-io): progress events share the ordered JSONL stream; the buffered write stays under the state lock by design
             writer.write_event(&line);
         }
     }
