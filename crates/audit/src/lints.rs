@@ -7,6 +7,15 @@
 //! every crate. CI runs clippy with `-D warnings`; this rule makes the
 //! *configuration* itself tamper-evident so a crate cannot quietly drop out
 //! of the policy.
+//!
+//! One documented FFI exception: `crates/native` wraps the raw
+//! `perf_event_open(2)` syscall, which cannot be expressed without
+//! `unsafe` and the workspace vendors no `libc`/`perf` crate to hide it
+//! in. That crate's root must carry `#![deny(unsafe_code)]` instead of
+//! `forbid` (deny is overridable by an item-level `allow`, forbid is not),
+//! and this rule pins the blast radius: within `crates/native`, any
+//! `allow(unsafe_code)` or `unsafe` token may appear only in the syscall
+//! shim module `src/sys.rs`.
 
 use crate::{Audit, Workspace};
 
@@ -71,17 +80,74 @@ fn check_member_manifests(audit: &mut Audit, ws: &Workspace) {
     }
 }
 
-/// Every crate root must forbid unsafe code outright.
+/// The one crate allowed to contain `unsafe` (the raw `perf_event_open`
+/// FFI harness) and the single module its unsafe code must live in.
+const FFI_EXCEPTION_CRATE: &str = "crates/native/";
+const FFI_EXCEPTION_ROOT: &str = "crates/native/src/lib.rs";
+const FFI_EXCEPTION_MODULE: &str = "crates/native/src/sys.rs";
+
+/// Every crate root must forbid unsafe code outright — except the
+/// documented FFI crate, whose root must *deny* it (so the syscall shim
+/// can re-allow it for exactly one module) and whose `unsafe` usage must
+/// stay confined to that module.
 fn check_unsafe_forbidden(audit: &mut Audit, ws: &Workspace) {
     for root in ws.crate_roots() {
         audit.check();
-        if !root.text.contains("#![forbid(unsafe_code)]") {
+        if root.path == FFI_EXCEPTION_ROOT {
+            if !root.text.contains("#![deny(unsafe_code)]") {
+                audit.fail(
+                    &root.path,
+                    "the FFI-exception crate must carry `#![deny(unsafe_code)]` at its root \
+                     (forbid would reject the sanctioned syscall shim; anything weaker drops \
+                     the guard)",
+                );
+            }
+        } else if !root.text.contains("#![forbid(unsafe_code)]") {
             audit.fail(
                 &root.path,
                 "missing `#![forbid(unsafe_code)]` at the crate root",
             );
         }
     }
+    // The exception stays surgical: inside crates/native, unsafe code and
+    // `allow(unsafe_code)` opt-outs may appear only in the syscall shim.
+    for file in ws
+        .rust_sources()
+        .filter(|f| f.path.starts_with(FFI_EXCEPTION_CRATE))
+    {
+        if file.path == FFI_EXCEPTION_MODULE {
+            continue;
+        }
+        audit.check();
+        if file.code.contains("allow(unsafe_code)") || has_unsafe_token(&file.code) {
+            audit.fail(
+                &file.path,
+                format!(
+                    "unsafe code outside the sanctioned FFI module `{FFI_EXCEPTION_MODULE}` — \
+                     the exception covers the syscall shim only"
+                ),
+            );
+        }
+    }
+}
+
+/// True when `unsafe` appears as a standalone token (word-boundary match,
+/// so `unsafe_code` in lint attributes does not count).
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let is_ident = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("unsafe") {
+        let start = from + at;
+        let end = start + "unsafe".len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// True when `key = ...` appears inside the given TOML table (before the
@@ -191,6 +257,67 @@ workspace = true
             .violations
             .iter()
             .any(|v| v.message.contains("forbid(unsafe_code)")));
+    }
+
+    #[test]
+    fn ffi_exception_crate_with_deny_and_confined_unsafe_passes() {
+        let mut files = good();
+        files.push(("crates/native/Cargo.toml", GOOD_CRATE));
+        files.push((
+            "crates/native/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod sys;",
+        ));
+        files.push((
+            "crates/native/src/sys.rs",
+            "#[allow(unsafe_code)]\nmod imp { pub fn open() -> i64 { unsafe { syscall(298) } } }",
+        ));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+    }
+
+    #[test]
+    fn ffi_exception_crate_without_deny_is_flagged() {
+        let mut files = good();
+        files.push(("crates/native/Cargo.toml", GOOD_CRATE));
+        files.push(("crates/native/src/lib.rs", "pub mod sys;"));
+        files.push(("crates/native/src/sys.rs", "pub fn open() -> i64 { 0 }"));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("deny(unsafe_code)")));
+    }
+
+    #[test]
+    fn unsafe_outside_the_syscall_shim_is_flagged() {
+        let mut files = good();
+        files.push(("crates/native/Cargo.toml", GOOD_CRATE));
+        files.push((
+            "crates/native/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod sys;\npub mod sneaky;",
+        ));
+        files.push(("crates/native/src/sys.rs", "pub fn open() -> i64 { 0 }"));
+        files.push((
+            "crates/native/src/sneaky.rs",
+            "#[allow(unsafe_code)]\npub fn f() { unsafe { core::hint::unreachable_unchecked() } }",
+        ));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.file == "crates/native/src/sneaky.rs"
+                && v.message.contains("outside the sanctioned FFI module")));
+    }
+
+    #[test]
+    fn unsafe_code_lint_names_do_not_trip_the_token_scan() {
+        // `unsafe_code` (the lint name) contains `unsafe` as a substring;
+        // the word-boundary scan must not flag crate roots that merely
+        // mention the lint.
+        assert!(!has_unsafe_token("#![deny(unsafe_code)]"));
+        assert!(has_unsafe_token("unsafe { x() }"));
+        assert!(has_unsafe_token("unsafe fn f() {}"));
+        assert!(!has_unsafe_token("let not_unsafe_thing = 1;"));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Rule 8 — native event coverage.
+//!
+//! The native harness (`crates/native`) mirrors the simulator's Table VI
+//! counters onto real PMU events. Every counter name exported by
+//! `atscale_mmu::Counters::events()` must appear either in the harness's
+//! `MAPPED` counter group or in its explicit `UNMAPPED` table (with a
+//! reason) — never both, and `UNMAPPED` must not accumulate entries that
+//! stopped being Table VI counters. A simulator counter added without a
+//! native mapping decision therefore fails CI: the decision can be "no
+//! defensible analogue", but it must be written down.
+//!
+//! The scan parses the quoted event names out of `Counters::events()` and
+//! the `counter_group!` invocation / `UNMAPPED` const — all three shapes
+//! are kept canonical by rustfmt, same as the other text-scan rules.
+
+use crate::counters::COUNTERS_PATH;
+use crate::source::block_after;
+use crate::{Audit, Workspace};
+use std::collections::BTreeSet;
+
+/// Path (workspace-relative suffix) of the native event table under audit.
+pub const EVENTS_PATH: &str = "crates/native/src/events.rs";
+const RULE: &str = "native-event-coverage";
+
+/// Runs the native-event-coverage rule over the workspace.
+pub fn audit_native_event_coverage(ws: &Workspace) -> Audit {
+    let mut audit = Audit::new(RULE);
+    let Some(counters) = ws.file(COUNTERS_PATH) else {
+        audit.fail(
+            COUNTERS_PATH,
+            format!("{COUNTERS_PATH} not found in workspace"),
+        );
+        return audit;
+    };
+    let Some(events) = ws.file(EVENTS_PATH) else {
+        audit.fail(EVENTS_PATH, format!("{EVENTS_PATH} not found in workspace"));
+        return audit;
+    };
+
+    let table_vi = table_vi_names(&counters.stripped);
+    if table_vi.is_empty() {
+        audit.fail(
+            COUNTERS_PATH,
+            "could not parse any event names from `Counters::events()`",
+        );
+        return audit;
+    }
+    let mapped = mapped_names(&events.stripped);
+    if mapped.is_empty() {
+        audit.fail(
+            EVENTS_PATH,
+            "could not parse any mapped events from the `counter_group!` invocation",
+        );
+        return audit;
+    }
+    let unmapped = unmapped_entries(&events.stripped);
+
+    let unmapped_names: BTreeSet<&str> = unmapped.iter().map(|(n, _)| n.as_str()).collect();
+    for name in &table_vi {
+        audit.check();
+        let in_mapped = mapped.contains(name);
+        let in_unmapped = unmapped_names.contains(name.as_str());
+        if !in_mapped && !in_unmapped {
+            audit.fail(
+                EVENTS_PATH,
+                format!(
+                    "Table VI counter `{name}` is neither in the native `MAPPED` group nor \
+                     in the explicit `UNMAPPED` table — map it to a PMU event or record why \
+                     no analogue exists"
+                ),
+            );
+        }
+        if in_mapped && in_unmapped {
+            audit.fail(
+                EVENTS_PATH,
+                format!("Table VI counter `{name}` appears in both `MAPPED` and `UNMAPPED`"),
+            );
+        }
+    }
+    for (name, reason) in &unmapped {
+        audit.check();
+        if !table_vi.contains(name) {
+            audit.fail(
+                EVENTS_PATH,
+                format!(
+                    "`UNMAPPED` entry `{name}` is not a Table VI counter — stale entries \
+                     must be pruned when the simulator's counter set changes"
+                ),
+            );
+        }
+        audit.check();
+        if reason.trim().is_empty() {
+            audit.fail(
+                EVENTS_PATH,
+                format!("`UNMAPPED` entry `{name}` has an empty reason"),
+            );
+        }
+    }
+    audit
+}
+
+/// The simulator's Table VI counter names: every quoted string inside
+/// `Counters::events()`.
+fn table_vi_names(counters_src: &str) -> BTreeSet<String> {
+    block_after(counters_src, "pub fn events")
+        .map(|body| quoted_strings(body).into_iter().collect())
+        .unwrap_or_default()
+}
+
+/// The native harness's mapped names: quoted strings inside the
+/// `counter_group!` invocation that are immediately followed by `=>`
+/// (the `field: "sim.name" => encoding` position; doc-attr and note
+/// literals are not followed by `=>`).
+fn mapped_names(events_src: &str) -> BTreeSet<String> {
+    let Some(body) = block_after(events_src, "counter_group!") else {
+        return BTreeSet::new();
+    };
+    let mut names = BTreeSet::new();
+    for (end, s) in quoted_strings_with_ends(body) {
+        if body[end..].trim_start().starts_with("=>") {
+            names.insert(s);
+        }
+    }
+    names
+}
+
+/// The `(name, reason)` pairs of the `UNMAPPED` const: quoted strings
+/// between `pub const UNMAPPED` and the closing `];`, taken pairwise.
+fn unmapped_entries(events_src: &str) -> Vec<(String, String)> {
+    let Some(at) = events_src.find("pub const UNMAPPED") else {
+        return Vec::new();
+    };
+    let body = &events_src[at..];
+    let body = body.find("];").map_or(body, |end| &body[..end]);
+    let strings = quoted_strings(body);
+    strings
+        .chunks(2)
+        .filter(|pair| pair.len() == 2)
+        .map(|pair| (pair[0].clone(), pair[1].clone()))
+        .collect()
+}
+
+/// Every `"..."` literal in `text`, in order (comment-stripped input; the
+/// event-name and reason literals under audit contain no escapes).
+fn quoted_strings(text: &str) -> Vec<String> {
+    quoted_strings_with_ends(text)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
+}
+
+/// Like [`quoted_strings`], also yielding the byte offset just past each
+/// literal's closing quote.
+fn quoted_strings_with_ends(text: &str) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j < bytes.len() {
+                out.push((j + 1, text[start..j].to_string()));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::workspace_from;
+
+    const GOOD_COUNTERS: &str = r#"
+        impl Counters {
+            pub fn events(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    ("inst_retired.any", self.inst_retired),
+                    ("dtlb_load_misses.stlb_hit", self.stlb_hit_loads),
+                ]
+            }
+        }
+    "#;
+
+    const GOOD_EVENTS: &str = r#"
+        counter_group! {
+            instructions: "inst_retired.any" => EventKind::Hardware(HW_INSTRUCTIONS),
+                "";
+            minor_faults: "minor-faults" => EventKind::Software(SW_PAGE_FAULTS_MIN),
+                "native-only extra";
+        }
+        pub const UNMAPPED: &[(&str, &str)] = &[
+            (
+                "dtlb_load_misses.stlb_hit",
+                "generic dTLB events cannot separate STLB hits from walks",
+            ),
+        ];
+    "#;
+
+    fn good() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("crates/mmu/src/counters.rs", GOOD_COUNTERS),
+            ("crates/native/src/events.rs", GOOD_EVENTS),
+        ]
+    }
+
+    #[test]
+    fn covered_event_tables_pass() {
+        let audit = audit_native_event_coverage(&workspace_from(&good()));
+        assert_eq!(audit.violations, Vec::new());
+        assert!(audit.checked > 0);
+    }
+
+    #[test]
+    fn uncovered_table_vi_counter_is_flagged() {
+        let doctored = GOOD_COUNTERS.replace(
+            "(\"inst_retired.any\", self.inst_retired),",
+            "(\"inst_retired.any\", self.inst_retired),\n                    (\"new.event\", self.new_event),",
+        );
+        let mut files = good();
+        files[0] = (
+            "crates/mmu/src/counters.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`new.event`")
+                && v.message.contains("neither in the native `MAPPED` group")));
+    }
+
+    #[test]
+    fn double_booked_counter_is_flagged() {
+        let doctored =
+            GOOD_EVENTS.replace("\"dtlb_load_misses.stlb_hit\",", "\"inst_retired.any\",");
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        // inst_retired.any is now both mapped and unmapped, and
+        // dtlb_load_misses.stlb_hit is covered by neither.
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("both `MAPPED` and `UNMAPPED`")));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`dtlb_load_misses.stlb_hit`")));
+    }
+
+    #[test]
+    fn stale_unmapped_entry_is_flagged() {
+        // Append a second UNMAPPED tuple naming a non-Table-VI counter.
+        let appended = GOOD_EVENTS.replace(
+            "),\n        ];",
+            "),\n            (\"ancient.event\", \"some reason\"),\n        ];",
+        );
+        assert_ne!(appended, GOOD_EVENTS, "fixture shape drifted");
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(appended.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`ancient.event`") && v.message.contains("stale")));
+    }
+
+    #[test]
+    fn empty_unmapped_reason_is_flagged() {
+        let doctored = GOOD_EVENTS.replace(
+            "\"generic dTLB events cannot separate STLB hits from walks\",",
+            "\"\",",
+        );
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("empty reason")));
+    }
+
+    #[test]
+    fn missing_native_crate_fails_loudly() {
+        let audit = audit_native_event_coverage(&workspace_from(&good()[..1]));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("not found in workspace")));
+    }
+}

@@ -1,0 +1,13 @@
+pub struct Counters {
+    pub inst_retired: u64,
+    pub stlb_hit_loads: u64,
+}
+
+impl Counters {
+    pub fn events(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("inst_retired.any", self.inst_retired),
+            ("dtlb_load_misses.stlb_hit", self.stlb_hit_loads),
+        ]
+    }
+}

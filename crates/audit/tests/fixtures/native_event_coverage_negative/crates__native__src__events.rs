@@ -1,0 +1,15 @@
+counter_group! {
+    #[doc = "Retired instructions (doc strings like \"inst\" are not event names)."]
+    instructions: "inst_retired.any" => EventKind::Hardware(HW_INSTRUCTIONS),
+        "a note literal that is not an event name either";
+    #[doc = "Native-only extra with no Table VI twin — allowed in MAPPED."]
+    cache_misses: "cache-misses" => EventKind::Hardware(HW_CACHE_MISSES),
+        "native-only: the simulator does not model the LLC";
+}
+
+pub const UNMAPPED: &[(&str, &str)] = &[
+    (
+        "dtlb_load_misses.stlb_hit",
+        "generic dTLB events cannot separate STLB hits from walk-causing misses",
+    ),
+];

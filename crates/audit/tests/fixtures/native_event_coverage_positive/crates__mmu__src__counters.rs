@@ -1,0 +1,13 @@
+pub struct Counters {
+    pub inst_retired: u64,
+    pub new_event: u64,
+}
+
+impl Counters {
+    pub fn events(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("inst_retired.any", self.inst_retired),
+            ("new.event", self.new_event),
+        ]
+    }
+}

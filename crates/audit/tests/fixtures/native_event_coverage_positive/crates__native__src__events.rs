@@ -1,0 +1,16 @@
+counter_group! {
+    #[doc = "Retired instructions."]
+    instructions: "inst_retired.any" => EventKind::Hardware(HW_INSTRUCTIONS),
+        "";
+}
+
+pub const UNMAPPED: &[(&str, &str)] = &[
+    (
+        "inst_retired.any",
+        "double-booked: also present in MAPPED above",
+    ),
+    (
+        "ancient.event",
+        "",
+    ),
+];

@@ -1,0 +1,126 @@
+//! `xval` — cross-validate a simulated telemetry stream against a native
+//! hardware-counter stream and emit the `XVAL_report.json` document.
+//!
+//! ```text
+//! xval --sim SIM.jsonl --native NATIVE.jsonl [--out DIR]
+//!      [--beta-tol F] [--c-tol F] [--min-corr F] [--strict]
+//! ```
+//!
+//! Exit code is 0 regardless of verdict — refuted assumptions are tracked
+//! findings in the report, not build breaks — unless `--strict` is given,
+//! which turns a `fail` status into exit 1 (for the CI invariant mode).
+
+use atscale_native::{cross_validate, XvalConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    sim: PathBuf,
+    native: PathBuf,
+    out_dir: PathBuf,
+    config: XvalConfig,
+    strict: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sim = None;
+    let mut native = None;
+    let mut out_dir =
+        PathBuf::from(std::env::var("ATSCALE_RESULTS").unwrap_or_else(|_| "results".to_string()));
+    let mut config = XvalConfig::default();
+    let mut strict = false;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        let mut need = |what: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--sim" => sim = Some(PathBuf::from(need("--sim")?)),
+            "--native" => native = Some(PathBuf::from(need("--native")?)),
+            "--out" => out_dir = PathBuf::from(need("--out")?),
+            "--beta-tol" => {
+                config.beta_tol = need("--beta-tol")?
+                    .parse()
+                    .map_err(|e| format!("bad --beta-tol: {e}"))?;
+            }
+            "--c-tol" => {
+                config.c_tol = need("--c-tol")?
+                    .parse()
+                    .map_err(|e| format!("bad --c-tol: {e}"))?;
+            }
+            "--min-corr" => {
+                config.min_corr = need("--min-corr")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-corr: {e}"))?;
+            }
+            "--strict" => strict = true,
+            other => {
+                return Err(format!(
+                    "unknown option {other} (try --sim PATH, --native PATH, --out DIR, \
+                     --beta-tol F, --c-tol F, --min-corr F, --strict)"
+                ))
+            }
+        }
+    }
+    Ok(Args {
+        sim: sim.ok_or("--sim is required")?,
+        native: native.ok_or("--native is required")?,
+        out_dir,
+        config,
+        strict,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("xval: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let (sim_text, native_text) = match (read(&args.sim), read(&args.native)) {
+        (Ok(s), Ok(n)) => (s, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xval: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = cross_validate(&sim_text, &native_text, args.config);
+    if std::fs::create_dir_all(&args.out_dir).is_err() {
+        eprintln!("xval: cannot create {}", args.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let out = args.out_dir.join("XVAL_report.json");
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("xval: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("xval: status {} → {}", report.status, out.display());
+    for w in &report.workloads {
+        println!(
+            "  {} [{}] β sim {:.4} native {:.4} (Δ {:.4}), c Δ {:.4}, corr {}",
+            w.workload,
+            if w.pass { "pass" } else { "FAIL" },
+            w.beta_sim,
+            w.beta_native,
+            w.beta_delta(),
+            w.c_delta(),
+            w.corr.map_or("n/a".to_string(), |c| format!("{c:.3}")),
+        );
+    }
+    for finding in &report.findings {
+        println!("  finding: {finding}");
+    }
+    if args.strict && report.status == "fail" {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -218,10 +218,70 @@ impl Counters {
             .map(|((name, _), _)| name)
     }
 
-    /// Asserts the internal consistency invariants that hold by
+    /// Checks the internal consistency invariants that hold by
     /// construction on real hardware and must hold in the simulator:
     /// `retired ≤ completed ≤ initiated`, and Table VI outcomes must match
     /// the simulator's ground truth.
+    ///
+    /// Returns **every** violated invariant, not just the first — when a
+    /// counter-plumbing bug breaks several outcomes at once, one report
+    /// shows the whole blast radius instead of forcing a fix-rerun loop
+    /// per message (the same one-pass discipline `telemetry_validate` and
+    /// the native reconciliation checks follow).
+    pub fn consistency_errors(&self) -> Vec<String> {
+        let o = self.walk_outcomes();
+        let mut errs = Vec::new();
+        if o.retired > o.completed {
+            errs.push(format!(
+                "retired walks (mem_uops_retired.stlb_miss_*: {}) exceed completed walks \
+                 (dtlb_*_misses.walk_completed: {})",
+                o.retired, o.completed
+            ));
+        }
+        if o.completed > o.initiated {
+            errs.push(format!(
+                "completed walks (dtlb_*_misses.walk_completed: {}) exceed initiated walks \
+                 (dtlb_*_misses.miss_causes_a_walk: {})",
+                o.completed, o.initiated
+            ));
+        }
+        if o.retired != self.truth_retired_walks {
+            errs.push(format!(
+                "Table VI retired walks (mem_uops_retired.stlb_miss_*: {}) diverge from retired \
+                 ground truth (truth.retired_walks: {})",
+                o.retired, self.truth_retired_walks
+            ));
+        }
+        if o.wrong_path != self.truth_wrong_path_walks {
+            errs.push(format!(
+                "Table VI wrong-path walks (completed - retired: {}) diverge from wrong-path \
+                 ground truth (truth.wrong_path_walks: {})",
+                o.wrong_path, self.truth_wrong_path_walks
+            ));
+        }
+        if o.aborted != self.truth_aborted_walks {
+            errs.push(format!(
+                "Table VI aborted walks (initiated - completed: {}) diverge from aborted \
+                 ground truth (truth.aborted_walks: {})",
+                o.aborted, self.truth_aborted_walks
+            ));
+        }
+        let truth_total =
+            self.truth_retired_walks + self.truth_wrong_path_walks + self.truth_aborted_walks;
+        if o.initiated != truth_total {
+            errs.push(format!(
+                "walk outcome partition: initiated walks (dtlb_*_misses.miss_causes_a_walk: {}) \
+                 != retired {} + wrong-path {} + aborted {} ground truth",
+                o.initiated,
+                self.truth_retired_walks,
+                self.truth_wrong_path_walks,
+                self.truth_aborted_walks
+            ));
+        }
+        errs
+    }
+
+    /// Asserts [`Counters::consistency_errors`] is empty.
     ///
     /// Unlike [`CheckInvariants::check_invariants`], these assertions are
     /// active in **all** build profiles — tests and experiment binaries call
@@ -229,50 +289,14 @@ impl Counters {
     ///
     /// # Panics
     ///
-    /// Panics if any invariant is violated.
+    /// Panics with **all** violated invariants joined, one per line.
     pub fn assert_consistent(&self) {
-        let o = self.walk_outcomes();
+        let errs = self.consistency_errors();
         assert!(
-            o.retired <= o.completed,
-            "retired walks (mem_uops_retired.stlb_miss_*: {}) exceed completed walks \
-             (dtlb_*_misses.walk_completed: {})",
-            o.retired,
-            o.completed
-        );
-        assert!(
-            o.completed <= o.initiated,
-            "completed walks (dtlb_*_misses.walk_completed: {}) exceed initiated walks \
-             (dtlb_*_misses.miss_causes_a_walk: {})",
-            o.completed,
-            o.initiated
-        );
-        assert_eq!(
-            o.retired, self.truth_retired_walks,
-            "Table VI retired walks (mem_uops_retired.stlb_miss_*: {}) diverge from retired \
-             ground truth (truth.retired_walks: {})",
-            o.retired, self.truth_retired_walks
-        );
-        assert_eq!(
-            o.wrong_path, self.truth_wrong_path_walks,
-            "Table VI wrong-path walks (completed - retired: {}) diverge from wrong-path \
-             ground truth (truth.wrong_path_walks: {})",
-            o.wrong_path, self.truth_wrong_path_walks
-        );
-        assert_eq!(
-            o.aborted, self.truth_aborted_walks,
-            "Table VI aborted walks (initiated - completed: {}) diverge from aborted \
-             ground truth (truth.aborted_walks: {})",
-            o.aborted, self.truth_aborted_walks
-        );
-        assert_eq!(
-            o.initiated,
-            self.truth_retired_walks + self.truth_wrong_path_walks + self.truth_aborted_walks,
-            "walk outcome partition: initiated walks (dtlb_*_misses.miss_causes_a_walk: {}) \
-             != retired {} + wrong-path {} + aborted {} ground truth",
-            o.initiated,
-            self.truth_retired_walks,
-            self.truth_wrong_path_walks,
-            self.truth_aborted_walks
+            errs.is_empty(),
+            "counter consistency violated ({} invariant(s)):\n  {}",
+            errs.len(),
+            errs.join("\n  ")
         );
     }
 }
@@ -419,6 +443,23 @@ mod tests {
         c.truth_wrong_path_walks += 1;
         c.truth_aborted_walks -= 1;
         c.assert_consistent();
+    }
+
+    #[test]
+    fn consistency_check_reports_every_violation_in_one_pass() {
+        // Break three independent invariants at once: the report must name
+        // all of them, not stop at the first.
+        let mut c = sample();
+        c.truth_retired_walks += 1; // retired truth drift
+        c.truth_wrong_path_walks -= 1; // wrong-path truth drift
+        c.walk_initiated_loads += 5; // aborted drift + partition no longer sums
+        let errs = c.consistency_errors();
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("retired ground truth")));
+        assert!(errs.iter().any(|e| e.contains("wrong-path ground truth")));
+        assert!(errs.iter().any(|e| e.contains("aborted ground truth")));
+        assert!(errs.iter().any(|e| e.contains("walk outcome partition")));
+        assert!(sample().consistency_errors().is_empty());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! `perf_native` — profile the native mini-kernels under real hardware
+//! counters, streaming schema-v3 telemetry (`source: "native"`).
+//!
+//! ```text
+//! perf_native [--quick|--full] [--out PATH] [--footprints-mb A,B,C]
+//!             [--passes N] [--interval N] [--seed N]
+//! ```
+//!
+//! Always exits 0 when the hardware is merely unavailable (the stream
+//! then carries an explicit `native_unavailable` event); exits non-zero
+//! only for real harness failures (bad flags, unwritable output).
+
+use atscale_native::{run, NativeOutcome, NativeRunConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<NativeRunConfig, String> {
+    let mut config = NativeRunConfig::quick();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut need = |what: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => config = NativeRunConfig::quick(),
+            "--full" => config = NativeRunConfig::full(),
+            "--out" => config.out = PathBuf::from(need("--out")?),
+            "--footprints-mb" => {
+                config.footprints_mb = need("--footprints-mb")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad footprint: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--passes" => {
+                config.passes = need("--passes")?
+                    .parse()
+                    .map_err(|e| format!("bad --passes: {e}"))?;
+            }
+            "--interval" => {
+                config.interval = need("--interval")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = need("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown option {other} (try --quick, --full, --out PATH, \
+                     --footprints-mb A,B,C, --passes N, --interval N, --seed N)"
+                ))
+            }
+        }
+    }
+    if config.footprints_mb.is_empty() {
+        return Err("at least one footprint is required".to_string());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("perf_native: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&config) {
+        Ok(NativeOutcome::Completed {
+            runs,
+            samples,
+            skipped_events,
+            reconcile_errors,
+        }) => {
+            println!(
+                "perf_native: {runs} runs, {samples} samples → {}",
+                config.out.display()
+            );
+            for (event, reason) in &skipped_events {
+                eprintln!("perf_native: event skipped: {event}: {reason}");
+            }
+            if reconcile_errors > 0 {
+                eprintln!("perf_native: {reconcile_errors} reconciliation violations (see above)");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(NativeOutcome::Unavailable { reason }) => {
+            // The explicit skip path: a valid stream with the marker was
+            // written, and CI stays green.
+            println!(
+                "perf_native: native counters unavailable, skipping cleanly: {reason} \
+                 (stream: {})",
+                config.out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perf_native: cannot write {}: {e}", config.out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

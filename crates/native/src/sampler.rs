@@ -1,0 +1,276 @@
+//! Interval sampling over cumulative counter reads, with the same
+//! sample/total reconciliation invariant the simulator's telemetry
+//! enforces (`crates/mmu/src/telemetry.rs`) — here it holds **by
+//! construction**: the final read is pushed as both the last interval
+//! sample and the end-of-run totals, so the two cannot drift.
+//!
+//! The [`CounterReader`] trait splits the sampling discipline from the
+//! perf fds: [`PerfReader`] reads real counters; tests drive the same
+//! [`run_sampled`] loop with deterministic fakes (see the reconciliation
+//! proptest in `tests/`).
+
+use crate::events::{EventSpec, MAPPED};
+use crate::sys::{self, OpenError, PerfCounter};
+
+/// A source of cumulative (monotone non-decreasing) counter values.
+pub trait CounterReader {
+    /// The simulator-side names of the counters, in read order.
+    fn names(&self) -> Vec<&'static str>;
+    /// One cumulative read of every counter, in [`CounterReader::names`]
+    /// order.
+    fn read(&mut self) -> Vec<u64>;
+}
+
+/// One sampled run: cumulative per-counter values at each sample point,
+/// plus end-of-run totals.
+#[derive(Debug, Clone)]
+pub struct NativeSeries {
+    /// Counter names, index-aligned with every row of `samples`.
+    pub names: Vec<&'static str>,
+    /// Cumulative sample rows, oldest first; the last row **is** `totals`.
+    pub samples: Vec<Vec<u64>>,
+    /// End-of-run totals (the final read).
+    pub totals: Vec<u64>,
+}
+
+impl NativeSeries {
+    /// Checks the reconciliation invariant, returning **every** violation
+    /// (not just the first — the same one-pass discipline
+    /// `Counters::assert_consistent` and `telemetry_validate` follow):
+    /// the last sample must equal the totals exactly, and every counter
+    /// must be monotone non-decreasing across samples.
+    pub fn reconciliation_errors(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        match self.samples.last() {
+            None => errs.push("no samples taken".to_string()),
+            Some(last) => {
+                for (i, name) in self.names.iter().enumerate() {
+                    let (s, t) = (last[i], self.totals[i]);
+                    if s != t {
+                        errs.push(format!("{name}: final sample {s} != totals {t}"));
+                    }
+                }
+            }
+        }
+        for window in self.samples.windows(2) {
+            for (i, name) in self.names.iter().enumerate() {
+                if window[1][i] < window[0][i] {
+                    errs.push(format!(
+                        "{name}: cumulative count decreased {} → {}",
+                        window[0][i], window[1][i]
+                    ));
+                }
+            }
+        }
+        errs
+    }
+
+    /// # Panics
+    ///
+    /// Panics with **all** reconciliation violations joined if any exist.
+    pub fn assert_reconciles(&self) {
+        let errs = self.reconciliation_errors();
+        assert!(
+            errs.is_empty(),
+            "native sample/total reconciliation failed:\n  {}",
+            errs.join("\n  ")
+        );
+    }
+}
+
+/// Runs `passes` invocations of `body` under `reader`, taking one
+/// cumulative sample every `interval` passes and a final read that
+/// doubles as the last sample and the totals.
+///
+/// # Panics
+///
+/// Panics if `passes` or `interval` is zero.
+pub fn run_sampled<R: CounterReader>(
+    reader: &mut R,
+    passes: u32,
+    interval: u32,
+    body: &mut dyn FnMut(u32),
+) -> NativeSeries {
+    assert!(passes > 0, "a sampled run needs at least one pass");
+    assert!(
+        interval > 0,
+        "the sample interval must be at least one pass"
+    );
+    let names = reader.names();
+    let mut samples = Vec::new();
+    for pass in 0..passes {
+        body(pass);
+        // Intermediate samples only: the post-loop read covers the final
+        // boundary so the last sample and the totals are one read.
+        if (pass + 1) % interval == 0 && pass + 1 < passes {
+            samples.push(reader.read());
+        }
+    }
+    let totals = reader.read();
+    samples.push(totals.clone());
+    NativeSeries {
+        names,
+        samples,
+        totals,
+    }
+}
+
+/// The real reader: one perf fd per [`MAPPED`] event. Events the PMU
+/// does not support read as 0 (their names stay in the series so the
+/// telemetry key set is stable); multiplex-scaled estimates are clamped
+/// monotone so the reconciliation invariant survives scaling wobble.
+#[derive(Debug)]
+pub struct PerfReader {
+    counters: Vec<Option<PerfCounter>>,
+    last: Vec<u64>,
+}
+
+/// Clamps a fresh cumulative estimate against the previous one:
+/// multiplex scaling (`value * enabled / running`) can wobble a few
+/// counts backwards between reads, which would violate monotonicity.
+pub fn monotone_clamp(prev: u64, cur: u64) -> u64 {
+    cur.max(prev)
+}
+
+/// Per-event skips from [`PerfReader::open`]: event name → reason the
+/// PMU rejected it.
+pub type SkippedEvents = Vec<(&'static str, String)>;
+
+impl PerfReader {
+    /// Opens every [`MAPPED`] event on the calling thread. Returns the
+    /// reader plus the per-event skips (event name → reason).
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason string when the perf subsystem is unavailable
+    /// for the whole process — `EPERM`/`EACCES`/`ENOSYS` on any event,
+    /// non-Linux hosts, or **any** failure to open `MAPPED[0]`
+    /// (instructions, the most portable event of all: a PMU that cannot
+    /// count instructions yields no usable profile, e.g. a container
+    /// without PMU passthrough). The caller must take the
+    /// `native_unavailable` skip path.
+    pub fn open() -> Result<(PerfReader, SkippedEvents), String> {
+        let mut counters = Vec::with_capacity(MAPPED.len());
+        let mut skipped = Vec::new();
+        for (i, spec) in MAPPED.iter().enumerate() {
+            match open_spec(spec) {
+                Ok(counter) => counters.push(Some(counter)),
+                Err(OpenError::Unavailable(reason)) => return Err(reason),
+                Err(OpenError::EventUnsupported(reason)) if i == 0 => {
+                    return Err(format!("no usable PMU: {reason}"));
+                }
+                Err(OpenError::EventUnsupported(reason)) => {
+                    skipped.push((spec.sim_name, reason));
+                    counters.push(None);
+                }
+            }
+        }
+        let last = vec![0; MAPPED.len()];
+        Ok((PerfReader { counters, last }, skipped))
+    }
+}
+
+fn open_spec(spec: &EventSpec) -> Result<PerfCounter, OpenError> {
+    let (type_id, config) = spec.kind.type_and_config();
+    sys::open(type_id, config, spec.sim_name)
+}
+
+impl CounterReader for PerfReader {
+    fn names(&self) -> Vec<&'static str> {
+        MAPPED.iter().map(|e| e.sim_name).collect()
+    }
+
+    fn read(&mut self) -> Vec<u64> {
+        for (i, counter) in self.counters.iter_mut().enumerate() {
+            if let Some(counter) = counter {
+                // A transient read failure keeps the previous value — the
+                // cumulative series stays monotone either way.
+                if let Ok(value) = counter.read_scaled() {
+                    self.last[i] = monotone_clamp(self.last[i], value);
+                }
+            }
+        }
+        self.last.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic fake: counter `i` grows by `increments[i]` per read.
+    struct FakeReader {
+        names: Vec<&'static str>,
+        increments: Vec<u64>,
+        current: Vec<u64>,
+    }
+
+    impl CounterReader for FakeReader {
+        fn names(&self) -> Vec<&'static str> {
+            self.names.clone()
+        }
+        fn read(&mut self) -> Vec<u64> {
+            for (c, inc) in self.current.iter_mut().zip(&self.increments) {
+                *c += inc;
+            }
+            self.current.clone()
+        }
+    }
+
+    fn fake() -> FakeReader {
+        FakeReader {
+            names: vec!["inst_retired.any", "cpu_clk_unhalted.thread"],
+            increments: vec![100, 260],
+            current: vec![0, 0],
+        }
+    }
+
+    #[test]
+    fn final_sample_is_the_totals_by_construction() {
+        let mut reader = fake();
+        let mut bodies = 0;
+        let series = run_sampled(&mut reader, 7, 2, &mut |_| bodies += 1);
+        assert_eq!(bodies, 7);
+        // Boundaries after passes 2, 4, 6 plus the final read.
+        assert_eq!(series.samples.len(), 4);
+        assert_eq!(series.samples.last().unwrap(), &series.totals);
+        series.assert_reconciles();
+    }
+
+    #[test]
+    fn interval_longer_than_run_still_yields_the_final_sample() {
+        let mut reader = fake();
+        let series = run_sampled(&mut reader, 3, 100, &mut |_| {});
+        assert_eq!(series.samples.len(), 1);
+        series.assert_reconciles();
+    }
+
+    #[test]
+    fn all_reconciliation_errors_surface_in_one_pass() {
+        let series = NativeSeries {
+            names: vec!["a", "b"],
+            samples: vec![vec![5, 9], vec![3, 4]],
+            totals: vec![4, 4],
+        };
+        let errs = series.reconciliation_errors();
+        // One totals mismatch (a: 3 != 4) and two monotonicity breaks.
+        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("final sample 3 != totals 4")));
+        assert!(errs.iter().filter(|e| e.contains("decreased")).count() == 2);
+    }
+
+    #[test]
+    fn monotone_clamp_absorbs_scaling_wobble() {
+        assert_eq!(monotone_clamp(100, 97), 100);
+        assert_eq!(monotone_clamp(100, 103), 103);
+        assert_eq!(monotone_clamp(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_panic() {
+        run_sampled(&mut fake(), 0, 1, &mut |_| {});
+    }
+}

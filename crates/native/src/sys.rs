@@ -1,0 +1,264 @@
+//! Raw `perf_event_open(2)` bindings — the crate's single FFI boundary.
+//!
+//! The build environment has no `libc` crate, so the syscall is declared
+//! directly as the C library's variadic `syscall(2)` entry point and the
+//! event attribute struct is laid out by hand at `PERF_ATTR_SIZE_VER0`
+//! (64 bytes — kernels accept older, shorter attrs and zero-extend, so
+//! the original v0 layout is the most portable choice). The returned fd
+//! is immediately wrapped in a [`File`] so closing is RAII and reads go
+//! through safe `std::io`.
+//!
+//! Everything `unsafe` in `atscale-native` lives in this module; the
+//! crate root holds `#![deny(unsafe_code)]` and only this module carries
+//! the narrow `#[allow]` (see `lib.rs` and audit rule 3's documented FFI
+//! exception).
+//!
+//! Counters are opened **enabled** (the `disabled` attr bit stays 0), in
+//! user-plus-guest-excluded scope (`exclude_kernel | exclude_hv`), pinned
+//! to the calling thread on any CPU (`pid = 0, cpu = -1`), and read with
+//! `PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING}` so multiplexed counts can
+//! be scaled. No `ioctl` is needed anywhere: the harness takes cumulative
+//! reads and uses the final read as both the last interval sample and the
+//! end-of-run total, which makes sample/total reconciliation exact by
+//! construction.
+
+use std::fs::File;
+use std::io::{self, Read};
+
+/// Generalized hardware events (`PERF_TYPE_HARDWARE`).
+pub const PERF_TYPE_HARDWARE: u32 = 0;
+/// Kernel software events (`PERF_TYPE_SOFTWARE`).
+pub const PERF_TYPE_SOFTWARE: u32 = 1;
+/// Generalized cache events (`PERF_TYPE_HW_CACHE`).
+pub const PERF_TYPE_HW_CACHE: u32 = 3;
+/// Raw, microarchitecture-specific encodings (`PERF_TYPE_RAW`).
+pub const PERF_TYPE_RAW: u32 = 4;
+
+/// A single open perf counter, owned via its fd.
+#[derive(Debug)]
+pub struct PerfCounter {
+    file: File,
+}
+
+/// Why a counter could not be opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpenError {
+    /// The perf subsystem is off-limits for the whole process —
+    /// `perf_event_paranoid` too strict, seccomp, no syscall, or a
+    /// non-Linux host. The harness must skip entirely.
+    Unavailable(String),
+    /// Only this event is unsupported on this PMU (bad raw encoding,
+    /// missing generic event); other counters may still work.
+    EventUnsupported(String),
+}
+
+impl OpenError {
+    /// The human-readable reason.
+    pub fn reason(&self) -> &str {
+        match self {
+            OpenError::Unavailable(r) | OpenError::EventUnsupported(r) => r,
+        }
+    }
+}
+
+/// Classifies an `errno` from a failed `perf_event_open`: permission and
+/// missing-syscall errors poison the whole harness; anything else is a
+/// per-event gap.
+fn classify(err: &io::Error, what: &str) -> OpenError {
+    // EPERM = 1, EACCES = 13, ENOSYS = 38 (same values on x86-64/aarch64).
+    let fatal = matches!(err.raw_os_error(), Some(1) | Some(13) | Some(38));
+    let reason = format!("perf_event_open: {what}: {err}");
+    if fatal {
+        OpenError::Unavailable(reason)
+    } else {
+        OpenError::EventUnsupported(reason)
+    }
+}
+
+/// Opens one counter on the calling thread (any CPU), enabled, counting
+/// user space only.
+///
+/// # Errors
+///
+/// [`OpenError::Unavailable`] when the perf subsystem cannot be used at
+/// all, [`OpenError::EventUnsupported`] when just this event is missing.
+pub fn open(type_id: u32, config: u64, what: &str) -> Result<PerfCounter, OpenError> {
+    match imp::open_raw(type_id, config) {
+        Ok(file) => Ok(PerfCounter { file }),
+        Err(e) => Err(classify(&e, what)),
+    }
+}
+
+impl PerfCounter {
+    /// Reads the counter's cumulative value, scaled for multiplexing
+    /// (`value * time_enabled / time_running`). A counter that never ran
+    /// reads as 0.
+    ///
+    /// Scaling can make successive estimates wobble slightly; the sampler
+    /// layer applies a monotone clamp before the values reach telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fd read failures.
+    pub fn read_scaled(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 24];
+        (&self.file).read_exact(&mut buf)?;
+        let word = |i: usize| u64::from_ne_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+        let (value, enabled, running) = (word(0), word(1), word(2));
+        if running == 0 {
+            Ok(0)
+        } else if running >= enabled {
+            Ok(value)
+        } else {
+            Ok((u128::from(value) * u128::from(enabled) / u128::from(running)) as u64)
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+#[allow(unsafe_code)]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::FromRawFd;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: std::ffi::c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: std::ffi::c_long = 241;
+
+    /// `sizeof(struct perf_event_attr)` at `PERF_ATTR_SIZE_VER0`.
+    const PERF_ATTR_SIZE_VER0: u32 = 64;
+    /// `attr.exclude_kernel` — bit 5 of the flag bitfield word.
+    const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    /// `attr.exclude_hv` — bit 6.
+    const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+    /// `PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING`.
+    const READ_FORMAT_SCALE: u64 = 1 | 2;
+
+    /// `struct perf_event_attr`, first 64 bytes (`PERF_ATTR_SIZE_VER0`):
+    /// type, size, config, sample_period, sample_type, read_format, the
+    /// flag bitfield word, wakeup_events, bp_type, and the config1 union.
+    #[repr(C)]
+    struct PerfEventAttr {
+        type_id: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+    }
+
+    extern "C" {
+        fn syscall(num: std::ffi::c_long, ...) -> std::ffi::c_long;
+    }
+
+    pub(super) fn open_raw(type_id: u32, config: u64) -> io::Result<File> {
+        let attr = PerfEventAttr {
+            type_id,
+            size: PERF_ATTR_SIZE_VER0,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format: READ_FORMAT_SCALE,
+            // `disabled` (bit 0) stays clear: the counter starts running
+            // at open, so cumulative reads need no enable ioctl.
+            flags: FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV,
+            wakeup_events: 0,
+            bp_type: 0,
+            config1: 0,
+        };
+        // SAFETY: the attr struct outlives the call, its size field tells
+        // the kernel exactly how many bytes to read, and the remaining
+        // arguments are plain integers (pid = 0 → calling thread,
+        // cpu = -1 → any CPU, group_fd = -1 → no group, flags = 0).
+        let fd = unsafe {
+            syscall(
+                SYS_PERF_EVENT_OPEN,
+                std::ptr::from_ref(&attr),
+                0 as std::ffi::c_int,
+                -1 as std::ffi::c_int,
+                -1 as std::ffi::c_int,
+                0 as std::ffi::c_ulong,
+            )
+        };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: a non-negative return is a fresh fd owned by us alone;
+        // File assumes that ownership and closes it on drop.
+        Ok(unsafe { File::from_raw_fd(fd as i32) })
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use std::fs::File;
+    use std::io;
+
+    pub(super) fn open_raw(_type_id: u32, _config: u64) -> io::Result<File> {
+        // ENOSYS: the classifier maps this to `Unavailable`, giving
+        // non-Linux (or exotic-arch) hosts the same explicit skip path a
+        // locked-down Linux runner takes.
+        Err(io::Error::from_raw_os_error(38))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_errors_poison_the_harness() {
+        for errno in [1, 13, 38] {
+            let e = io::Error::from_raw_os_error(errno);
+            assert!(matches!(
+                classify(&e, "instructions"),
+                OpenError::Unavailable(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn event_gaps_stay_per_event() {
+        for errno in [2, 19, 22, 95] {
+            let e = io::Error::from_raw_os_error(errno);
+            let classified = classify(&e, "dtlb_misses.walk_duration");
+            assert!(
+                matches!(classified, OpenError::EventUnsupported(_)),
+                "errno {errno} misclassified: {classified:?}"
+            );
+            assert!(classified.reason().contains("walk_duration"));
+        }
+    }
+
+    #[test]
+    fn open_either_works_or_fails_with_a_reason() {
+        // Environment-agnostic: on a perf-capable host the instructions
+        // counter opens and reads monotonically; on a locked-down one the
+        // error carries a usable reason string.
+        match open(PERF_TYPE_HARDWARE, 1, "instructions") {
+            Ok(mut counter) => {
+                let a = counter.read_scaled().unwrap();
+                let mut x = 0u64;
+                for i in 0..10_000u64 {
+                    x = x.wrapping_add(std::hint::black_box(i));
+                }
+                std::hint::black_box(x);
+                let b = counter.read_scaled().unwrap();
+                assert!(b >= a, "cumulative reads went backwards: {a} → {b}");
+            }
+            Err(e) => assert!(e.reason().contains("perf_event_open")),
+        }
+    }
+}

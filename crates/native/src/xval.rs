@@ -1,0 +1,492 @@
+//! Sim-vs-native cross-validation: ingest one `source: "sim"` and one
+//! `source: "native"` telemetry stream, fit the paper's `β·log10(M)`
+//! overhead model to each side's end-of-run WCPI, and report per-workload
+//! β/c deltas, WCPI correlation, and pass/fail against tolerance bands —
+//! confirmed assumptions become CI-checked invariants, refuted ones
+//! tracked findings.
+//!
+//! Pairing: runs join on `(workload, footprint MB)` parsed from the run
+//! label (`"{workload} {mb}MB {suffix}"`); sim streams contribute their
+//! 4K-page runs, native streams their `native`-suffixed runs. Because
+//! counters are cumulative, the **last** sample per label is the run's
+//! end-of-run total.
+
+use atscale_stats::{ols, pearson};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Tolerance bands for the pass/fail verdicts.
+#[derive(Debug, Clone, Copy)]
+pub struct XvalConfig {
+    /// Maximum |β_sim − β_native| (WCPI per decade of footprint).
+    pub beta_tol: f64,
+    /// Maximum |c_sim − c_native| (WCPI intercept).
+    pub c_tol: f64,
+    /// Minimum per-workload Pearson correlation of paired WCPI values.
+    pub min_corr: f64,
+}
+
+impl Default for XvalConfig {
+    fn default() -> Self {
+        XvalConfig {
+            beta_tol: 0.1,
+            c_tol: 0.5,
+            min_corr: 0.5,
+        }
+    }
+}
+
+/// One workload's sim-vs-native comparison.
+#[derive(Debug, Clone)]
+pub struct WorkloadXval {
+    /// The workload id (e.g. `bfs-urand`).
+    pub workload: String,
+    /// Footprint points paired across the two streams.
+    pub points: usize,
+    /// Fitted `wcpi = c + β·log10(MB)` slope, sim side.
+    pub beta_sim: f64,
+    /// Slope, native side.
+    pub beta_native: f64,
+    /// Intercept, sim side.
+    pub c_sim: f64,
+    /// Intercept, native side.
+    pub c_native: f64,
+    /// Pearson correlation of the paired WCPI values (`None` when either
+    /// side is constant).
+    pub corr: Option<f64>,
+    /// Verdict against the tolerance bands.
+    pub pass: bool,
+}
+
+impl WorkloadXval {
+    /// |β_sim − β_native|.
+    pub fn beta_delta(&self) -> f64 {
+        (self.beta_sim - self.beta_native).abs()
+    }
+
+    /// |c_sim − c_native|.
+    pub fn c_delta(&self) -> f64 {
+        (self.c_sim - self.c_native).abs()
+    }
+}
+
+/// The full cross-validation report.
+#[derive(Debug, Clone)]
+pub struct XvalReport {
+    /// `"pass"`, `"fail"`, or `"skipped"` (native unavailable or nothing
+    /// paired).
+    pub status: String,
+    /// Per-workload comparisons, workload-sorted.
+    pub workloads: Vec<WorkloadXval>,
+    /// Human findings: every refutation and every skip reason.
+    pub findings: Vec<String>,
+    /// Pearson correlation pooled over all paired points.
+    pub pooled_corr: Option<f64>,
+    /// The tolerance bands the verdicts used.
+    pub config: XvalConfig,
+}
+
+/// One parsed stream: end-of-run WCPI per `(workload, mb)`, plus the skip
+/// marker if the stream recorded one.
+#[derive(Debug, Default)]
+struct StreamRuns {
+    /// `(workload, mb) → final cumulative wcpi`.
+    wcpi: BTreeMap<(String, u64), f64>,
+    unavailable: Option<String>,
+}
+
+fn field<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match *value {
+        Value::U64(u) => Some(u as f64),
+        Value::I64(i) => Some(i as f64),
+        Value::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Parses `"{workload} {mb}MB {suffix}"`; `want_suffix` filters run kinds
+/// (`"4K"` for sim, `"native"` for native).
+fn parse_label(label: &str, want_suffix: &str) -> Option<(String, u64)> {
+    let parts: Vec<&str> = label.split(' ').collect();
+    if parts.len() != 3 || parts[2] != want_suffix {
+        return None;
+    }
+    let mb = parts[1].strip_suffix("MB")?.parse().ok()?;
+    Some((parts[0].to_string(), mb))
+}
+
+/// Extracts the `wcpi` rate from a sample event's `rates` pair-sequence.
+fn sample_wcpi(map: &[(String, Value)]) -> Option<f64> {
+    let rates = field(map, "rates")?.as_seq().ok()?;
+    for pair in rates {
+        let pair = pair.as_seq().ok()?;
+        if pair.len() == 2 && as_str(&pair[0]) == Some("wcpi") {
+            return as_f64(&pair[1]);
+        }
+    }
+    None
+}
+
+/// Parses one JSONL stream, keeping the final (cumulative) WCPI per run
+/// label that matches `want_suffix`.
+fn parse_stream(text: &str, want_suffix: &str) -> StreamRuns {
+    let mut runs = StreamRuns::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(value) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        let Ok(map) = value.as_map() else { continue };
+        match field(map, "type").and_then(as_str) {
+            Some("native_unavailable") => {
+                runs.unavailable = Some(
+                    field(map, "reason")
+                        .and_then(as_str)
+                        .unwrap_or("unspecified")
+                        .to_string(),
+                );
+            }
+            Some("sample") => {
+                let Some(label) = field(map, "run").and_then(as_str) else {
+                    continue;
+                };
+                let Some(key) = parse_label(label, want_suffix) else {
+                    continue;
+                };
+                if let Some(wcpi) = sample_wcpi(map) {
+                    // Later samples overwrite earlier: cumulative counters
+                    // make the last one the end-of-run value.
+                    runs.wcpi.insert(key, wcpi);
+                }
+            }
+            _ => {}
+        }
+    }
+    runs
+}
+
+fn fit(points: &[(u64, f64)]) -> Option<(f64, f64)> {
+    let xs: Vec<f64> = points.iter().map(|&(mb, _)| (mb as f64).log10()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, w)| w).collect();
+    ols(&xs, &ys).ok().map(|f| (f.slope, f.intercept))
+}
+
+/// Runs the cross-validation over two stream texts.
+pub fn cross_validate(sim_text: &str, native_text: &str, config: XvalConfig) -> XvalReport {
+    let sim = parse_stream(sim_text, "4K");
+    let native = parse_stream(native_text, "native");
+    let mut findings = Vec::new();
+
+    if let Some(reason) = &native.unavailable {
+        findings.push(format!("native counters unavailable: {reason}"));
+        return XvalReport {
+            status: "skipped".to_string(),
+            workloads: Vec::new(),
+            findings,
+            pooled_corr: None,
+            config,
+        };
+    }
+
+    // Group paired points by workload.
+    let mut by_workload: BTreeMap<String, Vec<(u64, f64, f64)>> = BTreeMap::new();
+    for (&(ref workload, mb), &sim_wcpi) in &sim.wcpi {
+        if let Some(&native_wcpi) = native.wcpi.get(&(workload.clone(), mb)) {
+            by_workload
+                .entry(workload.clone())
+                .or_default()
+                .push((mb, sim_wcpi, native_wcpi));
+        }
+    }
+    if by_workload.is_empty() {
+        findings.push(format!(
+            "no paired runs: {} sim and {} native runs share no (workload, MB) point",
+            sim.wcpi.len(),
+            native.wcpi.len()
+        ));
+        return XvalReport {
+            status: "skipped".to_string(),
+            workloads: Vec::new(),
+            findings,
+            pooled_corr: None,
+            config,
+        };
+    }
+
+    let mut workloads = Vec::new();
+    let mut pooled_sim = Vec::new();
+    let mut pooled_native = Vec::new();
+    for (workload, points) in &by_workload {
+        pooled_sim.extend(points.iter().map(|&(_, s, _)| s));
+        pooled_native.extend(points.iter().map(|&(_, _, n)| n));
+        let sim_points: Vec<(u64, f64)> = points.iter().map(|&(mb, s, _)| (mb, s)).collect();
+        let native_points: Vec<(u64, f64)> = points.iter().map(|&(mb, _, n)| (mb, n)).collect();
+        let (Some((beta_sim, c_sim)), Some((beta_native, c_native))) =
+            (fit(&sim_points), fit(&native_points))
+        else {
+            findings.push(format!(
+                "{workload}: {} paired points cannot support a log-linear fit \
+                 (need ≥3 with footprint variance)",
+                points.len()
+            ));
+            continue;
+        };
+        let sims: Vec<f64> = points.iter().map(|&(_, s, _)| s).collect();
+        let natives: Vec<f64> = points.iter().map(|&(_, _, n)| n).collect();
+        let corr = pearson(&sims, &natives).ok();
+        let mut entry = WorkloadXval {
+            workload: workload.clone(),
+            points: points.len(),
+            beta_sim,
+            beta_native,
+            c_sim,
+            c_native,
+            corr,
+            pass: true,
+        };
+        let mut reasons = Vec::new();
+        if entry.beta_delta() > config.beta_tol {
+            reasons.push(format!(
+                "β delta {:.4} exceeds ±{:.4}",
+                entry.beta_delta(),
+                config.beta_tol
+            ));
+        }
+        if entry.c_delta() > config.c_tol {
+            reasons.push(format!(
+                "intercept delta {:.4} exceeds ±{:.4}",
+                entry.c_delta(),
+                config.c_tol
+            ));
+        }
+        if let Some(c) = corr {
+            if c < config.min_corr {
+                reasons.push(format!(
+                    "WCPI correlation {c:.3} below {:.3}",
+                    config.min_corr
+                ));
+            }
+        }
+        if reasons.is_empty() {
+            findings.push(format!(
+                "confirmed: {workload} β agreement within bands \
+                 (sim {beta_sim:.4}, native {beta_native:.4})"
+            ));
+        } else {
+            entry.pass = false;
+            findings.push(format!("refuted: {workload}: {}", reasons.join("; ")));
+        }
+        workloads.push(entry);
+    }
+
+    let pooled_corr = pearson(&pooled_sim, &pooled_native).ok();
+    let status = if workloads.is_empty() {
+        "skipped"
+    } else if workloads.iter().all(|w| w.pass) {
+        "pass"
+    } else {
+        "fail"
+    };
+    XvalReport {
+        status: status.to_string(),
+        workloads,
+        findings,
+        pooled_corr,
+        config,
+    }
+}
+
+impl XvalReport {
+    /// Serializes the report as the `XVAL_*.json` document.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                Value::Map(vec![
+                    ("workload".to_string(), Value::Str(w.workload.clone())),
+                    ("points".to_string(), Value::U64(w.points as u64)),
+                    ("beta_sim".to_string(), Value::F64(w.beta_sim)),
+                    ("beta_native".to_string(), Value::F64(w.beta_native)),
+                    ("beta_delta".to_string(), Value::F64(w.beta_delta())),
+                    ("c_sim".to_string(), Value::F64(w.c_sim)),
+                    ("c_native".to_string(), Value::F64(w.c_native)),
+                    ("c_delta".to_string(), Value::F64(w.c_delta())),
+                    ("wcpi_corr".to_string(), opt(w.corr)),
+                    ("pass".to_string(), Value::Bool(w.pass)),
+                ])
+            })
+            .collect();
+        let doc = Value::Map(vec![
+            ("type".to_string(), Value::Str("xval_report".to_string())),
+            ("schema".to_string(), Value::U64(1)),
+            ("status".to_string(), Value::Str(self.status.clone())),
+            (
+                "tolerance".to_string(),
+                Value::Map(vec![
+                    ("beta_tol".to_string(), Value::F64(self.config.beta_tol)),
+                    ("c_tol".to_string(), Value::F64(self.config.c_tol)),
+                    ("min_corr".to_string(), Value::F64(self.config.min_corr)),
+                ]),
+            ),
+            ("pooled_wcpi_corr".to_string(), opt(self.pooled_corr)),
+            ("workloads".to_string(), Value::Seq(workloads)),
+            (
+                "findings".to_string(),
+                Value::Seq(
+                    self.findings
+                        .iter()
+                        .map(|f| Value::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_line(source: &str, label: &str, wcpi: f64) -> String {
+        format!(
+            r#"{{"type":"sample","source":"{source}","run":"{label}","instr":1000,"cycles":2600,"counters":[["inst_retired.any",1000],["dtlb_misses.walk_duration",{}]],"rates":[["wcpi",{wcpi}],["stlb_mpki",1.0],["aborted_frac",0.0]]}}"#,
+            (wcpi * 1000.0) as u64
+        )
+    }
+
+    fn stream(source: &str, suffix: &str, runs: &[(&str, u64, f64)]) -> String {
+        let mut lines = vec![format!(
+            r#"{{"type":"meta","source":"{source}","schema":3,"stream":"atscale-telemetry"}}"#
+        )];
+        for &(workload, mb, wcpi) in runs {
+            // Two samples per run: the later (cumulative) one must win.
+            let label = format!("{workload} {mb}MB {suffix}");
+            lines.push(sample_line(source, &label, wcpi * 0.5));
+            lines.push(sample_line(source, &label, wcpi));
+        }
+        lines.push(format!(
+            r#"{{"type":"summary","source":"{source}","samples":{},"progress":0,"spans":0}}"#,
+            runs.len() * 2
+        ));
+        lines.join("\n")
+    }
+
+    fn three_points(base: f64, slope: f64) -> Vec<(&'static str, u64, f64)> {
+        [16u64, 45, 128]
+            .iter()
+            .map(|&mb| ("bfs-urand", mb, base + slope * (mb as f64).log10()))
+            .collect()
+    }
+
+    #[test]
+    fn agreeing_streams_pass_with_confirmed_findings() {
+        let sim = stream("sim", "4K", &three_points(0.02, 0.08));
+        let native = stream("native", "native", &three_points(0.025, 0.079));
+        let report = cross_validate(&sim, &native, XvalConfig::default());
+        assert_eq!(report.status, "pass", "{:?}", report.findings);
+        assert_eq!(report.workloads.len(), 1);
+        let w = &report.workloads[0];
+        assert!(w.pass);
+        assert!(w.beta_delta() < 0.01);
+        assert!(report.findings.iter().any(|f| f.starts_with("confirmed:")));
+        assert!(report.pooled_corr.unwrap() > 0.99);
+    }
+
+    #[test]
+    fn beta_divergence_is_refuted_with_a_tracked_finding() {
+        let sim = stream("sim", "4K", &three_points(0.02, 0.30));
+        let native = stream("native", "native", &three_points(0.02, 0.02));
+        let report = cross_validate(&sim, &native, XvalConfig::default());
+        assert_eq!(report.status, "fail");
+        assert!(!report.workloads[0].pass);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.starts_with("refuted: bfs-urand") && f.contains("β delta")));
+    }
+
+    #[test]
+    fn native_unavailable_streams_skip_cleanly() {
+        let sim = stream("sim", "4K", &three_points(0.02, 0.08));
+        let native = concat!(
+            r#"{"type":"meta","source":"native","schema":3,"stream":"atscale-telemetry"}"#,
+            "\n",
+            r#"{"type":"native_unavailable","source":"native","reason":"perf_event_open: instructions: EPERM"}"#,
+            "\n",
+            r#"{"type":"summary","source":"native","samples":0,"progress":0,"spans":0}"#
+        );
+        let report = cross_validate(&sim, native, XvalConfig::default());
+        assert_eq!(report.status, "skipped");
+        assert!(report.workloads.is_empty());
+        assert!(report.findings[0].contains("EPERM"));
+    }
+
+    #[test]
+    fn unpaired_streams_skip_with_an_explanation() {
+        let sim = stream("sim", "4K", &[("bfs-urand", 256, 0.1)]);
+        let native = stream("native", "native", &[("bfs-urand", 16, 0.1)]);
+        let report = cross_validate(&sim, &native, XvalConfig::default());
+        assert_eq!(report.status, "skipped");
+        assert!(report.findings[0].contains("no paired runs"));
+    }
+
+    #[test]
+    fn two_point_workloads_report_insufficient_fit() {
+        let runs: Vec<(&str, u64, f64)> = vec![("pr-urand", 16, 0.1), ("pr-urand", 128, 0.2)];
+        let sim = stream("sim", "4K", &runs);
+        let native = stream("native", "native", &runs);
+        let report = cross_validate(&sim, &native, XvalConfig::default());
+        assert_eq!(report.status, "skipped");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.contains("cannot support a log-linear fit")));
+    }
+
+    #[test]
+    fn report_serializes_with_the_xval_document_shape() {
+        let sim = stream("sim", "4K", &three_points(0.02, 0.08));
+        let native = stream("native", "native", &three_points(0.02, 0.08));
+        let report = cross_validate(&sim, &native, XvalConfig::default());
+        let json = report.to_json();
+        for needle in [
+            "\"type\":\"xval_report\"",
+            "\"status\":\"pass\"",
+            "\"beta_delta\"",
+            "\"pooled_wcpi_corr\"",
+            "\"tolerance\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let parsed: Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed.as_map().is_ok());
+    }
+
+    #[test]
+    fn label_parsing_filters_page_sizes_and_suffixes() {
+        assert_eq!(
+            parse_label("bfs-urand 64MB 4K", "4K"),
+            Some(("bfs-urand".to_string(), 64))
+        );
+        assert_eq!(parse_label("bfs-urand 64MB 2M", "4K"), None);
+        assert_eq!(parse_label("bfs-urand 64MB native", "4K"), None);
+        assert_eq!(
+            parse_label("bfs-urand 64MB native", "native"),
+            Some(("bfs-urand".to_string(), 64))
+        );
+        assert_eq!(parse_label("garbled", "4K"), None);
+    }
+}

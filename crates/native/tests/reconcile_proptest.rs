@@ -1,0 +1,96 @@
+//! Property: native interval samples always reconcile with final totals
+//! under arbitrary sample intervals, pass counts, and counter growth
+//! patterns — including the multiplex-scaling wobble the monotone clamp
+//! absorbs.
+
+use atscale_native::sampler::{monotone_clamp, run_sampled, CounterReader};
+use proptest::prelude::*;
+
+/// Deterministic fake whose per-read increments are proptest-supplied.
+struct ScriptedReader {
+    names: Vec<&'static str>,
+    /// `increments[read_index][counter]`; reads past the script repeat
+    /// the last row (counters keep growing at a steady rate).
+    increments: Vec<Vec<u64>>,
+    current: Vec<u64>,
+    reads: usize,
+}
+
+impl CounterReader for ScriptedReader {
+    fn names(&self) -> Vec<&'static str> {
+        self.names.clone()
+    }
+
+    fn read(&mut self) -> Vec<u64> {
+        let row = self
+            .increments
+            .get(self.reads)
+            .or_else(|| self.increments.last())
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.current.len()]);
+        self.reads += 1;
+        for (c, inc) in self.current.iter_mut().zip(&row) {
+            *c += inc;
+        }
+        self.current.clone()
+    }
+}
+
+const NAMES: [&str; 3] = [
+    "inst_retired.any",
+    "cpu_clk_unhalted.thread",
+    "dtlb_misses.walk_duration",
+];
+
+proptest! {
+    /// The tentpole invariant, by construction: for ANY (passes, interval,
+    /// growth script) the final sample IS the totals and every counter is
+    /// monotone across samples.
+    #[test]
+    fn samples_always_reconcile_with_totals(
+        passes in 1u32..64,
+        interval in 1u32..16,
+        script in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000, NAMES.len()..NAMES.len() + 1),
+            1..80,
+        ),
+    ) {
+        let mut reader = ScriptedReader {
+            names: NAMES.to_vec(),
+            increments: script,
+            current: vec![0; NAMES.len()],
+            reads: 0,
+        };
+        let mut bodies = 0u32;
+        let series = run_sampled(&mut reader, passes, interval, &mut |_| bodies += 1);
+        prop_assert_eq!(bodies, passes);
+        prop_assert!(
+            series.reconciliation_errors().is_empty(),
+            "violations: {:?}",
+            series.reconciliation_errors()
+        );
+        prop_assert_eq!(series.samples.last().unwrap(), &series.totals);
+        // Sample count: one per full interval boundary strictly inside the
+        // run, plus the final read.
+        let interior = (1..passes).filter(|p| p % interval == 0).count();
+        prop_assert_eq!(series.samples.len(), interior + 1);
+    }
+
+    /// The monotone clamp turns any wobbling estimate sequence into a
+    /// monotone one without ever dropping below the true running maximum.
+    #[test]
+    fn clamped_estimates_are_monotone(
+        raw in prop::collection::vec(0u64..1_000_000_000, 1..100),
+    ) {
+        let mut prev = 0u64;
+        let mut running_max = 0u64;
+        for &estimate in &raw {
+            let clamped = monotone_clamp(prev, estimate);
+            prop_assert!(clamped >= prev, "clamp went backwards");
+            running_max = running_max.max(estimate);
+            prop_assert!(clamped >= running_max || clamped == prev);
+            prev = clamped;
+        }
+        prop_assert_eq!(prev, running_max);
+    }
+}

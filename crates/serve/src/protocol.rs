@@ -19,7 +19,14 @@ use serde::{Deserialize, Serialize};
 
 /// Protocol revision carried in the hello/welcome handshake. Bump on any
 /// frame-shape change.
-pub const PROTOCOL_VERSION: u64 = 3;
+///
+/// v4: [`RecordDone`] and [`SampleEvent`] carry the telemetry schema-v3
+/// `source` tag (`"sim"` for everything the daemon produces today;
+/// `"native"` is reserved for a future counter-replay path). The vendored
+/// serde derive has no field defaulting, so v3 frames do not decode —
+/// client and server are co-versioned in this repository and the handshake
+/// rejects mismatches explicitly.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,6 +127,9 @@ pub struct RecordDone {
     /// `true` if this subscription coalesced onto a job another request
     /// (or another spec of this batch) put in flight.
     pub deduped: bool,
+    /// Measurement provenance (telemetry schema v3): `"sim"` for records
+    /// the daemon executed or served from its cache.
+    pub source: String,
     /// The completed run.
     pub record: RunRecord,
 }
@@ -181,6 +191,9 @@ pub struct SampleEvent {
     pub id: u64,
     /// Label of the run the sample belongs to.
     pub run: String,
+    /// Measurement provenance (telemetry schema v3): `"sim"` for samples
+    /// streamed out of the daemon's workers.
+    pub source: String,
     /// The sample payload (PR 2 telemetry schema).
     pub sample: Sample,
 }

@@ -191,6 +191,7 @@ impl Batch {
                 index: sub.index,
                 cached: outcome.cached,
                 deduped: sub.deduped,
+                source: "sim".to_string(),
                 record: outcome.record.as_ref().expect("checked above").clone(),
             }));
         }
@@ -250,6 +251,7 @@ impl Recorder for SubscriberRecorder {
         self.sink.send(&Reply::Sample(SampleEvent {
             id: self.id,
             run: run.to_string(),
+            source: "sim".to_string(),
             sample: sample.clone(),
         }));
     }

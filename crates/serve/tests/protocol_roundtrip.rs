@@ -121,13 +121,20 @@ fn reply_overloaded_roundtrips() {
 #[test]
 fn reply_record_roundtrips() {
     let record = atscale::execute_run(&spec(), &MachineConfig::haswell());
-    roundtrip_bytes(&Reply::Record(RecordDone {
+    let encoded = encode(&Reply::Record(RecordDone {
         id: 2,
         index: 1,
         cached: true,
         deduped: false,
+        source: "sim".to_string(),
         record,
     }));
+    assert!(
+        encoded.contains("\"source\":\"sim\""),
+        "v4 record frames carry the provenance tag on the wire"
+    );
+    let decoded: Reply = decode(&encoded).unwrap();
+    assert_eq!(encode(&decoded), encoded);
 }
 
 #[test]
@@ -178,6 +185,7 @@ fn reply_sample_roundtrips() {
     roundtrip_bytes(&Reply::Sample(SampleEvent {
         id: 6,
         run: "cc-urand 16MB 4K".to_string(),
+        source: "sim".to_string(),
         sample: Sample {
             instr: 50_000,
             cycles: 220_000,

@@ -1,11 +1,13 @@
 //! CLI JSONL schema validator: `telemetry_validate <stream.jsonl>...`.
 //!
-//! Exits non-zero on the first schema violation, so CI can gate the
-//! telemetry smoke job on the emitted stream staying well-formed.
+//! Reports **every** schema violation in each stream (not just the first)
+//! and exits non-zero if any stream has one, so CI can gate the telemetry
+//! smoke jobs on emitted streams staying well-formed and a sim-vs-native
+//! schema diff is debuggable in a single run.
 
 #![forbid(unsafe_code)]
 
-use atscale_telemetry::schema::validate_stream;
+use atscale_telemetry::schema::validate_stream_all;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -24,23 +26,25 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match validate_stream(&text) {
-            Ok(summary) => {
-                let counts: Vec<String> = summary
-                    .by_type
-                    .iter()
-                    .map(|(t, n)| format!("{t}={n}"))
-                    .collect();
-                println!(
-                    "{path}: OK ({} events: {})",
-                    summary.lines,
-                    counts.join(" ")
-                );
-            }
-            Err((line, msg)) => {
+        let (summary, violations) = validate_stream_all(&text);
+        if violations.is_empty() {
+            let counts: Vec<String> = summary
+                .by_type
+                .iter()
+                .map(|(t, n)| format!("{t}={n}"))
+                .collect();
+            println!(
+                "{path}: OK (schema v{}, {} events: {})",
+                summary.schema,
+                summary.lines,
+                counts.join(" ")
+            );
+        } else {
+            for (line, msg) in &violations {
                 eprintln!("{path}:{line}: schema violation: {msg}");
-                failed = true;
             }
+            eprintln!("{path}: {} violation(s)", violations.len());
+            failed = true;
         }
     }
     if failed {

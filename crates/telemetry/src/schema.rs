@@ -4,13 +4,33 @@
 //! discriminator. The schema is versioned by the leading `meta` event
 //! ([`crate::SCHEMA_VERSION`]); [`validate_stream`] enforces both the
 //! per-event shapes and the stream-level protocol (meta first, exactly one
-//! trailing `summary`). CI runs this validator over a real `fig1` sample
-//! stream, and the golden-schema test pins the exact key sets so schema
-//! drift is an explicit, reviewed change.
+//! trailing `summary`). CI runs this validator over real `fig1` and
+//! `perf_native` sample streams, and the golden-schema test pins the exact
+//! key sets so schema drift is an explicit, reviewed change.
+//!
+//! ## Versions
+//!
+//! * **v1** — initial stream (meta/sample/hist/span/progress/summary).
+//! * **v2** — added the `fault` event (deterministic fault injection).
+//! * **v3** — every event carries a `source` tag (`"sim"` for simulator
+//!   streams, `"native"` for the hardware-counter harness), and the
+//!   `native_unavailable` event records an explicit skip when
+//!   `perf_event_open` is denied. Streams announcing v2 in their meta
+//!   event are still accepted under the v2 rules.
+//!
+//! Validation reports **every** violation it can find in one pass
+//! ([`validate_stream_all`]), not just the first — a sim-vs-native schema
+//! diff must be debuggable in a single run.
 
 use crate::{LatencyMetric, SCHEMA_VERSION};
 use serde::Value;
 use std::collections::BTreeMap;
+
+/// Oldest stream version [`validate_stream`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
+
+/// The admissible values of the schema-v3 `source` tag.
+pub const SOURCES: [&str; 2] = ["sim", "native"];
 
 /// Rates every `sample` event must carry — the interval series the paper
 /// reproduction is observed through.
@@ -55,148 +75,292 @@ fn as_f64(v: &Value, what: &str) -> Result<f64, String> {
     }
 }
 
-/// Validates a `[[name, value], ...]` pair list, returning the names.
-fn pair_names(v: &Value, what: &str, numeric: bool) -> Result<Vec<String>, String> {
-    let items = v
-        .as_seq()
-        .map_err(|_| format!("{what} must be an array of [name, value] pairs"))?;
+/// Pushes the error of a failed check, keeping the pass going.
+fn check<T>(errs: &mut Vec<String>, result: Result<T, String>) -> Option<T> {
+    match result {
+        Ok(v) => Some(v),
+        Err(e) => {
+            errs.push(e);
+            None
+        }
+    }
+}
+
+/// Required `u64` key: records the error and keeps scanning.
+fn need_u64(map: &[(String, Value)], key: &str, event: &str, errs: &mut Vec<String>) {
+    let checked =
+        need(map, key, event).and_then(|v| as_u64(v, &format!("{event}.{key}")).map(|_| ()));
+    check(errs, checked);
+}
+
+/// Required string key: records the error and keeps scanning.
+fn need_str(map: &[(String, Value)], key: &str, event: &str, errs: &mut Vec<String>) {
+    let checked =
+        need(map, key, event).and_then(|v| as_str(v, &format!("{event}.{key}")).map(|_| ()));
+    check(errs, checked);
+}
+
+/// Validates a `[[name, value], ...]` pair list, returning the names it
+/// could parse and recording every malformed entry.
+fn pair_names(v: &Value, what: &str, numeric: bool, errs: &mut Vec<String>) -> Vec<String> {
+    let Some(items) = check(
+        errs,
+        v.as_seq()
+            .map_err(|_| format!("{what} must be an array of [name, value] pairs")),
+    ) else {
+        return Vec::new();
+    };
     let mut names = Vec::with_capacity(items.len());
     for item in items {
-        let pair = item
-            .as_seq()
-            .map_err(|_| format!("{what} entries must be [name, value] pairs"))?;
+        let Some(pair) = check(
+            errs,
+            item.as_seq()
+                .map_err(|_| format!("{what} entries must be [name, value] pairs")),
+        ) else {
+            continue;
+        };
         if pair.len() != 2 {
-            return Err(format!("{what} entries must have exactly 2 elements"));
+            errs.push(format!("{what} entries must have exactly 2 elements"));
+            continue;
         }
-        let name = as_str(&pair[0], &format!("{what} entry name"))?;
+        let Some(name) = check(errs, as_str(&pair[0], &format!("{what} entry name"))) else {
+            continue;
+        };
         if numeric {
-            as_f64(&pair[1], &format!("{what} `{name}` value"))?;
+            check(errs, as_f64(&pair[1], &format!("{what} `{name}` value")));
         } else {
-            as_u64(&pair[1], &format!("{what} `{name}` value"))?;
+            check(errs, as_u64(&pair[1], &format!("{what} `{name}` value")));
         }
         names.push(name.to_string());
     }
-    Ok(names)
+    names
 }
 
-fn validate_sample(map: &[(String, Value)]) -> Result<(), String> {
-    as_str(need(map, "run", "sample")?, "sample.run")?;
-    as_u64(need(map, "instr", "sample")?, "sample.instr")?;
-    as_u64(need(map, "cycles", "sample")?, "sample.cycles")?;
-    let counters = pair_names(need(map, "counters", "sample")?, "sample.counters", false)?;
-    for required in REQUIRED_COUNTERS {
-        if !counters.iter().any(|n| n == required) {
-            return Err(format!("sample.counters missing required `{required}`"));
+fn validate_sample(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_str(map, "run", "sample", errs);
+    need_u64(map, "instr", "sample", errs);
+    need_u64(map, "cycles", "sample", errs);
+    if let Some(v) = check(errs, need(map, "counters", "sample")) {
+        let counters = pair_names(v, "sample.counters", false, errs);
+        for required in REQUIRED_COUNTERS {
+            if !counters.iter().any(|n| n == required) {
+                errs.push(format!("sample.counters missing required `{required}`"));
+            }
         }
     }
-    let rates = pair_names(need(map, "rates", "sample")?, "sample.rates", true)?;
-    for required in REQUIRED_RATES {
-        if !rates.iter().any(|n| n == required) {
-            return Err(format!("sample.rates missing required `{required}`"));
+    if let Some(v) = check(errs, need(map, "rates", "sample")) {
+        let rates = pair_names(v, "sample.rates", true, errs);
+        for required in REQUIRED_RATES {
+            if !rates.iter().any(|n| n == required) {
+                errs.push(format!("sample.rates missing required `{required}`"));
+            }
         }
     }
-    Ok(())
 }
 
-fn validate_hist(map: &[(String, Value)]) -> Result<(), String> {
-    let metric = as_str(need(map, "metric", "hist")?, "hist.metric")?;
-    if LatencyMetric::parse(metric).is_none() {
-        return Err(format!(
-            "hist.metric `{metric}` is not a known LatencyMetric"
-        ));
+fn validate_hist(map: &[(String, Value)], errs: &mut Vec<String>) {
+    if let Some(metric) =
+        check(errs, need(map, "metric", "hist")).and_then(|v| check(errs, as_str(v, "hist.metric")))
+    {
+        if LatencyMetric::parse(metric).is_none() {
+            errs.push(format!(
+                "hist.metric `{metric}` is not a known LatencyMetric"
+            ));
+        }
     }
-    as_str(need(map, "unit", "hist")?, "hist.unit")?;
-    let count = as_u64(need(map, "count", "hist")?, "hist.count")?;
-    as_u64(need(map, "sum", "hist")?, "hist.sum")?;
-    as_u64(need(map, "min", "hist")?, "hist.min")?;
-    as_u64(need(map, "max", "hist")?, "hist.max")?;
-    let buckets = need(map, "buckets", "hist")?
-        .as_seq()
-        .map_err(|_| "hist.buckets must be an array".to_string())?;
+    need_str(map, "unit", "hist", errs);
+    let count =
+        check(errs, need(map, "count", "hist")).and_then(|v| check(errs, as_u64(v, "hist.count")));
+    need_u64(map, "sum", "hist", errs);
+    need_u64(map, "min", "hist", errs);
+    need_u64(map, "max", "hist", errs);
+    let Some(buckets) = check(errs, need(map, "buckets", "hist")).and_then(|v| {
+        check(
+            errs,
+            v.as_seq()
+                .map_err(|_| "hist.buckets must be an array".to_string()),
+        )
+    }) else {
+        return;
+    };
     let mut total = 0u64;
     for b in buckets {
-        let entries = b
-            .as_map()
-            .map_err(|_| "hist bucket must be an object".to_string())?;
-        let lo = as_u64(need(entries, "lo", "hist bucket")?, "bucket.lo")?;
-        let hi = as_u64(need(entries, "hi", "hist bucket")?, "bucket.hi")?;
-        if lo > hi {
-            return Err(format!("hist bucket has lo {lo} > hi {hi}"));
+        let Some(entries) = check(
+            errs,
+            b.as_map()
+                .map_err(|_| "hist bucket must be an object".to_string()),
+        ) else {
+            continue;
+        };
+        let lo = check(errs, need(entries, "lo", "hist bucket"))
+            .and_then(|v| check(errs, as_u64(v, "bucket.lo")));
+        let hi = check(errs, need(entries, "hi", "hist bucket"))
+            .and_then(|v| check(errs, as_u64(v, "bucket.hi")));
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            if lo > hi {
+                errs.push(format!("hist bucket has lo {lo} > hi {hi}"));
+            }
         }
-        total += as_u64(need(entries, "count", "hist bucket")?, "bucket.count")?;
+        if let Some(n) = check(errs, need(entries, "count", "hist bucket"))
+            .and_then(|v| check(errs, as_u64(v, "bucket.count")))
+        {
+            total += n;
+        }
     }
-    if total != count {
-        return Err(format!(
-            "hist bucket counts sum to {total} but count says {count}"
-        ));
+    if let Some(count) = count {
+        if total != count {
+            errs.push(format!(
+                "hist bucket counts sum to {total} but count says {count}"
+            ));
+        }
     }
-    Ok(())
 }
 
-fn validate_span(map: &[(String, Value)]) -> Result<(), String> {
-    as_str(need(map, "path", "span")?, "span.path")?;
-    as_u64(need(map, "count", "span")?, "span.count")?;
-    as_u64(need(map, "total_ns", "span")?, "span.total_ns")?;
-    as_u64(need(map, "max_ns", "span")?, "span.max_ns")?;
-    as_u64(need(map, "threads", "span")?, "span.threads")?;
-    Ok(())
+fn validate_span(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_str(map, "path", "span", errs);
+    need_u64(map, "count", "span", errs);
+    need_u64(map, "total_ns", "span", errs);
+    need_u64(map, "max_ns", "span", errs);
+    need_u64(map, "threads", "span", errs);
 }
 
-fn validate_fault(map: &[(String, Value)]) -> Result<(), String> {
-    as_str(need(map, "site", "fault")?, "fault.site")?;
-    as_u64(need(map, "hit", "fault")?, "fault.hit")?;
-    Ok(())
+fn validate_fault(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_str(map, "site", "fault", errs);
+    need_u64(map, "hit", "fault", errs);
 }
 
-fn validate_progress(map: &[(String, Value)]) -> Result<(), String> {
-    as_u64(need(map, "completed", "progress")?, "progress.completed")?;
-    as_u64(need(map, "total", "progress")?, "progress.total")?;
-    as_str(need(map, "label", "progress")?, "progress.label")?;
-    as_u64(need(map, "wall_ms", "progress")?, "progress.wall_ms")?;
-    Ok(())
+fn validate_progress(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_u64(map, "completed", "progress", errs);
+    need_u64(map, "total", "progress", errs);
+    need_str(map, "label", "progress", errs);
+    need_u64(map, "wall_ms", "progress", errs);
 }
 
-fn validate_meta(map: &[(String, Value)]) -> Result<(), String> {
-    let schema = as_u64(need(map, "schema", "meta")?, "meta.schema")?;
-    if schema != SCHEMA_VERSION {
-        return Err(format!(
-            "meta.schema {schema} does not match supported version {SCHEMA_VERSION}"
-        ));
+fn validate_meta(map: &[(String, Value)], errs: &mut Vec<String>) -> Option<u64> {
+    let schema = check(errs, need(map, "schema", "meta"))
+        .and_then(|v| check(errs, as_u64(v, "meta.schema")));
+    if let Some(schema) = schema {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+            errs.push(format!(
+                "meta.schema {schema} is outside the supported range \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
+            ));
+            return None;
+        }
     }
-    as_str(need(map, "stream", "meta")?, "meta.stream")?;
-    Ok(())
+    need_str(map, "stream", "meta", errs);
+    schema
 }
 
-fn validate_summary(map: &[(String, Value)]) -> Result<(), String> {
-    as_u64(need(map, "samples", "summary")?, "summary.samples")?;
-    as_u64(need(map, "progress", "summary")?, "summary.progress")?;
-    as_u64(need(map, "spans", "summary")?, "summary.spans")?;
-    Ok(())
+fn validate_native_unavailable(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_str(map, "reason", "native_unavailable", errs);
 }
 
-/// Validates one JSONL line, returning the event type on success.
+fn validate_summary(map: &[(String, Value)], errs: &mut Vec<String>) {
+    need_u64(map, "samples", "summary", errs);
+    need_u64(map, "progress", "summary", errs);
+    need_u64(map, "spans", "summary", errs);
+}
+
+/// The schema-v3 `source` tag every event must carry.
+fn validate_source(map: &[(String, Value)], event: &str, errs: &mut Vec<String>) {
+    if let Some(source) = check(errs, need(map, "source", event))
+        .and_then(|v| check(errs, as_str(v, &format!("{event}.source"))))
+    {
+        if !SOURCES.contains(&source) {
+            errs.push(format!(
+                "{event}.source `{source}` is not one of {SOURCES:?}"
+            ));
+        }
+    }
+}
+
+/// Validates one JSONL line under stream version `version`, returning the
+/// event type (when one could be read at all) plus **every** violation
+/// found — missing keys are reported together, not one per run.
+pub fn validate_line_all(line: &str, version: u64) -> (Option<String>, Vec<String>) {
+    let mut errs = Vec::new();
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            errs.push(format!("line is not valid JSON: {e:?}"));
+            return (None, errs);
+        }
+    };
+    let Some(map) = check(
+        &mut errs,
+        value
+            .as_map()
+            .map_err(|_| "event must be a JSON object".to_string()),
+    ) else {
+        return (None, errs);
+    };
+    let Some(event_type) = check(&mut errs, need(map, "type", "event"))
+        .and_then(|v| check(&mut errs, as_str(v, "event.type")))
+        .map(ToString::to_string)
+    else {
+        return (None, errs);
+    };
+    // The meta event declares the version the rest of the stream (and its
+    // own shape) is validated under.
+    let version = match event_type.as_str() {
+        "meta" => validate_meta(map, &mut errs).unwrap_or(version),
+        "sample" => {
+            validate_sample(map, &mut errs);
+            version
+        }
+        "hist" => {
+            validate_hist(map, &mut errs);
+            version
+        }
+        "span" => {
+            validate_span(map, &mut errs);
+            version
+        }
+        "fault" => {
+            validate_fault(map, &mut errs);
+            version
+        }
+        "progress" => {
+            validate_progress(map, &mut errs);
+            version
+        }
+        "native_unavailable" => {
+            if version < 3 {
+                errs.push(format!(
+                    "native_unavailable events require schema v3 (stream is v{version})"
+                ));
+            }
+            validate_native_unavailable(map, &mut errs);
+            version
+        }
+        "summary" => {
+            validate_summary(map, &mut errs);
+            version
+        }
+        other => {
+            errs.push(format!("unknown event type `{other}`"));
+            return (Some(event_type), errs);
+        }
+    };
+    if version >= 3 {
+        validate_source(map, &event_type, &mut errs);
+    }
+    (Some(event_type), errs)
+}
+
+/// Validates one JSONL line under the current [`SCHEMA_VERSION`],
+/// returning the event type on success.
 ///
 /// # Errors
 ///
 /// Returns a human-readable description of the first schema violation.
 pub fn validate_line(line: &str) -> Result<String, String> {
-    let value: Value =
-        serde_json::from_str(line).map_err(|e| format!("line is not valid JSON: {e:?}"))?;
-    let map = value
-        .as_map()
-        .map_err(|_| "event must be a JSON object".to_string())?;
-    let event_type = as_str(need(map, "type", "event")?, "event.type")?.to_string();
-    match event_type.as_str() {
-        "meta" => validate_meta(map)?,
-        "sample" => validate_sample(map)?,
-        "hist" => validate_hist(map)?,
-        "span" => validate_span(map)?,
-        "fault" => validate_fault(map)?,
-        "progress" => validate_progress(map)?,
-        "summary" => validate_summary(map)?,
-        other => return Err(format!("unknown event type `{other}`")),
+    let (event_type, errs) = validate_line_all(line, SCHEMA_VERSION);
+    match errs.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(event_type.expect("error-free line has a type")),
     }
-    Ok(event_type)
 }
 
 /// Per-type event counts of a validated stream.
@@ -206,25 +370,51 @@ pub struct StreamSummary {
     pub lines: usize,
     /// Events per `type` discriminator.
     pub by_type: BTreeMap<String, usize>,
+    /// The stream's declared schema version (from the meta event), or the
+    /// current [`SCHEMA_VERSION`] when the meta event was unreadable.
+    pub schema: u64,
 }
 
-/// Validates a whole JSONL stream: every line must pass [`validate_line`],
-/// the first event must be `meta`, and the last must be `summary`.
-///
-/// # Errors
-///
-/// Returns `(line_number, description)` of the first violation (line
-/// numbers are 1-based; protocol-level violations report line 0).
-pub fn validate_stream(text: &str) -> Result<StreamSummary, (usize, String)> {
-    let mut summary = StreamSummary::default();
+/// Validates a whole JSONL stream, collecting **every** violation: every
+/// line must pass [`validate_line_all`] under the version the meta event
+/// declares, the first event must be `meta`, and the last must be
+/// `summary`. Returns the best-effort summary together with all
+/// violations as `(line_number, description)` pairs (1-based; stream-level
+/// violations report line 0).
+pub fn validate_stream_all(text: &str) -> (StreamSummary, Vec<(usize, String)>) {
+    let mut summary = StreamSummary {
+        schema: SCHEMA_VERSION,
+        ..StreamSummary::default()
+    };
+    let mut violations = Vec::new();
     let mut last_type = String::new();
+    let mut version = SCHEMA_VERSION;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event_type = validate_line(line).map_err(|e| (i + 1, e))?;
+        if summary.lines == 0 {
+            // Peek the declared version first so every line of a v2
+            // stream — including the meta event itself — is judged by v2
+            // rules.
+            if let Ok(v) = serde_json::from_str::<Value>(line) {
+                if let Ok(map) = v.as_map() {
+                    if let Some(Ok(schema)) = field(map, "schema").map(|s| as_u64(s, "schema")) {
+                        if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+                            version = schema;
+                            summary.schema = schema;
+                        }
+                    }
+                }
+            }
+        }
+        let (event_type, errs) = validate_line_all(line, version);
+        violations.extend(errs.into_iter().map(|e| (i + 1, e)));
+        let Some(event_type) = event_type else {
+            continue;
+        };
         if summary.lines == 0 && event_type != "meta" {
-            return Err((
+            violations.push((
                 i + 1,
                 format!("stream must open with a meta event, got `{event_type}`"),
             ));
@@ -234,15 +424,29 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, (usize, String)> {
         last_type = event_type;
     }
     if summary.lines == 0 {
-        return Err((0, "stream contains no events".to_string()));
-    }
-    if last_type != "summary" {
-        return Err((
+        violations.push((0, "stream contains no events".to_string()));
+    } else if last_type != "summary" {
+        violations.push((
             0,
             format!("stream must end with a summary event, got `{last_type}`"),
         ));
     }
-    Ok(summary)
+    (summary, violations)
+}
+
+/// Validates a whole JSONL stream: every line must pass validation, the
+/// first event must be `meta`, and the last must be `summary`.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` of the first violation (line
+/// numbers are 1-based; protocol-level violations report line 0).
+pub fn validate_stream(text: &str) -> Result<StreamSummary, (usize, String)> {
+    let (summary, violations) = validate_stream_all(text);
+    match violations.into_iter().next() {
+        Some(v) => Err(v),
+        None => Ok(summary),
+    }
 }
 
 #[cfg(test)]
@@ -251,19 +455,33 @@ mod tests {
 
     #[test]
     fn meta_line_validates() {
+        // A v2 meta event has no source tag; a v3 one requires it.
         let line = r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#;
         assert_eq!(validate_line(line).unwrap(), "meta");
+        let line = r#"{"type":"meta","schema":3,"source":"sim","stream":"atscale-telemetry"}"#;
+        assert_eq!(validate_line(line).unwrap(), "meta");
+        let line = r#"{"type":"meta","schema":3,"stream":"atscale-telemetry"}"#;
+        assert!(validate_line(line).unwrap_err().contains("source"));
     }
 
     #[test]
     fn wrong_schema_version_is_rejected() {
         let line = r#"{"type":"meta","schema":99,"stream":"atscale-telemetry"}"#;
         assert!(validate_line(line).unwrap_err().contains("schema"));
+        let line = r#"{"type":"meta","schema":1,"stream":"atscale-telemetry"}"#;
+        assert!(validate_line(line).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn bad_source_values_are_rejected() {
+        let line = r#"{"type":"fault","source":"hardware","site":"s","hit":1}"#;
+        let err = validate_line(line).unwrap_err();
+        assert!(err.contains("hardware"), "got: {err}");
     }
 
     #[test]
     fn sample_requires_the_headline_rates() {
-        let line = r#"{"type":"sample","run":"r","instr":10,"cycles":20,
+        let line = r#"{"type":"sample","source":"sim","run":"r","instr":10,"cycles":20,
             "counters":[["inst_retired.any",10],["dtlb_misses.walk_duration",4]],
             "rates":[["wcpi",0.4],["stlb_mpki",1.0]]}"#
             .replace('\n', " ");
@@ -272,30 +490,96 @@ mod tests {
     }
 
     #[test]
+    fn all_violations_are_reported_in_one_pass() {
+        // Missing both rates AND both counters AND the source tag: every
+        // one of the five defects must surface in a single validation.
+        let line = r#"{"type":"sample","run":"r","instr":10,"cycles":20,
+            "counters":[],"rates":[["wcpi",0.4]]}"#
+            .replace('\n', " ");
+        let (event_type, errs) = validate_line_all(&line, SCHEMA_VERSION);
+        assert_eq!(event_type.as_deref(), Some("sample"));
+        let text = errs.join("\n");
+        for needle in [
+            "inst_retired.any",
+            "dtlb_misses.walk_duration",
+            "stlb_mpki",
+            "aborted_frac",
+            "`source`",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        assert!(errs.len() >= 5, "expected >= 5 errors, got {errs:?}");
+    }
+
+    #[test]
+    fn native_unavailable_is_v3_only() {
+        let line = r#"{"type":"native_unavailable","source":"native","reason":"EPERM"}"#;
+        assert_eq!(validate_line(line).unwrap(), "native_unavailable");
+        let (_, errs) = validate_line_all(line, 2);
+        assert!(
+            errs.iter().any(|e| e.contains("schema v3")),
+            "got: {errs:?}"
+        );
+    }
+
+    #[test]
     fn hist_bucket_counts_must_reconcile() {
-        let line = r#"{"type":"hist","metric":"walk_cycles","unit":"cycles","count":3,
-            "sum":10,"min":1,"max":5,"buckets":[{"lo":1,"hi":1,"count":1}]}"#
+        let line = r#"{"type":"hist","source":"sim","metric":"walk_cycles","unit":"cycles",
+            "count":3,"sum":10,"min":1,"max":5,"buckets":[{"lo":1,"hi":1,"count":1}]}"#
             .replace('\n', " ");
         let err = validate_line(&line).unwrap_err();
         assert!(err.contains("sum to 1"), "got: {err}");
     }
 
     #[test]
-    fn stream_protocol_is_enforced() {
-        let good = concat!(
+    fn v2_streams_are_accepted_without_source_tags() {
+        let v2 = concat!(
             r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#,
+            "\n",
+            r#"{"type":"fault","site":"StoreTorn","hit":0}"#,
             "\n",
             r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#,
             "\n"
         );
+        let s = validate_stream(v2).unwrap();
+        assert_eq!(s.schema, 2);
+        assert_eq!(s.lines, 3);
+    }
+
+    #[test]
+    fn v3_streams_require_source_on_every_event() {
+        let v3 = concat!(
+            r#"{"type":"meta","schema":3,"source":"native","stream":"atscale-native"}"#,
+            "\n",
+            r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#,
+            "\n"
+        );
+        let (summary, violations) = validate_stream_all(v3);
+        assert_eq!(summary.schema, 3);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0]
+            .1
+            .contains("summary event missing required key `source`"));
+    }
+
+    #[test]
+    fn stream_protocol_is_enforced() {
+        let good = concat!(
+            r#"{"type":"meta","schema":3,"source":"sim","stream":"atscale-telemetry"}"#,
+            "\n",
+            r#"{"type":"summary","source":"sim","samples":0,"progress":0,"spans":0}"#,
+            "\n"
+        );
         let s = validate_stream(good).unwrap();
         assert_eq!(s.lines, 2);
+        assert_eq!(s.schema, 3);
         assert_eq!(s.by_type.get("meta"), Some(&1));
 
-        let no_meta = r#"{"type":"summary","samples":0,"progress":0,"spans":0}"#;
+        let no_meta = r#"{"type":"summary","source":"sim","samples":0,"progress":0,"spans":0}"#;
         assert!(validate_stream(no_meta).is_err());
 
-        let no_summary = r#"{"type":"meta","schema":2,"stream":"atscale-telemetry"}"#;
+        let no_summary =
+            r#"{"type":"meta","schema":3,"source":"sim","stream":"atscale-telemetry"}"#;
         assert!(validate_stream(no_summary).is_err());
 
         assert!(validate_stream("").is_err());

@@ -14,8 +14,10 @@ use std::sync::Arc;
 /// schema validator.
 ///
 /// Version history: 1 — initial stream; 2 — added the `fault` event
-/// (deterministic fault-injection observations from chaos runs).
-pub const SCHEMA_VERSION: u64 = 2;
+/// (deterministic fault-injection observations from chaos runs); 3 —
+/// every event carries a `source` tag (`"sim"` | `"native"`) and the
+/// `native_unavailable` event records an explicit hardware-counter skip.
+pub const SCHEMA_VERSION: u64 = 3;
 
 struct JsonlWriter {
     path: PathBuf,
@@ -39,6 +41,7 @@ struct SinkState {
     samples: Vec<(String, Sample)>,
     progress_events: u64,
     fault_events: u64,
+    native_unavailable_events: u64,
     jsonl: Option<JsonlWriter>,
     finished: bool,
 }
@@ -52,6 +55,9 @@ struct SinkState {
 pub struct TelemetrySink {
     state: Mutex<SinkState>,
     stderr_progress: bool,
+    /// The schema-v3 `source` tag stamped on every emitted event:
+    /// `"sim"` (default) or `"native"`.
+    source: String,
 }
 
 impl std::fmt::Debug for TelemetrySink {
@@ -71,8 +77,11 @@ impl Default for TelemetrySink {
     }
 }
 
-fn tagged(event_type: &str, head: Vec<(String, Value)>, body: Value) -> Value {
-    let mut entries = vec![("type".to_string(), Value::Str(event_type.to_string()))];
+fn tagged(event_type: &str, source: &str, head: Vec<(String, Value)>, body: Value) -> Value {
+    let mut entries = vec![
+        ("type".to_string(), Value::Str(event_type.to_string())),
+        ("source".to_string(), Value::Str(source.to_string())),
+    ];
     entries.extend(head);
     if let Value::Map(fields) = body {
         entries.extend(fields);
@@ -81,7 +90,7 @@ fn tagged(event_type: &str, head: Vec<(String, Value)>, body: Value) -> Value {
 }
 
 impl TelemetrySink {
-    /// An in-memory sink with no JSONL stream.
+    /// An in-memory sink with no JSONL stream, tagged `source: "sim"`.
     pub fn new() -> TelemetrySink {
         TelemetrySink {
             state: Mutex::new(SinkState {
@@ -89,7 +98,21 @@ impl TelemetrySink {
                 ..SinkState::default()
             }),
             stderr_progress: false,
+            source: "sim".to_string(),
         }
+    }
+
+    /// Sets the schema-v3 `source` tag (`"sim"` or `"native"`) stamped on
+    /// every emitted event. Call **before** [`TelemetrySink::with_jsonl`]
+    /// so the `meta` header carries the tag too.
+    pub fn with_source(mut self, source: impl Into<String>) -> TelemetrySink {
+        self.source = source.into();
+        self
+    }
+
+    /// The stream's `source` tag.
+    pub fn source(&self) -> &str {
+        &self.source
     }
 
     /// Attaches a JSONL stream at `path` (parent directories are created)
@@ -110,6 +133,7 @@ impl TelemetrySink {
         };
         writer.write_event(&Value::Map(vec![
             ("type".to_string(), Value::Str("meta".to_string())),
+            ("source".to_string(), Value::Str(self.source.clone())),
             ("schema".to_string(), Value::U64(SCHEMA_VERSION)),
             (
                 "stream".to_string(),
@@ -155,6 +179,7 @@ impl TelemetrySink {
         state.fault_events += 1;
         let event = Value::Map(vec![
             ("type".to_string(), Value::Str("fault".to_string())),
+            ("source".to_string(), Value::Str(self.source.clone())),
             ("site".to_string(), Value::Str(site.to_string())),
             ("hit".to_string(), Value::U64(hit)),
         ]);
@@ -167,6 +192,31 @@ impl TelemetrySink {
     /// Number of fault events delivered so far.
     pub fn fault_count(&self) -> u64 {
         self.state.lock().fault_events
+    }
+
+    /// Records that the native hardware-counter harness could not run
+    /// (`perf_event_open` denied or unsupported): an explicit, validated
+    /// skip marker so CI can tell "no native data" from "harness broke".
+    pub fn native_unavailable(&self, reason: &str) {
+        let mut state = self.state.lock();
+        state.native_unavailable_events += 1;
+        let event = Value::Map(vec![
+            (
+                "type".to_string(),
+                Value::Str("native_unavailable".to_string()),
+            ),
+            ("source".to_string(), Value::Str(self.source.clone())),
+            ("reason".to_string(), Value::Str(reason.to_string())),
+        ]);
+        if let Some(writer) = state.jsonl.as_mut() {
+            // analyze:allow(lock-io): skip markers share the ordered JSONL stream; the buffered write stays under the state lock by design
+            writer.write_event(&event);
+        }
+    }
+
+    /// Number of `native_unavailable` events delivered so far.
+    pub fn native_unavailable_count(&self) -> u64 {
+        self.state.lock().native_unavailable_events
     }
 
     /// Finalizes the stream: emits `hist` events for every non-empty
@@ -186,6 +236,7 @@ impl TelemetrySink {
             .map(|m| {
                 tagged(
                     "hist",
+                    &self.source,
                     vec![
                         ("metric".to_string(), Value::Str(m.name().to_string())),
                         ("unit".to_string(), Value::Str(m.unit().to_string())),
@@ -196,10 +247,11 @@ impl TelemetrySink {
             .collect();
         let span_events: Vec<Value> = span_records()
             .iter()
-            .map(|r| tagged("span", Vec::new(), r.to_value()))
+            .map(|r| tagged("span", &self.source, Vec::new(), r.to_value()))
             .collect();
         let summary = Value::Map(vec![
             ("type".to_string(), Value::Str("summary".to_string())),
+            ("source".to_string(), Value::Str(self.source.clone())),
             (
                 "samples".to_string(),
                 Value::U64(state.samples.len() as u64),
@@ -267,6 +319,7 @@ impl Recorder for TelemetrySink {
         let mut state = self.state.lock();
         let event = tagged(
             "sample",
+            &self.source,
             vec![("run".to_string(), Value::Str(run.to_string()))],
             sample.to_value(),
         );
@@ -287,7 +340,7 @@ impl Recorder for TelemetrySink {
         }
         let mut state = self.state.lock();
         state.progress_events += 1;
-        let line = tagged("progress", Vec::new(), event.to_value());
+        let line = tagged("progress", &self.source, Vec::new(), event.to_value());
         if let Some(writer) = state.jsonl.as_mut() {
             // analyze:allow(lock-io): progress events share the ordered JSONL stream; the buffered write stays under the state lock by design
             writer.write_event(&line);
@@ -364,6 +417,8 @@ mod tests {
             wall_ms: 1,
             cached: false,
         });
+        sink.native_unavailable("perf_event_open: EPERM");
+        assert_eq!(sink.native_unavailable_count(), 1);
         assert_eq!(sink.finish().as_deref(), Some(path.as_path()));
         assert_eq!(sink.finish().as_deref(), Some(path.as_path()), "idempotent");
         let text = std::fs::read_to_string(&path).unwrap();
@@ -373,9 +428,37 @@ mod tests {
             "\"type\":\"fault\"",
             "\"type\":\"hist\"",
             "\"type\":\"progress\"",
+            "\"type\":\"native_unavailable\"",
             "\"type\":\"summary\"",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        for line in text.lines() {
+            assert!(
+                line.contains("\"source\":\"sim\""),
+                "schema v3: every event carries the source tag: {line}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn native_source_tags_the_whole_stream() {
+        let path =
+            std::env::temp_dir().join(format!("atscale-sink-native-{}.jsonl", std::process::id()));
+        let sink = TelemetrySink::new()
+            .with_source("native")
+            .with_jsonl(&path)
+            .unwrap();
+        assert_eq!(sink.source(), "native");
+        sink.sample("r", &sample());
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            assert!(
+                line.contains("\"source\":\"native\""),
+                "native stream mis-tagged: {line}"
+            );
         }
         let _ = std::fs::remove_file(&path);
     }

@@ -15,28 +15,44 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// The schema under pin: every event type and its exact key set.
 fn golden_keys() -> BTreeMap<&'static str, BTreeSet<&'static str>> {
-    let pairs: [(&str, &[&str]); 7] = [
-        ("meta", &["type", "schema", "stream"]),
-        ("fault", &["type", "site", "hit"]),
+    let pairs: [(&str, &[&str]); 8] = [
+        ("meta", &["type", "source", "schema", "stream"]),
+        ("fault", &["type", "source", "site", "hit"]),
+        ("native_unavailable", &["type", "source", "reason"]),
         (
             "sample",
-            &["type", "run", "instr", "cycles", "counters", "rates"],
+            &[
+                "type", "source", "run", "instr", "cycles", "counters", "rates",
+            ],
         ),
         (
             "hist",
             &[
-                "type", "metric", "unit", "count", "sum", "min", "max", "buckets",
+                "type", "source", "metric", "unit", "count", "sum", "min", "max", "buckets",
             ],
         ),
         (
             "span",
-            &["type", "path", "count", "total_ns", "max_ns", "threads"],
+            &[
+                "type", "source", "path", "count", "total_ns", "max_ns", "threads",
+            ],
         ),
         (
             "progress",
-            &["type", "completed", "total", "label", "wall_ms", "cached"],
+            &[
+                "type",
+                "source",
+                "completed",
+                "total",
+                "label",
+                "wall_ms",
+                "cached",
+            ],
         ),
-        ("summary", &["type", "samples", "progress", "spans"]),
+        (
+            "summary",
+            &["type", "source", "samples", "progress", "spans"],
+        ),
     ];
     pairs
         .into_iter()
@@ -81,6 +97,7 @@ fn generate_stream() -> String {
     sink.latency(LatencyMetric::WalkCycles, 37);
     sink.latency(LatencyMetric::RunWallNanos, 5_000_000);
     sink.fault("WorkerPanic", 2);
+    sink.native_unavailable("perf_event_open: EPERM (perf_event_paranoid)");
     sink.progress(&Progress {
         completed: 1,
         total: 1,
@@ -106,6 +123,7 @@ fn generated_stream_passes_the_shipped_validator() {
     assert_eq!(summary.by_type.get("hist"), Some(&2));
     assert_eq!(summary.by_type.get("span"), Some(&1));
     assert_eq!(summary.by_type.get("fault"), Some(&1));
+    assert_eq!(summary.by_type.get("native_unavailable"), Some(&1));
     assert_eq!(summary.by_type.get("progress"), Some(&1));
     assert_eq!(summary.by_type.get("summary"), Some(&1));
 }

@@ -1,0 +1,536 @@
+//! Native, `SimAlloc`-free mini-kernels for hardware-counter profiling.
+//!
+//! The [`kernels`](crate::kernels) module routes every load/store through
+//! simulated virtual memory — exactly what a PMU harness must *not* do,
+//! because the bookkeeping would dominate the counter readings. This module
+//! re-implements the four workloads the cross-validation plane profiles
+//! (BFS, PageRank, the memcached-style KV cache, and an mcf-style arc
+//! relaxation) directly on host memory: plain `Vec`s, deterministic
+//! generator-seeded inputs, and a strict **setup/measure split** so
+//! `atscale-native` can open its counter group after construction and read
+//! it around [`PreparedKernel::run`] alone.
+//!
+//! Footprints are requested in bytes and honoured approximately (the
+//! realised value is reported by [`PreparedKernel::footprint_bytes`]); the
+//! per-workload byte budgets below mirror the resident data structures of
+//! the simulated twins so a sim run and a native run at the same `MB` label
+//! stress comparable working sets. All randomness derives from
+//! [`splitmix64`] streams, so a `(kernel, footprint, seed)` triple is fully
+//! reproducible and [`PreparedKernel::run`] returns the same checksum on
+//! every call.
+
+use atscale_gen::{seed_stream, splitmix64};
+use std::hint::black_box;
+
+/// Out-degree used by the synthetic uniform-random graphs (matches the
+/// paper's GAPBS `urand` configuration of average degree 16).
+const DEGREE: usize = 16;
+
+/// Value payload per cached item, matching the sim KV cache default shape.
+const KV_VALUE_BYTES: usize = 64;
+
+/// Arcs per node in the mcf-style network.
+const MCF_ARCS_PER_NODE: usize = 8;
+
+/// PageRank rounds per measured pass (enough to touch every edge
+/// repeatedly without making `--quick` runs slow).
+const PR_ITERATIONS: usize = 5;
+
+/// Bellman-Ford-style relaxation rounds per measured mcf pass.
+const MCF_ROUNDS: usize = 4;
+
+/// The native kernels the hardware-counter harness can profile.
+///
+/// Each maps onto one of the registry's simulated workloads (see
+/// [`NativeKernel::sim_workload`]), so paired sim/native telemetry streams
+/// join on the workload component of the run label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NativeKernel {
+    /// Top-down BFS on a uniform-random CSR graph (`bfs-urand`).
+    Bfs,
+    /// Pull-style PageRank on the same graph family (`pr-urand`).
+    Pr,
+    /// Chained-hash KV cache under a uniform YCSB-C read stream
+    /// (`memcached-uniform`).
+    Kv,
+    /// Arc-relaxation over a random min-cost-flow network (`mcf-rand`).
+    Mcf,
+}
+
+impl NativeKernel {
+    /// Every native kernel, in profiling order.
+    pub const ALL: [NativeKernel; 4] = [
+        NativeKernel::Bfs,
+        NativeKernel::Pr,
+        NativeKernel::Kv,
+        NativeKernel::Mcf,
+    ];
+
+    /// The registry workload id this kernel natively mirrors — the
+    /// `workload` component of a sim run label such as `bfs-urand 64MB 4K`.
+    pub fn sim_workload(self) -> &'static str {
+        match self {
+            NativeKernel::Bfs => "bfs-urand",
+            NativeKernel::Pr => "pr-urand",
+            NativeKernel::Kv => "memcached-uniform",
+            NativeKernel::Mcf => "mcf-rand",
+        }
+    }
+
+    /// Short name used in file stems and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeKernel::Bfs => "bfs",
+            NativeKernel::Pr => "pr",
+            NativeKernel::Kv => "kv",
+            NativeKernel::Mcf => "mcf",
+        }
+    }
+
+    /// Bytes of resident data per unit (vertex / item / node).
+    fn bytes_per_unit(self) -> usize {
+        match self {
+            // offsets (8) + targets (DEGREE * 4) + parent (4)
+            NativeKernel::Bfs => 8 + DEGREE * 4 + 4,
+            // offsets (8) + targets (DEGREE * 4) + ranks (8) + contrib (8)
+            NativeKernel::Pr => 8 + DEGREE * 4 + 16,
+            // bucket head (4) + key (8) + chain link (4) + value slab
+            NativeKernel::Kv => 16 + KV_VALUE_BYTES,
+            // potential (8) + arcs (tail 4 + head 4 + cost 4)
+            NativeKernel::Mcf => 8 + MCF_ARCS_PER_NODE * 12,
+        }
+    }
+
+    /// Builds the kernel's working set for roughly `footprint_bytes` of
+    /// resident data. Construction is the *setup* phase: nothing here is
+    /// meant to run under counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_bytes` is too small to hold even a handful of
+    /// units (< 64 units' worth of data).
+    pub fn prepare(self, footprint_bytes: usize, seed: u64) -> PreparedKernel {
+        let units = footprint_bytes / self.bytes_per_unit();
+        assert!(
+            units >= 64,
+            "footprint {footprint_bytes}B too small for {}",
+            self.name()
+        );
+        let inner = match self {
+            NativeKernel::Bfs => Inner::Bfs {
+                graph: CsrGraph::uniform(units, seed),
+                parent: vec![u32::MAX; units],
+            },
+            NativeKernel::Pr => Inner::Pr {
+                graph: CsrGraph::uniform(units, seed),
+                ranks: vec![0.0; units],
+                contrib: vec![0.0; units],
+            },
+            NativeKernel::Kv => Inner::Kv(KvTable::populate(units, seed)),
+            NativeKernel::Mcf => Inner::Mcf(ArcNetwork::random(units, seed)),
+        };
+        PreparedKernel {
+            kernel: self,
+            footprint: units * self.bytes_per_unit(),
+            inner,
+        }
+    }
+}
+
+/// A constructed working set, ready for measured passes.
+#[derive(Debug)]
+pub struct PreparedKernel {
+    kernel: NativeKernel,
+    footprint: usize,
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Bfs {
+        graph: CsrGraph,
+        parent: Vec<u32>,
+    },
+    Pr {
+        graph: CsrGraph,
+        ranks: Vec<f64>,
+        contrib: Vec<f64>,
+    },
+    Kv(KvTable),
+    Mcf(ArcNetwork),
+}
+
+impl PreparedKernel {
+    /// Which kernel this is.
+    pub fn kernel(&self) -> NativeKernel {
+        self.kernel
+    }
+
+    /// The realised resident footprint in bytes (≤ the requested budget,
+    /// rounded down to whole units).
+    pub fn footprint_bytes(&self) -> usize {
+        self.footprint
+    }
+
+    /// One measured pass over the working set. Deterministic: repeated
+    /// calls return the same checksum, so harness warm-up passes and
+    /// measured passes are interchangeable. The result is routed through
+    /// [`black_box`] internally; callers should still consume it so the
+    /// traversals cannot be optimised away.
+    pub fn run(&mut self) -> u64 {
+        let sum = match &mut self.inner {
+            Inner::Bfs { graph, parent } => run_bfs(graph, parent),
+            Inner::Pr {
+                graph,
+                ranks,
+                contrib,
+            } => run_pagerank(graph, ranks, contrib),
+            Inner::Kv(table) => table.run_reads(),
+            Inner::Mcf(net) => net.relax(),
+        };
+        black_box(sum)
+    }
+}
+
+/// Compressed-sparse-row graph over `u32` vertex ids, built from a
+/// splitmix64-hashed uniform edge stream. Degrees are irregular (uniform
+/// in `[DEGREE-8, DEGREE+8]`, pairwise balanced so the edge total is
+/// exactly `vertices * DEGREE` and footprint accounting stays exact); a
+/// perfectly regular graph would make pull-PageRank degenerate to the
+/// uniform distribution for every seed.
+#[derive(Debug)]
+struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    fn uniform(vertices: usize, seed: u64) -> CsrGraph {
+        let n = vertices as u64;
+        let s = seed_stream(seed, 1);
+        let deg_s = seed_stream(seed, 5);
+        let mut offsets = Vec::with_capacity(vertices + 1);
+        let mut targets = Vec::with_capacity(vertices * DEGREE);
+        offsets.push(0u64);
+        let mut total = 0u64;
+        for v in 0..vertices {
+            let deg = if v + 1 == vertices && vertices % 2 == 1 {
+                DEGREE
+            } else {
+                let skew = (splitmix64(deg_s ^ (v / 2) as u64) % 9) as usize;
+                if v % 2 == 0 {
+                    DEGREE - skew
+                } else {
+                    DEGREE + skew
+                }
+            };
+            for k in 0..deg as u64 {
+                targets.push((splitmix64(s ^ (total + k)) % n) as u32);
+            }
+            total += deg as u64;
+            offsets.push(total);
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    #[inline]
+    fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn neighbors(&self, v: usize) -> &[u32] {
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        &self.targets[start..end]
+    }
+}
+
+/// Top-down BFS from vertex 0; the frontier queue is host-side scratch
+/// just as in the simulated twin. Returns `reached + Σ parent`.
+fn run_bfs(graph: &CsrGraph, parent: &mut [u32]) -> u64 {
+    parent.fill(u32::MAX);
+    parent[0] = 0;
+    let mut reached = 1u64;
+    let mut frontier = vec![0u32];
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            for &v in graph.neighbors(u as usize) {
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    reached += 1;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    reached + parent.iter().map(|&p| u64::from(p) & 0xFFFF).sum::<u64>()
+}
+
+/// Pull-style PageRank, [`PR_ITERATIONS`] rounds, GAPBS damping. Returns
+/// a position-sensitive fold of the per-vertex rank bit patterns (the
+/// plain rank *sum* is ~1.0 for any seed, so it cannot serve as a
+/// checksum; deterministic: same input → same floats).
+fn run_pagerank(graph: &CsrGraph, ranks: &mut [f64], contrib: &mut [f64]) -> u64 {
+    const DAMPING: f64 = 0.85;
+    let n = graph.vertices();
+    let base = (1.0 - DAMPING) / n as f64;
+    ranks.fill(1.0 / n as f64);
+    for _ in 0..PR_ITERATIONS {
+        for v in 0..n {
+            contrib[v] = ranks[v] / graph.degree(v) as f64;
+        }
+        for (v, rank) in ranks.iter_mut().enumerate().take(n) {
+            let mut sum = 0.0;
+            for &u in graph.neighbors(v) {
+                sum += contrib[u as usize];
+            }
+            *rank = base + DAMPING * sum;
+        }
+    }
+    ranks.iter().enumerate().fold(0u64, |acc, (i, r)| {
+        acc.wrapping_add(r.to_bits().rotate_left((i % 63) as u32))
+    })
+}
+
+/// A memcached-shaped chained hash table: bucket heads, per-item chain
+/// links, and a value slab, all index-plus-one linked like the simulated
+/// [`KvCache`](crate::kernels::KvCache).
+#[derive(Debug)]
+struct KvTable {
+    buckets: Vec<u32>,
+    keys: Vec<u64>,
+    chain_next: Vec<u32>,
+    values: Vec<u8>,
+    filled: usize,
+    seed: u64,
+}
+
+/// Sentinel for "no item" in index-plus-one links.
+const NIL: u32 = 0;
+
+impl KvTable {
+    /// Builds a table of `capacity` slots and inserts `capacity * 7 / 8`
+    /// deterministic keys (memcached-like fill factor). Setup phase.
+    fn populate(capacity: usize, seed: u64) -> KvTable {
+        let mut table = KvTable {
+            buckets: vec![NIL; capacity],
+            keys: vec![0; capacity],
+            chain_next: vec![NIL; capacity],
+            values: vec![0; capacity * KV_VALUE_BYTES],
+            filled: capacity * 7 / 8,
+            seed,
+        };
+        let key_seed = seed_stream(seed, 2);
+        for slot in 0..table.filled {
+            let key = splitmix64(key_seed ^ slot as u64);
+            let bucket = (splitmix64(key) % capacity as u64) as usize;
+            table.keys[slot] = key;
+            table.chain_next[slot] = table.buckets[bucket];
+            table.buckets[bucket] = slot as u32 + 1;
+            let v = &mut table.values[slot * KV_VALUE_BYTES..(slot + 1) * KV_VALUE_BYTES];
+            v.fill((key & 0xFF) as u8);
+        }
+        table
+    }
+
+    /// One read pass: `capacity` uniform GETs over a key space twice the
+    /// filled size (so roughly half hit), each hit summing its value
+    /// bytes — the measured phase.
+    fn run_reads(&mut self) -> u64 {
+        let capacity = self.buckets.len();
+        let op_seed = seed_stream(self.seed, 3);
+        let key_seed = seed_stream(self.seed, 2);
+        let key_space = (self.filled * 2) as u64;
+        let mut hits = 0u64;
+        let mut sum = 0u64;
+        for op in 0..capacity {
+            let probe = splitmix64(op_seed ^ op as u64) % key_space;
+            // Keys were inserted for slots < filled; re-derive the probed
+            // key through the same stream so hits are real chain walks.
+            let key = splitmix64(key_seed ^ probe);
+            let bucket = (splitmix64(key) % capacity as u64) as usize;
+            let mut link = self.buckets[bucket];
+            while link != NIL {
+                let slot = (link - 1) as usize;
+                if self.keys[slot] == key {
+                    hits += 1;
+                    let v = &self.values[slot * KV_VALUE_BYTES..(slot + 1) * KV_VALUE_BYTES];
+                    sum += v.iter().map(|&b| u64::from(b)).sum::<u64>();
+                    break;
+                }
+                link = self.chain_next[slot];
+            }
+        }
+        hits + sum
+    }
+}
+
+/// An mcf-style network: node potentials plus a flat arc list in hashed
+/// (cache-hostile) order, relaxed Bellman-Ford style.
+#[derive(Debug)]
+struct ArcNetwork {
+    potential: Vec<i64>,
+    arc_tail: Vec<u32>,
+    arc_head: Vec<u32>,
+    arc_cost: Vec<i32>,
+}
+
+impl ArcNetwork {
+    fn random(nodes: usize, seed: u64) -> ArcNetwork {
+        let n = nodes as u64;
+        let s = seed_stream(seed, 4);
+        let arcs = nodes * MCF_ARCS_PER_NODE;
+        let mut arc_tail = Vec::with_capacity(arcs);
+        let mut arc_head = Vec::with_capacity(arcs);
+        let mut arc_cost = Vec::with_capacity(arcs);
+        for a in 0..arcs {
+            let h = splitmix64(s ^ a as u64);
+            arc_tail.push((h % n) as u32);
+            arc_head.push((splitmix64(h) % n) as u32);
+            arc_cost.push(((h >> 32) % 1000) as i32 + 1);
+        }
+        ArcNetwork {
+            potential: vec![i64::MAX / 4; nodes],
+            arc_tail,
+            arc_head,
+            arc_cost,
+        }
+    }
+
+    /// [`MCF_ROUNDS`] relaxation sweeps over the arc list from a fixed
+    /// source. Potentials are reset first so every pass is identical.
+    fn relax(&mut self) -> u64 {
+        self.potential.fill(i64::MAX / 4);
+        self.potential[0] = 0;
+        for _ in 0..MCF_ROUNDS {
+            for a in 0..self.arc_tail.len() {
+                let tail = self.arc_tail[a] as usize;
+                let head = self.arc_head[a] as usize;
+                let candidate = self.potential[tail].saturating_add(i64::from(self.arc_cost[a]));
+                if candidate < self.potential[head] {
+                    self.potential[head] = candidate;
+                }
+            }
+        }
+        self.potential
+            .iter()
+            .map(|&p| (p as u64) & 0xFFFF_FFFF)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::WorkloadId;
+
+    const MB: usize = 1 << 20;
+
+    #[test]
+    fn every_kernel_is_deterministic_across_runs_and_rebuilds() {
+        for kernel in NativeKernel::ALL {
+            let mut a = kernel.prepare(MB, 42);
+            let first = a.run();
+            assert_eq!(first, a.run(), "{} repeat run drifted", kernel.name());
+            let mut b = kernel.prepare(MB, 42);
+            assert_eq!(first, b.run(), "{} rebuild drifted", kernel.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_checksum() {
+        for kernel in NativeKernel::ALL {
+            let x = kernel.prepare(MB, 1).run();
+            let y = kernel.prepare(MB, 2).run();
+            assert_ne!(x, y, "{} ignores its seed", kernel.name());
+        }
+    }
+
+    #[test]
+    fn realised_footprint_is_close_to_the_request() {
+        for kernel in NativeKernel::ALL {
+            let prepared = kernel.prepare(4 * MB, 7);
+            let got = prepared.footprint_bytes();
+            assert!(got <= 4 * MB, "{} overshot: {got}", kernel.name());
+            assert!(
+                got >= 4 * MB - kernel.bytes_per_unit(),
+                "{} undershot: {got}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sim_workload_names_exist_in_the_registry() {
+        let known: Vec<String> = WorkloadId::all()
+            .iter()
+            .map(WorkloadId::to_string)
+            .collect();
+        for kernel in NativeKernel::ALL {
+            assert!(
+                known.iter().any(|n| n == kernel.sim_workload()),
+                "{} maps to unknown workload {}",
+                kernel.name(),
+                kernel.sim_workload()
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_reaches_the_giant_component() {
+        let mut prepared = NativeKernel::Bfs.prepare(MB, 9);
+        prepared.run();
+        // Degree-16 urand is connected whp, so nearly every parent entry
+        // is set after a pass.
+        let Inner::Bfs { parent, .. } = &prepared.inner else {
+            unreachable!()
+        };
+        let reached = parent.iter().filter(|&&p| p != u32::MAX).count();
+        assert!(reached * 10 > parent.len() * 9, "only {reached} reached");
+    }
+
+    #[test]
+    fn kv_read_pass_hits_roughly_half() {
+        let table = match NativeKernel::Kv.prepare(MB, 11).inner {
+            Inner::Kv(t) => t,
+            _ => unreachable!(),
+        };
+        let mut table = table;
+        let capacity = table.buckets.len();
+        // hits + value sums: every hit adds 64 * (key & 0xFF) ≥ 0, so
+        // bound the raw hit count instead by re-walking.
+        let _ = table.run_reads();
+        let op_seed = seed_stream(11_u64, 3);
+        let key_seed = seed_stream(11_u64, 2);
+        let key_space = (table.filled * 2) as u64;
+        let mut hits = 0usize;
+        for op in 0..capacity {
+            let probe = splitmix64(op_seed ^ op as u64) % key_space;
+            if probe < table.filled as u64 {
+                let key = splitmix64(key_seed ^ probe);
+                let bucket = (splitmix64(key) % capacity as u64) as usize;
+                let mut link = table.buckets[bucket];
+                while link != NIL {
+                    let slot = (link - 1) as usize;
+                    if table.keys[slot] == key {
+                        hits += 1;
+                        break;
+                    }
+                    link = table.chain_next[slot];
+                }
+            }
+        }
+        assert!(
+            hits * 10 > capacity * 3 && hits * 10 < capacity * 7,
+            "hit rate off: {hits}/{capacity}"
+        );
+    }
+}
