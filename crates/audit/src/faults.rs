@@ -22,7 +22,11 @@ pub const CHAOS_TEST_PATH: &str = "crates/serve/tests/chaos.rs";
 const RULE: &str = "fault-site-coverage";
 
 /// Library source prefixes where injection sites may legitimately live.
-const WIRED_PREFIXES: [&str; 2] = ["crates/core/src/", "crates/serve/src/"];
+const WIRED_PREFIXES: [&str; 3] = [
+    "crates/core/src/",
+    "crates/results/src/",
+    "crates/serve/src/",
+];
 
 /// Runs the fault-site-coverage rule over the workspace.
 pub fn audit_fault_site_coverage(ws: &Workspace) -> Audit {

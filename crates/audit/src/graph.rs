@@ -30,7 +30,7 @@ pub type NodeId = usize;
 /// Method names whose calls are almost always `std` collection/iterator/
 /// `Option`/`Result` APIs; a method call with one of these names never
 /// resolves to a workspace function (see [`Analysis::resolve_call`]).
-pub const STD_COLLIDING_METHODS: [&str; 53] = [
+pub const STD_COLLIDING_METHODS: [&str; 54] = [
     // Collections.
     "push",
     "pop",
@@ -87,6 +87,10 @@ pub const STD_COLLIDING_METHODS: [&str; 53] = [
     "unwrap_or",
     "unwrap_or_else",
     "and_then",
+    // Filesystem builders: `File::open`/`OpenOptions::open` as a method
+    // call must not edge to the workspace's `RunStore::open`-style
+    // constructors (those are only ever invoked qualified).
+    "open",
 ];
 
 /// True for functions that belong to the test/bench harness rather than

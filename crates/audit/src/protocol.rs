@@ -23,6 +23,21 @@ const RULE: &str = "protocol-roundtrip";
 /// The wire enums whose variants need round-trip coverage.
 const FRAME_ENUMS: [&str; 2] = ["Request", "Reply"];
 
+/// Variants the protocol is required to define, on top of the per-variant
+/// coverage scan. The v5 results plane is load-bearing for CI (the
+/// results-smoke job queries aggregates over the wire), so dropping one
+/// of its verbs from the enums is an audit failure even though the
+/// coverage scan — which only checks variants that *exist* — would stay
+/// quiet about it.
+const REQUIRED_VARIANTS: [(&str, &str); 6] = [
+    ("Request", "Query"),
+    ("Request", "Compact"),
+    ("Request", "StoreSegStats"),
+    ("Reply", "QueryResult"),
+    ("Reply", "Compacted"),
+    ("Reply", "StoreSegStats"),
+];
+
 /// Extracts the variant names of an enum body (comment-stripped source):
 /// the leading identifier of every `Name,` / `Name(Payload),` line,
 /// skipping attributes. Shared with the fault-site-coverage rule.
@@ -81,6 +96,21 @@ pub fn audit_protocol_roundtrip(ws: &Workspace) -> Audit {
             );
             continue;
         }
+        for (required_enum, required) in REQUIRED_VARIANTS {
+            if required_enum != enum_name {
+                continue;
+            }
+            audit.check();
+            if !variants.iter().any(|v| v == required) {
+                audit.fail(
+                    PROTOCOL_PATH,
+                    format!(
+                        "required protocol frame `{enum_name}::{required}` is missing — \
+                         the results plane (Query/Compact/StoreSegStats) must stay on the wire"
+                    ),
+                );
+            }
+        }
         for variant in variants {
             audit.check();
             let qualified = format!("{enum_name}::{variant}");
@@ -106,33 +136,43 @@ mod tests {
     const PROTOCOL_SRC: &str = "
 pub enum Request {
     Hello(Hello),
+    Query(QueryFilter),
+    Compact,
+    StoreSegStats,
     Shutdown,
 }
 pub enum Reply {
     Welcome(Welcome),
+    QueryResult(QueryResult),
+    Compacted(CompactStats),
+    StoreSegStats(SegStats),
     ShuttingDown,
 }
 ";
 
+    const COVERED_TESTS: &str = "fn t() { r(Request::Hello(h)); r(Request::Query(f)); \
+         r(Request::Compact); r(Request::StoreSegStats); r(Request::Shutdown); \
+         r(Reply::Welcome(w)); r(Reply::QueryResult(q)); r(Reply::Compacted(c)); \
+         r(Reply::StoreSegStats(s)); r(Reply::ShuttingDown); }";
+
     #[test]
     fn variant_names_parse_unit_and_newtype_variants() {
         let body = block_after(PROTOCOL_SRC, "pub enum Request").unwrap();
-        assert_eq!(variant_names(body), ["Hello", "Shutdown"]);
+        assert_eq!(
+            variant_names(body),
+            ["Hello", "Query", "Compact", "StoreSegStats", "Shutdown"]
+        );
     }
 
     #[test]
     fn covered_variants_pass() {
         let ws = workspace_from(&[
             (PROTOCOL_PATH, PROTOCOL_SRC),
-            (
-                ROUNDTRIP_TEST_PATH,
-                "fn t() { r(Request::Hello(h)); r(Request::Shutdown); \
-                 r(Reply::Welcome(w)); r(Reply::ShuttingDown); }",
-            ),
+            (ROUNDTRIP_TEST_PATH, COVERED_TESTS),
         ]);
         let audit = audit_protocol_roundtrip(&ws);
         assert!(audit.violations.is_empty(), "{:?}", audit.violations);
-        assert!(audit.checked >= 4);
+        assert!(audit.checked >= 10);
     }
 
     #[test]
@@ -141,13 +181,46 @@ pub enum Reply {
             (PROTOCOL_PATH, PROTOCOL_SRC),
             (
                 ROUNDTRIP_TEST_PATH,
-                "fn t() { r(Request::Hello(h)); r(Request::Shutdown); \
-                 r(Reply::Welcome(w)); }",
+                "fn t() { r(Request::Hello(h)); r(Request::Query(f)); \
+                 r(Request::Compact); r(Request::StoreSegStats); r(Request::Shutdown); \
+                 r(Reply::Welcome(w)); r(Reply::QueryResult(q)); r(Reply::Compacted(c)); \
+                 r(Reply::StoreSegStats(s)); }",
             ),
         ]);
         let audit = audit_protocol_roundtrip(&ws);
         assert_eq!(audit.violations.len(), 1);
         assert!(audit.violations[0].message.contains("Reply::ShuttingDown"));
+    }
+
+    #[test]
+    fn missing_results_plane_verb_fails() {
+        // A protocol without Request::Query round-trips everything it
+        // defines, but the results plane is required wire surface.
+        let ws = workspace_from(&[
+            (
+                PROTOCOL_PATH,
+                "
+pub enum Request {
+    Hello(Hello),
+    Compact,
+    StoreSegStats,
+    Shutdown,
+}
+pub enum Reply {
+    Welcome(Welcome),
+    QueryResult(QueryResult),
+    Compacted(CompactStats),
+    StoreSegStats(SegStats),
+    ShuttingDown,
+}
+",
+            ),
+            (ROUNDTRIP_TEST_PATH, COVERED_TESTS),
+        ]);
+        let audit = audit_protocol_roundtrip(&ws);
+        assert_eq!(audit.violations.len(), 1, "{:?}", audit.violations);
+        assert!(audit.violations[0].message.contains("Request::Query"));
+        assert!(audit.violations[0].message.contains("results plane"));
     }
 
     #[test]

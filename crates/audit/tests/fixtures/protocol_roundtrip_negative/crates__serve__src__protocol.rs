@@ -1,8 +1,14 @@
 pub enum Request {
     Hello(Hello),
+    Query(QueryFilter),
+    Compact,
+    StoreSegStats,
     Shutdown,
 }
 pub enum Reply {
     Welcome(Welcome),
+    QueryResult(QueryResult),
+    Compacted(CompactStats),
+    StoreSegStats(SegStats),
     ShuttingDown,
 }

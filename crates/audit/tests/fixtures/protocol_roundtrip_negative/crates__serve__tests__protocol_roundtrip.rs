@@ -1,6 +1,12 @@
 fn t() {
     r(Request::Hello(h));
+    r(Request::Query(f));
+    r(Request::Compact);
+    r(Request::StoreSegStats);
     r(Request::Shutdown);
     r(Reply::Welcome(w));
+    r(Reply::QueryResult(q));
+    r(Reply::Compacted(c));
+    r(Reply::StoreSegStats(s));
     r(Reply::ShuttingDown);
 }

@@ -1,8 +1,13 @@
 pub enum Request {
     Hello(Hello),
+    Query(QueryFilter),
+    StoreSegStats,
     Shutdown,
 }
 pub enum Reply {
     Welcome(Welcome),
+    QueryResult(QueryResult),
+    Compacted(CompactStats),
+    StoreSegStats(SegStats),
     ShuttingDown,
 }

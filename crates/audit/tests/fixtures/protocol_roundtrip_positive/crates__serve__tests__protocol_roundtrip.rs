@@ -1,4 +1,9 @@
 fn t() {
+    r(Request::Query(f));
+    r(Request::StoreSegStats);
     r(Request::Shutdown);
     r(Reply::Welcome(w));
+    r(Reply::QueryResult(q));
+    r(Reply::Compacted(c));
+    r(Reply::StoreSegStats(s));
 }

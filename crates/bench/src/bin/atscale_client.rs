@@ -10,7 +10,20 @@
 //!                         harness) and print the overhead table
 //!   cache-stats           run-cache occupancy
 //!   server-stats          scheduler counters
+//!   query                 aggregate statistics (count, mean/p50/p99 WCPI,
+//!                         fitted β/c) from the segment store's online
+//!                         per-group state — O(groups), no record replay
+//!   compact               rewrite the segment store down to live rows
+//!   seg-stats             segment-store occupancy
 //!   shutdown              ask the daemon to drain and exit
+//!
+//! query options:
+//!   --workload NAME                restrict to one workload
+//!   --source NAME                  restrict to one provenance tag (sim/native)
+//!   --min-footprint-mb N           inclusive lower footprint bound
+//!   --max-footprint-mb N           inclusive upper footprint bound
+//!   --jsonl PATH                   write per-group summaries as JSON lines
+//!   --csv PATH                     write the per-group table as CSV
 //!
 //! sweep options:
 //!   --test | --quick | --full      sweep profile (default --quick)
@@ -27,7 +40,7 @@
 use atscale::report::{fmt, human_bytes, Table};
 use atscale::telemetry::TelemetrySink;
 use atscale::{OverheadPoint, RunSpec, SweepConfig};
-use atscale_serve::protocol::Reply;
+use atscale_serve::protocol::{QueryFilter, Reply};
 use atscale_serve::{Client, SubmitOptions};
 use atscale_telemetry::Recorder;
 use atscale_vm::PageSize;
@@ -46,10 +59,12 @@ struct Options {
     jsonl: Option<PathBuf>,
     csv: Option<PathBuf>,
     progress: bool,
+    filter: QueryFilter,
 }
 
 const USAGE: &str = "usage: atscale-client [--connect TARGET] \
-                     (ping|sweep|cache-stats|server-stats|shutdown) [sweep options]";
+                     (ping|sweep|cache-stats|server-stats|query|compact|seg-stats|shutdown) \
+                     [sweep/query options]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -63,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         jsonl: None,
         csv: None,
         progress: false,
+        filter: QueryFilter::default(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -104,6 +120,26 @@ fn parse_args() -> Result<Options, String> {
                 opts.csv = Some(PathBuf::from(iter.next().ok_or("--csv needs a path")?));
             }
             "--progress" => opts.progress = true,
+            "--workload" => {
+                opts.filter.workload = Some(iter.next().ok_or("--workload needs a name")?.clone());
+            }
+            "--source" => {
+                opts.filter.source = Some(iter.next().ok_or("--source needs a name")?.clone());
+            }
+            "--min-footprint-mb" => {
+                opts.filter.min_footprint_mb = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--min-footprint-mb needs a number")?,
+                );
+            }
+            "--max-footprint-mb" => {
+                opts.filter.max_footprint_mb = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-footprint-mb needs a number")?,
+                );
+            }
             command if !command.starts_with("--") && opts.command.is_empty() => {
                 opts.command = command.to_string();
             }
@@ -233,6 +269,60 @@ fn run_sweep(client: &mut Client, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_query(client: &mut Client, opts: &Options) -> Result<(), String> {
+    let result = client.query(&opts.filter).map_err(|e| e.to_string())?;
+    println!(
+        "matching runs: {} | mean WCPI {} | p50 {} | p99 {}",
+        result.count,
+        fmt(result.mean_wcpi, 4),
+        fmt(result.p50_wcpi, 4),
+        fmt(result.p99_wcpi, 4)
+    );
+    match (result.beta, result.intercept) {
+        (Some(beta), Some(c)) => {
+            println!("fig1 fit: WCPI = {beta:.4} * log10(M_KB) + {c:.4}");
+        }
+        _ => println!("fig1 fit: n/a (need at least two distinct footprints)"),
+    }
+    let mut table = Table::new(&[
+        "workload",
+        "footprint_mb",
+        "source",
+        "count",
+        "mean_wcpi",
+        "p50_wcpi",
+        "p99_wcpi",
+    ]);
+    for g in &result.groups {
+        table.row_owned(vec![
+            g.workload.clone(),
+            g.footprint_mb.to_string(),
+            g.source.clone(),
+            g.count.to_string(),
+            fmt(g.mean_wcpi, 4),
+            fmt(g.p50_wcpi, 4),
+            fmt(g.p99_wcpi, 4),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(csv) = &opts.csv {
+        table
+            .write_csv(csv)
+            .map_err(|e| format!("cannot write {}: {e}", csv.display()))?;
+        println!("wrote {}", csv.display());
+    }
+    if let Some(path) = &opts.jsonl {
+        let mut text = String::new();
+        for g in &result.groups {
+            text.push_str(&serde_json::to_string(g).expect("group summaries serialize"));
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let mut client = Client::connect(&opts.connect)
         .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
@@ -269,6 +359,36 @@ fn run(opts: &Options) -> Result<(), String> {
                 s.running,
                 s.completed,
                 s.draining
+            );
+            Ok(())
+        }
+        "query" => run_query(&mut client, opts),
+        "compact" => {
+            let c = client.compact().map_err(|e| e.to_string())?;
+            println!(
+                "compacted: {} -> {} segments | {} live rows kept, {} dead dropped | \
+                 {} -> {} bytes",
+                c.segments_before,
+                c.segments_after,
+                c.live_rows,
+                c.dead_rows_dropped,
+                c.bytes_before,
+                c.bytes_after
+            );
+            Ok(())
+        }
+        "seg-stats" => {
+            let s = client.seg_stats().map_err(|e| e.to_string())?;
+            println!(
+                "segment store: {} segments ({} rows) + {} WAL rows | {} live, {} dead | \
+                 {} bytes on disk | {} quarantined",
+                s.segments,
+                s.segment_rows,
+                s.wal_rows,
+                s.live_rows,
+                s.dead_rows,
+                s.disk_bytes,
+                s.quarantined
             );
             Ok(())
         }

@@ -1,12 +1,15 @@
 //! `make_all`, but with the sweep warmed **through the serving daemon**:
 //! spawns a sibling `atscale-serve` on a private Unix socket, submits the
 //! full fig1 spec set as one batch (exercising admission, single-flight
-//! dedup, and the streamed protocol end to end), shuts the daemon down
-//! gracefully, then regenerates every figure/table from the now-warm
-//! shared run cache exactly as `make_all` does.
+//! dedup, and the streamed protocol end to end), pulls the fig1
+//! aggregates per workload straight from the daemon's online per-group
+//! state via the v5 `Query` verb (O(groups), no record replay), shuts
+//! the daemon down gracefully, then regenerates every figure/table from
+//! the now-warm shared run cache exactly as `make_all` does.
 
 use atscale::{RunSpec, SweepConfig};
 use atscale_bench::HarnessOptions;
+use atscale_serve::protocol::QueryFilter;
 use atscale_serve::{Client, SubmitOptions};
 use atscale_vm::PageSize;
 use atscale_workloads::WorkloadId;
@@ -84,6 +87,29 @@ fn main() {
         .run_chunked(&specs, SubmitOptions::default())
         .expect("sweep batch");
     println!("daemon resolved {} specs", records.len());
+
+    // Fig1 aggregates straight from the daemon's online per-group state:
+    // one Query verb per workload, answered in O(groups) without touching
+    // the raw records we just submitted.
+    println!("\nfig1 aggregates via the results plane:");
+    for &w in &WorkloadId::all() {
+        let name = w.to_string();
+        let filter = QueryFilter {
+            workload: Some(name.clone()),
+            ..QueryFilter::default()
+        };
+        let answer = client.query(&filter).expect("fig1 query");
+        match (answer.beta, answer.intercept) {
+            (Some(beta), Some(c)) => println!(
+                "  {name:<12} {} run(s) | WCPI = {beta:.4} * log10(M_KB) + {c:.4}",
+                answer.count
+            ),
+            _ => println!(
+                "  {name:<12} {} run(s) | fit n/a (needs >= 2 footprints)",
+                answer.count
+            ),
+        }
+    }
     client.shutdown().expect("graceful shutdown");
     let status = daemon.wait().expect("daemon exit status");
     assert!(status.success(), "daemon exited non-zero");

@@ -1,0 +1,156 @@
+//! `store_compact` — migrate a results directory into the columnar
+//! segment store and compact it down to its live rows.
+//!
+//! ```text
+//! store_compact [--dir DIR] [--verify] [--stats-out PATH]
+//! ```
+//!
+//! Opens `DIR` (default: the harness's default store location,
+//! `results/runs` or `$ATSCALE_RESULTS/runs`) segment-backed, moves every
+//! legacy `.json` record into the segment store — dedup keys (the record
+//! file stems) and raw bytes are preserved exactly, so cache hits and
+//! bit-for-bit replay are unaffected — then compacts. With `--verify`,
+//! the store's online aggregates are diffed against a recomputation from
+//! the raw records both before and after compaction; any mismatch is a
+//! hard failure. `--stats-out` writes the final segment-store occupancy
+//! as JSON (the CI results-smoke artifact).
+
+use atscale::results::{AggState, QueryFilter};
+use atscale::{hot_row, RunRecord, RunStore};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    dir: Option<PathBuf>,
+    verify: bool,
+    stats_out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: store_compact [--dir DIR] [--verify] [--stats-out PATH]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dir: None,
+        verify: false,
+        stats_out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dir" => {
+                opts.dir = Some(PathBuf::from(iter.next().ok_or("--dir needs a path")?));
+            }
+            "--verify" => opts.verify = true,
+            "--stats-out" => {
+                opts.stats_out = Some(PathBuf::from(
+                    iter.next().ok_or("--stats-out needs a path")?,
+                ));
+            }
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Diffs the store's online aggregates against a from-raw recomputation:
+/// replay every live record's JSON through [`hot_row`] into a fresh
+/// [`AggState`] and require the full query answer — count, mean, sketch
+/// quantiles, and the fig1 β/c fit — to match exactly. Both sides use
+/// the same sketch, so agreement is bit-for-bit, not approximate.
+fn verify(store: &RunStore, phase: &str) -> Result<(), String> {
+    let mut recomputed = AggState::new();
+    let mut rows = 0u64;
+    let visited = store.for_each_live_record(|key, _hot, raw| {
+        let record: RunRecord = serde_json::from_slice(&raw)
+            .unwrap_or_else(|e| panic!("stored record {key} does not parse: {e}"));
+        recomputed.add(&hot_row(&record));
+        rows += 1;
+    });
+    if !visited {
+        return Err("store is not segment-backed".to_string());
+    }
+    let all = QueryFilter::default();
+    let want = recomputed.query(&all);
+    let got = store.query(&all).expect("segment-backed store answers");
+    if got != want {
+        return Err(format!(
+            "{phase}: online aggregates diverge from the from-raw recomputation\n\
+             online:   {got:?}\nfrom-raw: {want:?}"
+        ));
+    }
+    println!("verify ({phase}): {rows} rows, online aggregates == from-raw recomputation");
+    Ok(())
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let store = match &opts.dir {
+        Some(dir) => RunStore::open_segmented(dir),
+        None => RunStore::default_location_segmented(),
+    }
+    .map_err(|e| format!("cannot open store: {e}"))?;
+
+    let before = store.seg_stats().expect("segment-backed");
+    let moved = store
+        .migrate_legacy()
+        .map_err(|e| format!("migration failed: {e}"))?;
+    println!(
+        "migrated {moved} legacy record(s); segment store held {} live row(s) before",
+        before.live_rows
+    );
+    if opts.verify {
+        verify(&store, "pre-compact")?;
+    }
+
+    let compacted = store
+        .compact()
+        .map_err(|e| format!("compaction failed: {e}"))?;
+    println!(
+        "compacted: {} -> {} segments | {} live rows kept, {} dead dropped | {} -> {} bytes",
+        compacted.segments_before,
+        compacted.segments_after,
+        compacted.live_rows,
+        compacted.dead_rows_dropped,
+        compacted.bytes_before,
+        compacted.bytes_after
+    );
+    if opts.verify {
+        verify(&store, "post-compact")?;
+    }
+
+    let stats = store.seg_stats().expect("segment-backed");
+    println!(
+        "segment store: {} segments ({} rows) + {} WAL rows | {} live, {} dead | \
+         {} bytes on disk | {} quarantined",
+        stats.segments,
+        stats.segment_rows,
+        stats.wal_rows,
+        stats.live_rows,
+        stats.dead_rows,
+        stats.disk_bytes,
+        stats.quarantined
+    );
+    if let Some(path) = &opts.stats_out {
+        let text = serde_json::to_string(&stats).expect("seg stats serialize");
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("store_compact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("store_compact: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -57,13 +57,14 @@ pub use metrics::PressureMetric;
 pub use overhead::OverheadPoint;
 pub use run::{execute_run, execute_run_reference, execute_run_with_telemetry, RunRecord, RunSpec};
 pub use scaling::{fit_overhead_scaling, ScalingFit};
-pub use store::{RunStore, StoreStats};
+pub use store::{hot_row, RunStore, StoreStats};
 
 // The full stack, re-exported so examples and the bench harness can depend
 // on `atscale` alone.
 pub use atscale_cache as cache;
 pub use atscale_gen as gen;
 pub use atscale_mmu as mmu;
+pub use atscale_results as results;
 pub use atscale_stats as stats;
 pub use atscale_telemetry as telemetry;
 pub use atscale_vm as vm;

@@ -69,12 +69,20 @@ pub enum FaultSite {
     /// Scheduler: a queued job's subscribers are treated as
     /// deadline-expired (exercises the shed path and `Deadline` frames).
     DeadlineExpiry,
+    /// Segment store WAL append: a torn write — a strict prefix of the
+    /// framed row survives on disk (exercises torn-tail quarantine and
+    /// truncate-to-last-valid-entry on reopen).
+    SegmentTorn,
+    /// Segment store index persist: the tmp→final rename of the index
+    /// file fails (exercises the index-is-advisory contract: reopen must
+    /// rebuild the index by scanning segments and the WAL).
+    IndexRename,
 }
 
 impl FaultSite {
     /// Every site, in declaration order (index order for the plan's
     /// per-site counters).
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 13] = [
         FaultSite::StoreWrite,
         FaultSite::StoreRename,
         FaultSite::StoreTorn,
@@ -86,6 +94,8 @@ impl FaultSite {
         FaultSite::WorkerPanic,
         FaultSite::QueuePressure,
         FaultSite::DeadlineExpiry,
+        FaultSite::SegmentTorn,
+        FaultSite::IndexRename,
     ];
 
     /// Stable dense index of this site (its position in [`Self::ALL`]).
@@ -111,6 +121,8 @@ impl FaultSite {
             FaultSite::WorkerPanic => "WorkerPanic",
             FaultSite::QueuePressure => "QueuePressure",
             FaultSite::DeadlineExpiry => "DeadlineExpiry",
+            FaultSite::SegmentTorn => "SegmentTorn",
+            FaultSite::IndexRename => "IndexRename",
         }
     }
 }

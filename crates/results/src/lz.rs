@@ -1,0 +1,181 @@
+//! Byte-oriented LZ77 for the raw-record sidecar.
+//!
+//! Run records are JSON with long repeated field names, so even this
+//! deliberately simple scheme (greedy single-slot hash table, 64 KiB
+//! window) cuts them to a fraction of their size. No external crates: the
+//! build environment is offline and the vendored set has no compressor.
+//!
+//! Format: `u32` uncompressed length, then tokens until the end of input —
+//! `0x00 u16-len <bytes>` for a literal run, `0x01 u16-len u16-dist` for a
+//! back-reference (`dist` counted back from the current output position).
+//! Decompression validates every token and the final length; anything off
+//! is [`Corrupt`], never a panic.
+
+use crate::codec::{Corrupt, DecResult};
+
+const MIN_MATCH: usize = 4;
+const MAX_RUN: usize = u16::MAX as usize;
+const WINDOW: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 15;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn emit_literals(out: &mut Vec<u8>, mut lit: &[u8]) {
+    while !lit.is_empty() {
+        let n = lit.len().min(MAX_RUN);
+        out.push(0x00);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        out.extend_from_slice(&lit[..n]);
+        lit = &lit[n..];
+    }
+}
+
+/// Compresses `input`. Deterministic: the output is a pure function of the
+/// input bytes.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(
+        &(u32::try_from(input.len()).expect("records stay under 4 GiB")).to_le_bytes(),
+    );
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let cand = table[h];
+        table[h] = i;
+        if cand != usize::MAX
+            && i - cand <= WINDOW
+            && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            let mut len = MIN_MATCH;
+            while i + len < input.len() && len < MAX_RUN && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            emit_literals(&mut out, &input[lit_start..i]);
+            out.push(0x01);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    emit_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses a [`compress`] stream, validating every token.
+pub fn decompress(data: &[u8]) -> DecResult<Vec<u8>> {
+    if data.len() < 4 {
+        return Err(Corrupt);
+    }
+    let expected = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 4;
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag {
+            0x00 => {
+                if pos + 2 > data.len() {
+                    return Err(Corrupt);
+                }
+                let len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+                pos += 2;
+                if len == 0 || pos + len > data.len() {
+                    return Err(Corrupt);
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                if pos + 4 > data.len() {
+                    return Err(Corrupt);
+                }
+                let len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+                let dist = u16::from_le_bytes([data[pos + 2], data[pos + 3]]) as usize;
+                pos += 4;
+                if len < MIN_MATCH || dist == 0 || dist > out.len() {
+                    return Err(Corrupt);
+                }
+                // Byte-at-a-time: matches may overlap their own output.
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(Corrupt),
+        }
+        if out.len() > expected {
+            return Err(Corrupt);
+        }
+    }
+    if out.len() != expected {
+        return Err(Corrupt);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_empty_short_and_repetitive() {
+        for input in [
+            b"".to_vec(),
+            b"abc".to_vec(),
+            b"aaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            br#"{"spec":{"workload":"cc-urand"},"spec":{"workload":"cc-urand"}}"#.to_vec(),
+            (0u8..=255).cycle().take(100_000).collect::<Vec<u8>>(),
+        ] {
+            let packed = compress(&input);
+            assert_eq!(decompress(&packed).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn json_like_input_actually_shrinks() {
+        let record: String = (0..200)
+            .map(|i| format!(r#"{{"inst_retired":{i},"walk_duration_cycles":{}}}"#, i * 7))
+            .collect();
+        let packed = compress(record.as_bytes());
+        assert!(
+            packed.len() * 2 < record.len(),
+            "{} -> {}",
+            record.len(),
+            packed.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), record.as_bytes());
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // Period-1 and period-3 repetitions force dist < len copies.
+        let input: Vec<u8> = b"xyz".iter().copied().cycle().take(5000).collect();
+        assert_eq!(decompress(&compress(&input)).unwrap(), input);
+    }
+
+    #[test]
+    fn damaged_streams_are_corrupt_not_panics() {
+        let packed = compress(b"the quick brown fox jumps over the lazy dog, twice over");
+        assert_eq!(decompress(&[]), Err(Corrupt));
+        assert_eq!(decompress(&packed[..3]), Err(Corrupt));
+        for cut in 4..packed.len() {
+            // Every truncation must fail cleanly (wrong final length at
+            // worst), never panic or return wrong bytes silently.
+            if let Ok(out) = decompress(&packed[..cut]) {
+                assert!(out.is_empty(), "truncation cannot produce full output");
+            }
+        }
+        let mut bad_tag = packed.clone();
+        bad_tag[4] = 0x7F;
+        assert_eq!(decompress(&bad_tag), Err(Corrupt));
+    }
+}

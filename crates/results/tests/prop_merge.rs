@@ -1,0 +1,155 @@
+//! Property coverage for the mergeability contract the segment store
+//! leans on: folding per-segment aggregates together — in any order, any
+//! grouping — must equal aggregating the concatenated records. Exactly,
+//! for everything except quantiles; within the documented relative error
+//! bound for quantiles.
+
+use atscale_results::{
+    value_fp, x_fp, AggState, HotRow, QueryFilter, QUANTILE_RELATIVE_ERROR, VALUE_SCALE,
+};
+use proptest::prelude::*;
+
+const WORKLOADS: [&str; 3] = ["cc-urand", "bfs-urand", "tc-kron"];
+const FOOTPRINTS: [u64; 4] = [16, 64, 256, 1024];
+
+/// The raw draw for one row: workload pick, footprint pick, seed, WCPI
+/// (from well under a zero-adjacent value up to pathological walk-bound
+/// ones).
+type RowDraw = (usize, usize, u64, f64);
+
+fn row_strategy() -> impl Strategy<Value = Vec<RowDraw>> {
+    prop::collection::vec(
+        (
+            0..WORKLOADS.len(),
+            0..FOOTPRINTS.len(),
+            0u64..1 << 16,
+            1e-6f64..50.0,
+        ),
+        0..120,
+    )
+}
+
+fn materialize(draws: &[RowDraw]) -> Vec<HotRow> {
+    draws
+        .iter()
+        .map(|&(w, f, seed, wcpi)| {
+            let mb = FOOTPRINTS[f];
+            HotRow {
+                workload: WORKLOADS[w].to_string(),
+                footprint_mb: mb,
+                page_size: "4K".to_string(),
+                seed,
+                source: "sim".to_string(),
+                wcpi_fp: value_fp(wcpi),
+                x_fp: x_fp((mb as f64 * 1024.0).log10()),
+                walk_duration_cycles: (wcpi * 1e5) as u64,
+                inst_retired: 100_000,
+                cycles: 150_000,
+                walks_initiated: 90,
+                walks_completed: 80,
+                walks_retired: 70,
+            }
+        })
+        .collect()
+}
+
+fn aggregate(rows: &[HotRow]) -> AggState {
+    let mut state = AggState::new();
+    for row in rows {
+        state.add(row);
+    }
+    state
+}
+
+proptest! {
+    /// Any partition of the rows into "segments", merged in any order
+    /// (the shuffle), equals the aggregate over all rows at once.
+    /// This is exactly what reopening a multi-segment store computes.
+    #[test]
+    fn merge_equals_concatenation_for_any_partition_and_order(
+        draws in row_strategy(),
+        cuts in prop::collection::vec(0u64..1 << 32, 0..6),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let rows = materialize(&draws);
+        let all = aggregate(&rows);
+        // Partition at sorted cut points.
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c as usize % (rows.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut parts: Vec<AggState> = Vec::new();
+        let mut start = 0usize;
+        for &cut in &cuts {
+            parts.push(aggregate(&rows[start..cut]));
+            start = cut;
+        }
+        parts.push(aggregate(&rows[start..]));
+        // Deterministic shuffle of the merge order (splitmix-style walk).
+        let mut order: Vec<usize> = (0..parts.len()).collect();
+        let mut s = shuffle_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut merged = AggState::new(); // identity on the left
+        for &i in &order {
+            merged.merge(&parts[i]);
+        }
+        prop_assert_eq!(&merged, &all, "merge must equal concatenation");
+        // Identity on the right, too.
+        let mut with_identity = merged.clone();
+        with_identity.merge(&AggState::new());
+        prop_assert_eq!(&with_identity, &all);
+        // And the derived answers agree bit-for-bit (pure functions of
+        // equal state, but pin it explicitly).
+        let q_all = all.query(&QueryFilter::default());
+        let q_merged = with_identity.query(&QueryFilter::default());
+        prop_assert_eq!(q_all, q_merged);
+    }
+
+    /// Retraction is an exact inverse regardless of interleaving:
+    /// add everything, retract a subset, equals aggregating the rest.
+    #[test]
+    fn remove_equals_never_added(
+        draws in row_strategy(),
+        mask in 0u64..u64::MAX,
+    ) {
+        let rows = materialize(&draws);
+        let mut state = aggregate(&rows);
+        let mut kept: Vec<HotRow> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if mask >> (i % 64) & 1 == 1 {
+                state.remove(row);
+            } else {
+                kept.push(row.clone());
+            }
+        }
+        prop_assert_eq!(state, aggregate(&kept));
+    }
+
+    /// Sketch quantiles stay within the documented relative error of the
+    /// true order statistic of the ingested values.
+    #[test]
+    fn quantiles_are_within_documented_error(
+        draws in row_strategy(),
+    ) {
+        prop_assume!(!draws.is_empty());
+        let rows = materialize(&draws);
+        let got = aggregate(&rows).query(&QueryFilter::default());
+        let mut values: Vec<f64> = rows.iter().map(|r| r.wcpi_fp as f64 / VALUE_SCALE).collect();
+        values.sort_by(f64::total_cmp);
+        // Same rank convention as Sketch::quantile: ceil(q·n) clamped.
+        let rank = |p: f64| -> f64 {
+            let idx = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+            values[idx]
+        };
+        for (p, answer) in [(0.5, got.p50_wcpi), (0.99, got.p99_wcpi)] {
+            let truth = rank(p);
+            let err = (answer - truth).abs() / truth;
+            prop_assert!(
+                err <= QUANTILE_RELATIVE_ERROR + 1e-12,
+                "q{}: got {}, truth {}, rel err {}", p, answer, truth, err
+            );
+        }
+    }
+}

@@ -8,7 +8,11 @@
 //! Binds the requested endpoints, serves until a client sends a
 //! `Shutdown` frame, drains in-flight work, and exits 0. Cache-first by
 //! default: runs are answered from (and written back to) the run store,
-//! so repeated figure regenerations cost one simulation each.
+//! so repeated figure regenerations cost one simulation each. The store
+//! opens segment-backed: legacy `.json` records stay readable, new
+//! records land in the columnar segment store, and the v5 results-plane
+//! verbs (`Query`/`Compact`/`StoreSegStats`) are served from its online
+//! aggregates.
 
 use atscale::RunStore;
 use atscale_serve::{ServeConfig, Server};
@@ -88,8 +92,8 @@ fn main() -> ExitCode {
         None
     } else {
         let opened = match &opts.store_dir {
-            Some(dir) => RunStore::open(dir),
-            None => RunStore::default_location(),
+            Some(dir) => RunStore::open_segmented(dir),
+            None => RunStore::default_location_segmented(),
         };
         match opened {
             Ok(store) => Some(store),

@@ -15,7 +15,8 @@
 //! error, never a silent retry and never a hang.
 
 use crate::protocol::{
-    self, Hello, Overloaded, Reply, Request, ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
+    self, CompactStats, Hello, Overloaded, QueryFilter, QueryResult, Reply, Request, SegStats,
+    ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
 };
 use atscale::{RunRecord, RunSpec, StoreStats};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -587,6 +588,62 @@ impl Client {
             Reply::Error(e) => Err(ClientError::Server(e.message)),
             other => Err(ClientError::Protocol(format!(
                 "expected ServerStats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs an aggregate query against the server's segment-backed results
+    /// store: count, mean/p50/p99 WCPI, and the fitted β/c over the
+    /// matching groups — answered from per-group aggregate state, never by
+    /// replaying records.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an unexpected reply, or
+    /// [`ClientError::Server`] when the server has no segment store.
+    pub fn query(&mut self, filter: &QueryFilter) -> Result<QueryResult, ClientError> {
+        self.send(&Request::Query(filter.clone()))?;
+        match self.read_reply()? {
+            Reply::QueryResult(r) => Ok(r),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected QueryResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Compacts the server's segment-backed results store down to its live
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an unexpected reply, or
+    /// [`ClientError::Server`] when the server has no segment store or the
+    /// compaction itself failed.
+    pub fn compact(&mut self) -> Result<CompactStats, ClientError> {
+        self.send(&Request::Compact)?;
+        match self.read_reply()? {
+            Reply::Compacted(stats) => Ok(stats),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Compacted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's segment-store occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, an unexpected reply, or
+    /// [`ClientError::Server`] when the server has no segment store.
+    pub fn seg_stats(&mut self) -> Result<SegStats, ClientError> {
+        self.send(&Request::StoreSegStats)?;
+        match self.read_reply()? {
+            Reply::StoreSegStats(stats) => Ok(stats),
+            Reply::Error(e) => Err(ClientError::Server(e.message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected StoreSegStats, got {other:?}"
             ))),
         }
     }

@@ -17,6 +17,8 @@ use atscale::{RunRecord, RunSpec, StoreStats};
 use atscale_telemetry::{Progress, Sample};
 use serde::{Deserialize, Serialize};
 
+pub use atscale::results::{CompactStats, GroupSummary, QueryFilter, QueryResult, SegStats};
+
 /// Protocol revision carried in the hello/welcome handshake. Bump on any
 /// frame-shape change.
 ///
@@ -26,7 +28,15 @@ use serde::{Deserialize, Serialize};
 /// serde derive has no field defaulting, so v3 frames do not decode —
 /// client and server are co-versioned in this repository and the handshake
 /// rejects mismatches explicitly.
-pub const PROTOCOL_VERSION: u64 = 4;
+///
+/// v5: results-plane verbs. [`Request::Query`] answers aggregate
+/// statistics (count, mean/p50/p99 WCPI, fitted β/c) straight from the
+/// segment store's per-group state in `O(groups)`;
+/// [`Request::Compact`] rewrites the store to its live rows;
+/// [`Request::StoreSegStats`] reports segment-store occupancy. All three
+/// answer [`Reply::Error`] on a store-less or legacy-JSON (non-segmented)
+/// server.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +77,17 @@ pub enum Request {
     CacheStats,
     /// Scheduler counters; answered by [`Reply::ServerStats`].
     ServerStats,
+    /// Aggregate query over the segment-backed results store; answered by
+    /// [`Reply::QueryResult`], or [`Reply::Error`] when the server has no
+    /// segment store (v5).
+    Query(QueryFilter),
+    /// Compact the segment-backed results store down to its live rows;
+    /// answered by [`Reply::Compacted`], or [`Reply::Error`] when the
+    /// server has no segment store (v5).
+    Compact,
+    /// Segment-store occupancy; answered by [`Reply::StoreSegStats`], or
+    /// [`Reply::Error`] when the server has no segment store (v5).
+    StoreSegStats,
     /// Graceful shutdown: drain in-flight jobs, reject new submissions,
     /// exit 0. Answered by [`Reply::ShuttingDown`].
     Shutdown,
@@ -263,6 +284,13 @@ pub enum Reply {
     CacheStats(StoreStats),
     /// Scheduler counters.
     ServerStats(ServerStatsReply),
+    /// Aggregate answer to a [`Request::Query`] (v5).
+    QueryResult(QueryResult),
+    /// What a [`Request::Compact`] did (v5).
+    Compacted(CompactStats),
+    /// Segment-store occupancy ([`atscale::RunStore::seg_stats`] over the
+    /// wire, v5).
+    StoreSegStats(SegStats),
     /// Request failed; connection stays usable.
     Error(ErrorReply),
     /// Shutdown acknowledged; the server drains and exits.

@@ -336,6 +336,12 @@ fn serve_connection(
     }
 }
 
+/// The v5 results-plane verbs need a segment-backed store; legacy-JSON or
+/// store-less servers reject them with this message.
+const NOT_SEGMENTED: &str =
+    "results plane unavailable: server has no segment-backed store (run with --store on a \
+     segmented results dir, or migrate it with store_compact)";
+
 /// Dispatches one request; returns `true` when the connection should end
 /// (shutdown acknowledged).
 fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHandle) -> bool {
@@ -382,6 +388,44 @@ fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHa
         }
         Request::ServerStats => {
             writer.send(&Reply::ServerStats(handle.scheduler.stats_reply()));
+            false
+        }
+        Request::Query(filter) => {
+            match handle.scheduler.store().and_then(|s| s.query(filter)) {
+                Some(result) => writer.send(&Reply::QueryResult(result)),
+                None => writer.send(&Reply::Error(ErrorReply {
+                    id: 0,
+                    message: NOT_SEGMENTED.to_string(),
+                })),
+            }
+            false
+        }
+        Request::Compact => {
+            match handle.scheduler.store().map(atscale::RunStore::compact) {
+                Some(Ok(stats)) => writer.send(&Reply::Compacted(stats)),
+                Some(Err(e)) => writer.send(&Reply::Error(ErrorReply {
+                    id: 0,
+                    message: format!("compaction failed: {e}"),
+                })),
+                None => writer.send(&Reply::Error(ErrorReply {
+                    id: 0,
+                    message: NOT_SEGMENTED.to_string(),
+                })),
+            }
+            false
+        }
+        Request::StoreSegStats => {
+            match handle
+                .scheduler
+                .store()
+                .and_then(atscale::RunStore::seg_stats)
+            {
+                Some(stats) => writer.send(&Reply::StoreSegStats(stats)),
+                None => writer.send(&Reply::Error(ErrorReply {
+                    id: 0,
+                    message: NOT_SEGMENTED.to_string(),
+                })),
+            }
             false
         }
         Request::Shutdown => {

@@ -604,13 +604,153 @@ fn forced_deadline_expiry(seed: u64) -> Outcome {
     }
 }
 
+/// A torn segment-WAL append (the crash model: a strict prefix of the
+/// frame reaches disk, the row never commits in memory) must be
+/// quarantined on reopen; the next request recomputes and the rewritten
+/// row serves byte-identically from then on.
+fn segment_torn_append_recovers(seed: u64) -> Outcome {
+    let plan = Arc::new(
+        FaultPlan::new(seed).with_rule(FaultSite::SegmentTorn, FaultRule::always().max_fires(1)),
+    );
+    let dir = scratch_dir("seg-torn", seed);
+    let store = RunStore::open_segmented(&dir)
+        .expect("open segmented store")
+        .with_fault_plan(Arc::clone(&plan));
+    let (server, addr) = start_server(ServeConfig {
+        store: Some(store),
+        workers: 1,
+        faults: Some(Arc::clone(&plan)),
+        ..ServeConfig::default()
+    });
+
+    let spec = [tiny_spec(seed)];
+    let mut records = Vec::new();
+    let mut client = Client::connect(&addr).expect("connect");
+    // Executes; the WAL append tears mid-frame. The client still gets the
+    // in-memory record, but nothing committed to the store.
+    records.extend(
+        client
+            .run_many(&spec, SubmitOptions::default())
+            .expect("torn segment appends are invisible to clients"),
+    );
+    let seg = client.seg_stats().expect("seg stats");
+    assert_eq!(seg.live_rows, 0, "the torn row never committed");
+    server.shutdown_and_join();
+
+    // Reopen — the crash-recovery path: the torn tail is quarantined and
+    // the WAL truncated back to its intact prefix.
+    let reopened = RunStore::open_segmented(&dir).expect("reopen");
+    let quarantined = reopened.seg_stats().expect("segmented").quarantined;
+    assert_eq!(quarantined, 1, "reopen quarantined the torn tail");
+    let (server, addr) = start_server(ServeConfig {
+        store: Some(reopened),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    // Miss → recompute → clean append; then a genuine cache hit.
+    for _ in 0..2 {
+        records.extend(
+            client
+                .run_many(&spec, SubmitOptions::default())
+                .expect("recompute after quarantine"),
+        );
+    }
+    let digests = assert_byte_identical(&records, seed, "segment_torn_append_recovers");
+    let stats = client.server_stats().expect("server stats");
+    assert_eq!(stats.executions, 1, "quarantine forced one recompute");
+    assert_eq!(stats.cache_hits, 1, "the rewritten row serves");
+    let seg = client.seg_stats().expect("seg stats");
+    assert_eq!(seg.live_rows, 1);
+    assert_eq!(seg.quarantined, 1);
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+    Outcome {
+        name: "segment_torn_append_recovers",
+        seed,
+        classification: "torn-tail-quarantined-then-recompute-ok".to_string(),
+        fires: plan.signature(),
+        digests,
+    }
+}
+
+/// A failed index rename (crash between writing the tmp index and
+/// renaming it) is advisory-only: reopen detects the stale/missing index
+/// and rebuilds it from the sealed segments, so the cache still hits and
+/// every record stays byte-identical.
+fn index_rename_failure_rebuilds(seed: u64) -> Outcome {
+    let plan = Arc::new(
+        FaultPlan::new(seed).with_rule(FaultSite::IndexRename, FaultRule::always().max_fires(1)),
+    );
+    let dir = scratch_dir("idx-rename", seed);
+    let store = RunStore::open_segmented(&dir)
+        .expect("open segmented store")
+        .with_fault_plan(Arc::clone(&plan));
+    // Seal after every row so the append reaches the index-persist path
+    // the fault is armed at.
+    store.set_seal_threshold(1);
+    let (server, addr) = start_server(ServeConfig {
+        store: Some(store),
+        workers: 1,
+        faults: Some(Arc::clone(&plan)),
+        ..ServeConfig::default()
+    });
+
+    let spec = [tiny_spec(seed)];
+    let mut records = Vec::new();
+    let mut client = Client::connect(&addr).expect("connect");
+    records.extend(
+        client
+            .run_many(&spec, SubmitOptions::default())
+            .expect("index persistence is advisory"),
+    );
+    let seg = client.seg_stats().expect("seg stats");
+    assert_eq!(seg.segments, 1, "the row sealed despite the failed rename");
+    assert_eq!(seg.live_rows, 1);
+    server.shutdown_and_join();
+    assert_eq!(plan.fires(FaultSite::IndexRename), 1);
+
+    // Reopen: the index is rebuilt from the segments themselves — the
+    // cache hits without any recompute.
+    let reopened = RunStore::open_segmented(&dir).expect("reopen");
+    let (server, addr) = start_server(ServeConfig {
+        store: Some(reopened),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    records.extend(
+        client
+            .run_many(&spec, SubmitOptions::default())
+            .expect("rebuilt index serves"),
+    );
+    let digests = assert_byte_identical(&records, seed, "index_rename_failure_rebuilds");
+    let stats = client.server_stats().expect("server stats");
+    assert_eq!(stats.executions, 0, "no recompute: the index self-healed");
+    assert_eq!(stats.cache_hits, 1);
+    let seg = client.seg_stats().expect("seg stats");
+    assert_eq!(seg.live_rows, 1);
+    assert_eq!(seg.quarantined, 0, "nothing was lost, nothing quarantined");
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+    Outcome {
+        name: "index_rename_failure_rebuilds",
+        seed,
+        classification: "index-rebuilt-then-cache-hit".to_string(),
+        fires: plan.signature(),
+        digests,
+    }
+}
+
 // ---------------------------------------------------------------------
 // The matrix
 // ---------------------------------------------------------------------
 
 type Scenario = fn(u64) -> Outcome;
 
-const SCENARIOS: [(&str, Scenario); 8] = [
+const SCENARIOS: [(&str, Scenario); 10] = [
     ("store_torn_write_recovers", store_torn_write_recovers),
     (
         "store_write_and_rename_failures_are_nonfatal",
@@ -628,6 +768,11 @@ const SCENARIOS: [(&str, Scenario); 8] = [
         client_socket_faults_terminate,
     ),
     ("forced_deadline_expiry", forced_deadline_expiry),
+    ("segment_torn_append_recovers", segment_torn_append_recovers),
+    (
+        "index_rename_failure_rebuilds",
+        index_rename_failure_rebuilds,
+    ),
 ];
 
 fn parse_seed(text: &str) -> u64 {

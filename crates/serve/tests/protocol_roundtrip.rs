@@ -7,9 +7,9 @@
 use atscale::{RunSpec, StoreStats};
 use atscale_mmu::MachineConfig;
 use atscale_serve::protocol::{
-    decode, encode, Accepted, BatchDone, DeadlineExceeded, ErrorReply, Hello, JobFailed,
-    Overloaded, ProgressEvent, RecordDone, Reply, Request, SampleEvent, ServerStatsReply, Submit,
-    Welcome, PROTOCOL_VERSION,
+    decode, encode, Accepted, BatchDone, CompactStats, DeadlineExceeded, ErrorReply, GroupSummary,
+    Hello, JobFailed, Overloaded, ProgressEvent, QueryFilter, QueryResult, RecordDone, Reply,
+    Request, SampleEvent, SegStats, ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
 };
 use atscale_telemetry::{Progress, Sample};
 use atscale_vm::PageSize;
@@ -87,6 +87,28 @@ fn request_server_stats_roundtrips() {
 #[test]
 fn request_shutdown_roundtrips() {
     roundtrip_eq(&Request::Shutdown);
+}
+
+#[test]
+fn request_query_roundtrips() {
+    roundtrip_eq(&Request::Query(QueryFilter {
+        workload: Some("cc-urand".to_string()),
+        source: Some("sim".to_string()),
+        min_footprint_mb: Some(16),
+        max_footprint_mb: Some(1024),
+    }));
+    // The all-`None` filter (match everything) must round-trip too.
+    roundtrip_eq(&Request::Query(QueryFilter::default()));
+}
+
+#[test]
+fn request_compact_roundtrips() {
+    roundtrip_eq(&Request::Compact);
+}
+
+#[test]
+fn request_store_seg_stats_roundtrips() {
+    roundtrip_eq(&Request::StoreSegStats);
 }
 
 #[test]
@@ -218,6 +240,62 @@ fn reply_server_stats_roundtrips() {
         running: 4,
         completed: 140,
         draining: true,
+    }));
+}
+
+#[test]
+fn reply_query_result_roundtrips() {
+    roundtrip_bytes(&Reply::QueryResult(QueryResult {
+        count: 27,
+        mean_wcpi: 0.21,
+        p50_wcpi: 0.19,
+        p99_wcpi: 0.74,
+        beta: Some(0.31),
+        intercept: Some(-1.2),
+        groups: vec![GroupSummary {
+            workload: "cc-urand".to_string(),
+            footprint_mb: 64,
+            source: "sim".to_string(),
+            count: 9,
+            mean_wcpi: 0.2,
+            p50_wcpi: 0.18,
+            p99_wcpi: 0.6,
+        }],
+    }));
+    // `None` fit (fewer than two distinct footprints) must round-trip.
+    roundtrip_bytes(&Reply::QueryResult(QueryResult {
+        count: 0,
+        mean_wcpi: 0.0,
+        p50_wcpi: 0.0,
+        p99_wcpi: 0.0,
+        beta: None,
+        intercept: None,
+        groups: Vec::new(),
+    }));
+}
+
+#[test]
+fn reply_compacted_roundtrips() {
+    roundtrip_bytes(&Reply::Compacted(CompactStats {
+        segments_before: 4,
+        segments_after: 1,
+        live_rows: 351,
+        dead_rows_dropped: 12,
+        bytes_before: 90_000,
+        bytes_after: 64_000,
+    }));
+}
+
+#[test]
+fn reply_store_seg_stats_roundtrips() {
+    roundtrip_bytes(&Reply::StoreSegStats(SegStats {
+        segments: 3,
+        segment_rows: 300,
+        wal_rows: 51,
+        live_rows: 339,
+        dead_rows: 12,
+        disk_bytes: 90_000,
+        quarantined: 1,
     }));
 }
 
