@@ -8,14 +8,15 @@
 //! *configuration* itself tamper-evident so a crate cannot quietly drop out
 //! of the policy.
 //!
-//! One documented FFI exception: `crates/native` wraps the raw
-//! `perf_event_open(2)` syscall, which cannot be expressed without
-//! `unsafe` and the workspace vendors no `libc`/`perf` crate to hide it
-//! in. That crate's root must carry `#![deny(unsafe_code)]` instead of
-//! `forbid` (deny is overridable by an item-level `allow`, forbid is not),
-//! and this rule pins the blast radius: within `crates/native`, any
-//! `allow(unsafe_code)` or `unsafe` token may appear only in the syscall
-//! shim module `src/sys.rs`.
+//! Two documented FFI exceptions, both raw-syscall shims the workspace
+//! cannot express safely because it vendors no `libc`/`perf`/`mio` crate
+//! to hide them in: `crates/native` wraps `perf_event_open(2)`, and
+//! `crates/serve` wraps `epoll`/`eventfd` for its thread-per-core reactor
+//! tier. Each exception crate's root must carry `#![deny(unsafe_code)]`
+//! instead of `forbid` (deny is overridable by an item-level `allow`,
+//! forbid is not), and this rule pins the blast radius: within each
+//! exception crate, any `allow(unsafe_code)` or `unsafe` token may appear
+//! only in that crate's sanctioned syscall-shim module `src/sys.rs`.
 
 use crate::{Audit, Workspace};
 
@@ -80,24 +81,44 @@ fn check_member_manifests(audit: &mut Audit, ws: &Workspace) {
     }
 }
 
-/// The one crate allowed to contain `unsafe` (the raw `perf_event_open`
-/// FFI harness) and the single module its unsafe code must live in.
-const FFI_EXCEPTION_CRATE: &str = "crates/native/";
-const FFI_EXCEPTION_ROOT: &str = "crates/native/src/lib.rs";
-const FFI_EXCEPTION_MODULE: &str = "crates/native/src/sys.rs";
+/// One sanctioned raw-syscall site: the crate allowed to contain
+/// `unsafe`, and the single module its unsafe code must live in.
+struct FfiException {
+    /// Crate directory prefix the confinement scan covers.
+    crate_dir: &'static str,
+    /// The crate root, which must `deny` (not `forbid`) `unsafe_code`.
+    root: &'static str,
+    /// The only module allowed to `allow(unsafe_code)` / use `unsafe`.
+    module: &'static str,
+}
+
+/// The sanctioned-unsafe sites: `perf_event_open(2)` in `atscale-native`
+/// and `epoll`/`eventfd` in `atscale-serve`'s reactor tier.
+const FFI_EXCEPTIONS: [FfiException; 2] = [
+    FfiException {
+        crate_dir: "crates/native/",
+        root: "crates/native/src/lib.rs",
+        module: "crates/native/src/sys.rs",
+    },
+    FfiException {
+        crate_dir: "crates/serve/",
+        root: "crates/serve/src/lib.rs",
+        module: "crates/serve/src/sys.rs",
+    },
+];
 
 /// Every crate root must forbid unsafe code outright — except the
-/// documented FFI crate, whose root must *deny* it (so the syscall shim
-/// can re-allow it for exactly one module) and whose `unsafe` usage must
-/// stay confined to that module.
+/// documented FFI crates, whose roots must *deny* it (so each syscall
+/// shim can re-allow it for exactly one module) and whose `unsafe` usage
+/// must stay confined to that module.
 fn check_unsafe_forbidden(audit: &mut Audit, ws: &Workspace) {
     for root in ws.crate_roots() {
         audit.check();
-        if root.path == FFI_EXCEPTION_ROOT {
+        if FFI_EXCEPTIONS.iter().any(|e| e.root == root.path) {
             if !root.text.contains("#![deny(unsafe_code)]") {
                 audit.fail(
                     &root.path,
-                    "the FFI-exception crate must carry `#![deny(unsafe_code)]` at its root \
+                    "an FFI-exception crate must carry `#![deny(unsafe_code)]` at its root \
                      (forbid would reject the sanctioned syscall shim; anything weaker drops \
                      the guard)",
                 );
@@ -109,24 +130,27 @@ fn check_unsafe_forbidden(audit: &mut Audit, ws: &Workspace) {
             );
         }
     }
-    // The exception stays surgical: inside crates/native, unsafe code and
+    // Each exception stays surgical: inside its crate, unsafe code and
     // `allow(unsafe_code)` opt-outs may appear only in the syscall shim.
-    for file in ws
-        .rust_sources()
-        .filter(|f| f.path.starts_with(FFI_EXCEPTION_CRATE))
-    {
-        if file.path == FFI_EXCEPTION_MODULE {
-            continue;
-        }
-        audit.check();
-        if file.code.contains("allow(unsafe_code)") || has_unsafe_token(&file.code) {
-            audit.fail(
-                &file.path,
-                format!(
-                    "unsafe code outside the sanctioned FFI module `{FFI_EXCEPTION_MODULE}` — \
-                     the exception covers the syscall shim only"
-                ),
-            );
+    for exception in &FFI_EXCEPTIONS {
+        for file in ws
+            .rust_sources()
+            .filter(|f| f.path.starts_with(exception.crate_dir))
+        {
+            if file.path == exception.module {
+                continue;
+            }
+            audit.check();
+            if file.code.contains("allow(unsafe_code)") || has_unsafe_token(&file.code) {
+                audit.fail(
+                    &file.path,
+                    format!(
+                        "unsafe code outside the sanctioned FFI module `{}` — the exception \
+                         covers the syscall shim only",
+                        exception.module
+                    ),
+                );
+            }
         }
     }
 }
@@ -306,6 +330,43 @@ workspace = true
             .violations
             .iter()
             .any(|v| v.file == "crates/native/src/sneaky.rs"
+                && v.message.contains("outside the sanctioned FFI module")));
+    }
+
+    #[test]
+    fn serve_epoll_shim_is_a_second_sanctioned_site() {
+        // The serve crate mirrors native's exception: deny at the root,
+        // unsafe confined to src/sys.rs — and anything outside it flags.
+        let mut files = good();
+        files.push(("crates/serve/Cargo.toml", GOOD_CRATE));
+        files.push((
+            "crates/serve/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod sys;\npub mod reactor;",
+        ));
+        files.push((
+            "crates/serve/src/sys.rs",
+            "#[allow(unsafe_code)]\nmod imp { pub fn ep() -> i64 { unsafe { syscall(291) } } }",
+        ));
+        files.push(("crates/serve/src/reactor.rs", "pub fn run() {}"));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert_eq!(audit.violations, Vec::new());
+
+        let mut files = good();
+        files.push(("crates/serve/Cargo.toml", GOOD_CRATE));
+        files.push((
+            "crates/serve/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod sys;\npub mod reactor;",
+        ));
+        files.push(("crates/serve/src/sys.rs", "pub fn ep() -> i64 { 0 }"));
+        files.push((
+            "crates/serve/src/reactor.rs",
+            "#[allow(unsafe_code)]\npub fn run() { unsafe { core::hint::unreachable_unchecked() } }",
+        ));
+        let audit = audit_lint_wiring(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.file == "crates/serve/src/reactor.rs"
                 && v.message.contains("outside the sanctioned FFI module")));
     }
 

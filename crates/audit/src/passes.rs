@@ -102,9 +102,9 @@ const PANIC_MACROS: [&str; 7] = [
     "assert_ne",
 ];
 
-/// Entry points of the serving tier's worker and connection threads — the
-/// roots of the panic-surface pass.
-pub const PANIC_ROOTS: [&str; 7] = [
+/// Entry points of the serving tier's worker, connection, and reactor
+/// threads — the roots of the panic-surface pass.
+pub const PANIC_ROOTS: [&str; 10] = [
     "Scheduler::worker_loop",
     "serve_connection",
     "accept_tcp",
@@ -112,6 +112,11 @@ pub const PANIC_ROOTS: [&str; 7] = [
     "spawn_tcp_conn",
     "spawn_unix_conn",
     "ConnWriter::send",
+    // Epoll-tier roots: the acceptor thread, each reactor shard's event
+    // loop, and the worker-side reply enqueue into a shard's outbufs.
+    "accept_epoll",
+    "run_shard",
+    "ConnSink::send",
 ];
 
 /// One recorded `analyze:allow` exemption, for the report and the

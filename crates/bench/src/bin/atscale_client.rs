@@ -41,7 +41,7 @@ use atscale::report::{fmt, human_bytes, Table};
 use atscale::telemetry::TelemetrySink;
 use atscale::{OverheadPoint, RunSpec, SweepConfig};
 use atscale_serve::protocol::{QueryFilter, Reply};
-use atscale_serve::{Client, SubmitOptions};
+use atscale_serve::{Client, ShardedClient, SubmitOptions};
 use atscale_telemetry::Recorder;
 use atscale_vm::PageSize;
 use atscale_workloads::WorkloadId;
@@ -168,14 +168,15 @@ fn sweep_specs(workloads: &[WorkloadId], sweep: &SweepConfig) -> Vec<RunSpec> {
     specs
 }
 
-fn run_sweep(client: &mut Client, opts: &Options) -> Result<(), String> {
+fn run_sweep(client: &mut ShardedClient, opts: &Options) -> Result<(), String> {
     let specs = sweep_specs(&opts.workloads, &opts.sweep);
     println!(
-        "sweep: {} workloads x {} points x 3 page sizes = {} specs via {}",
+        "sweep: {} workloads x {} points x 3 page sizes = {} specs via {} ({} shard(s))",
         opts.workloads.len(),
         opts.sweep.points,
         specs.len(),
-        opts.connect
+        opts.connect,
+        client.shards()
     );
     if let Some(capacity) = client.server_capacity() {
         if specs.len() as u64 > capacity {
@@ -324,6 +325,16 @@ fn run_query(client: &mut Client, opts: &Options) -> Result<(), String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    // Sweeps go through the topology-aware client: one persistent framed
+    // connection per shard, reused across every chunk (reconnect-on-drop
+    // under the idempotent retry policy), specs routed to the shard that
+    // owns their record hash. Against a standalone daemon this degrades
+    // to exactly one connection.
+    if opts.command == "sweep" {
+        let mut client = ShardedClient::connect(&opts.connect)
+            .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+        return run_sweep(&mut client, opts);
+    }
     let mut client = Client::connect(&opts.connect)
         .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
     let welcome = client.hello().map_err(|e| e.to_string())?;
@@ -335,7 +346,6 @@ fn run(opts: &Options) -> Result<(), String> {
             );
             Ok(())
         }
-        "sweep" => run_sweep(&mut client, opts),
         "cache-stats" => {
             let stats = client.cache_stats().map_err(|e| e.to_string())?;
             println!(

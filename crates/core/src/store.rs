@@ -170,6 +170,15 @@ impl RunStore {
     /// Stable cache key for a run: content hash of the spec and machine
     /// configuration (any config change invalidates the cache).
     pub fn key(spec: &RunSpec, config: &MachineConfig) -> String {
+        format!("{:016x}", Self::key_hash(spec, config))
+    }
+
+    /// The raw 64-bit record hash behind [`RunStore::key`] — the sharding
+    /// seam: the serve tier's shard router consistent-hashes this value,
+    /// so shard placement and cache identity are the same function by
+    /// construction (a record can never land on a shard whose store would
+    /// file it under a different key).
+    pub fn key_hash(spec: &RunSpec, config: &MachineConfig) -> u64 {
         let payload = serde_json::to_string(&(spec, config)).expect("specs serialize");
         // FNV-1a over the canonical JSON, finished with splitmix64.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -177,7 +186,7 @@ impl RunStore {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        format!("{:016x}", splitmix64(h))
+        splitmix64(h)
     }
 
     /// Loads a cached record, if present and intact — the segment backend

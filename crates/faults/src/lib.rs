@@ -77,12 +77,17 @@ pub enum FaultSite {
     /// file fails (exercises the index-is-advisory contract: reopen must
     /// rebuild the index by scanning segments and the WAL).
     IndexRename,
+    /// Epoll reactor shard: a stall at the top of the event loop — the
+    /// shard stops reading sockets and draining outbound buffers for the
+    /// stall (exercises the level-triggered recovery path: all readiness
+    /// re-reports when the shard resumes, so only latency may suffer).
+    ReactorStall,
 }
 
 impl FaultSite {
     /// Every site, in declaration order (index order for the plan's
     /// per-site counters).
-    pub const ALL: [FaultSite; 13] = [
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::StoreWrite,
         FaultSite::StoreRename,
         FaultSite::StoreTorn,
@@ -96,6 +101,7 @@ impl FaultSite {
         FaultSite::DeadlineExpiry,
         FaultSite::SegmentTorn,
         FaultSite::IndexRename,
+        FaultSite::ReactorStall,
     ];
 
     /// Stable dense index of this site (its position in [`Self::ALL`]).
@@ -104,6 +110,14 @@ impl FaultSite {
             .iter()
             .position(|s| *s == self)
             .expect("every site is listed in ALL")
+    }
+
+    /// Looks a site up by its [`FaultSite::name`], case-insensitively.
+    pub fn parse(name: &str) -> Option<FaultSite> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
     }
 
     /// Stable name used in logs, telemetry events, and chaos outcome
@@ -123,6 +137,7 @@ impl FaultSite {
             FaultSite::DeadlineExpiry => "DeadlineExpiry",
             FaultSite::SegmentTorn => "SegmentTorn",
             FaultSite::IndexRename => "IndexRename",
+            FaultSite::ReactorStall => "ReactorStall",
         }
     }
 }
@@ -270,6 +285,48 @@ impl FaultPlan {
     pub fn with_rule(mut self, site: FaultSite, rule: FaultRule) -> Self {
         self.rules[site.index()] = Some(rule);
         self
+    }
+
+    /// Builds a plan from a compact spec string, so fault plans can cross
+    /// a process boundary (the daemon's `--fault-spec` flag, the nightly
+    /// soak-under-faults CI job) without losing determinism — the spec
+    /// plus the seed reconstruct the exact in-process plan.
+    ///
+    /// Grammar: `;`-separated clauses, each `Site[:key=value]...` with the
+    /// site named as in [`FaultSite::name`] (case-insensitive) and keys
+    /// `p` (fire probability, default 1.0), `after`, `max_fires`,
+    /// `stall_ms`, `torn_keep`. Example:
+    /// `ReactorStall:stall_ms=5:max_fires=100;ServerStall:p=0.01`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause: unknown site,
+    /// unknown key, a value that does not parse, or a bare key.
+    pub fn parse(seed: u64, spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(seed);
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let mut parts = clause.split(':').map(str::trim);
+            let name = parts.next().unwrap_or_default();
+            let site = FaultSite::parse(name)
+                .ok_or_else(|| format!("unknown fault site {name:?} in {clause:?}"))?;
+            let mut rule = FaultRule::always();
+            for kv in parts {
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got {kv:?} in {clause:?}"))?;
+                let bad = || format!("bad value {value:?} for {key} in {clause:?}");
+                match key {
+                    "p" => rule.probability = value.parse().map_err(|_| bad())?,
+                    "after" => rule.after = value.parse().map_err(|_| bad())?,
+                    "max_fires" => rule.max_fires = Some(value.parse().map_err(|_| bad())?),
+                    "stall_ms" => rule.stall_ms = value.parse().map_err(|_| bad())?,
+                    "torn_keep" => rule.torn_keep = value.parse().map_err(|_| bad())?,
+                    other => return Err(format!("unknown fault-rule key {other:?} in {clause:?}")),
+                }
+            }
+            plan = plan.with_rule(site, rule);
+        }
+        Ok(plan)
     }
 
     /// The plan's seed.
@@ -507,5 +564,65 @@ mod tests {
     fn injected_errors_name_their_site() {
         let err = injected_io_error(FaultSite::ClientWrite);
         assert!(err.to_string().contains("injected fault: ClientWrite"));
+    }
+
+    #[test]
+    fn every_site_name_round_trips_through_parse() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+            assert_eq!(
+                FaultSite::parse(&site.name().to_ascii_lowercase()),
+                Some(site)
+            );
+        }
+        assert_eq!(FaultSite::parse("NotASite"), None);
+    }
+
+    #[test]
+    fn parsed_specs_reconstruct_the_builder_plan() {
+        let parsed = FaultPlan::parse(
+            42,
+            "ReactorStall:stall_ms=5:max_fires=100; serverstall:p=0.25:after=10",
+        )
+        .unwrap();
+        let built = FaultPlan::new(42)
+            .with_rule(
+                FaultSite::ReactorStall,
+                FaultRule::always().stall_ms(5).max_fires(100),
+            )
+            .with_rule(
+                FaultSite::ServerStall,
+                FaultRule::with_probability(0.25).after(10),
+            );
+        for site in FaultSite::ALL {
+            assert_eq!(
+                parsed.rules[site.index()],
+                built.rules[site.index()],
+                "{site} rule differs between spec and builder"
+            );
+        }
+        // Same seed + same rules → the same deterministic fire decisions.
+        for _ in 0..50 {
+            assert_eq!(
+                parsed.check(FaultSite::ServerStall).is_some(),
+                built.check(FaultSite::ServerStall).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offending_clause() {
+        for (spec, needle) in [
+            ("NotASite:p=1", "unknown fault site"),
+            ("StoreTorn:probability=1", "unknown fault-rule key"),
+            ("StoreTorn:p", "expected key=value"),
+            ("StoreTorn:p=lots", "bad value"),
+        ] {
+            let err = FaultPlan::parse(1, spec).unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+        // The empty spec (and stray separators) are a valid inert plan.
+        let plan = FaultPlan::parse(1, " ; ").unwrap();
+        assert_eq!(plan.total_fires(), 0);
     }
 }

@@ -181,12 +181,12 @@ impl CounterReader for PerfReader {
     }
 
     fn read(&mut self) -> Vec<u64> {
-        for (i, counter) in self.counters.iter_mut().enumerate() {
+        for (counter, last) in self.counters.iter_mut().zip(self.last.iter_mut()) {
             if let Some(counter) = counter {
                 // A transient read failure keeps the previous value — the
                 // cumulative series stays monotone either way.
                 if let Ok(value) = counter.read_scaled() {
-                    self.last[i] = monotone_clamp(self.last[i], value);
+                    *last = monotone_clamp(*last, value);
                 }
             }
         }

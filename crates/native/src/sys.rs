@@ -103,7 +103,11 @@ impl PerfCounter {
     pub fn read_scaled(&mut self) -> io::Result<u64> {
         let mut buf = [0u8; 24];
         (&self.file).read_exact(&mut buf)?;
-        let word = |i: usize| u64::from_ne_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+        let word = |i: usize| {
+            buf.get(i * 8..(i + 1) * 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .map_or(0, u64::from_ne_bytes)
+        };
         let (value, enabled, running) = (word(0), word(1), word(2));
         if running == 0 {
             Ok(0)

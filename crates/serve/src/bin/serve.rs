@@ -3,6 +3,9 @@
 //! ```text
 //! atscale-serve --socket /tmp/atscale.sock [--tcp 127.0.0.1:7719]
 //!               [--workers N] [--queue N] [--store DIR | --no-store]
+//!               [--io blocking|epoll] [--reactors N]
+//!               [--shard I --topology ADDR,ADDR,...]
+//!               [--fault-spec SPEC --fault-seed N]   (faults builds only)
 //! ```
 //!
 //! Binds the requested endpoints, serves until a client sends a
@@ -13,6 +16,13 @@
 //! records land in the columnar segment store, and the v5 results-plane
 //! verbs (`Query`/`Compact`/`StoreSegStats`) are served from its online
 //! aggregates.
+//!
+//! `--io epoll` serves TCP through the thread-per-core reactor tier
+//! (non-blocking framed I/O, per-connection write backpressure) instead
+//! of one thread per connection; `--reactors` overrides the shard-count
+//! (default: one per core). `--shard`/`--topology` declare this daemon's
+//! place in a sharded topology, advertised to clients in the v6
+//! `Welcome` handshake so any member bootstraps full-topology routing.
 
 use atscale::RunStore;
 use atscale_serve::{ServeConfig, Server};
@@ -26,10 +36,19 @@ struct Options {
     queue: Option<usize>,
     store_dir: Option<PathBuf>,
     no_store: bool,
+    epoll: bool,
+    reactors: Option<usize>,
+    shard: u64,
+    topology: Vec<String>,
+    fault_spec: Option<String>,
+    fault_seed: u64,
 }
 
 const USAGE: &str = "usage: atscale-serve [--socket PATH] [--tcp ADDR] \
-                     [--workers N] [--queue N] [--store DIR | --no-store]";
+                     [--workers N] [--queue N] [--store DIR | --no-store] \
+                     [--io blocking|epoll] [--reactors N] \
+                     [--shard I --topology ADDR,ADDR,...] \
+                     [--fault-spec SPEC --fault-seed N]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -39,6 +58,12 @@ fn parse_args() -> Result<Options, String> {
         queue: None,
         store_dir: None,
         no_store: false,
+        epoll: false,
+        reactors: None,
+        shard: 0,
+        topology: Vec::new(),
+        fault_spec: None,
+        fault_seed: 0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -68,6 +93,44 @@ fn parse_args() -> Result<Options, String> {
                 opts.store_dir = Some(PathBuf::from(iter.next().ok_or("--store needs a dir")?));
             }
             "--no-store" => opts.no_store = true,
+            "--io" => {
+                opts.epoll = match iter.next().map(String::as_str) {
+                    Some("epoll") => true,
+                    Some("blocking") => false,
+                    _ => return Err("--io needs blocking|epoll".to_string()),
+                };
+            }
+            "--reactors" => {
+                opts.reactors = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--reactors needs a number")?,
+                );
+            }
+            "--shard" => {
+                opts.shard = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shard needs a number")?;
+            }
+            "--topology" => {
+                opts.topology = iter
+                    .next()
+                    .ok_or("--topology needs a comma-separated address list")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--fault-spec" => {
+                opts.fault_spec = Some(iter.next().ok_or("--fault-spec needs a spec")?.clone());
+            }
+            "--fault-seed" => {
+                opts.fault_seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fault-seed needs a number")?;
+            }
             other => return Err(format!("unknown option {other}\n{USAGE}")),
         }
     }
@@ -76,6 +139,19 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.no_store && opts.store_dir.is_some() {
         return Err("--store and --no-store are mutually exclusive".to_string());
+    }
+    if !opts.topology.is_empty() && opts.shard as usize >= opts.topology.len() {
+        return Err(format!(
+            "--shard {} outside the {}-entry topology",
+            opts.shard,
+            opts.topology.len()
+        ));
+    }
+    if opts.epoll && opts.tcp.is_none() {
+        return Err("--io epoll serves TCP; give --tcp".to_string());
+    }
+    if opts.epoll && opts.socket.is_some() {
+        return Err("--io epoll serves TCP only; drop --socket".to_string());
     }
     Ok(opts)
 }
@@ -105,6 +181,8 @@ fn main() -> ExitCode {
     };
     let mut config = ServeConfig {
         store,
+        shard: opts.shard,
+        topology: opts.topology.clone(),
         ..ServeConfig::default()
     };
     if let Some(workers) = opts.workers {
@@ -113,9 +191,41 @@ fn main() -> ExitCode {
     if let Some(queue) = opts.queue {
         config.queue_capacity = queue;
     }
+    // Chaos machinery: a spec-string fault plan lets the soak CI job run
+    // real daemon processes under the same deterministic injection the
+    // in-process chaos suite uses. Only builds with the `faults` feature
+    // carry injection branches; a release binary refuses the flag instead
+    // of silently serving fault-free.
+    #[cfg(feature = "faults")]
+    if let Some(spec) = &opts.fault_spec {
+        match atscale_faults::FaultPlan::parse(opts.fault_seed, spec) {
+            Ok(plan) => config.faults = Some(std::sync::Arc::new(plan)),
+            Err(e) => {
+                eprintln!("atscale-serve: bad --fault-spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(not(feature = "faults"))]
+    if opts.fault_spec.is_some() {
+        let _ = opts.fault_seed;
+        eprintln!(
+            "atscale-serve: --fault-spec needs a daemon built with the `faults` \
+             feature (cargo build -p atscale-serve --features faults)"
+        );
+        return ExitCode::FAILURE;
+    }
     let workers = config.workers;
     let queue = config.queue_capacity;
-    let server = match Server::start(config, opts.tcp.as_deref(), opts.socket.as_deref()) {
+    // parse_args guarantees `--io epoll` comes with `--tcp`.
+    let started = match (opts.epoll, &opts.tcp) {
+        (true, Some(tcp)) => match opts.reactors {
+            Some(n) => Server::start_epoll_sharded(config, tcp, n.max(1)),
+            None => Server::start_epoll(config, tcp),
+        },
+        _ => Server::start(config, opts.tcp.as_deref(), opts.socket.as_deref()),
+    };
+    let server = match started {
         Ok(server) => server,
         Err(e) => {
             eprintln!("atscale-serve: cannot bind: {e}");

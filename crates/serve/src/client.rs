@@ -18,7 +18,9 @@ use crate::protocol::{
     self, CompactStats, Hello, Overloaded, QueryFilter, QueryResult, Reply, Request, SegStats,
     ServerStatsReply, Submit, Welcome, PROTOCOL_VERSION,
 };
+use crate::router::ShardMap;
 use atscale::{RunRecord, RunSpec, StoreStats};
+use atscale_mmu::MachineConfig;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
@@ -661,6 +663,274 @@ impl Client {
             other => Err(ClientError::Protocol(format!(
                 "expected ShuttingDown, got {other:?}"
             ))),
+        }
+    }
+}
+
+/// A topology-aware client: one persistent framed connection per shard,
+/// every spec routed to the shard that owns its record hash.
+///
+/// Connect to *any* member of a topology; the v6 `Welcome` advertises the
+/// full address list, and every subsequent batch is partitioned by
+/// [`ShardMap`] over [`atscale::RunStore::key_hash`] — the same function
+/// that names the record in each shard's store, so single-flight dedup
+/// and the record cache stay exact per shard. Connections persist across
+/// [`ShardedClient::run_chunked`] calls (no reconnect per chunk); a
+/// dropped connection is re-dialled under the [`RetryPolicy`] and its
+/// chunk resubmitted, which is safe because execution is deterministic
+/// and cache-first — a replayed chunk returns byte-identical records.
+///
+/// Against a standalone (pre-topology) daemon this degrades to exactly
+/// one connection and no routing.
+pub struct ShardedClient {
+    /// Every shard's address, in shard-index order.
+    topology: Vec<String>,
+    map: ShardMap,
+    /// Lazily-dialled persistent connection per shard.
+    conns: Vec<Option<Client>>,
+    retry: RetryPolicy,
+    /// The machine configuration keys are computed against — must match
+    /// the servers' (both default to Haswell).
+    machine: MachineConfig,
+    #[cfg(feature = "faults")]
+    faults: Option<std::sync::Arc<atscale_faults::FaultPlan>>,
+}
+
+impl std::fmt::Debug for ShardedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedClient")
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedClient {
+    /// Connects to one member of a topology and discovers the rest from
+    /// its `Welcome`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or handshake errors against the seed address.
+    pub fn connect(seed: &str) -> Result<ShardedClient, ClientError> {
+        let mut first = Client::connect(seed)?;
+        let welcome = first.hello()?;
+        let topology = if welcome.topology.is_empty() {
+            vec![seed.to_string()]
+        } else {
+            welcome.topology.clone()
+        };
+        let mut conns: Vec<Option<Client>> = Vec::new();
+        conns.resize_with(topology.len(), || None);
+        // Keep the seed connection in its shard's slot instead of
+        // dialling it twice.
+        if let Some(slot) = usize::try_from(welcome.shard)
+            .ok()
+            .and_then(|i| conns.get_mut(i))
+        {
+            *slot = Some(first);
+        }
+        Ok(ShardedClient {
+            map: ShardMap::new(topology.len()),
+            topology,
+            conns,
+            retry: RetryPolicy::default(),
+            machine: MachineConfig::haswell(),
+            #[cfg(feature = "faults")]
+            faults: None,
+        })
+    }
+
+    /// Replaces the retry policy (applies to `Overloaded` backoff inside
+    /// each shard's chunked run *and* to reconnect-on-drop).
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> ShardedClient {
+        self.retry = policy;
+        for conn in self.conns.iter_mut().flatten() {
+            conn.retry = policy;
+        }
+        self
+    }
+
+    /// Overrides the machine configuration records are keyed against
+    /// (must match the servers'; both default to Haswell).
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineConfig) -> ShardedClient {
+        self.machine = machine;
+        self
+    }
+
+    /// Attaches a fault-injection plan, propagated to every per-shard
+    /// connection (chaos machinery).
+    #[cfg(feature = "faults")]
+    #[must_use]
+    pub fn with_fault_plan(
+        mut self,
+        plan: std::sync::Arc<atscale_faults::FaultPlan>,
+    ) -> ShardedClient {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The topology size.
+    pub fn shards(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Every shard's address in shard order.
+    pub fn topology(&self) -> &[String] {
+        &self.topology
+    }
+
+    /// The shard that owns a spec's record.
+    pub fn shard_of(&self, spec: &RunSpec) -> usize {
+        self.map.shard_for(spec, &self.machine)
+    }
+
+    /// The persistent connection to `shard`, dialling (and handshaking)
+    /// it on first use or after a drop.
+    fn ensure_conn(&mut self, shard: usize) -> Result<&mut Client, ClientError> {
+        let addr = self
+            .topology
+            .get(shard)
+            .ok_or_else(|| ClientError::Protocol(format!("shard {shard} outside topology")))?
+            .clone();
+        let slot = self
+            .conns
+            .get_mut(shard)
+            .ok_or_else(|| ClientError::Protocol(format!("shard {shard} outside topology")))?;
+        if slot.is_none() {
+            #[allow(unused_mut)]
+            let mut client = Client::connect(&addr)?.with_retry_policy(self.retry);
+            #[cfg(feature = "faults")]
+            let mut client = match &self.faults {
+                Some(plan) => client.with_fault_plan(std::sync::Arc::clone(plan)),
+                None => client,
+            };
+            client.hello()?;
+            *slot = Some(client);
+        }
+        slot.as_mut()
+            .ok_or_else(|| ClientError::Protocol("connection slot vanished".to_string()))
+    }
+
+    /// The seed shard's advertised admission capacity, dialling it if no
+    /// connection is up yet. `None` when the topology is unreachable.
+    pub fn server_capacity(&mut self) -> Option<u64> {
+        self.ensure_conn(0).ok().and_then(|c| c.server_capacity())
+    }
+
+    /// [`Client::run_chunked`] across the topology: specs partitioned by
+    /// owning shard, each partition chunk-submitted on that shard's
+    /// persistent connection, records reassembled into spec order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_chunked`]; connection drops are re-dialled under
+    /// the retry policy before surfacing, and `Expired`/`Failed` indices
+    /// refer to the original batch.
+    pub fn run_chunked(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        self.run_chunked_with(specs, opts, |_| {})
+    }
+
+    /// [`ShardedClient::run_chunked`] with a frame observer, as
+    /// [`Client::run_chunked_with`] — streamed `Sample`/`Progress` frames
+    /// from every shard pass through the one observer (in shard order,
+    /// since partitions run sequentially on this thread).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedClient::run_chunked`].
+    pub fn run_chunked_with(
+        &mut self,
+        specs: &[RunSpec],
+        opts: SubmitOptions,
+        mut on_event: impl FnMut(&Reply),
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards()];
+        for (i, spec) in specs.iter().enumerate() {
+            let shard = self.map.shard_for(spec, &self.machine);
+            if let Some(bucket) = by_shard.get_mut(shard) {
+                bucket.push(i);
+            }
+        }
+        let mut slots: Vec<Option<RunRecord>> = vec![None; specs.len()];
+        for (shard, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard_specs: Vec<RunSpec> = indices
+                .iter()
+                .filter_map(|&i| specs.get(i).copied())
+                .collect();
+            let records = self.run_shard(shard, &shard_specs, opts, indices, &mut on_event)?;
+            for (&i, record) in indices.iter().zip(records) {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(record);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.ok_or_else(|| ClientError::Protocol("shard done with missing record".to_string()))
+            })
+            .collect()
+    }
+
+    /// One shard's partition: chunk-run on the persistent connection,
+    /// reconnecting and resubmitting on drop, remapping error indices
+    /// back to the original batch.
+    fn run_shard(
+        &mut self,
+        shard: usize,
+        shard_specs: &[RunSpec],
+        opts: SubmitOptions,
+        indices: &[usize],
+        on_event: &mut dyn FnMut(&Reply),
+    ) -> Result<Vec<RunRecord>, ClientError> {
+        let policy = self.retry;
+        let remap = |local: u64| -> u64 {
+            usize::try_from(local)
+                .ok()
+                .and_then(|i| indices.get(i))
+                .map_or(local, |&orig| orig as u64)
+        };
+        let mut attempt = 0u32;
+        loop {
+            let result = self
+                .ensure_conn(shard)
+                .and_then(|conn| conn.run_chunked_with(shard_specs, opts, &mut *on_event));
+            match result {
+                Ok(records) => return Ok(records),
+                // Reconnect-on-drop: a dead socket (or a server that
+                // closed mid-stream) costs the connection, not the sweep.
+                // Resubmitting the whole partition is safe — execution is
+                // deterministic and cache-first, so the replay returns
+                // byte-identical records without double-charging fresh
+                // executions for anything already cached.
+                Err(ClientError::Io(_)) if attempt + 1 < policy.max_attempts => {
+                    if let Some(slot) = self.conns.get_mut(shard) {
+                        *slot = None;
+                    }
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(attempt - 1));
+                }
+                Err(ClientError::Expired(indices)) => {
+                    return Err(ClientError::Expired(
+                        indices.into_iter().map(remap).collect(),
+                    ));
+                }
+                Err(ClientError::Failed(jobs)) => {
+                    return Err(ClientError::Failed(
+                        jobs.into_iter().map(|(i, m)| (remap(i), m)).collect(),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }

@@ -36,7 +36,18 @@ pub use atscale::results::{CompactStats, GroupSummary, QueryFilter, QueryResult,
 /// [`Request::StoreSegStats`] reports segment-store occupancy. All three
 /// answer [`Reply::Error`] on a store-less or legacy-JSON (non-segmented)
 /// server.
-pub const PROTOCOL_VERSION: u64 = 5;
+///
+/// v6: sharded topology in the handshake. [`Welcome`] carries the
+/// answering daemon's shard index (`shard`), the topology size
+/// (`shards`), and the full address list in shard order (`topology`), so
+/// a client connecting to *any* member discovers the whole topology and
+/// routes each spec to the shard that owns its record hash (see
+/// [`crate::router::ShardMap`]). A standalone daemon answers
+/// `shard = 0, shards = 1` with an empty address list. Routing is
+/// advisory on the wire — a daemon executes whatever it is sent — but
+/// the sharded client routes every spec, which is what keeps
+/// single-flight dedup and the record cache exact per shard.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,6 +118,14 @@ pub struct Welcome {
     /// submitting more specs than this must chunk
     /// ([`crate::Client::run_chunked`] does).
     pub queue_capacity: u64,
+    /// This daemon's shard index within its topology (v6; 0 standalone).
+    pub shard: u64,
+    /// Total shard count in the topology (v6; 1 standalone).
+    pub shards: u64,
+    /// Every shard's client-reachable address, in shard-index order (v6;
+    /// empty standalone). Lets a client that connected to any one member
+    /// build the full routing table.
+    pub topology: Vec<String>,
 }
 
 /// A submission passed admission control.

@@ -1,0 +1,468 @@
+//! The thread-per-core epoll serve tier.
+//!
+//! One acceptor thread distributes accepted connections round-robin
+//! across N reactor shards (SO_REUSEPORT-style sharding without the
+//! socket option: the kernel balances *packets*, the acceptor balances
+//! *connections* — same effect, no `setsockopt` FFI). Each shard is one
+//! thread owning one epoll instance and every connection assigned to it:
+//! non-blocking framed reads, request dispatch through the same
+//! [`crate::server::handle_request`] the blocking tier uses, and
+//! non-blocking framed writes with per-connection backpressure.
+//!
+//! The write path replaces the blocking tier's per-connection writer
+//! mutex + 10 s write timeout: scheduler workers never touch a socket.
+//! [`ConnSink::send`] appends the encoded frame to the connection's
+//! outbound buffer under a short lock and bumps the shard's eventfd; the
+//! reactor drains the buffer with non-blocking writes, arming `EPOLLOUT`
+//! only while bytes remain. A consumer that stops reading accumulates
+//! buffer until [`HIGH_WATER`] and is then shed (marked dead, torn down)
+//! — a slow client costs bounded memory and zero worker time, where the
+//! blocking tier stalled a worker for up to 10 s per frame.
+
+use crate::protocol::{self, ErrorReply, Reply, Request};
+use crate::scheduler::ReplySink;
+use crate::server::{handle_request, ServerHandle};
+use crate::sys::{Epoll, Event, Interest, WakeFd};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+#[cfg(feature = "faults")]
+use std::time::Duration;
+
+/// Maximum buffered outbound bytes per connection before the slow
+/// consumer is shed. Sized for a full fig1 sweep of record frames
+/// (~350 × ~4 KiB) with two orders of magnitude of headroom.
+const HIGH_WATER: usize = 64 << 20;
+
+/// epoll wait bound, so shards notice the stop flag while idle.
+const WAIT_MS: i32 = 50;
+
+/// Events decoded per `epoll_wait` call.
+const EVENT_BATCH: usize = 64;
+
+/// Token reserved for the shard's wakeup eventfd (fds are non-negative,
+/// so this cannot collide with a connection token).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One connection's outbound state, shared between the reactor shard
+/// (which drains it onto the socket) and every scheduler worker holding
+/// the connection's [`ConnSink`].
+struct OutState {
+    /// Encoded frames waiting for the socket.
+    bytes: Vec<u8>,
+    /// Set on shed/teardown: later frames evaporate (client is gone).
+    dead: bool,
+    /// `true` while the connection sits on the shard's dirty list, so
+    /// concurrent senders enqueue it at most once per flush cycle.
+    queued: bool,
+}
+
+/// Shared handle to one connection's outbound buffer.
+struct OutBuf {
+    fd: i32,
+    state: Mutex<OutState>,
+    /// The owning shard's dirty list: fds with fresh output to flush.
+    dirty: Arc<Mutex<Vec<i32>>>,
+    /// The owning shard's wakeup eventfd.
+    wake: Arc<WakeFd>,
+}
+
+impl OutBuf {
+    /// Appends encoded bytes and wakes the shard. Never blocks on the
+    /// socket; a buffer past [`HIGH_WATER`] sheds the connection instead.
+    fn push(&self, frame: &[u8]) {
+        {
+            let mut state = self.state.lock();
+            if state.dead {
+                return;
+            }
+            if state.bytes.len() + frame.len() > HIGH_WATER {
+                // Slow-consumer shed: the client stopped reading faster
+                // than we produce. Drop the connection, not the worker.
+                state.dead = true;
+                state.bytes = Vec::new();
+            } else {
+                state.bytes.extend_from_slice(frame);
+            }
+            if !state.queued {
+                state.queued = true;
+                self.dirty.lock().push(self.fd);
+            }
+        }
+        self.wake.wake();
+    }
+}
+
+/// The reply sink handed to the scheduler for an epoll-tier connection:
+/// encodes off the worker thread, enqueues, and wakes the reactor.
+struct ConnSink {
+    out: Arc<OutBuf>,
+    /// Fault plan driving the `ServerStall`/`ServerWrite` sites, same
+    /// semantics as the blocking tier's writer (chaos machinery).
+    #[cfg(feature = "faults")]
+    faults: Option<Arc<atscale_faults::FaultPlan>>,
+}
+
+impl ReplySink for ConnSink {
+    fn send(&self, reply: &Reply) {
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.faults {
+            use atscale_faults::FaultSite;
+            if let Some(rule) = plan.check(FaultSite::ServerStall) {
+                std::thread::sleep(Duration::from_millis(rule.stall_ms));
+            }
+            if plan.check(FaultSite::ServerWrite).is_some() {
+                self.out.state.lock().dead = true;
+                return;
+            }
+        }
+        let mut line = protocol::encode(reply);
+        line.push('\n');
+        self.out.push(line.as_bytes());
+    }
+}
+
+/// One epoll-registered connection, owned by its reactor shard.
+struct Conn {
+    stream: TcpStream,
+    /// Partial inbound line (bytes after the last newline).
+    inbound: Vec<u8>,
+    out: Arc<OutBuf>,
+    /// `EPOLLOUT` currently armed (pending output met a full socket).
+    write_armed: bool,
+    /// Close once the outbound buffer drains (shutdown acknowledged).
+    close_after_flush: bool,
+}
+
+/// One reactor shard: the epoll instance plus the cross-thread inbox the
+/// acceptor and the senders reach it through.
+struct Shard {
+    epoll: Epoll,
+    wake: Arc<WakeFd>,
+    /// Accepted connections waiting to be registered.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// fds whose outbound buffers gained bytes since the last flush pass.
+    dirty: Arc<Mutex<Vec<i32>>>,
+}
+
+impl Shard {
+    fn new() -> std::io::Result<Shard> {
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(WakeFd::new()?);
+        epoll.add(wake.raw_fd(), WAKE_TOKEN, Interest::Read)?;
+        Ok(Shard {
+            epoll,
+            wake,
+            inbox: Mutex::new(Vec::new()),
+            dirty: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+}
+
+/// Starts the epoll tier on an already-bound listener: `shards` reactor
+/// threads plus one acceptor thread. Returns the spawned threads for
+/// [`crate::Server::join`].
+///
+/// # Errors
+///
+/// Propagates epoll/eventfd creation failures — `ENOSYS` on non-Linux
+/// hosts, where the blocking tier remains the portable path.
+pub(crate) fn start(
+    listener: TcpListener,
+    handle: ServerHandle,
+    shards: usize,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let shards = shards.max(1);
+    let mut pool = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        pool.push(Arc::new(Shard::new()?));
+    }
+    let mut threads = Vec::with_capacity(shards + 1);
+    for shard in &pool {
+        let shard = Arc::clone(shard);
+        let handle = handle.clone();
+        threads.push(std::thread::spawn(move || run_shard(&shard, &handle)));
+    }
+    threads.push(std::thread::spawn(move || {
+        accept_epoll(&listener, &handle, &pool);
+    }));
+    Ok(threads)
+}
+
+/// Accept loop: non-blocking accept, connections handed round-robin to
+/// the reactor shards.
+fn accept_epoll(listener: &TcpListener, handle: &ServerHandle, pool: &[Arc<Shard>]) {
+    let mut next = 0usize;
+    loop {
+        if handle.stopping() {
+            // Wake every shard so they notice the stop flag promptly.
+            for shard in pool {
+                shard.wake.wake();
+            }
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Some(shard) = pool.get(next % pool.len()) {
+                    shard.inbox.lock().push(stream);
+                    shard.wake.wake();
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(crate::server::ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(crate::server::ACCEPT_POLL),
+        }
+    }
+}
+
+/// One shard's event loop: register arrivals, read/dispatch frames, drain
+/// outbound buffers, shed dead connections — until shutdown has drained
+/// both the scheduler and every outbound buffer.
+fn run_shard(shard: &Shard, handle: &ServerHandle) {
+    // BTreeMap, not HashMap: the shutdown-drain check iterates every
+    // connection, and deterministic order keeps the audit's taint pass
+    // clean on a path that reaches RunStore::key.
+    let mut conns: BTreeMap<i32, Conn> = BTreeMap::new();
+    let mut events = [Event::default(); EVENT_BATCH];
+    loop {
+        let ready = shard.epoll.wait(&mut events, WAIT_MS).unwrap_or_default();
+        #[cfg(feature = "faults")]
+        if let Some(plan) = handle.scheduler().fault_plan() {
+            use atscale_faults::FaultSite;
+            if let Some(rule) = plan.check(FaultSite::ReactorStall) {
+                // A stalled reactor shard: sockets stay unread and
+                // buffers undrained for the stall — correctness must
+                // survive on latency alone (level-triggered readiness
+                // re-reports everything when the shard comes back).
+                std::thread::sleep(Duration::from_millis(rule.stall_ms));
+            }
+        }
+        let mut closed = Vec::new();
+        for event in events.iter().take(ready) {
+            if event.token == WAKE_TOKEN {
+                shard.wake.drain();
+                continue;
+            }
+            let fd = event.token as i32;
+            let Some(conn) = conns.get_mut(&fd) else {
+                continue;
+            };
+            let mut gone = false;
+            if event.readable {
+                gone = read_frames(conn, handle);
+            }
+            if event.writable && !gone {
+                gone = flush_conn(conn, &shard.epoll);
+            }
+            if gone || (event.closed && !event.readable) {
+                closed.push(fd);
+            }
+        }
+        // Register connections the acceptor handed over.
+        for stream in std::mem::take(&mut *shard.inbox.lock()) {
+            register_conn(stream, shard, &mut conns);
+        }
+        // Flush every connection whose buffer gained bytes since the last
+        // pass (scheduler workers enqueue + wake; only this thread writes).
+        for fd in std::mem::take(&mut *shard.dirty.lock()) {
+            if let Some(conn) = conns.get_mut(&fd) {
+                if flush_conn(conn, &shard.epoll) {
+                    closed.push(fd);
+                }
+            }
+        }
+        closed.sort_unstable();
+        closed.dedup();
+        for fd in closed {
+            if let Some(conn) = conns.remove(&fd) {
+                teardown(&conn, &shard.epoll);
+            }
+        }
+        if handle.stopping() {
+            // Exit only once admitted work has delivered: the scheduler
+            // is drained and no connection still buffers output.
+            let stats = handle.scheduler().stats_reply();
+            let flushed = conns.values().all(|c| c.out.state.lock().bytes.is_empty());
+            if stats.queued == 0 && stats.running == 0 && flushed {
+                for conn in conns.values() {
+                    teardown(conn, &shard.epoll);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Registers one accepted connection with the shard's epoll instance.
+fn register_conn(stream: TcpStream, shard: &Shard, conns: &mut BTreeMap<i32, Conn>) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    // Reply streams are many small frames; never batch them behind Nagle.
+    let _ = stream.set_nodelay(true);
+    #[cfg(unix)]
+    let fd = stream.as_raw_fd();
+    #[cfg(not(unix))]
+    let fd = -1;
+    if shard.epoll.add(fd, fd as u64, Interest::Read).is_err() {
+        return;
+    }
+    let out = Arc::new(OutBuf {
+        fd,
+        state: Mutex::new(OutState {
+            bytes: Vec::new(),
+            dead: false,
+            queued: false,
+        }),
+        dirty: Arc::clone(&shard.dirty),
+        wake: Arc::clone(&shard.wake),
+    });
+    conns.insert(
+        fd,
+        Conn {
+            stream,
+            inbound: Vec::new(),
+            out,
+            write_armed: false,
+            close_after_flush: false,
+        },
+    );
+}
+
+/// Drains readable bytes and dispatches every complete frame. Returns
+/// `true` when the connection is finished (EOF, read error, or shed).
+fn read_frames(conn: &mut Conn, handle: &ServerHandle) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return true, // EOF
+            Ok(n) => conn
+                .inbound
+                .extend_from_slice(buf.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    while let Some(pos) = conn.inbound.iter().position(|&b| b == b'\n') {
+        let rest = conn.inbound.split_off(pos + 1);
+        let line = std::mem::replace(&mut conn.inbound, rest);
+        let line = String::from_utf8_lossy(&line);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let sink: Arc<dyn ReplySink> = Arc::new(ConnSink {
+            out: Arc::clone(&conn.out),
+            #[cfg(feature = "faults")]
+            faults: handle.scheduler().fault_plan().cloned(),
+        });
+        match protocol::decode::<Request>(line) {
+            Ok(request) => {
+                if handle_request(&request, &sink, handle) {
+                    conn.close_after_flush = true;
+                }
+            }
+            Err(message) => sink.send(&Reply::Error(ErrorReply { id: 0, message })),
+        }
+        if conn.out.state.lock().dead {
+            return true;
+        }
+    }
+    false
+}
+
+/// Drains the connection's outbound buffer with non-blocking writes,
+/// arming `EPOLLOUT` when the socket fills. Returns `true` when the
+/// connection is finished (dead, write error, or drained-and-closing).
+fn flush_conn(conn: &mut Conn, epoll: &Epoll) -> bool {
+    loop {
+        let chunk = {
+            let mut state = conn.out.state.lock();
+            if state.dead {
+                return true;
+            }
+            if state.bytes.is_empty() {
+                state.queued = false;
+                break;
+            }
+            std::mem::take(&mut state.bytes)
+        };
+        let mut written = 0usize;
+        let mut stalled = false;
+        let mut failed = false;
+        while written < chunk.len() {
+            match conn.stream.write(chunk.get(written..).unwrap_or_default()) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    stalled = true;
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            conn.out.state.lock().dead = true;
+            return true;
+        }
+        if stalled {
+            // Put the remainder back *in front of* anything workers
+            // appended while the lock was released, then wait for
+            // EPOLLOUT — this is the backpressure path.
+            let mut state = conn.out.state.lock();
+            let mut rest = chunk.get(written..).unwrap_or_default().to_vec();
+            rest.extend_from_slice(&state.bytes);
+            state.bytes = rest;
+            drop(state);
+            if !conn.write_armed {
+                conn.write_armed = arm_write(conn, epoll, true);
+            }
+            return false;
+        }
+    }
+    if conn.write_armed {
+        arm_write(conn, epoll, false);
+        conn.write_armed = false;
+    }
+    conn.close_after_flush
+}
+
+/// Arms or disarms `EPOLLOUT` for a connection; returns whether the
+/// modification took.
+fn arm_write(conn: &Conn, epoll: &Epoll, armed: bool) -> bool {
+    #[cfg(unix)]
+    let fd = conn.stream.as_raw_fd();
+    #[cfg(not(unix))]
+    let fd = -1;
+    let interest = if armed {
+        Interest::ReadWrite
+    } else {
+        Interest::Read
+    };
+    epoll.modify(fd, fd as u64, interest).is_ok()
+}
+
+/// Deregisters and kills a finished connection.
+fn teardown(conn: &Conn, epoll: &Epoll) {
+    conn.out.state.lock().dead = true;
+    #[cfg(unix)]
+    let _ = epoll.delete(conn.stream.as_raw_fd());
+    #[cfg(not(unix))]
+    let _ = epoll;
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+}

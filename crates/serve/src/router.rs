@@ -1,0 +1,220 @@
+//! The shard router: deterministic consistent hashing of experiment keys
+//! across N daemon processes.
+//!
+//! Placement is a pure function of the record hash ([`atscale::RunStore::
+//! key_hash`] — the same 64-bit content hash that names the record in the
+//! store) and the shard count, via a fixed table of [`ROUTER_SLOTS`]
+//! slots. The table is built *recursively*: the 1-shard table owns every
+//! slot, and the n-shard table is the (n−1)-shard table with the new
+//! shard stealing exactly its balanced quota of slots — always from the
+//! currently fullest shard, always that shard's highest-numbered slot.
+//! This gives hard (not probabilistic) guarantees:
+//!
+//! - **balance**: every shard owns `floor(S/N)` or `ceil(S/N)` slots;
+//! - **minimal movement**: growing from N−1 to N shards reassigns exactly
+//!   `floor(S/N)` slots, every one of them *to* the new shard — no key
+//!   ever moves between two pre-existing shards;
+//! - **restart stability**: the table depends only on `(S, N)`, so every
+//!   process in a topology (and every future restart of it) computes the
+//!   identical mapping with no coordination.
+//!
+//! Because placement consumes the store's own record hash, a record can
+//! only ever be computed, cached, and deduplicated on the shard that owns
+//! its key: single-flight dedup and byte-for-bit record identity stay
+//! correct per-shard *by construction*, not by protocol.
+
+use atscale::{RunSpec, RunStore};
+use atscale_mmu::MachineConfig;
+
+/// Number of hash slots in the routing table. A power of two well above
+/// any realistic shard count, so per-shard balance stays within ±1 slot
+/// (±0.025% of keyspace at 4096).
+pub const ROUTER_SLOTS: usize = 4096;
+
+/// A slot→shard routing table for a fixed shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    table: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Builds the table for `shards` processes (at least 1).
+    pub fn new(shards: usize) -> ShardMap {
+        assert!(shards >= 1, "a topology has at least one shard");
+        let mut table = vec![0u32; ROUTER_SLOTS];
+        let mut counts = vec![ROUTER_SLOTS; 1];
+        for n in 2..=shards {
+            // The new shard (index n−1) steals floor(S/n) slots, one at a
+            // time, each from the currently fullest shard (ties: lowest
+            // index) — specifically that shard's highest-numbered slot.
+            counts.push(0);
+            let quota = ROUTER_SLOTS / n;
+            while counts[n - 1] < quota {
+                let donor = counts[..n - 1]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(i, _)| i)
+                    .expect("at least one donor shard");
+                let slot = table
+                    .iter()
+                    .rposition(|&s| s as usize == donor)
+                    .expect("donor owns at least one slot");
+                table[slot] = (n - 1) as u32;
+                counts[donor] -= 1;
+                counts[n - 1] += 1;
+            }
+        }
+        ShardMap { shards, table }
+    }
+
+    /// The shard count this table was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The slot a record hash lands in.
+    pub fn slot_of(hash: u64) -> usize {
+        (hash % ROUTER_SLOTS as u64) as usize
+    }
+
+    /// The owning shard of a raw record hash.
+    pub fn shard_for_hash(&self, hash: u64) -> usize {
+        // `slot_of` is always in range; the fallback keeps the routing
+        // path panic-free (it runs on server worker threads).
+        self.table
+            .get(Self::slot_of(hash))
+            .copied()
+            .unwrap_or_default() as usize
+    }
+
+    /// The owning shard of a run: routes on the store's own record hash,
+    /// so placement and cache identity are the same function.
+    pub fn shard_for(&self, spec: &RunSpec, config: &MachineConfig) -> usize {
+        self.shard_for_hash(RunStore::key_hash(spec, config))
+    }
+
+    /// Slots owned per shard (diagnostics and the balance proof).
+    pub fn slot_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards];
+        for &s in &self.table {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        assert_eq!(map.slot_counts(), vec![ROUTER_SLOTS]);
+        assert_eq!(map.shard_for_hash(u64::MAX), 0);
+    }
+
+    #[test]
+    fn every_table_is_balanced_within_one_slot() {
+        for n in 1..=32 {
+            let counts = ShardMap::new(n).slot_counts();
+            let lo = ROUTER_SLOTS / n;
+            let hi = ROUTER_SLOTS.div_ceil(n);
+            for (shard, &c) in counts.iter().enumerate() {
+                assert!(
+                    (lo..=hi).contains(&c),
+                    "{n}-shard table: shard {shard} owns {c} slots, want {lo}..={hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_moves_only_to_the_new_shard_and_exactly_its_quota() {
+        for n in 2..=32 {
+            let old = ShardMap::new(n - 1);
+            let new = ShardMap::new(n);
+            let mut moved = 0usize;
+            for slot in 0..ROUTER_SLOTS {
+                let (a, b) = (old.table[slot], new.table[slot]);
+                if a != b {
+                    moved += 1;
+                    assert_eq!(
+                        b as usize,
+                        n - 1,
+                        "slot {slot} moved between pre-existing shards ({a} → {b}) at n={n}"
+                    );
+                }
+            }
+            assert_eq!(moved, ROUTER_SLOTS / n, "movement is exactly the quota");
+        }
+    }
+
+    #[test]
+    fn tables_are_pure_functions_of_the_shard_count() {
+        // Restart stability: independent rebuilds agree bit for bit.
+        for n in [1, 2, 3, 4, 7, 16] {
+            assert_eq!(ShardMap::new(n), ShardMap::new(n));
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_at_most_ceil_k_over_n_keys_and_only_to_it() {
+        // K keys covering every slot the same number of times, so the
+        // slot-level movement guarantee transfers to keys exactly:
+        // moved = 4·floor(S/n) ≤ 4·S/n = K/n ≤ ceil(K/n).
+        let keys: Vec<u64> = (0..4 * ROUTER_SLOTS as u64).collect();
+        for n in 2..=16 {
+            let old = ShardMap::new(n - 1);
+            let new = ShardMap::new(n);
+            let mut moved = 0usize;
+            for &k in &keys {
+                let (a, b) = (old.shard_for_hash(k), new.shard_for_hash(k));
+                if a != b {
+                    assert_eq!(b, n - 1, "key {k} moved between pre-existing shards");
+                    moved += 1;
+                }
+            }
+            assert!(
+                moved <= keys.len().div_ceil(n),
+                "n={n}: {moved} keys moved, ceil(K/n) = {}",
+                keys.len().div_ceil(n)
+            );
+            assert_eq!(moved, 4 * (ROUTER_SLOTS / n), "movement is the key quota");
+        }
+    }
+
+    #[test]
+    fn random_record_hashes_route_stably_across_process_restarts() {
+        // Same key → same shard on an independently rebuilt table (a
+        // restarted process), and growth never moves a key between two
+        // pre-existing shards — over pseudo-random record hashes, the
+        // shape `RunStore::key_hash` actually produces.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let hashes: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            })
+            .collect();
+        for n in [1, 2, 4, 8] {
+            let table = ShardMap::new(n);
+            let restarted = ShardMap::new(n);
+            let grown = ShardMap::new(n + 1);
+            for &h in &hashes {
+                let home = table.shard_for_hash(h);
+                assert_eq!(home, restarted.shard_for_hash(h), "restart moved {h:#x}");
+                let after = grown.shard_for_hash(h);
+                assert!(
+                    after == home || after == n,
+                    "{h:#x} moved {home} → {after} when shard {n} joined"
+                );
+            }
+        }
+    }
+}

@@ -49,6 +49,13 @@ pub struct ServeConfig {
     /// Start with workers paused (maintenance/test hook: admission works,
     /// execution waits for [`Scheduler::resume`]).
     pub start_paused: bool,
+    /// This daemon's shard index within its topology (v6 handshake;
+    /// 0 standalone).
+    pub shard: u64,
+    /// Every shard's client-reachable address in shard order (v6
+    /// handshake; empty standalone). `topology.len()` is the shard count
+    /// the routing table is built for.
+    pub topology: Vec<String>,
     /// Fault-injection plan driving the scheduler/server sites
     /// (`WorkerPanic`, `QueuePressure`, `DeadlineExpiry`, `ServerWrite`,
     /// `ServerStall`). Chaos-test machinery; absent in release builds.
@@ -69,6 +76,8 @@ impl Default for ServeConfig {
             // sizes = 351 unique jobs.
             queue_capacity: 1024,
             start_paused: false,
+            shard: 0,
+            topology: Vec::new(),
             #[cfg(feature = "faults")]
             faults: None,
         }
@@ -727,6 +736,22 @@ impl Scheduler {
     /// they can chunk oversized batches instead of getting `Overloaded`.
     pub fn queue_capacity(&self) -> usize {
         self.config.queue_capacity
+    }
+
+    /// This daemon's shard index (v6 handshake; 0 standalone).
+    pub fn shard(&self) -> u64 {
+        self.config.shard
+    }
+
+    /// The topology's shard count (v6 handshake; 1 standalone).
+    pub fn shards(&self) -> u64 {
+        (self.config.topology.len() as u64).max(1)
+    }
+
+    /// Every shard's address in shard order (v6 handshake; empty
+    /// standalone).
+    pub fn topology(&self) -> &[String] {
+        &self.config.topology
     }
 
     /// Counter snapshot for the `server_stats` reply.

@@ -24,7 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often idle listeners poll the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Per-frame socket write timeout. Workers deliver replies while holding
 /// the connection's writer mutex, so a stalled client (full TCP buffer
@@ -209,6 +209,66 @@ impl Server {
         })
     }
 
+    /// Binds and starts the daemon on the **epoll tier**: the scheduler's
+    /// workers plus thread-per-core reactor shards behind one acceptor
+    /// (see [`crate::reactor`]). TCP only — the epoll tier exists for
+    /// network-scale fan-in; Unix-socket deployments keep the blocking
+    /// tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the endpoint cannot be bound, or `ENOSYS`
+    /// on hosts without epoll (non-Linux), where [`Server::start`] remains
+    /// the portable path.
+    pub fn start_epoll(config: ServeConfig, tcp: &str) -> std::io::Result<Server> {
+        // analyze:allow(determinism): reactor-shard count is I/O-plane topology, never record input
+        // — it only partitions connections across reactor threads; records
+        // are produced by the scheduler's workers and are identical for any
+        // shard count (the sharded e2e suite pins byte-identity at 1 and 2
+        // reactors).
+        let shards = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+        Self::start_epoll_sharded(config, tcp, shards)
+    }
+
+    /// [`Server::start_epoll`] with an explicit reactor-shard count
+    /// (tests and the loadgen topology spawner pin it).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::start_epoll`].
+    pub fn start_epoll_sharded(
+        config: ServeConfig,
+        tcp: &str,
+        reactor_shards: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(tcp)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = Some(listener.local_addr()?);
+        let scheduler = Arc::new(Scheduler::new(config));
+        let handle = ServerHandle {
+            stop: Arc::new(AtomicBool::new(false)),
+            scheduler: Arc::clone(&scheduler),
+        };
+        let mut threads = Vec::new();
+        // Reactor shards first: if epoll is unavailable (ENOSYS), fail
+        // before any worker thread exists.
+        threads.extend(crate::reactor::start(
+            listener,
+            handle.clone(),
+            reactor_shards,
+        )?);
+        for _ in 0..scheduler.workers() {
+            let scheduler = Arc::clone(&scheduler);
+            threads.push(std::thread::spawn(move || scheduler.worker_loop()));
+        }
+        Ok(Server {
+            handle,
+            tcp_addr,
+            threads,
+            unix_path: None,
+        })
+    }
+
     /// The bound TCP address, if a TCP endpoint was requested (useful with
     /// port 0).
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
@@ -324,7 +384,8 @@ fn serve_connection(
         }
         match protocol::decode::<Request>(&line) {
             Ok(request) => {
-                if handle_request(&request, &writer, handle) {
+                let sink = Arc::clone(&writer) as Arc<dyn ReplySink>;
+                if handle_request(&request, &sink, handle) {
                     return;
                 }
             }
@@ -343,8 +404,14 @@ const NOT_SEGMENTED: &str =
      segmented results dir, or migrate it with store_compact)";
 
 /// Dispatches one request; returns `true` when the connection should end
-/// (shutdown acknowledged).
-fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHandle) -> bool {
+/// (shutdown acknowledged). Shared by both I/O tiers: the blocking tier
+/// calls it from per-connection reader threads, the epoll tier from
+/// reactor shards — the sink abstracts the write path.
+pub(crate) fn handle_request(
+    request: &Request,
+    writer: &Arc<dyn ReplySink>,
+    handle: &ServerHandle,
+) -> bool {
     match request {
         Request::Hello(hello) => {
             if hello.protocol == PROTOCOL_VERSION {
@@ -353,6 +420,9 @@ fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHa
                     server: format!("atscale-serve/{}", env!("CARGO_PKG_VERSION")),
                     workers: handle.scheduler.workers() as u64,
                     queue_capacity: handle.scheduler.queue_capacity() as u64,
+                    shard: handle.scheduler.shard(),
+                    shards: handle.scheduler.shards(),
+                    topology: handle.scheduler.topology().to_vec(),
                 }));
             } else {
                 writer.send(&Reply::Error(ErrorReply {
@@ -372,9 +442,7 @@ fn handle_request(request: &Request, writer: &Arc<ConnWriter>, handle: &ServerHa
                     message: "empty batch".to_string(),
                 }));
             } else {
-                handle
-                    .scheduler
-                    .submit(submit, Arc::clone(writer) as Arc<dyn ReplySink>);
+                handle.scheduler.submit(submit, Arc::clone(writer));
             }
             false
         }

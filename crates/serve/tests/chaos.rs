@@ -502,6 +502,54 @@ fn server_stalls_are_survived(seed: u64) -> Outcome {
     }
 }
 
+/// Reactor-loop stalls (the epoll tier's event loop pausing mid-cycle,
+/// the moral equivalent of an overloaded I/O thread) delay frames but
+/// corrupt nothing: every record arrives through the stalled reactor and
+/// matches the fault-free run, and shutdown still drains.
+fn reactor_stalls_are_survived(seed: u64) -> Outcome {
+    let plan = Arc::new(FaultPlan::new(seed).with_rule(
+        FaultSite::ReactorStall,
+        FaultRule::always().stall_ms(15).max_fires(3),
+    ));
+    let server = Server::start_epoll_sharded(
+        ServeConfig {
+            store: None,
+            workers: 1,
+            faults: Some(Arc::clone(&plan)),
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+        1,
+    )
+    .expect("bind epoll tier");
+    let addr = server.tcp_addr().expect("tcp endpoint").to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let records = client
+        .run_many(
+            &[tiny_spec(seed), tiny_spec(seed.wrapping_add(1))],
+            SubmitOptions::default(),
+        )
+        .expect("stalled reactor still answers");
+    assert_eq!(records.len(), 2);
+    let mut digests = assert_byte_identical(&records[..1], seed, "reactor_stalls");
+    digests.extend(assert_byte_identical(
+        &records[1..],
+        seed.wrapping_add(1),
+        "reactor_stalls",
+    ));
+    assert_eq!(plan.fires(FaultSite::ReactorStall), 3);
+
+    server.shutdown_and_join();
+    Outcome {
+        name: "reactor_stalls_are_survived",
+        seed,
+        classification: "all-records-delivered-through-reactor-stalls".to_string(),
+        fires: plan.signature(),
+        digests,
+    }
+}
+
 /// Client-side socket faults (write failure, stall, read failure)
 /// terminate the call with an explicit I/O error — and never poison the
 /// server: a clean client gets full service afterwards.
@@ -750,7 +798,7 @@ fn index_rename_failure_rebuilds(seed: u64) -> Outcome {
 
 type Scenario = fn(u64) -> Outcome;
 
-const SCENARIOS: [(&str, Scenario); 10] = [
+const SCENARIOS: [(&str, Scenario); 11] = [
     ("store_torn_write_recovers", store_torn_write_recovers),
     (
         "store_write_and_rename_failures_are_nonfatal",
@@ -763,6 +811,7 @@ const SCENARIOS: [(&str, Scenario); 10] = [
         server_write_faults_surface_as_client_errors,
     ),
     ("server_stalls_are_survived", server_stalls_are_survived),
+    ("reactor_stalls_are_survived", reactor_stalls_are_survived),
     (
         "client_socket_faults_terminate",
         client_socket_faults_terminate,

@@ -113,11 +113,30 @@ fn request_store_seg_stats_roundtrips() {
 
 #[test]
 fn reply_welcome_roundtrips() {
+    // Sharded shape: the v6 topology fields populated.
     roundtrip_bytes(&Reply::Welcome(Welcome {
         protocol: PROTOCOL_VERSION,
         server: "atscale-serve/test".to_string(),
         workers: 4,
         queue_capacity: 1024,
+        shard: 2,
+        shards: 4,
+        topology: vec![
+            "127.0.0.1:7001".to_string(),
+            "127.0.0.1:7002".to_string(),
+            "127.0.0.1:7003".to_string(),
+            "127.0.0.1:7004".to_string(),
+        ],
+    }));
+    // Standalone shape: shard 0 of 1, empty address list.
+    roundtrip_bytes(&Reply::Welcome(Welcome {
+        protocol: PROTOCOL_VERSION,
+        server: "atscale-serve/test".to_string(),
+        workers: 4,
+        queue_capacity: 1024,
+        shard: 0,
+        shards: 1,
+        topology: Vec::new(),
     }));
 }
 

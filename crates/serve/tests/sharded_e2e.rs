@@ -1,0 +1,267 @@
+//! End-to-end tests for the epoll serve tier and the shard router: wire
+//! parity with the blocking tier and the in-process harness, per-shard
+//! placement and single-flight dedup, topology discovery from any
+//! member, and drain-on-shutdown through the reactor.
+
+use atscale::{Harness, RunSpec, RunStore};
+use atscale_mmu::MachineConfig;
+use atscale_serve::{Client, ServeConfig, Server, ShardMap, ShardedClient, SubmitOptions};
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+use std::net::TcpListener;
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, RunStore) {
+    let dir =
+        std::env::temp_dir().join(format!("atscale-sharded-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), RunStore::open(dir).unwrap())
+}
+
+fn tiny_spec(seed: u64) -> RunSpec {
+    RunSpec {
+        workload: WorkloadId::parse("cc-urand").unwrap(),
+        nominal_footprint: 16 << 20,
+        page_size: PageSize::Size4K,
+        seed,
+        warmup_instr: 1_000,
+        budget_instr: 20_000,
+    }
+}
+
+/// Reserves distinct loopback ports so a topology's addresses are known
+/// before its members bind them.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    holds
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect()
+}
+
+/// The epoll tier must serve the exact records the blocking tier and the
+/// in-process harness produce, answer the second pass from cache, and
+/// drain on shutdown.
+#[test]
+fn epoll_tier_serves_records_bit_for_bit_and_drains() {
+    let (dir, store) = temp_store("epoll");
+    let server = Server::start_epoll_sharded(
+        ServeConfig {
+            store: Some(store),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bind epoll tier");
+    let addr = server.tcp_addr().expect("tcp endpoint").to_string();
+
+    let specs: Vec<RunSpec> = (0..6).map(tiny_spec).collect();
+    let mut client = Client::connect(&addr).expect("connect");
+    let welcome = client.hello().expect("handshake");
+    assert_eq!(welcome.shard, 0, "standalone daemon is shard 0");
+    assert_eq!(welcome.shards, 1);
+    assert!(welcome.topology.is_empty());
+
+    let served = client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("served batch");
+    let direct = Harness::new()
+        .with_config(MachineConfig::haswell())
+        .run_many(&specs);
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(
+            serde_json::to_vec(s).unwrap(),
+            serde_json::to_vec(d).unwrap(),
+            "epoll-tier record diverges for {}",
+            d.spec.label()
+        );
+    }
+
+    // Cached second pass: zero new executions through the reactor path.
+    let before = client.server_stats().expect("stats").executions;
+    client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("cached batch");
+    let after = client.server_stats().expect("stats");
+    assert_eq!(after.executions, before, "cache-first through the reactor");
+    assert_eq!(after.cache_hits, specs.len() as u64);
+
+    // Shutdown drains: a batch submitted just before the Shutdown frame
+    // must still be fully answered (reactor flushes outbufs before exit).
+    let mut late = Client::connect(&addr).expect("second connection");
+    late.hello().expect("handshake");
+    let late_specs: Vec<RunSpec> = (100..104).map(tiny_spec).collect();
+    let answered = late
+        .run_many(&late_specs, SubmitOptions::default())
+        .expect("late batch answered");
+    assert_eq!(answered.len(), late_specs.len());
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A 4-shard topology must produce byte-identical records to a single
+/// daemon, place every record only on its owning shard (cache identity =
+/// placement), keep single-flight dedup exact per shard, and advertise
+/// the full topology from any member.
+#[test]
+fn sharded_sweep_matches_single_daemon_and_places_records_per_shard() {
+    let shards = 4usize;
+    let addrs = reserve_addrs(shards);
+    let topology_cfg: Vec<String> = addrs.clone();
+    let mut servers = Vec::new();
+    let mut dirs = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        let (dir, store) = temp_store(&format!("shard{i}"));
+        dirs.push(dir);
+        servers.push(
+            Server::start_epoll_sharded(
+                ServeConfig {
+                    store: Some(store),
+                    workers: 2,
+                    shard: i as u64,
+                    topology: topology_cfg.clone(),
+                    ..ServeConfig::default()
+                },
+                addr,
+                1,
+            )
+            .expect("bind shard"),
+        );
+    }
+
+    // Duplicates included: dedup must stay exact per shard.
+    let mut specs: Vec<RunSpec> = (0..12).map(tiny_spec).collect();
+    specs.push(tiny_spec(0));
+    specs.push(tiny_spec(5));
+
+    // Connect to a NON-zero member: discovery must still yield the full
+    // topology in shard order.
+    let mut client = ShardedClient::connect(&addrs[2]).expect("connect member 2");
+    assert_eq!(client.shards(), shards);
+    assert_eq!(client.topology(), addrs.as_slice());
+
+    let sharded = client
+        .run_chunked(&specs, SubmitOptions::default())
+        .expect("sharded sweep");
+
+    // Reference: the same sweep through one standalone daemon.
+    let (single_dir, single_store) = temp_store("single");
+    let single = Server::start(
+        ServeConfig {
+            store: Some(single_store),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        Some("127.0.0.1:0"),
+        None,
+    )
+    .expect("bind single daemon");
+    let single_addr = single.tcp_addr().unwrap().to_string();
+    let mut single_client = Client::connect(&single_addr).expect("connect single");
+    single_client.hello().expect("handshake");
+    let reference = single_client
+        .run_many(&specs, SubmitOptions::default())
+        .expect("single-daemon sweep");
+
+    assert_eq!(sharded.len(), reference.len());
+    for (s, r) in sharded.iter().zip(&reference) {
+        assert_eq!(
+            serde_json::to_vec(s).unwrap(),
+            serde_json::to_vec(r).unwrap(),
+            "sharded record diverges from single daemon for {}",
+            r.spec.label()
+        );
+    }
+
+    // Placement: each shard's cache holds exactly the specs the router
+    // assigns it, and its execution counter shows per-shard single-flight
+    // (duplicates never re-executed).
+    let machine = MachineConfig::haswell();
+    let map = ShardMap::new(shards);
+    let mut expected: Vec<std::collections::BTreeSet<String>> = vec![Default::default(); shards];
+    for spec in &specs {
+        let shard = map.shard_for(spec, &machine);
+        expected[shard].insert(RunStore::key(spec, &machine));
+    }
+    let mut total_executions = 0u64;
+    for (i, addr) in addrs.iter().enumerate() {
+        let mut probe = Client::connect(addr).expect("connect shard");
+        let welcome = probe.hello().expect("handshake");
+        assert_eq!(welcome.shard, i as u64, "member knows its shard index");
+        assert_eq!(welcome.shards, shards as u64);
+        assert_eq!(welcome.topology, addrs, "every member advertises all");
+        let stats = probe.cache_stats().expect("cache stats");
+        assert_eq!(
+            stats.entries,
+            expected[i].len() as u64,
+            "shard {i} holds exactly its routed records"
+        );
+        let server_stats = probe.server_stats().expect("server stats");
+        assert_eq!(
+            server_stats.executions,
+            expected[i].len() as u64,
+            "shard {i} executed each owned spec exactly once"
+        );
+        total_executions += server_stats.executions;
+    }
+    let unique: std::collections::BTreeSet<String> =
+        specs.iter().map(|s| RunStore::key(s, &machine)).collect();
+    assert_eq!(
+        total_executions,
+        unique.len() as u64,
+        "whole topology executed each unique spec exactly once"
+    );
+
+    single.shutdown_and_join();
+    for server in servers {
+        server.shutdown_and_join();
+    }
+    for dir in dirs.iter().chain(std::iter::once(&single_dir)) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Reconnect-on-drop: killing a shard's connection mid-session must be
+/// transparent — the sharded client re-dials and the resubmitted
+/// partition returns byte-identical records (deterministic + cache-first).
+#[test]
+fn sharded_client_survives_a_dropped_connection() {
+    let (dir, store) = temp_store("redial");
+    let server = Server::start_epoll_sharded(
+        ServeConfig {
+            store: Some(store),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+        1,
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().unwrap().to_string();
+
+    let specs: Vec<RunSpec> = (200..204).map(tiny_spec).collect();
+    let mut client = ShardedClient::connect(&addr).expect("connect");
+    let first = client
+        .run_chunked(&specs, SubmitOptions::default())
+        .expect("first pass");
+
+    // Second sharded client, dropped after its handshake, proves the
+    // server tears dead connections down; then the surviving client runs
+    // again — whatever happened to its socket in between, records match.
+    drop(ShardedClient::connect(&addr).expect("transient client"));
+    let second = client
+        .run_chunked(&specs, SubmitOptions::default())
+        .expect("second pass");
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            serde_json::to_vec(a).unwrap(),
+            serde_json::to_vec(b).unwrap()
+        );
+    }
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

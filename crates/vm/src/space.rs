@@ -180,9 +180,23 @@ impl AddressSpace {
     /// the simulated equivalent of a segmentation fault.
     #[inline]
     pub fn touch(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
-        if !self.memo_enabled {
-            return self.touch_uncached(va);
+        // One predictable branch and nothing else on the self-disabled
+        // path: once a streaming working set has switched the memo off,
+        // `touch` must cost exactly a direct walk — the memo machinery
+        // (window bookkeeping, probe, slot write) lives outlined in
+        // `touch_memoised` so it cannot weigh the fast path down.
+        if self.memo_enabled {
+            self.touch_memoised(va)
+        } else {
+            self.touch_uncached(va)
         }
+    }
+
+    /// The memoised arm of [`touch`](Self::touch): window accounting, the
+    /// direct-mapped probe, and the fill on miss. Deliberately *not*
+    /// inline — it only runs while the memo is paying for itself, and
+    /// keeping it out of line keeps the disabled-path dispatcher tiny.
+    fn touch_memoised(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
         if self.memo_probes >= MEMO_WINDOW {
             self.memo_enabled = self.memo_hits >= MEMO_KEEP_HITS;
             self.memo_probes = 0;
@@ -212,7 +226,9 @@ impl AddressSpace {
     /// [`touch`](Self::touch) without the translation memo: always consults
     /// the page table directly. This is the reference implementation the
     /// memoised path must agree with; the simulator's force-slow reference
-    /// mode uses it verbatim.
+    /// mode uses it verbatim. Inline so the dispatcher's disabled arm
+    /// collapses to the walk itself.
+    #[inline]
     pub fn touch_uncached(&mut self, va: VirtAddr) -> Result<TouchOutcome, VmError> {
         if let Some(path) = self.table.walk(va) {
             return Ok(TouchOutcome {
