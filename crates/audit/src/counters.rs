@@ -11,15 +11,24 @@
 //! The scan is field-name based: a dotted read `x.cycles` anywhere in
 //! non-test workspace code counts as consumption, while `x.cycles += 1` /
 //! `x.cycles = 0` do not (bumping a counter is production, not use).
+//!
+//! The rule also covers the per-architecture counter schemas
+//! (`atscale_mmu::ARCH_COUNTER_SCHEMAS`): every name an architecture
+//! declares must be produced by that architecture's `extra_counters` impl,
+//! and every name an impl produces must be declared — a schema entry and
+//! its producer cannot drift apart silently.
 
 use crate::source::{
-    block_after, has_ident, non_test_region, reads_field, self_field_refs, test_region,
-    without_block,
+    block_after, has_ident, non_test_region, quoted_strings, reads_field, self_field_refs,
+    test_region, without_block,
 };
 use crate::{Audit, Workspace};
 
 /// Path (workspace-relative suffix) of the counter file under audit.
 pub const COUNTERS_PATH: &str = "crates/mmu/src/counters.rs";
+/// Path (workspace-relative suffix) of the pluggable-architecture module
+/// holding `ARCH_COUNTER_SCHEMAS` and the `extra_counters` impls.
+pub const ARCH_PATH: &str = "crates/mmu/src/arch.rs";
 const RULE: &str = "counter-coverage";
 
 /// Runs the counter-coverage rule over the workspace.
@@ -47,6 +56,7 @@ pub fn audit_counter_coverage(ws: &Workspace) -> Audit {
     check_truth_consistency(&mut audit, src, &fields);
     check_formula_consumption(&mut audit, ws, &fields);
     check_test_coverage(&mut audit, ws, &fields);
+    check_arch_schema_production(&mut audit, ws);
     audit
 }
 
@@ -184,6 +194,136 @@ fn check_test_coverage(audit: &mut Audit, ws: &Workspace, fields: &[String]) {
     }
 }
 
+/// The `(arch_name, counter_names)` entries of `ARCH_COUNTER_SCHEMAS`,
+/// parsed out of the architecture module's stripped source.
+///
+/// The const's rustfmt-canonical shape is `("arch", &["a.b", "c.d"]), ...`
+/// inside one bracketed initializer: parsing anchors on the `= &[`
+/// assignment (the type annotation also contains `&[`, the initializer is
+/// the only `= &[`), then attributes each inner `&[...]` slice's quoted
+/// strings to the quoted arch name immediately preceding it.
+pub fn arch_counter_schemas(stripped: &str) -> Vec<(String, Vec<String>)> {
+    let Some(at) = stripped.find("pub const ARCH_COUNTER_SCHEMAS") else {
+        return Vec::new();
+    };
+    let body = &stripped[at..];
+    let body = body.find("];").map_or(body, |end| &body[..end]);
+    let Some(assign) = body.find("= &[") else {
+        return Vec::new();
+    };
+    let mut rest = &body[assign + 4..];
+    let mut out = Vec::new();
+    while let Some(open) = rest.find("&[") {
+        let Some(arch) = quoted_strings(&rest[..open]).pop() else {
+            break;
+        };
+        let inner = &rest[open + 2..];
+        let close = inner.find(']').unwrap_or(inner.len());
+        out.push((arch, quoted_strings(&inner[..close])));
+        rest = &inner[close..];
+    }
+    out
+}
+
+/// `(ArchKind variant, names produced by `extra_counters`)` for every
+/// `impl TranslationArchitecture for …` block in the architecture module.
+/// Impls relying on the trait's default (produce nothing) report an empty
+/// list.
+fn arch_impls(src: &str) -> Vec<(String, Vec<String>)> {
+    const NEEDLE: &str = "impl TranslationArchitecture for";
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(pos) = src[at..].find(NEEDLE) {
+        let start = at + pos;
+        at = start + NEEDLE.len();
+        let Some(body) = block_after(&src[start..], NEEDLE) else {
+            continue;
+        };
+        // The impl's identity is its `const KIND: ArchKind = ArchKind::X`,
+        // always the block's first `ArchKind::` mention.
+        let Some(kind_at) = body.find("ArchKind::") else {
+            continue;
+        };
+        let variant = body[kind_at + "ArchKind::".len()..]
+            .chars()
+            .take_while(char::is_ascii_alphanumeric)
+            .collect::<String>();
+        let produced = block_after(body, "fn extra_counters")
+            .map(quoted_strings)
+            .unwrap_or_default();
+        out.push((variant, produced));
+    }
+    out
+}
+
+/// `kebab-case` schema key → `PascalCase` `ArchKind` variant name
+/// (`dram-cache` → `DramCache`).
+fn pascal_case(kebab: &str) -> String {
+    kebab
+        .split(['-', '_'])
+        .map(|word| {
+            let mut chars = word.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Per-architecture schema production: each `ARCH_COUNTER_SCHEMAS` name is
+/// produced by the matching `extra_counters` impl, and each produced name
+/// is declared in the schema — the static twin of the runtime
+/// `arch_events_match_declared_schemas` property.
+fn check_arch_schema_production(audit: &mut Audit, ws: &Workspace) {
+    let Some(file) = ws.file(ARCH_PATH) else {
+        audit.fail(ARCH_PATH, format!("{ARCH_PATH} not found in workspace"));
+        return;
+    };
+    let src = &file.stripped;
+    let schemas = arch_counter_schemas(src);
+    if schemas.is_empty() {
+        audit.fail(
+            ARCH_PATH,
+            "could not parse any entries from `ARCH_COUNTER_SCHEMAS`",
+        );
+        return;
+    }
+    let impls = arch_impls(src);
+    for (arch, names) in &schemas {
+        let variant = pascal_case(arch);
+        let produced = impls
+            .iter()
+            .find(|(v, _)| *v == variant)
+            .map(|(_, p)| p.as_slice());
+        for name in names {
+            audit.check();
+            if !produced.is_some_and(|p| p.iter().any(|n| n == name)) {
+                audit.fail(
+                    ARCH_PATH,
+                    format!(
+                        "architecture counter `{name}` is declared in `ARCH_COUNTER_SCHEMAS` \
+                         for `{arch}` but never produced by `ArchKind::{variant}`'s \
+                         `extra_counters` impl"
+                    ),
+                );
+            }
+        }
+        for name in produced.unwrap_or_default() {
+            audit.check();
+            if !names.contains(name) {
+                audit.fail(
+                    ARCH_PATH,
+                    format!(
+                        "`extra_counters` for `{arch}` produces `{name}`, which is not in its \
+                         `ARCH_COUNTER_SCHEMAS` entry — declare it or drop it"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,10 +355,28 @@ mod tests {
         }
     "#;
 
+    /// A minimal, fully consistent architecture module: every schema name
+    /// is produced by the matching impl, and nothing extra is produced.
+    const GOOD_ARCH: &str = r#"
+        pub const ARCH_COUNTER_SCHEMAS: &[(&str, &[&str])] = &[
+            ("baseline", &[]),
+            ("victima", &["victima.hits"]),
+        ];
+        impl TranslationArchitecture for VictimaArch {
+            const KIND: ArchKind = ArchKind::Victima;
+            fn extra_counters(&self) -> Vec<(&'static str, u64)> {
+                vec![("victima.hits", self.hits)]
+            }
+        }
+    "#;
+
+    fn covered_ws(counters: &str) -> Workspace {
+        workspace_from(&[(COUNTERS_PATH, counters), (ARCH_PATH, GOOD_ARCH)])
+    }
+
     #[test]
     fn fully_covered_counters_pass() {
-        let ws = workspace_from(&[(COUNTERS_PATH, GOOD)]);
-        let audit = audit_counter_coverage(&ws);
+        let audit = audit_counter_coverage(&covered_ws(GOOD));
         assert_eq!(audit.violations, Vec::new());
         assert!(audit.checked > 0);
     }
@@ -229,8 +387,7 @@ mod tests {
             "pub cycles: u64,",
             "pub cycles: u64,\n            pub bogus_event: u64,",
         );
-        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
-        let audit = audit_counter_coverage(&ws);
+        let audit = audit_counter_coverage(&covered_ws(&doctored));
         assert!(audit
             .violations
             .iter()
@@ -250,8 +407,7 @@ mod tests {
                 "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"bogus.event\", self.bogus_event)]",
             )
             .replace("assert!(c.cycles > 0);", "assert!(c.cycles > 0); let _ = c.bogus_event;");
-        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
-        let audit = audit_counter_coverage(&ws);
+        let audit = audit_counter_coverage(&covered_ws(&doctored));
         assert!(audit
             .violations
             .iter()
@@ -275,6 +431,7 @@ mod tests {
         let engine = "fn tick(c: &mut Counters) { c.bogus_event += 1; }";
         let ws = workspace_from(&[
             (COUNTERS_PATH, &doctored),
+            (ARCH_PATH, GOOD_ARCH),
             ("crates/mmu/src/engine.rs", engine),
         ]);
         let audit = audit_counter_coverage(&ws);
@@ -297,8 +454,7 @@ mod tests {
             )
             .replace("pub fn cpi(&self) -> f64 { self.cycles as f64 }",
                      "pub fn cpi(&self) -> f64 { (self.cycles + self.bogus_event) as f64 }");
-        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
-        let audit = audit_counter_coverage(&ws);
+        let audit = audit_counter_coverage(&covered_ws(&doctored));
         assert_eq!(audit.violations.len(), 1);
         assert!(audit.violations[0]
             .message
@@ -315,6 +471,7 @@ mod tests {
         let other = "fn f(c: &Counters) -> u64 { c.truth_retired_walks }";
         let ws = workspace_from(&[
             (COUNTERS_PATH, &doctored),
+            (ARCH_PATH, GOOD_ARCH),
             ("crates/mmu/src/other.rs", other),
         ]);
         let audit = audit_counter_coverage(&ws);
@@ -330,12 +487,65 @@ mod tests {
             "vec![(\"cpu_clk_unhalted.thread\", self.cycles)]",
             "vec![(\"cpu_clk_unhalted.thread\", self.cycles), (\"gone.event\", self.removed_field)]",
         );
-        let ws = workspace_from(&[(COUNTERS_PATH, &doctored)]);
-        let audit = audit_counter_coverage(&ws);
+        let audit = audit_counter_coverage(&covered_ws(&doctored));
         assert!(audit
             .violations
             .iter()
             .any(|v| v.message.contains("`removed_field`")
                 && v.message.contains("not a struct field")));
+    }
+
+    #[test]
+    fn unproduced_schema_counter_is_flagged() {
+        // Declare a second victima counter the impl never produces.
+        let doctored = GOOD_ARCH.replace(
+            "&[\"victima.hits\"]",
+            "&[\"victima.hits\", \"victima.fills\"]",
+        );
+        let ws = workspace_from(&[(COUNTERS_PATH, GOOD), (ARCH_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(
+            audit
+                .violations
+                .iter()
+                .any(|v| v.message.contains("`victima.fills`")
+                    && v.message.contains("never produced"))
+        );
+    }
+
+    #[test]
+    fn undeclared_extra_counter_is_flagged() {
+        // Produce a counter the schema never declared.
+        let doctored = GOOD_ARCH.replace(
+            "vec![(\"victima.hits\", self.hits)]",
+            "vec![(\"victima.hits\", self.hits), (\"victima.bogus\", 0)]",
+        );
+        let ws = workspace_from(&[(COUNTERS_PATH, GOOD), (ARCH_PATH, &doctored)]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`victima.bogus`")
+                && v.message
+                    .contains("not in its `ARCH_COUNTER_SCHEMAS` entry")));
+    }
+
+    #[test]
+    fn missing_arch_module_fails_loudly() {
+        let audit = audit_counter_coverage(&workspace_from(&[(COUNTERS_PATH, GOOD)]));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.file == ARCH_PATH && v.message.contains("not found in workspace")));
+    }
+
+    #[test]
+    fn unparseable_schema_const_fails_loudly() {
+        let ws = workspace_from(&[(COUNTERS_PATH, GOOD), (ARCH_PATH, "fn nothing() {}")]);
+        let audit = audit_counter_coverage(&ws);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("could not parse any entries")));
     }
 }

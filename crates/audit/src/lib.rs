@@ -10,7 +10,10 @@
 //!    field of `atscale_mmu::Counters` is exported by `Counters::events`,
 //!    consumed by at least one formula (Table VI walk outcomes, the Eq. 1
 //!    decomposition, a metric, or an invariant), and exercised by at least
-//!    one test. Adding a counter without wiring it through fails the build.
+//!    one test, and every name an architecture declares in
+//!    `ARCH_COUNTER_SCHEMAS` is produced by that architecture's
+//!    `extra_counters` impl (and vice versa). Adding a counter without
+//!    wiring it through fails the build.
 //! 2. **Invariant annotations** ([`audit_invariant_annotations`]) — every
 //!    public mutator of counter/TLB/cache state in `atscale-vm`,
 //!    `atscale-cache`, and `atscale-mmu` is covered by the debug-build
@@ -49,7 +52,8 @@
 //!    the native harness's `MAPPED` counter group or its explicit
 //!    `UNMAPPED` table (with a reason), never both, and `UNMAPPED` holds
 //!    no stale names — a simulator counter cannot be added without a
-//!    recorded native-mapping decision.
+//!    recorded native-mapping decision. Architecture schema counters get
+//!    the same treatment against the `ARCH_UNMAPPED` table.
 //! 9. **Determinism taint** ([`passes::determinism_taint`]) — no
 //!    wall-clock, thread-identity, environment, entropy, or
 //!    `HashMap`/`HashSet` iteration in any function that can reach

@@ -708,10 +708,13 @@ impl FileModel {
                 token: i,
             });
         }
-        if !next.is_punct(&self.src, b'(') {
+        if !next.is_punct(&self.src, b'(') && !self.turbofish_paren_follows(i) {
             // Qualified *path value* uses like `Instant::now` passed as a
             // callback still count when preceded by `::`; only call-like
-            // uses matter for the graph, so require parens.
+            // uses matter for the graph, so require parens. Turbofish
+            // calls (`drive::<BaselineArch>(...)`) are calls too — losing
+            // them would silently drop edges from statically-dispatched
+            // code paths.
             return None;
         }
         // Look backward: `.name(` is a method, `a::name(` is qualified.
@@ -752,6 +755,47 @@ impl FileModel {
                 token: i,
             }),
         }
+    }
+
+    /// True when the tokens after the ident at `i` spell `::<...>` — a
+    /// balanced angle-bracket list — followed by `(`: a turbofish call
+    /// like `drive::<BaselineArch>(spec)` or `iter.collect::<Vec<_>>()`.
+    fn turbofish_paren_follows(&self, i: usize) -> bool {
+        let Some((c1, t1)) = self.next_code_token(i) else {
+            return false;
+        };
+        if !t1.is_punct(&self.src, b':') {
+            return false;
+        }
+        let Some((c2, t2)) = self.next_code_token(c1) else {
+            return false;
+        };
+        if !t2.is_punct(&self.src, b':') {
+            return false;
+        }
+        let Some((mut j, t3)) = self.next_code_token(c2) else {
+            return false;
+        };
+        if !t3.is_punct(&self.src, b'<') {
+            return false;
+        }
+        let mut depth = 1usize;
+        let mut prev_dash = false;
+        while depth > 0 {
+            let Some((nj, t)) = self.next_code_token(j) else {
+                return false;
+            };
+            if t.is_punct(&self.src, b'<') {
+                depth += 1;
+            } else if t.is_punct(&self.src, b'>') && !prev_dash {
+                // A `>` closes a generic list unless it is the tail of a
+                // `->` in a fn-pointer argument (`fn(u8) -> u64`).
+                depth -= 1;
+            }
+            prev_dash = t.is_punct(&self.src, b'-');
+            j = nj;
+        }
+        matches!(self.next_code_token(j), Some((_, t)) if t.is_punct(&self.src, b'('))
     }
 
     /// The receiver chain of the method call at token `i` (the method name
@@ -1024,6 +1068,31 @@ mod tests {
         assert!(named.contains(&("current", CallKind::Qualified, Some("thread"))));
         assert!(named.contains(&("span", CallKind::Macro, None)));
         assert!(!named.iter().any(|(n, _, _)| *n == "not_a_call"));
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        // Statically-dispatched paths (`drive::<BaselineArch>(spec)`) must
+        // produce call-graph edges — dropping them would let panic sites
+        // behind a generic dispatch escape the containment analysis.
+        let src = "
+            fn f() {
+                drive::<BaselineArch>(spec);
+                iter.collect::<Vec<Vec<u8>>>();
+                apply::<fn(u8) -> u64>(g);
+                Foo::make::<T>(1);
+                let cmp = a < b;
+            }
+        ";
+        let m = FileModel::parse("x.rs", src);
+        let calls = m.calls_of(&m.fns[0]);
+        let named: Vec<(&str, CallKind)> =
+            calls.iter().map(|c| (c.name.as_str(), c.kind)).collect();
+        assert!(named.contains(&("drive", CallKind::Free)));
+        assert!(named.contains(&("collect", CallKind::Method)));
+        assert!(named.contains(&("apply", CallKind::Free)));
+        assert!(named.contains(&("make", CallKind::Qualified)));
+        assert!(!named.iter().any(|(n, _)| *n == "a" || *n == "b"));
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //! The scan parses the quoted event names out of `Counters::events()` and
 //! the `counter_group!` invocation / `UNMAPPED` const — all three shapes
 //! are kept canonical by rustfmt, same as the other text-scan rules.
+//!
+//! The rule extends to the per-architecture counter schemas
+//! (`atscale_mmu::ARCH_COUNTER_SCHEMAS`): every name an alternative
+//! translation architecture declares must likewise be in `MAPPED` or in the
+//! harness's `ARCH_UNMAPPED` table. Architecture counters are kept out of
+//! `UNMAPPED` (whose stale-check requires Table VI membership) so the two
+//! tables cannot blur into one another.
 
-use crate::counters::COUNTERS_PATH;
-use crate::source::block_after;
+use crate::counters::{arch_counter_schemas, ARCH_PATH, COUNTERS_PATH};
+use crate::source::{block_after, quoted_strings, quoted_strings_with_ends};
 use crate::{Audit, Workspace};
 use std::collections::BTreeSet;
 
@@ -53,7 +60,7 @@ pub fn audit_native_event_coverage(ws: &Workspace) -> Audit {
         );
         return audit;
     }
-    let unmapped = unmapped_entries(&events.stripped);
+    let unmapped = paired_entries(&events.stripped, "pub const UNMAPPED");
 
     let unmapped_names: BTreeSet<&str> = unmapped.iter().map(|(n, _)| n.as_str()).collect();
     for name in &table_vi {
@@ -96,7 +103,80 @@ pub fn audit_native_event_coverage(ws: &Workspace) -> Audit {
             );
         }
     }
+    check_arch_schema_coverage(&mut audit, ws, &mapped);
     audit
+}
+
+/// The per-architecture wing of the rule: every `ARCH_COUNTER_SCHEMAS` name
+/// is in `MAPPED` or `ARCH_UNMAPPED` (never both), and `ARCH_UNMAPPED`
+/// holds no stale or reason-free entries.
+fn check_arch_schema_coverage(audit: &mut Audit, ws: &Workspace, mapped: &BTreeSet<String>) {
+    let Some(arch) = ws.file(ARCH_PATH) else {
+        audit.fail(ARCH_PATH, format!("{ARCH_PATH} not found in workspace"));
+        return;
+    };
+    let Some(events) = ws.file(EVENTS_PATH) else {
+        return; // already reported above
+    };
+    let schemas = arch_counter_schemas(&arch.stripped);
+    if schemas.is_empty() {
+        audit.fail(
+            ARCH_PATH,
+            "could not parse any entries from `ARCH_COUNTER_SCHEMAS`",
+        );
+        return;
+    }
+    let arch_unmapped = paired_entries(&events.stripped, "pub const ARCH_UNMAPPED");
+    let arch_unmapped_names: BTreeSet<&str> =
+        arch_unmapped.iter().map(|(n, _)| n.as_str()).collect();
+    let mut schema_names: BTreeSet<&str> = BTreeSet::new();
+    for (arch_name, names) in &schemas {
+        for name in names {
+            schema_names.insert(name);
+            audit.check();
+            let in_mapped = mapped.contains(name);
+            let in_unmapped = arch_unmapped_names.contains(name.as_str());
+            if !in_mapped && !in_unmapped {
+                audit.fail(
+                    EVENTS_PATH,
+                    format!(
+                        "architecture counter `{name}` (schema `{arch_name}`) is neither in \
+                         the native `MAPPED` group nor in the `ARCH_UNMAPPED` table — map it \
+                         to a PMU event or record why no analogue exists"
+                    ),
+                );
+            }
+            if in_mapped && in_unmapped {
+                audit.fail(
+                    EVENTS_PATH,
+                    format!(
+                        "architecture counter `{name}` appears in both `MAPPED` and \
+                         `ARCH_UNMAPPED`"
+                    ),
+                );
+            }
+        }
+    }
+    for (name, reason) in &arch_unmapped {
+        audit.check();
+        if !schema_names.contains(name.as_str()) {
+            audit.fail(
+                EVENTS_PATH,
+                format!(
+                    "`ARCH_UNMAPPED` entry `{name}` is not in any `ARCH_COUNTER_SCHEMAS` \
+                     entry — stale entries must be pruned when an architecture's counter \
+                     set changes"
+                ),
+            );
+        }
+        audit.check();
+        if reason.trim().is_empty() {
+            audit.fail(
+                EVENTS_PATH,
+                format!("`ARCH_UNMAPPED` entry `{name}` has an empty reason"),
+            );
+        }
+    }
 }
 
 /// The simulator's Table VI counter names: every quoted string inside
@@ -124,10 +204,11 @@ fn mapped_names(events_src: &str) -> BTreeSet<String> {
     names
 }
 
-/// The `(name, reason)` pairs of the `UNMAPPED` const: quoted strings
-/// between `pub const UNMAPPED` and the closing `];`, taken pairwise.
-fn unmapped_entries(events_src: &str) -> Vec<(String, String)> {
-    let Some(at) = events_src.find("pub const UNMAPPED") else {
+/// The `(name, reason)` pairs of a two-string-tuple const table: quoted
+/// strings between `needle` (e.g. `pub const UNMAPPED`) and the closing
+/// `];`, taken pairwise. An absent const yields no entries.
+fn paired_entries(events_src: &str, needle: &str) -> Vec<(String, String)> {
+    let Some(at) = events_src.find(needle) else {
         return Vec::new();
     };
     let body = &events_src[at..];
@@ -138,42 +219,6 @@ fn unmapped_entries(events_src: &str) -> Vec<(String, String)> {
         .filter(|pair| pair.len() == 2)
         .map(|pair| (pair[0].clone(), pair[1].clone()))
         .collect()
-}
-
-/// Every `"..."` literal in `text`, in order (comment-stripped input; the
-/// event-name and reason literals under audit contain no escapes).
-fn quoted_strings(text: &str) -> Vec<String> {
-    quoted_strings_with_ends(text)
-        .into_iter()
-        .map(|(_, s)| s)
-        .collect()
-}
-
-/// Like [`quoted_strings`], also yielding the byte offset just past each
-/// literal's closing quote.
-fn quoted_strings_with_ends(text: &str) -> Vec<(usize, String)> {
-    let bytes = text.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let start = i + 1;
-            let mut j = start;
-            while j < bytes.len() && bytes[j] != b'"' {
-                if bytes[j] == b'\\' {
-                    j += 1;
-                }
-                j += 1;
-            }
-            if j < bytes.len() {
-                out.push((j + 1, text[start..j].to_string()));
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -205,12 +250,22 @@ mod tests {
                 "generic dTLB events cannot separate STLB hits from walks",
             ),
         ];
+        pub const ARCH_UNMAPPED: &[(&str, &str)] =
+            &[("victima.hits", "simulator-only structure")];
+    "#;
+
+    const GOOD_ARCH: &str = r#"
+        pub const ARCH_COUNTER_SCHEMAS: &[(&str, &[&str])] = &[
+            ("baseline", &[]),
+            ("victima", &["victima.hits"]),
+        ];
     "#;
 
     fn good() -> Vec<(&'static str, &'static str)> {
         vec![
             ("crates/mmu/src/counters.rs", GOOD_COUNTERS),
             ("crates/native/src/events.rs", GOOD_EVENTS),
+            ("crates/mmu/src/arch.rs", GOOD_ARCH),
         ]
     }
 
@@ -307,5 +362,91 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.message.contains("not found in workspace")));
+    }
+
+    #[test]
+    fn uncovered_arch_schema_counter_is_flagged() {
+        // Declare a second victima counter with no MAPPED/ARCH_UNMAPPED home.
+        let doctored = GOOD_ARCH.replace(
+            "&[\"victima.hits\"]",
+            "&[\"victima.hits\", \"victima.fills\"]",
+        );
+        let mut files = good();
+        files[2] = (
+            "crates/mmu/src/arch.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`victima.fills`")
+                && v.message.contains("neither in the native `MAPPED` group")));
+    }
+
+    #[test]
+    fn double_booked_arch_counter_is_flagged() {
+        // Map victima.hits natively while it also sits in ARCH_UNMAPPED.
+        let doctored = GOOD_EVENTS.replace(
+            "minor_faults:",
+            "victima_hits: \"victima.hits\" => EventKind::Hardware(HW_INSTRUCTIONS),\n                \"\";\n            minor_faults:",
+        );
+        assert_ne!(doctored, GOOD_EVENTS, "fixture shape drifted");
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`victima.hits`")
+                && v.message.contains("both `MAPPED` and `ARCH_UNMAPPED`")));
+    }
+
+    #[test]
+    fn stale_arch_unmapped_entry_is_flagged() {
+        let doctored = GOOD_EVENTS.replace(
+            "&[(\"victima.hits\", \"simulator-only structure\")];",
+            "&[(\"victima.hits\", \"simulator-only structure\"), (\"victima.gone\", \"reason\")];",
+        );
+        assert_ne!(doctored, GOOD_EVENTS, "fixture shape drifted");
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.message.contains("`victima.gone`") && v.message.contains("stale")));
+    }
+
+    #[test]
+    fn empty_arch_unmapped_reason_is_flagged() {
+        let doctored = GOOD_EVENTS.replace("\"simulator-only structure\"", "\"\"");
+        assert_ne!(doctored, GOOD_EVENTS, "fixture shape drifted");
+        let mut files = good();
+        files[1] = (
+            "crates/native/src/events.rs",
+            Box::leak(doctored.into_boxed_str()),
+        );
+        let audit = audit_native_event_coverage(&workspace_from(&files));
+        assert!(audit.violations.iter().any(|v| v
+            .message
+            .contains("`ARCH_UNMAPPED` entry `victima.hits`")
+            && v.message.contains("empty reason")));
+    }
+
+    #[test]
+    fn missing_arch_module_fails_loudly() {
+        let audit = audit_native_event_coverage(&workspace_from(&good()[..2]));
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v.file == "crates/mmu/src/arch.rs"
+                && v.message.contains("not found in workspace")));
     }
 }

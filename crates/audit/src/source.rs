@@ -95,6 +95,42 @@ pub fn has_ident(text: &str, ident: &str) -> bool {
     ident_positions(text, ident).next().is_some()
 }
 
+/// Every `"..."` literal in `text`, in order (comment-stripped input; the
+/// name and reason literals the rules scan contain no escapes).
+pub fn quoted_strings(text: &str) -> Vec<String> {
+    quoted_strings_with_ends(text)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
+}
+
+/// Like [`quoted_strings`], also yielding the byte offset just past each
+/// literal's closing quote.
+pub fn quoted_strings_with_ends(text: &str) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j < bytes.len() {
+                out.push((j + 1, text[start..j].to_string()));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
 /// Given the index of an opening `{`, returns the index one past its
 /// matching `}`, skipping braces inside string and char literals.
 pub fn matching_brace(src: &str, open: usize) -> Option<usize> {

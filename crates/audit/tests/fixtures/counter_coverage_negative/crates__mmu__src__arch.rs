@@ -1,0 +1,11 @@
+pub const ARCH_COUNTER_SCHEMAS: &[(&str, &[&str])] = &[
+    ("baseline", &[]),
+    ("victima", &["victima.hits"]),
+];
+
+impl TranslationArchitecture for VictimaArch {
+    const KIND: ArchKind = ArchKind::Victima;
+    fn extra_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("victima.hits", self.hits)]
+    }
+}

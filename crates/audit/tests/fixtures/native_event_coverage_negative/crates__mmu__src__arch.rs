@@ -1,0 +1,4 @@
+pub const ARCH_COUNTER_SCHEMAS: &[(&str, &[&str])] = &[
+    ("baseline", &[]),
+    ("victima", &["victima.hits"]),
+];

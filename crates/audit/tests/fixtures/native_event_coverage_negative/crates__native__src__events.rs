@@ -13,3 +13,6 @@ pub const UNMAPPED: &[(&str, &str)] = &[
         "generic dTLB events cannot separate STLB hits from walk-causing misses",
     ),
 ];
+
+pub const ARCH_UNMAPPED: &[(&str, &str)] =
+    &[("victima.hits", "simulator-only structure")];

@@ -14,3 +14,10 @@ pub const UNMAPPED: &[(&str, &str)] = &[
         "",
     ),
 ];
+
+pub const ARCH_UNMAPPED: &[(&str, &str)] = &[
+    (
+        "victima.gone",
+        "",
+    ),
+];

@@ -22,6 +22,7 @@ fn bench_models(c: &mut Criterion) {
                     seed: 1,
                     warmup_instr: 0,
                     budget_instr: 200_000,
+                    arch: atscale::ArchKind::Baseline,
                 };
                 black_box(execute_run(&spec, &MachineConfig::haswell()))
             });
@@ -47,6 +48,7 @@ fn bench_page_sizes(c: &mut Criterion) {
                         seed: 1,
                         warmup_instr: 0,
                         budget_instr: 200_000,
+                        arch: atscale::ArchKind::Baseline,
                     };
                     black_box(execute_run(&spec, &MachineConfig::haswell()))
                 });

@@ -19,6 +19,7 @@ fn spec() -> RunSpec {
         seed: 1,
         warmup_instr: 0,
         budget_instr: 200_000,
+        arch: atscale::ArchKind::Baseline,
     }
 }
 

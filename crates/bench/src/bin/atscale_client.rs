@@ -20,6 +20,8 @@
 //! query options:
 //!   --workload NAME                restrict to one workload
 //!   --source NAME                  restrict to one provenance tag (sim/native)
+//!   --arch NAME                    restrict to one translation architecture
+//!                                  (baseline/victima/dram-cache/no-tlb)
 //!   --min-footprint-mb N           inclusive lower footprint bound
 //!   --max-footprint-mb N           inclusive upper footprint bound
 //!   --jsonl PATH                   write per-group summaries as JSON lines
@@ -28,6 +30,8 @@
 //! sweep options:
 //!   --test | --quick | --full      sweep profile (default --quick)
 //!   --workloads a,b,c              subset of workloads (default: all 13)
+//!   --arch NAME                    simulate every spec on this translation
+//!                                  architecture (default baseline)
 //!   --no-cache                     force fresh executions
 //!   --deadline-ms N                per-request deadline
 //!   --sample-interval N            stream interval samples every N instrs
@@ -39,7 +43,7 @@
 
 use atscale::report::{fmt, human_bytes, Table};
 use atscale::telemetry::TelemetrySink;
-use atscale::{OverheadPoint, RunSpec, SweepConfig};
+use atscale::{ArchKind, OverheadPoint, RunSpec, SweepConfig};
 use atscale_serve::protocol::{QueryFilter, Reply};
 use atscale_serve::{Client, ShardedClient, SubmitOptions};
 use atscale_telemetry::Recorder;
@@ -60,6 +64,7 @@ struct Options {
     csv: Option<PathBuf>,
     progress: bool,
     filter: QueryFilter,
+    arch: ArchKind,
 }
 
 const USAGE: &str = "usage: atscale-client [--connect TARGET] \
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         csv: None,
         progress: false,
         filter: QueryFilter::default(),
+        arch: ArchKind::Baseline,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -126,6 +132,14 @@ fn parse_args() -> Result<Options, String> {
             "--source" => {
                 opts.filter.source = Some(iter.next().ok_or("--source needs a name")?.clone());
             }
+            "--arch" => {
+                let name = iter.next().ok_or("--arch needs a name")?;
+                let arch: ArchKind = name.parse()?;
+                // One flag, both roles: sweeps simulate on it, queries
+                // restrict to it.
+                opts.arch = arch;
+                opts.filter.arch = Some(arch.to_string());
+            }
             "--min-footprint-mb" => {
                 opts.filter.min_footprint_mb = Some(
                     iter.next()
@@ -154,12 +168,12 @@ fn parse_args() -> Result<Options, String> {
 
 /// The fig1 spec set: every workload at every sweep footprint, at all three
 /// page sizes — byte-for-byte the specs `Harness::sweep_many` runs.
-fn sweep_specs(workloads: &[WorkloadId], sweep: &SweepConfig) -> Vec<RunSpec> {
+fn sweep_specs(workloads: &[WorkloadId], sweep: &SweepConfig, arch: ArchKind) -> Vec<RunSpec> {
     let footprints = sweep.footprints();
     let mut specs = Vec::new();
     for &w in workloads {
         for &fp in &footprints {
-            let base = sweep.spec(w, fp);
+            let base = sweep.spec(w, fp).with_arch(arch);
             specs.push(base);
             specs.push(base.with_page_size(PageSize::Size2M));
             specs.push(base.with_page_size(PageSize::Size1G));
@@ -169,9 +183,10 @@ fn sweep_specs(workloads: &[WorkloadId], sweep: &SweepConfig) -> Vec<RunSpec> {
 }
 
 fn run_sweep(client: &mut ShardedClient, opts: &Options) -> Result<(), String> {
-    let specs = sweep_specs(&opts.workloads, &opts.sweep);
+    let specs = sweep_specs(&opts.workloads, &opts.sweep, opts.arch);
     println!(
-        "sweep: {} workloads x {} points x 3 page sizes = {} specs via {} ({} shard(s))",
+        "sweep[{}]: {} workloads x {} points x 3 page sizes = {} specs via {} ({} shard(s))",
+        opts.arch,
         opts.workloads.len(),
         opts.sweep.points,
         specs.len(),
@@ -289,6 +304,7 @@ fn run_query(client: &mut Client, opts: &Options) -> Result<(), String> {
         "workload",
         "footprint_mb",
         "source",
+        "arch",
         "count",
         "mean_wcpi",
         "p50_wcpi",
@@ -299,6 +315,7 @@ fn run_query(client: &mut Client, opts: &Options) -> Result<(), String> {
             g.workload.clone(),
             g.footprint_mb.to_string(),
             g.source.clone(),
+            g.arch.clone(),
             g.count.to_string(),
             fmt(g.mean_wcpi, 4),
             fmt(g.p50_wcpi, 4),
@@ -341,8 +358,12 @@ fn run(opts: &Options) -> Result<(), String> {
     match opts.command.as_str() {
         "ping" => {
             println!(
-                "{} (protocol {}, {} workers) at {}",
-                welcome.server, welcome.protocol, welcome.workers, opts.connect
+                "{} (protocol {}, {} workers, archs: {}) at {}",
+                welcome.server,
+                welcome.protocol,
+                welcome.workers,
+                welcome.architectures.join(","),
+                opts.connect
             );
             Ok(())
         }

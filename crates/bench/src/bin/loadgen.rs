@@ -146,6 +146,7 @@ fn spec_pool(size: usize) -> Vec<RunSpec> {
             seed: 9_000 + i,
             warmup_instr: 1_000,
             budget_instr: 20_000,
+            arch: atscale::ArchKind::Baseline,
         })
         .collect()
 }

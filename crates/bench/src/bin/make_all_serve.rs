@@ -7,7 +7,7 @@
 //! the daemon down gracefully, then regenerates every figure/table from
 //! the now-warm shared run cache exactly as `make_all` does.
 
-use atscale::{RunSpec, SweepConfig};
+use atscale::{ArchKind, RunSpec, SweepConfig};
 use atscale_bench::HarnessOptions;
 use atscale_serve::protocol::QueryFilter;
 use atscale_serve::{Client, SubmitOptions};
@@ -53,6 +53,26 @@ fn sweep_specs(sweep: &SweepConfig) -> Vec<RunSpec> {
     specs
 }
 
+/// The scenario matrix's off-baseline wing: every alternative translation
+/// architecture over the same footprint ladder, 4 KB pages only (the
+/// per-architecture β/c fit needs the footprint axis, not the superpage
+/// axis — baseline already covers 2M/1G for the figures).
+fn arch_matrix_specs(sweep: &SweepConfig) -> Vec<RunSpec> {
+    let footprints = sweep.footprints();
+    let mut specs = Vec::new();
+    for &arch in &ArchKind::ALL {
+        if arch == ArchKind::Baseline {
+            continue;
+        }
+        for &w in &WorkloadId::all() {
+            for &fp in &footprints {
+                specs.push(sweep.spec(w, fp).with_arch(arch));
+            }
+        }
+    }
+    specs
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let _telemetry = opts.telemetry("make_all_serve");
@@ -64,12 +84,13 @@ fn main() {
     // admission queue to the sweep so the whole batch fits (admission is
     // whole-batch-atomic; an undersized queue would reject it Overloaded).
     let specs = sweep_specs(&opts.sweep);
+    let arch_specs = arch_matrix_specs(&opts.sweep);
     let socket = std::env::temp_dir().join(format!("atscale-make-all-{}.sock", std::process::id()));
     let mut daemon = Command::new(bin_dir.join("atscale-serve"))
         .arg("--socket")
         .arg(&socket)
         .arg("--queue")
-        .arg(specs.len().to_string())
+        .arg(specs.len().max(arch_specs.len()).to_string())
         .spawn()
         .expect("launch atscale-serve");
     let target = format!("unix:{}", socket.display());
@@ -106,6 +127,35 @@ fn main() {
             ),
             _ => println!(
                 "  {name:<12} {} run(s) | fit n/a (needs >= 2 footprints)",
+                answer.count
+            ),
+        }
+    }
+
+    // The served scenario matrix: the same footprint ladder on every
+    // alternative translation architecture, then one arch-filtered Query
+    // per architecture for the fig1-style per-arch β/c fit.
+    let arch_records = client
+        .run_chunked(&arch_specs, SubmitOptions::default())
+        .expect("arch-matrix batch");
+    println!(
+        "\narch matrix: daemon resolved {} off-baseline specs",
+        arch_records.len()
+    );
+    println!("per-architecture fig1 fits (4K, all workloads):");
+    for &arch in &ArchKind::ALL {
+        let filter = QueryFilter {
+            arch: Some(arch.to_string()),
+            ..QueryFilter::default()
+        };
+        let answer = client.query(&filter).expect("arch query");
+        match (answer.beta, answer.intercept) {
+            (Some(beta), Some(c)) => println!(
+                "  {arch:<12} {} run(s) | WCPI = {beta:.4} * log10(M_KB) + {c:.4}",
+                answer.count
+            ),
+            _ => println!(
+                "  {arch:<12} {} run(s) | fit n/a (needs >= 2 footprints)",
                 answer.count
             ),
         }

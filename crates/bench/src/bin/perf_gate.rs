@@ -24,14 +24,20 @@
 //!
 //! Usage:
 //!   perf_gate [--test|--quick|--full] [--out PATH] [--baseline PATH]
-//!             [--threshold PCT] [--repeat N] [--reference]
+//!             [--threshold PCT] [--repeat N] [--reference] [--arch NAME]
+//!
+//! `--arch NAME` measures on one of the pluggable translation
+//! architectures (`baseline`, `victima`, `dram-cache`, `no-tlb`). Workload
+//! labels get an `@arch` suffix off-baseline, so an A/B report never
+//! silently compares against baseline numbers; the default (baseline)
+//! keeps labels — and hence `BENCH_PR4.json` comparisons — unchanged.
 //!
 //! `--repeat N` measures every workload N times and reports each one's best
 //! pass — the standard defence against noisy-neighbour machines, where a
 //! single pass can swing ±15% and a throughput *gate* must not flake.
 
 use atscale::mmu::MachineConfig;
-use atscale::{execute_run, execute_run_reference, RunSpec, SweepConfig};
+use atscale::{execute_run, execute_run_reference, ArchKind, RunSpec, SweepConfig};
 use atscale_workloads::WorkloadId;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -69,6 +75,7 @@ struct Options {
     repeat: u32,
     reference: bool,
     workloads: Option<Vec<WorkloadId>>,
+    arch: ArchKind,
 }
 
 fn parse_args() -> Options {
@@ -81,6 +88,7 @@ fn parse_args() -> Options {
         repeat: 1,
         reference: false,
         workloads: None,
+        arch: ArchKind::Baseline,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -128,15 +136,24 @@ fn parse_args() -> Options {
                 );
             }
             "--reference" => opts.reference = true,
+            "--arch" => {
+                let name = args.next().expect("--arch takes a name");
+                opts.arch = name.parse().unwrap_or_else(|e: String| panic!("{e}"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_gate [--test|--quick|--full] [--out PATH] \
-                     [--baseline PATH] [--threshold PCT] [--repeat N] [--reference]"
+                     [--baseline PATH] [--threshold PCT] [--repeat N] [--reference] \
+                     [--arch NAME]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if opts.reference && opts.arch != ArchKind::Baseline {
+        eprintln!("--reference models only the baseline architecture; drop --arch");
+        std::process::exit(2);
     }
     opts
 }
@@ -161,8 +178,13 @@ fn measure(opts: &Options) -> Report {
             .sweep
             .footprints()
             .into_iter()
-            .map(|fp| opts.sweep.spec(workload, fp))
+            .map(|fp| opts.sweep.spec(workload, fp).with_arch(opts.arch))
             .collect();
+        let label = if opts.arch == ArchKind::Baseline {
+            workload.to_string()
+        } else {
+            format!("{workload}@{}", opts.arch)
+        };
         let mut best: Option<WorkloadThroughput> = None;
         for _ in 0..opts.repeat {
             let start = Instant::now();
@@ -187,7 +209,7 @@ fn measure(opts: &Options) -> Report {
                 .is_none_or(|b| instr_per_sec > b.instr_per_sec)
             {
                 best = Some(WorkloadThroughput {
-                    label: workload.to_string(),
+                    label: label.clone(),
                     instructions,
                     wall_seconds,
                     instr_per_sec,

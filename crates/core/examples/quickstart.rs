@@ -21,6 +21,7 @@ fn main() {
         seed: 42,
         warmup_instr: 100_000,
         budget_instr: 1_000_000,
+        arch: atscale::ArchKind::Baseline,
     };
     println!(
         "measuring {} at 512MB under 4KB/2MB/1GB pages...",

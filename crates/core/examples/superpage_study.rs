@@ -39,6 +39,7 @@ fn main() {
             seed: 9,
             warmup_instr: 100_000,
             budget_instr: 1_500_000,
+            arch: atscale::ArchKind::Baseline,
         };
         let point = OverheadPoint::measure(&spec, &MachineConfig::haswell());
         let c4 = &point.run_4k.result.counters;

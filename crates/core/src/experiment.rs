@@ -95,6 +95,7 @@ impl SweepConfig {
             seed: self.seed ^ atscale_gen::splitmix64(footprint),
             warmup_instr: self.warmup_instr,
             budget_instr: self.budget_instr,
+            arch: crate::ArchKind::Baseline,
         }
     }
 }

@@ -22,7 +22,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use atscale::{execute_run, RunSpec};
+//! use atscale::{execute_run, ArchKind, RunSpec};
 //! use atscale_mmu::MachineConfig;
 //! use atscale_vm::PageSize;
 //! use atscale_workloads::WorkloadId;
@@ -34,6 +34,7 @@
 //!     seed: 1,
 //!     warmup_instr: 50_000,
 //!     budget_instr: 200_000,
+//!     arch: ArchKind::Baseline,
 //! };
 //! let record = execute_run(&spec, &MachineConfig::haswell());
 //! assert!(record.result.counters.wcpi() > 0.0);
@@ -56,6 +57,11 @@ pub use experiment::{Harness, SweepConfig};
 pub use metrics::PressureMetric;
 pub use overhead::OverheadPoint;
 pub use run::{execute_run, execute_run_reference, execute_run_with_telemetry, RunRecord, RunSpec};
+
+/// The translation-architecture axis of the scenario matrix, re-exported so
+/// sweep drivers and clients name architectures without a direct
+/// `atscale-mmu` dependency.
+pub use atscale_mmu::ArchKind;
 pub use scaling::{fit_overhead_scaling, ScalingFit};
 pub use store::{hot_row, RunStore, StoreStats};
 

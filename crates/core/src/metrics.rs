@@ -86,6 +86,7 @@ mod tests {
                 seed: 2,
                 warmup_instr: 10_000,
                 budget_instr: 80_000,
+                arch: crate::ArchKind::Baseline,
             },
             &MachineConfig::haswell(),
         )

@@ -91,6 +91,7 @@ mod tests {
             seed: 7,
             warmup_instr: 20_000,
             budget_instr: 150_000,
+            arch: crate::ArchKind::Baseline,
         };
         OverheadPoint::measure(&spec, &MachineConfig::haswell())
     }
@@ -130,6 +131,7 @@ mod tests {
             seed: 1,
             warmup_instr: 0,
             budget_instr: 1000,
+            arch: crate::ArchKind::Baseline,
         };
         OverheadPoint::measure(&spec, &MachineConfig::haswell());
     }

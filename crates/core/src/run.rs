@@ -1,13 +1,16 @@
-//! One measured run: workload × footprint × page size.
+//! One measured run: workload × footprint × page size × architecture.
 
-use atscale_mmu::{Machine, MachineConfig, RunResult, TelemetryHandle};
+use atscale_mmu::{
+    ArchKind, ArchMachine, BaselineArch, DramCacheArch, MachineConfig, NoTlbArch, RunResult,
+    TelemetryHandle, TranslationArchitecture, VictimaArch,
+};
 use atscale_telemetry::span;
 use atscale_vm::{BackingPolicy, PageSize};
 use atscale_workloads::WorkloadId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Everything that identifies one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunSpec {
     /// Which of the paper's 13 workloads to run.
     pub workload: WorkloadId,
@@ -23,6 +26,53 @@ pub struct RunSpec {
     pub warmup_instr: u64,
     /// Measured instructions.
     pub budget_instr: u64,
+    /// Translation architecture the machine runs (ROADMAP item 3's
+    /// scenario-matrix dimension). `ArchKind::Baseline` is the paper's
+    /// Table III design and the default for every legacy spec.
+    pub arch: ArchKind,
+}
+
+// Hand-written serde: the former derive's shape with `arch` appended only
+// when non-baseline, and defaulted to baseline when absent. This keeps
+// baseline spec bytes — and therefore `RunStore` record keys/hashes, the
+// perf-gate baselines and every sealed segment — identical to every
+// pre-architecture release.
+impl Serialize for RunSpec {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("workload".to_string(), self.workload.to_value()),
+            (
+                "nominal_footprint".to_string(),
+                self.nominal_footprint.to_value(),
+            ),
+            ("page_size".to_string(), self.page_size.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("warmup_instr".to_string(), self.warmup_instr.to_value()),
+            ("budget_instr".to_string(), self.budget_instr.to_value()),
+        ];
+        if self.arch != ArchKind::Baseline {
+            entries.push(("arch".to_string(), self.arch.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for RunSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v.as_map()?;
+        Ok(RunSpec {
+            workload: serde::field(entries, "workload")?,
+            nominal_footprint: serde::field(entries, "nominal_footprint")?,
+            page_size: serde::field(entries, "page_size")?,
+            seed: serde::field(entries, "seed")?,
+            warmup_instr: serde::field(entries, "warmup_instr")?,
+            budget_instr: serde::field(entries, "budget_instr")?,
+            arch: match entries.iter().find(|(k, _)| k == "arch") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => ArchKind::Baseline,
+            },
+        })
+    }
 }
 
 impl RunSpec {
@@ -33,8 +83,17 @@ impl RunSpec {
         self
     }
 
+    /// The same spec on a different translation architecture — the
+    /// scenario-matrix axis.
+    pub fn with_arch(mut self, arch: ArchKind) -> Self {
+        self.arch = arch;
+        self
+    }
+
     /// Short human label for progress lines and telemetry events, e.g.
-    /// `cc-urand 256MB 4K`.
+    /// `cc-urand 256MB 4K` (suffixed `@victima` etc. off-baseline, so
+    /// existing baseline labels — perf-gate baselines match on them —
+    /// are untouched).
     pub fn label(&self) -> String {
         let mb = self.nominal_footprint >> 20;
         let page = match self.page_size {
@@ -42,7 +101,11 @@ impl RunSpec {
             PageSize::Size2M => "2M",
             PageSize::Size1G => "1G",
         };
-        format!("{} {mb}MB {page}", self.workload)
+        if self.arch == ArchKind::Baseline {
+            format!("{} {mb}MB {page}", self.workload)
+        } else {
+            format!("{} {mb}MB {page}@{}", self.workload, self.arch)
+        }
     }
 }
 
@@ -99,8 +162,26 @@ pub fn execute_run_with_telemetry(
     config: &MachineConfig,
     telemetry: Option<&TelemetryHandle>,
 ) -> RunRecord {
+    // Static dispatch per architecture: each arm instantiates the whole
+    // drive loop monomorphically, so the baseline arm *is* the
+    // pre-architecture hot path — no dyn call appears on the per-access
+    // path for any architecture (the perf gate holds the baseline arm to
+    // the PR-4 numbers).
+    match spec.arch {
+        ArchKind::Baseline => drive::<BaselineArch>(spec, config, telemetry),
+        ArchKind::Victima => drive::<VictimaArch>(spec, config, telemetry),
+        ArchKind::DramCache => drive::<DramCacheArch>(spec, config, telemetry),
+        ArchKind::NoTlb => drive::<NoTlbArch>(spec, config, telemetry),
+    }
+}
+
+fn drive<A: TranslationArchitecture>(
+    spec: &RunSpec,
+    config: &MachineConfig,
+    telemetry: Option<&TelemetryHandle>,
+) -> RunRecord {
     let mut workload = spec.workload.build_model(spec.nominal_footprint, spec.seed);
-    let mut machine = Machine::new(
+    let mut machine = ArchMachine::<A>::new(
         *config,
         BackingPolicy::uniform(spec.page_size),
         workload.profile(),
@@ -141,10 +222,17 @@ pub fn execute_run_with_telemetry(
 ///
 /// # Panics
 ///
-/// Panics as [`execute_run`] does.
+/// Panics as [`execute_run`] does, and on any non-baseline `spec.arch`:
+/// the reference pipeline is frozen at the paper's Table III design, so
+/// only [`ArchKind::Baseline`] has a reference to differ against.
 pub fn execute_run_reference(spec: &RunSpec, config: &MachineConfig) -> RunRecord {
+    assert_eq!(
+        spec.arch,
+        ArchKind::Baseline,
+        "the reference pipeline models only the baseline architecture"
+    );
     let mut workload = spec.workload.build_model(spec.nominal_footprint, spec.seed);
-    let mut machine = Machine::new(
+    let mut machine = atscale_mmu::Machine::new(
         *config,
         BackingPolicy::uniform(spec.page_size),
         workload.profile(),
@@ -175,7 +263,60 @@ mod tests {
             seed: 3,
             warmup_instr: 20_000,
             budget_instr: 100_000,
+            arch: ArchKind::Baseline,
         }
+    }
+
+    #[test]
+    fn baseline_spec_bytes_omit_the_arch_field() {
+        let json = serde_json::to_string(&spec()).unwrap();
+        assert!(
+            !json.contains("arch"),
+            "baseline spec must serialise exactly as pre-architecture specs did: {json}"
+        );
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec());
+    }
+
+    #[test]
+    fn non_baseline_spec_round_trips_with_arch() {
+        let s = spec().with_arch(ArchKind::Victima);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"arch\":\"victima\""), "{json}");
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn legacy_spec_json_decodes_as_baseline() {
+        let json = serde_json::to_string(&spec()).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.arch, ArchKind::Baseline);
+    }
+
+    #[test]
+    fn arch_variant_changes_only_arch_and_label_suffix() {
+        let base = spec();
+        let v = base.with_arch(ArchKind::NoTlb);
+        assert_eq!(v.workload, base.workload);
+        assert_eq!(v.page_size, base.page_size);
+        assert_eq!(base.label(), "pr-urand 32MB 4K");
+        assert_eq!(v.label(), "pr-urand 32MB 4K@no-tlb");
+    }
+
+    #[test]
+    fn no_tlb_walks_every_translation() {
+        let mut s = spec();
+        s.budget_instr = 40_000;
+        s.warmup_instr = 5_000;
+        let rec = execute_run(&s.with_arch(ArchKind::NoTlb), &MachineConfig::tiny_test());
+        let c = &rec.result.counters;
+        assert!(c.walks_initiated() > 0);
+        assert_eq!(
+            c.stlb_hit_loads + c.stlb_hit_stores,
+            0,
+            "no-tlb never hits any TLB level"
+        );
     }
 
     #[test]

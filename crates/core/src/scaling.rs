@@ -64,6 +64,7 @@ mod tests {
             seed: 0,
             warmup_instr: 0,
             budget_instr: 0,
+            arch: crate::ArchKind::Baseline,
         };
         let mk = |cycles: u64, data_bytes: u64| {
             let mut result = RunResult {
@@ -80,6 +81,7 @@ mod tests {
                 page_size: PageSize::Size4K,
                 mean_pte_latency: 0.0,
                 samples: Vec::new(),
+                arch_events: Vec::new(),
             };
             result.space.data_bytes = data_bytes;
             RunRecord { spec, result }

@@ -493,6 +493,7 @@ pub fn hot_row(record: &RunRecord) -> HotRow {
         .to_string(),
         seed: record.spec.seed,
         source: "sim".to_string(),
+        arch: record.spec.arch.to_string(),
         wcpi_fp: value_fp(counters.wcpi()),
         x_fp: x_fp(record.log10_footprint_kb()),
         walk_duration_cycles: counters.walk_duration_cycles,
@@ -561,6 +562,7 @@ mod tests {
             seed: 1,
             warmup_instr: 1000,
             budget_instr: 30_000,
+            arch: crate::ArchKind::Baseline,
         }
     }
 

@@ -16,6 +16,7 @@ fn spec(workload: &str, footprint: u64, budget: u64) -> RunSpec {
         seed: 77,
         warmup_instr: 20_000,
         budget_instr: budget,
+        arch: atscale::ArchKind::Baseline,
     }
 }
 

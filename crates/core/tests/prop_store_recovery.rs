@@ -24,6 +24,7 @@ fn baseline() -> &'static (RunRecord, Vec<u8>) {
             seed: 11,
             warmup_instr: 1_000,
             budget_instr: 20_000,
+            arch: atscale::ArchKind::Baseline,
         };
         let record = atscale::execute_run(&spec, &MachineConfig::haswell());
         let bytes = serde_json::to_vec(&record).expect("records serialize");

@@ -27,74 +27,36 @@
 //! charging it here would pollute the 4 KB-vs-2 MB comparison with a
 //! fault-count artefact instead of a translation effect.
 
+use crate::arch::{ArchKind, ArchLookup, BaselineArch, TranslationArchitecture};
+use crate::result::{arch_event_pairs, RunResult};
 use crate::telemetry::{MachineTelemetry, TelemetryHandle};
 use crate::{
     AccessOp, AccessSink, Counters, MachineConfig, PageTableWalker, PagingStructureCaches,
-    SpecEvent, SpeculationModel, TlbHierarchy, TlbHit, TlbStats, WorkloadProfile,
+    SpecEvent, SpeculationModel, TlbHierarchy, TlbHit, WorkloadProfile,
 };
-use atscale_cache::{AccessKind, CacheHierarchy, HierarchyStats, PteLocationDistribution};
-use atscale_telemetry::{LatencyMetric, Sample};
+use atscale_cache::{AccessKind, CacheHierarchy};
+use atscale_telemetry::LatencyMetric;
 use atscale_vm::{
     invariant, AddressSpace, BackingPolicy, CheckInvariants, PageSize, PhysAddr, ProbeResult,
-    SpaceStats, VirtAddr,
+    VirtAddr,
 };
-use serde::{Deserialize, Serialize};
 
 /// Interval (in retired instructions) between speculation-pressure updates.
 const PRESSURE_WINDOW: u64 = 4096;
 
-/// Everything measured by one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunResult {
-    /// The software performance-counter file (Intel event semantics).
-    pub counters: Counters,
-    /// TLB hierarchy statistics (includes speculative lookups, like the
-    /// hardware `dtlb_*` events).
-    pub tlb: TlbStats,
-    /// Cache-hierarchy statistics split by data/PTE.
-    pub hierarchy: HierarchyStats,
-    /// Address-space statistics (footprint, faults, page-table occupancy).
-    pub space: SpaceStats,
-    /// Paging-structure-cache hits `(pde, pdpte, pml4e)`.
-    pub psc_hits: (u64, u64, u64),
-    /// Paging-structure-cache lookups.
-    pub psc_lookups: u64,
-    /// The page size policy of the run.
-    pub page_size: PageSize,
-    /// Mean PTE fetch latency in cycles (Eq. 1 "walk cycles / PTW access").
-    pub mean_pte_latency: f64,
-    /// Interval-sampled counter series (empty unless the machine had a
-    /// [`TelemetryHandle`] with a non-zero sample interval). The final
-    /// sample's cumulative counters reconcile exactly with `counters`.
-    pub samples: Vec<Sample>,
-}
-
-impl RunResult {
-    /// Measured memory footprint in bytes (data + page tables actually
-    /// touched) — the paper's x-axis quantity.
-    pub fn footprint_bytes(&self) -> u64 {
-        self.space.footprint_bytes()
-    }
-
-    /// Runtime of the measured region in cycles.
-    pub fn runtime_cycles(&self) -> u64 {
-        self.counters.cycles
-    }
-
-    /// Where the walker found PTEs (the paper's Figure 8 series).
-    pub fn pte_location(&self) -> PteLocationDistribution {
-        self.hierarchy.pte_location_distribution()
-    }
-}
-
 /// The simulated machine: address space + caches + TLBs + walker +
 /// speculation + counters, driven through [`AccessSink`].
+///
+/// Generic over the [`TranslationArchitecture`] mediating the translate
+/// path. Dispatch is monomorphic — each architecture compiles its own copy
+/// of the per-access pipeline, so [`Machine`] (the [`BaselineArch`] alias)
+/// keeps the restructured L1-hit fast path with zero indirection.
 ///
 /// See the crate-level example for typical use. Construct, let the workload
 /// allocate via [`Machine::space_mut`] and push its access stream, then call
 /// [`Machine::finish`].
 #[derive(Debug)]
-pub struct Machine {
+pub struct ArchMachine<A: TranslationArchitecture> {
     config: MachineConfig,
     profile: WorkloadProfile,
     space: AddressSpace,
@@ -120,9 +82,17 @@ pub struct Machine {
     /// (see [`Machine::set_reference_mode`]).
     reference_mode: bool,
     telemetry: MachineTelemetry,
+    /// The translation architecture's private state (extension arrays,
+    /// stacked-cache directory, …). Zero-sized for [`BaselineArch`].
+    arch: A,
 }
 
-impl Machine {
+/// The default machine: the paper's Table III design behind the
+/// architecture seam ([`BaselineArch`] — proven bit-identical to the
+/// pre-trait engine by the conformance suite).
+pub type Machine = ArchMachine<BaselineArch>;
+
+impl<A: TranslationArchitecture> ArchMachine<A> {
     /// Builds a machine with the given configuration, page-backing policy
     /// and workload profile.
     ///
@@ -132,7 +102,8 @@ impl Machine {
     /// [`WorkloadProfile::validate`]).
     pub fn new(config: MachineConfig, policy: BackingPolicy, profile: WorkloadProfile) -> Self {
         profile.validate();
-        Machine {
+        ArchMachine {
+            arch: A::new(&config),
             config,
             profile,
             space: AddressSpace::new(policy),
@@ -165,6 +136,12 @@ impl Machine {
     /// asserts byte-identical `RunRecord`s; keep this path semantically
     /// frozen.
     pub fn set_reference_mode(&mut self, on: bool) {
+        assert!(
+            !on || A::KIND == ArchKind::Baseline,
+            "reference mode is the frozen pre-trait baseline pipeline; \
+             {} has no reference implementation",
+            A::KIND
+        );
         self.reference_mode = on;
     }
 
@@ -249,6 +226,7 @@ impl Machine {
             page_size: self.space.policy().requested(),
             mean_pte_latency,
             samples: std::mem::take(&mut self.telemetry).into_samples(),
+            arch_events: arch_event_pairs(self.arch.extra_counters()),
         }
     }
 
@@ -373,7 +351,7 @@ impl Machine {
             let Some(va) = self.spec.sample_wrong_path(self.space.segments()) else {
                 break;
             };
-            if self.tlbs.lookup(va).is_hit() {
+            if !matches!(self.arch.lookup(&mut self.tlbs, va), ArchLookup::Miss) {
                 continue;
             }
             // Speculative TLB miss: a walk is initiated but never retires.
@@ -381,17 +359,33 @@ impl Machine {
             let budget = plan.squash_budget - elapsed;
             let walk = match self.space.probe_walk(va) {
                 ProbeResult::Mapped(path) => {
-                    let w =
-                        self.walker
-                            .walk(va, &path, &mut self.psc, &mut self.caches, Some(budget));
+                    let arch = &mut self.arch;
+                    let w = self.walker.walk_hooked(
+                        va,
+                        &path,
+                        &mut self.psc,
+                        &mut self.caches,
+                        Some(budget),
+                        |paddr, response| arch.pte_fetch_latency(paddr, response),
+                    );
                     if w.completed {
-                        self.tlbs.fill(va, path.page_size, path.frame_base.as_u64());
+                        self.arch.fill(
+                            &mut self.tlbs,
+                            va,
+                            path.page_size,
+                            path.frame_base.as_u64(),
+                        );
                     }
                     w
                 }
                 ProbeResult::NotPresent { fetched } => {
-                    self.walker
-                        .walk_prefix(fetched.steps(), &mut self.caches, Some(budget))
+                    let arch = &mut self.arch;
+                    self.walker.walk_prefix_hooked(
+                        fetched.steps(),
+                        &mut self.caches,
+                        Some(budget),
+                        |paddr, response| arch.pte_fetch_latency(paddr, response),
+                    )
                 }
             };
             self.counters.walk_duration_cycles += walk.cycles;
@@ -414,7 +408,7 @@ impl Machine {
     }
 }
 
-impl CheckInvariants for Machine {
+impl<A: TranslationArchitecture> CheckInvariants for ArchMachine<A> {
     fn check_invariants(&self) {
         let snapshot = self.counters();
         snapshot.check_invariants();
@@ -427,7 +421,7 @@ impl CheckInvariants for Machine {
     }
 }
 
-impl Machine {
+impl<A: TranslationArchitecture> ArchMachine<A> {
     /// The data-cache access every retired memory op performs after
     /// translation, plus the load-dependent stall accounting. Identical for
     /// every TLB outcome; `translation_cycles` is the translation-side
@@ -456,16 +450,24 @@ impl Machine {
         }
     }
 
-    /// The L2-TLB-hit leg of the pipeline: retired-STLB-hit counters plus
-    /// the exposed part of the L2 penalty.
-    fn access_l2_hit(&mut self, op: AccessOp, va: VirtAddr, size: PageSize, frame: u64) {
+    /// The second-level-hit leg of the pipeline: retired-STLB-hit counters
+    /// plus the exposed part of the architecture-chosen penalty (the shared
+    /// L2 TLB penalty for baseline; an extension level's latency otherwise).
+    fn access_l2_hit(
+        &mut self,
+        op: AccessOp,
+        va: VirtAddr,
+        size: PageSize,
+        frame: u64,
+        penalty: u32,
+    ) {
         match op {
             AccessOp::Load => self.counters.stlb_hit_loads += 1,
             AccessOp::Store => self.counters.stlb_hit_stores += 1,
         }
-        let translation_cycles = self.tlbs.l2_hit_penalty() as u64;
+        let translation_cycles = penalty as u64;
         self.record_latency(LatencyMetric::TlbFillCycles, translation_cycles);
-        let exposed = self.tlbs.l2_hit_penalty() as f64 / self.profile.mlp;
+        let exposed = penalty as f64 / self.profile.mlp;
         self.cycles_f += exposed;
         self.stall_window += exposed;
         self.finish_data_access(op, va, translation_cycles, PhysAddr::new(frame), size);
@@ -492,9 +494,17 @@ impl Machine {
             .space
             .touch(va)
             .unwrap_or_else(|err| panic!("workload accessed invalid memory: {err}"));
-        let walk = self
-            .walker
-            .walk(va, &touch.path, &mut self.psc, &mut self.caches, None);
+        let walk = {
+            let arch = &mut self.arch;
+            self.walker.walk_hooked(
+                va,
+                &touch.path,
+                &mut self.psc,
+                &mut self.caches,
+                None,
+                |paddr, response| arch.pte_fetch_latency(paddr, response),
+            )
+        };
         invariant!(walk.completed, "retired walks always complete");
         invariant!(
             walk.accesses >= 1,
@@ -504,8 +514,12 @@ impl Machine {
         self.counters.pt_accesses += walk.accesses as u64;
         self.record_latency(LatencyMetric::WalkCycles, walk.cycles);
         self.record_latency(LatencyMetric::TlbFillCycles, walk.cycles);
-        self.tlbs
-            .fill(va, touch.page_size, touch.path.frame_base.as_u64());
+        self.arch.fill(
+            &mut self.tlbs,
+            va,
+            touch.page_size,
+            touch.path.frame_base.as_u64(),
+        );
         let exposure = match op {
             AccessOp::Load => 1.0,
             AccessOp::Store => self.profile.store_walk_exposure,
@@ -605,7 +619,7 @@ impl Machine {
     }
 }
 
-impl AccessSink for Machine {
+impl<A: TranslationArchitecture> AccessSink for ArchMachine<A> {
     /// The per-access pipeline, restructured around the TLB outcome.
     ///
     /// The dominant L1-hit case reads the frame base straight out of the
@@ -618,6 +632,11 @@ impl AccessSink for Machine {
     /// every state mutation the two pipelines share happens in the same
     /// order with the same f64 values. The golden test in `atscale-core`
     /// enforces this equivalence over every workload.
+    ///
+    /// Translation routes through the [`TranslationArchitecture`] — for
+    /// [`BaselineArch`] the lookup inlines to exactly the former
+    /// `tlbs.lookup_frame` dispatch (the conformance suite proves the
+    /// byte-identity, the perf gate the zero cost).
     #[inline]
     fn access(&mut self, op: AccessOp, va: VirtAddr) {
         if self.reference_mode {
@@ -632,12 +651,16 @@ impl AccessSink for Machine {
         self.cycles_f += self.profile.base_cpi;
         self.spec.note_retired(va);
 
-        match self.tlbs.lookup_frame(va) {
-            (TlbHit::L1(size), frame) => {
+        match self.arch.lookup(&mut self.tlbs, va) {
+            ArchLookup::L1 { size, frame } => {
                 self.finish_data_access(op, va, 0, PhysAddr::new(frame), size);
             }
-            (TlbHit::L2(size), frame) => self.access_l2_hit(op, va, size, frame),
-            (TlbHit::Miss, _) => self.access_miss(op, va),
+            ArchLookup::L2 {
+                size,
+                frame,
+                penalty,
+            } => self.access_l2_hit(op, va, size, frame, penalty),
+            ArchLookup::Miss => self.access_miss(op, va),
         }
 
         self.on_retired_instructions(1);

@@ -50,10 +50,12 @@
 #![warn(missing_docs)]
 
 mod access;
+mod arch;
 mod config;
 mod counters;
 mod engine;
 mod mmu_cache;
+mod result;
 mod spec;
 mod telemetry;
 mod tlb;
@@ -61,12 +63,17 @@ mod trace;
 mod walker;
 
 pub use access::{AccessOp, AccessSink, BatchSink, CountingSink, SinkEvent, WorkloadProfile};
+pub use arch::{
+    ArchKind, ArchLookup, BaselineArch, DramCacheArch, NoTlbArch, TranslationArchitecture,
+    VictimaArch, ARCH_COUNTER_SCHEMAS,
+};
 pub use config::{
     MachineConfig, MmuCacheConfig, PscLevels, SpecConfig, TlbConfig, TlbGeometry, WalkerConfig,
 };
 pub use counters::{Counters, WalkOutcomes};
-pub use engine::{Machine, RunResult};
+pub use engine::{ArchMachine, Machine};
 pub use mmu_cache::{PagingStructureCaches, PscLookup};
+pub use result::RunResult;
 pub use spec::{SpecEvent, SpeculationModel, WrongPathPlan};
 pub use telemetry::{counter_sample, TelemetryHandle, RATE_NAMES};
 pub use tlb::{TlbArray, TlbHierarchy, TlbHit, TlbStats};

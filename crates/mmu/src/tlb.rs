@@ -146,6 +146,37 @@ impl TlbArray {
         stamps[victim] = self.clock;
     }
 
+    /// Like [`fill_frame`](Self::fill_frame), but reports whether the
+    /// install displaced a live entry (`true`) rather than refreshing a
+    /// resident key or consuming an empty way. Architecture extensions use
+    /// this to count capacity evictions; the plain fill stays untouched so
+    /// the baseline hot path is unchanged.
+    pub fn fill_frame_evicting(&mut self, key: u64, frame: u64) -> bool {
+        self.filled = true;
+        let set = self.set_slice(key);
+        self.clock += 1;
+        let tags = &mut self.tags[set.clone()];
+        let stamps = &mut self.stamps[set.clone()];
+        if let Some(pos) = tags.iter().position(|&t| t == key) {
+            stamps[pos] = self.clock;
+            self.frames[set.start + pos] = frame;
+            return false;
+        }
+        let mut victim = 0;
+        let mut oldest = stamps[0];
+        for (i, &stamp) in stamps.iter().enumerate().skip(1) {
+            if stamp < oldest {
+                oldest = stamp;
+                victim = i;
+            }
+        }
+        let evicted = tags[victim] != INVALID;
+        tags[victim] = key;
+        self.frames[set.start + victim] = frame;
+        stamps[victim] = self.clock;
+        evicted
+    }
+
     /// Checks for presence without touching recency.
     pub fn probe(&self, key: u64) -> bool {
         self.tags[self.set_slice(key)].contains(&key)
@@ -313,6 +344,51 @@ impl TlbHierarchy {
         (TlbHit::Miss, 0)
     }
 
+    /// Like [`lookup_frame`](Self::lookup_frame), but *open at the bottom*:
+    /// on a full miss it returns `None` **without** counting a miss, so a
+    /// translation architecture can probe its own extension level first and
+    /// classify the outcome itself (via [`count_l2_hit`](Self::count_l2_hit)
+    /// or [`count_miss`](Self::count_miss)). Hit paths count exactly as
+    /// [`lookup_frame`](Self::lookup_frame) does.
+    #[inline]
+    pub fn lookup_frame_open(&mut self, va: VirtAddr) -> Option<(TlbHit, u64)> {
+        for size in PageSize::ALL {
+            if let Some(frame) = self.l1_for(size).lookup_frame(va.vpn(size)) {
+                self.stats.l1_hits += 1;
+                return Some((TlbHit::L1(size), frame));
+            }
+        }
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            if let Some(frame) = self.l2.lookup_frame(Self::l2_key(va, size)) {
+                self.stats.l2_hits += 1;
+                self.l1_for(size).fill_frame(va.vpn(size), frame);
+                return Some((TlbHit::L2(size), frame));
+            }
+        }
+        None
+    }
+
+    /// Records a full-hierarchy miss resolved outside the hierarchy —
+    /// the closing bookkeeping for [`lookup_frame_open`](Self::lookup_frame_open).
+    #[inline]
+    pub fn count_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Records a second-level hit serviced by an architecture extension
+    /// level, keeping the `l2_hits >= retired STLB hits` coupling intact.
+    #[inline]
+    pub fn count_l2_hit(&mut self) {
+        self.stats.l2_hits += 1;
+    }
+
+    /// Promotes an externally-serviced translation into the matching L1
+    /// array, as hardware refills do on second-level hits.
+    #[inline]
+    pub fn promote_l1(&mut self, va: VirtAddr, size: PageSize, frame_base: u64) {
+        self.l1_for(size).fill_frame(va.vpn(size), frame_base);
+    }
+
     /// Installs a completed translation of the given page size, recording
     /// the frame base so later hits can translate without a walk.
     ///
@@ -362,7 +438,9 @@ impl TlbHierarchy {
     }
 
     /// L2 key: size-tagged VPN so 4 KB and 2 MB entries never alias.
-    fn l2_key(va: VirtAddr, size: PageSize) -> u64 {
+    /// Shared with architecture extension levels so their arrays key
+    /// compatibly with the shared L2.
+    pub(crate) fn l2_key(va: VirtAddr, size: PageSize) -> u64 {
         (va.vpn(size) << 1) | (size == PageSize::Size2M) as u64
     }
 }

@@ -1,8 +1,8 @@
 //! The hardware page-table walker.
 
 use crate::{PagingStructureCaches, WalkerConfig};
-use atscale_cache::{AccessKind, CacheHierarchy};
-use atscale_vm::{VirtAddr, WalkPath};
+use atscale_cache::{AccessKind, CacheHierarchy, CacheResponse};
+use atscale_vm::{PhysAddr, VirtAddr, WalkPath};
 
 /// Outcome of one page-table walk (or partial walk, if squashed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,29 @@ impl PageTableWalker {
         caches: &mut CacheHierarchy,
         squash_after: Option<u64>,
     ) -> WalkResult {
+        self.walk_hooked(va, path, psc, caches, squash_after, |_, response| {
+            response.latency as u64
+        })
+    }
+
+    /// Like [`walk`](Self::walk), but each PTE fetch's cycle cost is
+    /// decided by `pte_latency` from the hierarchy's response — the walk
+    /// driver seam for translation architectures that add a level under the
+    /// walker (e.g. a die-stacked DRAM cache). The identity hook reproduces
+    /// [`walk`](Self::walk) exactly; the fetches themselves always go
+    /// through the real hierarchy so PTE/data contention stays modelled.
+    pub fn walk_hooked<F>(
+        &self,
+        va: VirtAddr,
+        path: &WalkPath,
+        psc: &mut PagingStructureCaches,
+        caches: &mut CacheHierarchy,
+        squash_after: Option<u64>,
+        mut pte_latency: F,
+    ) -> WalkResult
+    where
+        F: FnMut(PhysAddr, CacheResponse) -> u64,
+    {
         let leaf_level = path.leaf().level;
         let lookup = psc.lookup(va, leaf_level);
         let needed = lookup.accesses_needed(leaf_level) as usize;
@@ -93,7 +116,7 @@ impl PageTableWalker {
                 }
             }
             let response = caches.access(step.entry_paddr, AccessKind::PageTable);
-            cycles += response.latency as u64;
+            cycles += pte_latency(step.entry_paddr, response);
             accesses += 1;
         }
         psc.fill(path, va);
@@ -120,6 +143,23 @@ impl PageTableWalker {
         caches: &mut CacheHierarchy,
         squash_after: Option<u64>,
     ) -> WalkResult {
+        self.walk_prefix_hooked(steps, caches, squash_after, |_, response| {
+            response.latency as u64
+        })
+    }
+
+    /// [`walk_prefix`](Self::walk_prefix) with the per-fetch latency hook
+    /// of [`walk_hooked`](Self::walk_hooked).
+    pub fn walk_prefix_hooked<F>(
+        &self,
+        steps: &[atscale_vm::WalkStep],
+        caches: &mut CacheHierarchy,
+        squash_after: Option<u64>,
+        mut pte_latency: F,
+    ) -> WalkResult
+    where
+        F: FnMut(PhysAddr, CacheResponse) -> u64,
+    {
         let mut cycles = self.config.setup_cycles as u64;
         let mut accesses = 0u8;
         for step in steps {
@@ -133,7 +173,7 @@ impl PageTableWalker {
                 }
             }
             let response = caches.access(step.entry_paddr, AccessKind::PageTable);
-            cycles += response.latency as u64;
+            cycles += pte_latency(step.entry_paddr, response);
             accesses += 1;
         }
         WalkResult {

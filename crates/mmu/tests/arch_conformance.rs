@@ -1,0 +1,136 @@
+//! Differential conformance for the pluggable translation architectures.
+//!
+//! The [`TranslationArchitecture`] extraction is only admissible if the
+//! baseline plug-in is *bit-for-bit* the pre-refactor stack: the serve
+//! daemon's single-flight dedup and the run cache both key on serialized
+//! [`RunRecord`]s, so "almost identical" records would silently fork the
+//! cache. These tests drive the trait-dispatched baseline and the
+//! force-slow reference pipeline over every workload, every test-sweep
+//! footprint, and every superpage configuration, comparing serialized
+//! bytes — not approximate equality, not counter-by-counter: bytes.
+//!
+//! The alternative architectures cannot be compared against the reference
+//! (it models only the baseline), so their conformance obligations are
+//! determinism ones: thread-count-invariant `run_many`, and wire
+//! round-trips that preserve the architecture tag exactly.
+
+use atscale::{execute_run, execute_run_reference, ArchKind, Harness, RunSpec, SweepConfig};
+use atscale_mmu::MachineConfig;
+use atscale_vm::PageSize;
+use atscale_workloads::WorkloadId;
+
+fn record_bytes(record: &atscale::RunRecord) -> Vec<u8> {
+    serde_json::to_vec(record).expect("RunRecord serializes")
+}
+
+/// The tentpole's admission test: for every workload, every test-sweep
+/// footprint, and every page size, a baseline spec routed through the
+/// architecture trait produces records byte-identical to the reference
+/// pipeline — the generic dispatch changed *nothing* observable.
+#[test]
+fn trait_dispatched_baseline_matches_reference_everywhere() {
+    let sweep = SweepConfig::test();
+    let config = MachineConfig::haswell();
+    for workload in WorkloadId::all() {
+        for footprint in sweep.footprints() {
+            for page_size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+                let spec = sweep.spec(workload, footprint).with_page_size(page_size);
+                assert_eq!(
+                    spec.arch,
+                    ArchKind::Baseline,
+                    "sweep specs default baseline"
+                );
+                let via_trait = record_bytes(&execute_run(&spec, &config));
+                let reference = record_bytes(&execute_run_reference(&spec, &config));
+                assert_eq!(
+                    via_trait, reference,
+                    "trait dispatch diverged for {workload} at {footprint} bytes / {page_size}"
+                );
+            }
+        }
+    }
+}
+
+/// Baseline record JSON must not mention the architecture axis at all —
+/// the `arch` key is skip-if-default on both the spec and the result, so
+/// pre-refactor cache keys and golden files stay valid byte-for-byte.
+#[test]
+fn baseline_records_carry_no_arch_bytes() {
+    let sweep = SweepConfig::test();
+    let spec = sweep.spec(WorkloadId::parse("cc-urand").unwrap(), 16 << 20);
+    let record = execute_run(&spec, &MachineConfig::haswell());
+    let json = String::from_utf8(record_bytes(&record)).unwrap();
+    assert!(
+        !json.contains("\"arch\"") && !json.contains("\"arch_events\""),
+        "baseline records must serialize without any arch field: {json}"
+    );
+}
+
+/// Off-baseline records round-trip through JSON with the architecture tag
+/// intact, and re-encode to the same bytes (the cache-key contract for the
+/// new architectures).
+#[test]
+fn off_baseline_records_roundtrip_with_their_arch_tag() {
+    let sweep = SweepConfig::test();
+    let config = MachineConfig::haswell();
+    for arch in [ArchKind::Victima, ArchKind::DramCache, ArchKind::NoTlb] {
+        let spec = sweep
+            .spec(WorkloadId::parse("pr-urand").unwrap(), 16 << 20)
+            .with_arch(arch);
+        let record = execute_run(&spec, &config);
+        let bytes = record_bytes(&record);
+        let json = String::from_utf8(bytes.clone()).unwrap();
+        assert!(
+            json.contains(&format!("\"arch\":\"{arch}\"")),
+            "{arch} spec must carry its tag on the wire: {json}"
+        );
+        let back: atscale::RunRecord = serde_json::from_slice(&bytes).expect("decodes");
+        assert_eq!(back.spec.arch, arch);
+        assert_eq!(record_bytes(&back), bytes, "re-encode must be stable");
+    }
+}
+
+/// `run_many` is thread-count invariant for **every** architecture:
+/// per-slot result publication and work-stealing order must not leak into
+/// any architecture's records.
+#[test]
+fn run_many_is_thread_count_invariant_per_arch() {
+    let sweep = SweepConfig::test();
+    for arch in ArchKind::ALL {
+        let specs: Vec<RunSpec> = WorkloadId::all()
+            .into_iter()
+            .take(4)
+            .map(|w| sweep.spec(w, 32 << 20).with_arch(arch))
+            .collect();
+        let single: Vec<Vec<u8>> = Harness::new()
+            .with_threads(1)
+            .run_many(&specs)
+            .iter()
+            .map(record_bytes)
+            .collect();
+        let parallel: Vec<Vec<u8>> = Harness::new()
+            .with_threads(4)
+            .run_many(&specs)
+            .iter()
+            .map(record_bytes)
+            .collect();
+        assert_eq!(single, parallel, "{arch} records depend on thread count");
+    }
+}
+
+/// Re-running the identical off-baseline spec yields identical bytes: the
+/// alternative architectures are as deterministic as the baseline, so the
+/// daemon's dedup key covers them soundly.
+#[test]
+fn off_baseline_execution_is_deterministic() {
+    let sweep = SweepConfig::test();
+    let config = MachineConfig::haswell();
+    for arch in [ArchKind::Victima, ArchKind::DramCache, ArchKind::NoTlb] {
+        let spec = sweep
+            .spec(WorkloadId::parse("bfs-urand").unwrap(), 32 << 20)
+            .with_arch(arch);
+        let first = record_bytes(&execute_run(&spec, &config));
+        let second = record_bytes(&execute_run(&spec, &config));
+        assert_eq!(first, second, "{arch} execution is not deterministic");
+    }
+}

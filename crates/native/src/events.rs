@@ -210,6 +210,37 @@ pub const UNMAPPED: &[(&str, &str)] = &[
     ),
 ];
 
+/// Per-architecture counters (`atscale_mmu::ARCH_COUNTER_SCHEMAS`) the
+/// harness deliberately does **not** open. The alternative translation
+/// architectures (Victima's cache-block extension TLB, the die-stacked
+/// DRAM cache under the walker) exist only in simulation, so none of their
+/// counters has an analogue on shipping silicon; they are tabled separately
+/// from [`UNMAPPED`] because they are not Table VI counters and must not
+/// satisfy (or trip) its staleness check. Audit rule 8 requires every
+/// schema name to appear either in [`MAPPED`] or here.
+pub const ARCH_UNMAPPED: &[(&str, &str)] = &[
+    (
+        "victima.hits",
+        "the Victima L2-block extension TLB is a simulated proposal (arxiv 2310.04158); no shipping PMU has the structure",
+    ),
+    (
+        "victima.fills",
+        "fills into the simulated extension TLB; no hardware analogue exists",
+    ),
+    (
+        "victima.evictions",
+        "evictions from the simulated extension TLB; no hardware analogue exists",
+    ),
+    (
+        "dram_cache.pte_hits",
+        "PTE hits in the simulated die-stacked DRAM cache (arxiv 2002.01073); no shipping part exposes a walker-side stacked-cache event",
+    ),
+    (
+        "dram_cache.pte_misses",
+        "PTE misses in the simulated die-stacked DRAM cache; no hardware analogue exists",
+    ),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +273,37 @@ mod tests {
                 table_vi.contains(name),
                 "UNMAPPED entry `{name}` is not a Table VI counter"
             );
+        }
+    }
+
+    #[test]
+    fn arch_schema_counters_are_mapped_or_arch_unmapped_exactly_once() {
+        let mapped: BTreeSet<&str> = MAPPED.iter().map(|e| e.sim_name).collect();
+        let arch_unmapped: BTreeSet<&str> = ARCH_UNMAPPED.iter().map(|(name, _)| *name).collect();
+        let mut schema_names: BTreeSet<&str> = BTreeSet::new();
+        for (arch, names) in atscale_mmu::ARCH_COUNTER_SCHEMAS {
+            for name in *names {
+                schema_names.insert(name);
+                let in_mapped = mapped.contains(name);
+                let in_unmapped = arch_unmapped.contains(name);
+                assert!(
+                    in_mapped || in_unmapped,
+                    "architecture counter `{name}` ({arch}) neither mapped nor explicitly unmapped"
+                );
+                assert!(
+                    !(in_mapped && in_unmapped),
+                    "architecture counter `{name}` ({arch}) both mapped and unmapped"
+                );
+            }
+        }
+        // ARCH_UNMAPPED must not drift from the schemas either, and every
+        // entry needs a written-down reason.
+        for (name, reason) in ARCH_UNMAPPED {
+            assert!(
+                schema_names.contains(name),
+                "ARCH_UNMAPPED entry `{name}` is not in any architecture's counter schema"
+            );
+            assert!(!reason.trim().is_empty(), "`{name}` has an empty reason");
         }
     }
 

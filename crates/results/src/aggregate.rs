@@ -1,12 +1,18 @@
 //! The hot-column row schema and the mergeable per-group aggregate state,
 //! plus the wire-facing query types the serving protocol re-exports.
 //!
-//! Grouping is per `(workload, footprint MB, source)` — the paper's fig1
-//! axes. Each group carries a WCPI [`Sketch`] and a [`Regress`]
-//! accumulator over `(log10 footprint_KB, WCPI)`; a footprint-range query
-//! merges the matching groups' regression states, which *is* the fig1
-//! β/c fit over those runs. All per-group state is integral, so group
-//! merge inherits the exact associativity of its parts.
+//! Grouping is per `(workload, footprint MB, source, arch)` — the paper's
+//! fig1 axes plus the translation-architecture scenario axis. Each group
+//! carries a WCPI [`Sketch`] and a [`Regress`] accumulator over
+//! `(log10 footprint_KB, WCPI)`; a footprint-range query merges the
+//! matching groups' regression states, which *is* the fig1 β/c fit over
+//! those runs — per architecture, when the filter pins one. All per-group
+//! state is integral, so group merge inherits the exact associativity of
+//! its parts.
+//!
+//! Rows and aggregates encoded before the arch axis existed (WAL v1
+//! frames, segment v1 files) decode with `arch = "baseline"`, which is
+//! exactly what those records measured.
 
 use crate::codec::{Corrupt, Dec, DecResult, Enc};
 use crate::regress::Regress;
@@ -29,6 +35,10 @@ pub struct HotRow {
     /// Record provenance (`sim` / `native`), mirroring the telemetry
     /// schema-v3 source tag.
     pub source: String,
+    /// Translation architecture label (`baseline` / `victima` /
+    /// `dram-cache` / `no-tlb`). Rows from pre-arch stores decode as
+    /// `baseline`.
+    pub arch: String,
     /// WCPI at [`crate::sketch::VALUE_SCALE`] fixed point.
     pub wcpi_fp: i64,
     /// `log10(measured footprint KB)` at [`crate::regress::X_SCALE`]
@@ -55,6 +65,7 @@ impl HotRow {
             workload: self.workload.clone(),
             footprint_mb: self.footprint_mb,
             source: self.source.clone(),
+            arch: self.arch.clone(),
         }
     }
 
@@ -64,6 +75,7 @@ impl HotRow {
         enc.str(&self.page_size);
         enc.u64(self.seed);
         enc.str(&self.source);
+        enc.str(&self.arch);
         enc.i64(self.wcpi_fp);
         enc.i64(self.x_fp);
         enc.u64(self.walk_duration_cycles);
@@ -75,12 +87,27 @@ impl HotRow {
     }
 
     pub(crate) fn decode(dec: &mut Dec<'_>) -> DecResult<HotRow> {
+        Self::decode_with(dec, true)
+    }
+
+    /// Decodes a row written before the arch column existed (WAL v1
+    /// frames), defaulting `arch = "baseline"`.
+    pub(crate) fn decode_v1(dec: &mut Dec<'_>) -> DecResult<HotRow> {
+        Self::decode_with(dec, false)
+    }
+
+    fn decode_with(dec: &mut Dec<'_>, with_arch: bool) -> DecResult<HotRow> {
         Ok(HotRow {
             workload: dec.str()?,
             footprint_mb: dec.u64()?,
             page_size: dec.str()?,
             seed: dec.u64()?,
             source: dec.str()?,
+            arch: if with_arch {
+                dec.str()?
+            } else {
+                "baseline".to_string()
+            },
             wcpi_fp: dec.i64()?,
             x_fp: dec.i64()?,
             walk_duration_cycles: dec.u64()?,
@@ -93,7 +120,10 @@ impl HotRow {
     }
 }
 
-/// Aggregation group identity: the fig1 axes.
+/// Aggregation group identity: the fig1 axes plus the architecture axis.
+/// `arch` is deliberately the *last* field: derived `Ord` compares fields
+/// in declaration order, so pre-arch states (all `baseline`) keep their
+/// exact sorted order and the canonical-form check accepts them unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct GroupKey {
     /// Workload id string.
@@ -102,6 +132,8 @@ pub struct GroupKey {
     pub footprint_mb: u64,
     /// Record provenance.
     pub source: String,
+    /// Translation architecture label.
+    pub arch: String,
 }
 
 /// Per-group mergeable aggregate: WCPI sketch, β/c regression state, and
@@ -240,6 +272,7 @@ impl AggState {
                 workload: key.workload.clone(),
                 footprint_mb: key.footprint_mb,
                 source: key.source.clone(),
+                arch: key.arch.clone(),
                 count: agg.sketch.count(),
                 mean_wcpi: agg.sketch.mean(),
                 p50_wcpi: agg.sketch.quantile(0.5),
@@ -265,12 +298,25 @@ impl AggState {
             enc.str(&key.workload);
             enc.u64(key.footprint_mb);
             enc.str(&key.source);
+            enc.str(&key.arch);
             agg.encode(enc);
         }
     }
 
     /// Deserializes a state, validating the sorted canonical form.
     pub fn decode(dec: &mut Dec<'_>) -> DecResult<AggState> {
+        Self::decode_with(dec, true)
+    }
+
+    /// Decodes a state written before the arch axis existed (segment v1
+    /// aggregate blocks), defaulting every key's `arch` to `baseline`.
+    /// `arch` is `GroupKey`'s last `Ord` field, so the stored sort order
+    /// is still canonical after the default is applied.
+    pub(crate) fn decode_v1(dec: &mut Dec<'_>) -> DecResult<AggState> {
+        Self::decode_with(dec, false)
+    }
+
+    fn decode_with(dec: &mut Dec<'_>, with_arch: bool) -> DecResult<AggState> {
         let n = dec.u32()? as usize;
         let mut groups = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
@@ -278,6 +324,11 @@ impl AggState {
                 workload: dec.str()?,
                 footprint_mb: dec.u64()?,
                 source: dec.str()?,
+                arch: if with_arch {
+                    dec.str()?
+                } else {
+                    "baseline".to_string()
+                },
             };
             if groups
                 .last()
@@ -293,13 +344,16 @@ impl AggState {
 }
 
 /// A `Query` request's filter: every field is optional, `None` matches
-/// everything (wire type, protocol v5).
+/// everything (wire type, protocol v5; `arch` added in v7).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryFilter {
     /// Restrict to one workload id.
     pub workload: Option<String>,
     /// Restrict to one provenance tag (`sim` / `native`).
     pub source: Option<String>,
+    /// Restrict to one translation architecture (`baseline` / `victima` /
+    /// `dram-cache` / `no-tlb`).
+    pub arch: Option<String>,
     /// Inclusive lower footprint bound, MiB.
     pub min_footprint_mb: Option<u64>,
     /// Inclusive upper footprint bound, MiB.
@@ -311,6 +365,7 @@ impl QueryFilter {
     pub fn matches(&self, key: &GroupKey) -> bool {
         self.workload.as_ref().is_none_or(|w| *w == key.workload)
             && self.source.as_ref().is_none_or(|s| *s == key.source)
+            && self.arch.as_ref().is_none_or(|a| *a == key.arch)
             && self.min_footprint_mb.is_none_or(|m| key.footprint_mb >= m)
             && self.max_footprint_mb.is_none_or(|m| key.footprint_mb <= m)
     }
@@ -325,6 +380,8 @@ pub struct GroupSummary {
     pub footprint_mb: u64,
     /// Record provenance.
     pub source: String,
+    /// Translation architecture label.
+    pub arch: String,
     /// Runs in the group.
     pub count: u64,
     /// Exact mean WCPI.
@@ -352,7 +409,7 @@ pub struct QueryResult {
     pub beta: Option<f64>,
     /// Fitted intercept c; `None` exactly when `beta` is.
     pub intercept: Option<f64>,
-    /// Per-group breakdown, sorted by `(workload, footprint, source)`.
+    /// Per-group breakdown, sorted by `(workload, footprint, source, arch)`.
     pub groups: Vec<GroupSummary>,
 }
 
@@ -406,6 +463,7 @@ mod tests {
             page_size: "4K".to_string(),
             seed,
             source: "sim".to_string(),
+            arch: "baseline".to_string(),
             wcpi_fp: value_fp(wcpi),
             x_fp: x_fp((mb as f64 * 1024.0).log10()),
             walk_duration_cycles: (wcpi * 1e5) as u64,
@@ -512,5 +570,96 @@ mod tests {
         let bytes = enc.finish();
         let mut dec = Dec::new(&bytes);
         assert_eq!(HotRow::decode(&mut dec).unwrap(), r);
+    }
+
+    pub(crate) fn arch_row(workload: &str, mb: u64, seed: u64, wcpi: f64, arch: &str) -> HotRow {
+        let mut r = row(workload, mb, seed, wcpi);
+        r.arch = arch.to_string();
+        r
+    }
+
+    #[test]
+    fn architectures_group_separately_and_filter() {
+        let mut state = AggState::new();
+        state.add(&row("cc-urand", 16, 1, 0.4));
+        state.add(&arch_row("cc-urand", 16, 1, 0.1, "victima"));
+        state.add(&arch_row("cc-urand", 16, 1, 3.0, "no-tlb"));
+        assert_eq!(state.len(), 3, "same axes, distinct arch: distinct groups");
+        let victima = state.query(&QueryFilter {
+            arch: Some("victima".to_string()),
+            ..QueryFilter::default()
+        });
+        assert_eq!(victima.count, 1);
+        assert!((victima.mean_wcpi - 0.1).abs() < 1e-6);
+        assert_eq!(victima.groups[0].arch, "victima");
+        let all = state.query(&QueryFilter::default());
+        assert_eq!(all.count, 3, "no arch filter matches every architecture");
+    }
+
+    #[test]
+    fn arch_filtered_range_query_fits_per_architecture() {
+        let mut state = AggState::new();
+        for (mb, base, vict) in [(16u64, 0.2, 0.1), (64, 0.5, 0.2), (256, 1.1, 0.35)] {
+            state.add(&row("cc-urand", mb, 7, base));
+            state.add(&arch_row("cc-urand", mb, 7, vict, "victima"));
+        }
+        let fit = |arch: &str| {
+            state
+                .query(&QueryFilter {
+                    arch: Some(arch.to_string()),
+                    ..QueryFilter::default()
+                })
+                .beta
+                .expect("three footprints fit")
+        };
+        assert!(
+            fit("victima") < fit("baseline"),
+            "victima's extended reach must flatten the slope"
+        );
+    }
+
+    #[test]
+    fn v1_state_decodes_with_baseline_arch() {
+        // A hand-rolled v1 aggregate image: keys without the arch string.
+        let mut expect = AggState::new();
+        expect.add(&row("bfs-urand", 64, 2, 0.5));
+        expect.add(&row("cc-urand", 16, 1, 0.1));
+        let mut enc = Enc::new();
+        enc.u32(2);
+        for (key, agg) in expect.groups() {
+            enc.str(&key.workload);
+            enc.u64(key.footprint_mb);
+            enc.str(&key.source);
+            agg.encode(&mut enc);
+        }
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        let decoded = AggState::decode_v1(&mut dec).unwrap();
+        assert!(dec.done().is_ok());
+        assert_eq!(decoded, expect, "v1 keys default to arch=baseline");
+    }
+
+    #[test]
+    fn v1_hot_row_decodes_with_baseline_arch() {
+        let expect = row("pr-urand", 256, 9, 1.25);
+        // Encode without the arch column, as v1 WAL frames did.
+        let mut enc = Enc::new();
+        enc.str(&expect.workload);
+        enc.u64(expect.footprint_mb);
+        enc.str(&expect.page_size);
+        enc.u64(expect.seed);
+        enc.str(&expect.source);
+        enc.i64(expect.wcpi_fp);
+        enc.i64(expect.x_fp);
+        enc.u64(expect.walk_duration_cycles);
+        enc.u64(expect.inst_retired);
+        enc.u64(expect.cycles);
+        enc.u64(expect.walks_initiated);
+        enc.u64(expect.walks_completed);
+        enc.u64(expect.walks_retired);
+        let bytes = enc.finish();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(HotRow::decode_v1(&mut dec).unwrap(), expect);
+        assert!(dec.done().is_ok());
     }
 }

@@ -4,12 +4,17 @@
 //!
 //! ```text
 //! [magic u32][version u32][row_count u32]
-//! 14 column blocks (fixed schema order: key, workload, footprint_mb,
-//!   page_size, seed, source, wcpi_fp, x_fp, walk_duration_cycles,
+//! 15 column blocks (fixed schema order: key, workload, footprint_mb,
+//!   page_size, seed, source, arch, wcpi_fp, x_fp, walk_duration_cycles,
 //!   inst_retired, cycles, walks_initiated, walks_completed, walks_retired)
 //! 1 raw-sidecar block (per-row LZ-compressed raw record JSON)
 //! 1 aggregate block (the AggState over this segment's rows)
 //! ```
+//!
+//! Version 1 files — written before the translation-architecture axis —
+//! have no `arch` column and a v1 aggregate block; they still decode
+//! (every row and group key gets `arch = "baseline"`), so an existing
+//! store keeps serving across the upgrade. New segments are always v2.
 //!
 //! Every block is framed `[len u32][crc u32][payload]` and validated on
 //! read; any failure makes the whole file [`Corrupt`] and the store
@@ -24,8 +29,10 @@ use crate::codec::{crc32, Corrupt, Dec, DecResult, Enc};
 
 /// File magic (`"ASEG"` little-endian).
 const SEG_MAGIC: u32 = 0x4745_5341;
-/// Format version.
-const SEG_VERSION: u32 = 1;
+/// Pre-arch format version (no arch column): read-only compatibility.
+const SEG_VERSION_V1: u32 = 1;
+/// Current format version (arch column after source).
+const SEG_VERSION: u32 = 2;
 
 /// A decoded segment: parallel row vectors plus the aggregate sidecar.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,13 +79,14 @@ pub(crate) fn encode_segment(keys: &[String], hots: &[HotRow], raws: &[Vec<u8>])
     out.extend_from_slice(&SEG_MAGIC.to_le_bytes());
     out.extend_from_slice(&SEG_VERSION.to_le_bytes());
     out.extend_from_slice(&(u32::try_from(rows).expect("row count fits u32")).to_le_bytes());
-    // The 14 fixed-schema column blocks, column-major.
+    // The 15 fixed-schema column blocks, column-major.
     push_block(&mut out, &column(rows, |e, i| e.str(&keys[i])));
     push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].workload)));
     push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].footprint_mb)));
     push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].page_size)));
     push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].seed)));
     push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].source)));
+    push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].arch)));
     push_block(&mut out, &column(rows, |e, i| e.i64(hots[i].wcpi_fp)));
     push_block(&mut out, &column(rows, |e, i| e.i64(hots[i].x_fp)));
     push_block(
@@ -158,11 +166,14 @@ pub(crate) fn decode_segment(data: &[u8]) -> DecResult<SegmentData> {
     if data.len() < 12 {
         return Err(Corrupt);
     }
-    if u32::from_le_bytes(data[0..4].try_into().expect("4 bytes")) != SEG_MAGIC
-        || u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) != SEG_VERSION
-    {
+    if u32::from_le_bytes(data[0..4].try_into().expect("4 bytes")) != SEG_MAGIC {
         return Err(Corrupt);
     }
+    let v1 = match u32::from_le_bytes(data[4..8].try_into().expect("4 bytes")) {
+        SEG_VERSION => false,
+        SEG_VERSION_V1 => true,
+        _ => return Err(Corrupt),
+    };
     let rows = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
     let mut blocks = Blocks { data, pos: 12 };
     let keys = decode_column(blocks.next()?, rows, Dec::str)?;
@@ -171,6 +182,11 @@ pub(crate) fn decode_segment(data: &[u8]) -> DecResult<SegmentData> {
     let page_size = decode_column(blocks.next()?, rows, Dec::str)?;
     let seed = decode_column(blocks.next()?, rows, Dec::u64)?;
     let source = decode_column(blocks.next()?, rows, Dec::str)?;
+    let arch = if v1 {
+        vec!["baseline".to_string(); rows]
+    } else {
+        decode_column(blocks.next()?, rows, Dec::str)?
+    };
     let wcpi_fp = decode_column(blocks.next()?, rows, Dec::i64)?;
     let x_fp = decode_column(blocks.next()?, rows, Dec::i64)?;
     let walk_duration_cycles = decode_column(blocks.next()?, rows, Dec::u64)?;
@@ -182,7 +198,11 @@ pub(crate) fn decode_segment(data: &[u8]) -> DecResult<SegmentData> {
     let raws = decode_column(blocks.next()?, rows, Dec::bytes)?;
     let agg_payload = blocks.next()?;
     let mut agg_dec = Dec::new(agg_payload);
-    let agg = AggState::decode(&mut agg_dec)?;
+    let agg = if v1 {
+        AggState::decode_v1(&mut agg_dec)?
+    } else {
+        AggState::decode(&mut agg_dec)?
+    };
     agg_dec.done()?;
     if blocks.pos != data.len() {
         return Err(Corrupt);
@@ -192,6 +212,7 @@ pub(crate) fn decode_segment(data: &[u8]) -> DecResult<SegmentData> {
         workload.into_iter(),
         page_size.into_iter(),
         source.into_iter(),
+        arch.into_iter(),
     );
     for i in 0..rows {
         hots.push(HotRow {
@@ -200,6 +221,7 @@ pub(crate) fn decode_segment(data: &[u8]) -> DecResult<SegmentData> {
             page_size: iters.1.next().expect("length checked"),
             seed: seed[i],
             source: iters.2.next().expect("length checked"),
+            arch: iters.3.next().expect("length checked"),
             wcpi_fp: wcpi_fp[i],
             x_fp: x_fp[i],
             walk_duration_cycles: walk_duration_cycles[i],
@@ -245,6 +267,7 @@ mod tests {
                 page_size: "4K".to_string(),
                 seed: i,
                 source: "sim".to_string(),
+                arch: if i % 3 == 0 { "baseline" } else { "victima" }.to_string(),
                 wcpi_fp: value_fp(0.1 * (i + 1) as f64),
                 x_fp: x_fp(4.0 + i as f64 * 0.3),
                 walk_duration_cycles: 1000 * i,
@@ -281,6 +304,79 @@ mod tests {
         let seg = decode_segment(&image).unwrap();
         assert_eq!(seg.rows(), 0);
         assert!(seg.agg.is_empty());
+    }
+
+    /// Encodes a v1 (pre-arch) segment image for the compatibility test:
+    /// version 1, no arch column, v1 aggregate block.
+    fn encode_segment_v1(keys: &[String], hots: &[HotRow], raws: &[Vec<u8>]) -> Vec<u8> {
+        let rows = keys.len();
+        let mut agg = AggState::new();
+        for hot in hots {
+            agg.add(hot);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&SEG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&SEG_VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&(rows as u32).to_le_bytes());
+        push_block(&mut out, &column(rows, |e, i| e.str(&keys[i])));
+        push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].workload)));
+        push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].footprint_mb)));
+        push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].page_size)));
+        push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].seed)));
+        push_block(&mut out, &column(rows, |e, i| e.str(&hots[i].source)));
+        push_block(&mut out, &column(rows, |e, i| e.i64(hots[i].wcpi_fp)));
+        push_block(&mut out, &column(rows, |e, i| e.i64(hots[i].x_fp)));
+        push_block(
+            &mut out,
+            &column(rows, |e, i| e.u64(hots[i].walk_duration_cycles)),
+        );
+        push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].inst_retired)));
+        push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].cycles)));
+        push_block(
+            &mut out,
+            &column(rows, |e, i| e.u64(hots[i].walks_initiated)),
+        );
+        push_block(
+            &mut out,
+            &column(rows, |e, i| e.u64(hots[i].walks_completed)),
+        );
+        push_block(&mut out, &column(rows, |e, i| e.u64(hots[i].walks_retired)));
+        push_block(&mut out, &column(rows, |e, i| e.bytes(&raws[i])));
+        // v1 aggregate block: keys encoded without the arch string.
+        // GroupAgg's fields are pub, so its byte layout is reproduced
+        // directly (sketch, regress, exact sums — unchanged between v1
+        // and v2; only the key layout differs).
+        let mut agg_enc = Enc::new();
+        agg_enc.u32(agg.groups().len() as u32);
+        for (key, group) in agg.groups() {
+            agg_enc.str(&key.workload);
+            agg_enc.u64(key.footprint_mb);
+            agg_enc.str(&key.source);
+            group.sketch.encode(&mut agg_enc);
+            group.regress.encode(&mut agg_enc);
+            agg_enc.u128(group.walk_cycles);
+            agg_enc.u128(group.instructions);
+        }
+        push_block(&mut out, &agg_enc.finish());
+        out
+    }
+
+    #[test]
+    fn v1_segment_decodes_with_baseline_arch() {
+        let (keys, mut hots, raws) = rows(5);
+        for hot in &mut hots {
+            hot.arch = "baseline".to_string();
+        }
+        let image = encode_segment_v1(&keys, &hots, &raws);
+        let seg = decode_segment(&image).expect("v1 images stay readable");
+        assert_eq!(seg.keys, keys);
+        assert_eq!(seg.hots, hots, "every v1 row defaults to arch=baseline");
+        assert_eq!(seg.raws, raws);
+        let mut expect = AggState::new();
+        for hot in &hots {
+            expect.add(hot);
+        }
+        assert_eq!(seg.agg, expect, "v1 agg block keys default to baseline");
     }
 
     #[test]

@@ -665,6 +665,7 @@ mod tests {
             page_size: "4K".to_string(),
             seed,
             source: "sim".to_string(),
+            arch: "baseline".to_string(),
             wcpi_fp: value_fp(wcpi),
             x_fp: x_fp((mb as f64 * 1024.0).log10()),
             walk_duration_cycles: (wcpi * 1e5) as u64,

@@ -40,6 +40,7 @@ fn materialize(draws: &[RowDraw]) -> Vec<HotRow> {
                 page_size: "4K".to_string(),
                 seed,
                 source: "sim".to_string(),
+                arch: if seed % 3 == 0 { "no-tlb" } else { "baseline" }.to_string(),
                 wcpi_fp: value_fp(wcpi),
                 x_fp: x_fp((mb as f64 * 1024.0).log10()),
                 walk_duration_cycles: (wcpi * 1e5) as u64,

@@ -21,6 +21,7 @@ fn mk_row(i: u64) -> (String, HotRow, Vec<u8>) {
         page_size: "4K".to_string(),
         seed: i,
         source: "sim".to_string(),
+        arch: if i.is_multiple_of(4) { "victima" } else { "baseline" }.to_string(),
         wcpi_fp: value_fp(wcpi),
         x_fp: x_fp((mb as f64 * 1024.0).log10()),
         walk_duration_cycles: 1_000 + i,

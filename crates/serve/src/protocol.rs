@@ -47,7 +47,15 @@ pub use atscale::results::{CompactStats, GroupSummary, QueryFilter, QueryResult,
 /// advisory on the wire — a daemon executes whatever it is sent — but
 /// the sharded client routes every spec, which is what keeps
 /// single-flight dedup and the record cache exact per shard.
-pub const PROTOCOL_VERSION: u64 = 6;
+///
+/// v7: the translation-architecture axis. [`Welcome`] lists the
+/// architectures the server can simulate (`architectures`); submitted
+/// [`RunSpec`]s carry an `arch` field (omitted when baseline, so v6-era
+/// spec JSON still decodes); [`RecordDone`] echoes the resolved spec's
+/// architecture (`arch`); [`QueryFilter`] accepts an `arch` restriction
+/// and [`GroupSummary`] reports each group's architecture, making the
+/// fig1-style β/c fit queryable per architecture.
+pub const PROTOCOL_VERSION: u64 = 7;
 
 /// Client → server handshake: announces the client's protocol revision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +134,9 @@ pub struct Welcome {
     /// empty standalone). Lets a client that connected to any one member
     /// build the full routing table.
     pub topology: Vec<String>,
+    /// Translation architectures this server can simulate, in
+    /// [`atscale::ArchKind::ALL`] order (v7).
+    pub architectures: Vec<String>,
 }
 
 /// A submission passed admission control.
@@ -170,6 +181,9 @@ pub struct RecordDone {
     /// Measurement provenance (telemetry schema v3): `"sim"` for records
     /// the daemon executed or served from its cache.
     pub source: String,
+    /// Translation architecture the record was measured on (v7) —
+    /// echoes the resolved spec's `arch` label.
+    pub arch: String,
     /// The completed run.
     pub record: RunRecord,
 }

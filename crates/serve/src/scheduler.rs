@@ -195,13 +195,15 @@ impl Batch {
             }));
         } else {
             self.delivered.fetch_add(1, Ordering::SeqCst);
+            let record = outcome.record.as_ref().expect("checked above").clone();
             self.sink.send(&Reply::Record(RecordDone {
                 id: self.id,
                 index: sub.index,
                 cached: outcome.cached,
                 deduped: sub.deduped,
                 source: "sim".to_string(),
-                record: outcome.record.as_ref().expect("checked above").clone(),
+                arch: record.spec.arch.to_string(),
+                record,
             }));
         }
         let resolved = self.resolved.fetch_add(1, Ordering::SeqCst) + 1;

@@ -423,6 +423,10 @@ pub(crate) fn handle_request(
                     shard: handle.scheduler.shard(),
                     shards: handle.scheduler.shards(),
                     topology: handle.scheduler.topology().to_vec(),
+                    architectures: atscale::ArchKind::ALL
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect(),
                 }));
             } else {
                 writer.send(&Reply::Error(ErrorReply {

@@ -23,6 +23,7 @@ fn spec() -> RunSpec {
         seed: 7,
         warmup_instr: 1_000,
         budget_instr: 20_000,
+        arch: atscale::ArchKind::Baseline,
     }
 }
 
@@ -57,9 +58,12 @@ fn request_hello_roundtrips() {
 
 #[test]
 fn request_submit_roundtrips() {
+    // Mixed-architecture batch: the off-baseline spec carries its `arch`
+    // tag on the wire (v7); the baseline spec omits it (byte-stable v6
+    // shape).
     roundtrip_eq(&Request::Submit(Submit {
         id: 3,
-        specs: vec![spec()],
+        specs: vec![spec(), spec().with_arch(atscale::ArchKind::Victima)],
         deadline_ms: Some(1500),
         no_cache: true,
         sample_interval: 100_000,
@@ -94,6 +98,7 @@ fn request_query_roundtrips() {
     roundtrip_eq(&Request::Query(QueryFilter {
         workload: Some("cc-urand".to_string()),
         source: Some("sim".to_string()),
+        arch: Some("victima".to_string()),
         min_footprint_mb: Some(16),
         max_footprint_mb: Some(1024),
     }));
@@ -127,6 +132,10 @@ fn reply_welcome_roundtrips() {
             "127.0.0.1:7003".to_string(),
             "127.0.0.1:7004".to_string(),
         ],
+        architectures: atscale::ArchKind::ALL
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
     }));
     // Standalone shape: shard 0 of 1, empty address list.
     roundtrip_bytes(&Reply::Welcome(Welcome {
@@ -137,6 +146,7 @@ fn reply_welcome_roundtrips() {
         shard: 0,
         shards: 1,
         topology: Vec::new(),
+        architectures: vec!["baseline".to_string()],
     }));
 }
 
@@ -168,11 +178,16 @@ fn reply_record_roundtrips() {
         cached: true,
         deduped: false,
         source: "sim".to_string(),
+        arch: record.spec.arch.to_string(),
         record,
     }));
     assert!(
         encoded.contains("\"source\":\"sim\""),
         "v4 record frames carry the provenance tag on the wire"
+    );
+    assert!(
+        encoded.contains("\"arch\":\"baseline\""),
+        "v7 record frames carry the architecture tag on the wire"
     );
     let decoded: Reply = decode(&encoded).unwrap();
     assert_eq!(encode(&decoded), encoded);
@@ -275,6 +290,7 @@ fn reply_query_result_roundtrips() {
             workload: "cc-urand".to_string(),
             footprint_mb: 64,
             source: "sim".to_string(),
+            arch: "victima".to_string(),
             count: 9,
             mean_wcpi: 0.2,
             p50_wcpi: 0.18,

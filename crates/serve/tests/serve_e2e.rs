@@ -29,6 +29,7 @@ fn tiny_spec(seed: u64) -> RunSpec {
         seed,
         warmup_instr: 1_000,
         budget_instr: 20_000,
+        arch: atscale::ArchKind::Baseline,
     }
 }
 
